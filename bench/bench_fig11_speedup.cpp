@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 11 reproduction: end-to-end solver speedup over the CPU
+ * (indirect/"MKL" role) baseline for three accelerators — the GPU
+ * model ("cuda"), the baseline FPGA ("no customization"), and the
+ * customized FPGA ("customization") — grouped per application domain.
+ *
+ * Paper headline: up to 31.2x over CPU and 6.9x over GPU with
+ * customization; customization extends the FPGA's win to all but the
+ * largest problems.
+ */
+
+#include <map>
+
+#include "bench_util.hpp"
+
+using namespace rsqp;
+using namespace rsqp::bench;
+
+int
+main(int argc, char** argv)
+{
+    const BenchOptions options = parseOptions(argc, argv);
+
+    TextTable table({"problem", "domain", "nnz", "cpu_ms", "cuda_x",
+                     "no_custom_x", "custom_x", "custom_vs_gpu_x"});
+    Real best_vs_cpu = 0.0, best_vs_gpu = 0.0;
+    std::map<Domain, RunningStats> custom_per_domain;
+
+    for (const ProblemSpec& spec :
+         benchmarkSuite(options.sizesPerDomain)) {
+        const ProblemMeasurement meas = measureProblem(spec, options);
+        const Real cuda_x = meas.cpuSeconds / meas.gpu.totalSeconds();
+        const Real base_x =
+            meas.cpuSeconds / meas.deviceBaseline.deviceSeconds;
+        const Real custom_x =
+            meas.cpuSeconds / meas.deviceCustom.deviceSeconds;
+        const Real vs_gpu =
+            meas.gpu.totalSeconds() / meas.deviceCustom.deviceSeconds;
+        best_vs_cpu = std::max(best_vs_cpu, custom_x);
+        best_vs_gpu = std::max(best_vs_gpu, vs_gpu);
+        custom_per_domain[spec.domain].add(custom_x);
+
+        table.addRow({meas.name, toString(meas.domain),
+                      std::to_string(meas.nnz),
+                      formatFixed(meas.cpuSeconds * 1e3, 3),
+                      formatFixed(cuda_x, 2), formatFixed(base_x, 2),
+                      formatFixed(custom_x, 2),
+                      formatFixed(vs_gpu, 2)});
+    }
+    emitTable(table, options,
+              "Fig. 11: end-to-end speedup over the CPU backend");
+
+    std::cout << "max speedup of customized FPGA vs CPU: "
+              << formatFixed(best_vs_cpu, 1) << "x (paper: up to 31.2x)\n"
+              << "max speedup of customized FPGA vs GPU: "
+              << formatFixed(best_vs_gpu, 1) << "x (paper: up to 6.9x)\n";
+    std::cout << "per-domain mean customized speedup vs CPU:\n";
+    for (const auto& [domain, stats] : custom_per_domain)
+        std::cout << "  " << toString(domain) << ": "
+                  << formatFixed(stats.mean(), 2) << "x\n";
+    return 0;
+}

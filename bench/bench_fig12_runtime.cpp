@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 12 reproduction: absolute solver run time (lower is better) on
+ * the CPU backend, the GPU model, and the customized FPGA, per
+ * problem.
+ */
+
+#include "bench_util.hpp"
+
+using namespace rsqp;
+using namespace rsqp::bench;
+
+int
+main(int argc, char** argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    if (options.sizesPerDomain == 6)
+        options.sizesPerDomain = 5;  // runtime figure; keep it brisk
+
+    TextTable table({"problem", "domain", "nnz", "iters", "cpu_ms",
+                     "cuda_ms", "fpga_ms", "winner"});
+    for (const ProblemSpec& spec :
+         benchmarkSuite(options.sizesPerDomain)) {
+        const ProblemMeasurement meas = measureProblem(spec, options);
+        const Real cpu = meas.cpuSeconds;
+        const Real gpu = meas.gpu.totalSeconds();
+        const Real fpga = meas.deviceCustom.deviceSeconds;
+        const char* winner = "fpga";
+        if (cpu < gpu && cpu < fpga)
+            winner = "cpu";
+        else if (gpu < fpga)
+            winner = "cuda";
+        table.addRow({meas.name, toString(meas.domain),
+                      std::to_string(meas.nnz),
+                      std::to_string(meas.cpuInfo.iterations),
+                      formatFixed(cpu * 1e3, 3),
+                      formatFixed(gpu * 1e3, 3),
+                      formatFixed(fpga * 1e3, 3), winner});
+    }
+    emitTable(table, options,
+              "Fig. 12: solver run time on CPU, GPU (model) and "
+              "customized FPGA (simulated)");
+    std::cout << "paper shape: FPGA fastest on small/medium problems;\n"
+              << "GPU competitive only at the largest sizes; CPU wins\n"
+              << "nowhere once customization is applied (except eqqp\n"
+              << "extremes).\n";
+    return 0;
+}

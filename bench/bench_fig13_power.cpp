@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 13 reproduction: power efficiency (problem instances per second
+ * per watt) of the simulated FPGA against the GPU model across the
+ * benchmark. Paper: FPGA steady ~19 W vs GPU 44-126 W, up to 22.7x
+ * better efficiency.
+ */
+
+#include "bench_util.hpp"
+
+using namespace rsqp;
+using namespace rsqp::bench;
+
+int
+main(int argc, char** argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    if (options.sizesPerDomain == 6)
+        options.sizesPerDomain = 5;
+
+    TextTable table({"problem", "domain", "nnz", "fpga_W", "gpu_W",
+                     "fpga_eff", "gpu_eff", "ratio"});
+    Real best_ratio = 0.0;
+    RunningStats gpu_watts;
+
+    for (const ProblemSpec& spec :
+         benchmarkSuite(options.sizesPerDomain)) {
+        const ProblemMeasurement meas = measureProblem(spec, options);
+        ArchConfig config;
+        config.c = options.deviceC;
+        config.structures = StructureSet::baseline(options.deviceC);
+        const Real fpga_w = fpgaPowerWatts(config);
+        const Real fpga_eff = powerEfficiency(
+            meas.deviceCustom.deviceSeconds, fpga_w);
+        const Real gpu_eff =
+            powerEfficiency(meas.gpu.totalSeconds(), meas.gpu.watts);
+        const Real ratio = fpga_eff / gpu_eff;
+        best_ratio = std::max(best_ratio, ratio);
+        gpu_watts.add(meas.gpu.watts);
+
+        table.addRow({meas.name, toString(meas.domain),
+                      std::to_string(meas.nnz), formatFixed(fpga_w, 1),
+                      formatFixed(meas.gpu.watts, 1),
+                      formatFixed(fpga_eff, 2),
+                      formatFixed(gpu_eff, 3), formatFixed(ratio, 1)});
+    }
+    emitTable(table, options,
+              "Fig. 13: power efficiency (instances/s/W), FPGA vs GPU");
+    std::cout << "GPU power range: " << formatFixed(gpu_watts.min(), 1)
+              << " - " << formatFixed(gpu_watts.max(), 1)
+              << " W (paper: 44-126 W)\n"
+              << "FPGA power: ~19 W flat (paper: ~19 W)\n"
+              << "max efficiency ratio: " << formatFixed(best_ratio, 1)
+              << "x (paper: up to 22.7x)\n";
+    return 0;
+}

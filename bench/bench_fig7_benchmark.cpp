@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 7 reproduction: the benchmark scatter — number of decision
+ * variables against nnz(P) + nnz(A) for all 120 problems (or the
+ * reduced suite with --sizes).
+ */
+
+#include "bench_util.hpp"
+
+using namespace rsqp;
+using namespace rsqp::bench;
+
+int
+main(int argc, char** argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    // Fig. 7 is generation-only; default to the full suite.
+    if (options.sizesPerDomain == 6)
+        options.sizesPerDomain = 20;
+
+    TextTable table({"problem", "domain", "size_param", "n", "m",
+                     "nnz_P", "nnz_A", "nnz_total"});
+    Count min_nnz = 1LL << 60, max_nnz = 0;
+    Index min_n = 1 << 30, max_n = 0;
+    for (const ProblemSpec& spec :
+         benchmarkSuite(options.sizesPerDomain)) {
+        const QpProblem qp = spec.generate();
+        table.addRow({spec.name, toString(spec.domain),
+                      std::to_string(spec.sizeParam),
+                      std::to_string(qp.numVariables()),
+                      std::to_string(qp.numConstraints()),
+                      std::to_string(qp.pUpper.nnz()),
+                      std::to_string(qp.a.nnz()),
+                      std::to_string(qp.totalNnz())});
+        min_nnz = std::min(min_nnz, qp.totalNnz());
+        max_nnz = std::max(max_nnz, qp.totalNnz());
+        min_n = std::min(min_n, qp.numVariables());
+        max_n = std::max(max_n, qp.numVariables());
+    }
+    emitTable(table, options,
+              "Fig. 7: benchmark suite (n vs nnz(P)+nnz(A))");
+    std::cout << "problems: " << table.rowCount() << "\n"
+              << "nnz range: " << min_nnz << " .. " << max_nnz << "\n"
+              << "n range:   " << min_n << " .. " << max_n << "\n"
+              << "paper: 120 problems, nnz ~1e2..1e6, n ~1e1..1e5\n";
+    return 0;
+}

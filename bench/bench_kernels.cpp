@@ -1,0 +1,243 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the customization-flow kernels:
+ * sparsity encoding, LZW dictionary, scheduler, First-Fit CVB
+ * compression, CSR SpMV and the simulated SpMV engine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/program_builder.hpp"
+#include "core/rsqp.hpp"
+
+namespace
+{
+
+using namespace rsqp;
+
+CsrMatrix
+benchMatrix(Index scale)
+{
+    const QpProblem qp = generateProblem(Domain::Svm, scale, 7);
+    return CsrMatrix::fromCsc(qp.a);
+}
+
+void
+BM_EncodeMatrix(benchmark::State& state)
+{
+    const CsrMatrix csr = benchMatrix(static_cast<Index>(state.range(0)));
+    for (auto _ : state) {
+        SparsityString str = encodeMatrix(csr, 64);
+        benchmark::DoNotOptimize(str.encoded.data());
+    }
+    state.SetItemsProcessed(state.iterations() * csr.rows());
+}
+BENCHMARK(BM_EncodeMatrix)->Arg(50)->Arg(200);
+
+void
+BM_LzwDictionary(benchmark::State& state)
+{
+    const CsrMatrix csr = benchMatrix(static_cast<Index>(state.range(0)));
+    const SparsityString str = encodeMatrix(csr, 64);
+    for (auto _ : state) {
+        auto dict = lzwDictionary(str.encoded);
+        benchmark::DoNotOptimize(dict.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(str.length()));
+}
+BENCHMARK(BM_LzwDictionary)->Arg(50)->Arg(200);
+
+void
+BM_Scheduler(benchmark::State& state)
+{
+    const CsrMatrix csr = benchMatrix(static_cast<Index>(state.range(0)));
+    const SparsityString str = encodeMatrix(csr, 64);
+    StructureSearchSettings settings;
+    settings.targetSize = 4;
+    const StructureSet set = searchStructureSet(str, settings).set;
+    for (auto _ : state) {
+        Schedule schedule = scheduleString(str, set);
+        benchmark::DoNotOptimize(schedule.slots.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(str.length()));
+}
+BENCHMARK(BM_Scheduler)->Arg(50)->Arg(200);
+
+void
+BM_StructureSearch(benchmark::State& state)
+{
+    const CsrMatrix csr = benchMatrix(static_cast<Index>(state.range(0)));
+    const SparsityString str = encodeMatrix(csr, 64);
+    for (auto _ : state) {
+        StructureSearchSettings settings;
+        settings.targetSize = 4;
+        auto result = searchStructureSet(str, settings);
+        benchmark::DoNotOptimize(&result);
+    }
+}
+BENCHMARK(BM_StructureSearch)->Arg(50)->Arg(100);
+
+void
+BM_FirstFitCvb(benchmark::State& state)
+{
+    const CsrMatrix csr = benchMatrix(static_cast<Index>(state.range(0)));
+    const SparsityString str = encodeMatrix(csr, 64);
+    const StructureSet set = StructureSet::baseline(64);
+    const Schedule schedule = scheduleString(str, set);
+    const PackedMatrix packed = packMatrix(csr, str, schedule, set);
+    const AccessRequirements req = buildAccessRequirements(packed);
+    for (auto _ : state) {
+        CvbPlan plan = compressFirstFit(req);
+        benchmark::DoNotOptimize(plan.address.data());
+    }
+    state.SetItemsProcessed(state.iterations() * req.length);
+}
+BENCHMARK(BM_FirstFitCvb)->Arg(50)->Arg(200);
+
+void
+BM_CsrSpmv(benchmark::State& state)
+{
+    const CsrMatrix csr = benchMatrix(static_cast<Index>(state.range(0)));
+    Rng rng(1);
+    Vector x(static_cast<std::size_t>(csr.cols()));
+    for (Real& v : x)
+        v = rng.normal();
+    Vector y;
+    for (auto _ : state) {
+        csr.spmv(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * csr.nnz());
+}
+BENCHMARK(BM_CsrSpmv)->Arg(50)->Arg(200)->Arg(500);
+
+void
+BM_LdlFactor(benchmark::State& state)
+{
+    const QpProblem qp =
+        generateProblem(Domain::Portfolio,
+                        static_cast<Index>(state.range(0)), 7);
+    Vector rho(static_cast<std::size_t>(qp.numConstraints()), 0.1);
+    KktAssembler assembler(qp.pUpper, qp.a, 1e-6, rho);
+    LdlFactorization ldl(assembler.kkt());
+    for (auto _ : state) {
+        const bool ok = ldl.factor(assembler.kkt());
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_LdlFactor)->Arg(100)->Arg(400);
+
+void
+BM_OsqpSolveIndirect(benchmark::State& state)
+{
+    const QpProblem qp = generateProblem(
+        Domain::Lasso, static_cast<Index>(state.range(0)), 7);
+    OsqpSettings settings;
+    settings.backend = KktBackend::IndirectPcg;
+    for (auto _ : state) {
+        OsqpSolver solver(qp, settings);
+        OsqpResult result = solver.solve();
+        benchmark::DoNotOptimize(result.x.data());
+    }
+}
+BENCHMARK(BM_OsqpSolveIndirect)->Arg(20)->Arg(60);
+
+void
+BM_SimulatedSolve(benchmark::State& state)
+{
+    const QpProblem qp = generateProblem(
+        Domain::Portfolio, static_cast<Index>(state.range(0)), 7);
+    OsqpSettings settings;
+    settings.backend = KktBackend::IndirectPcg;
+    for (auto _ : state) {
+        CustomizeSettings custom;
+        custom.c = 64;
+        RsqpSolver solver(qp, settings, custom);
+        RsqpResult result = solver.solve();
+        benchmark::DoNotOptimize(result.x.data());
+    }
+}
+BENCHMARK(BM_SimulatedSolve)->Arg(40);
+
+
+void
+BM_PackMatrix(benchmark::State& state)
+{
+    const CsrMatrix csr = benchMatrix(static_cast<Index>(state.range(0)));
+    const SparsityString str = encodeMatrix(csr, 64);
+    const StructureSet set = StructureSet::baseline(64);
+    const Schedule schedule = scheduleString(str, set);
+    for (auto _ : state) {
+        PackedMatrix packed = packMatrix(csr, str, schedule, set);
+        benchmark::DoNotOptimize(packed.packs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * csr.nnz());
+}
+BENCHMARK(BM_PackMatrix)->Arg(50)->Arg(200);
+
+void
+BM_RuizEquilibrate(benchmark::State& state)
+{
+    const QpProblem qp = generateProblem(
+        Domain::Lasso, static_cast<Index>(state.range(0)), 7);
+    for (auto _ : state) {
+        QpProblem copy = qp;
+        Scaling scaling = ruizEquilibrate(copy, 10);
+        benchmark::DoNotOptimize(scaling.d.data());
+    }
+    state.SetItemsProcessed(state.iterations() * qp.totalNnz());
+}
+BENCHMARK(BM_RuizEquilibrate)->Arg(50)->Arg(200);
+
+void
+BM_MachineVectorEngine(benchmark::State& state)
+{
+    // Throughput of the simulated vector engine (functional cost of
+    // one axpby instruction on an n-length buffer).
+    ArchConfig config;
+    config.c = 64;
+    config.structures = StructureSet::baseline(64);
+    Machine machine(config);
+    const Index n = static_cast<Index>(state.range(0));
+    const Index v0 = machine.addVector(n);
+    const Index v1 = machine.addVector(n);
+    const Index hbm = machine.addHbmVector(Vector(
+        static_cast<std::size_t>(n), 1.5));
+    ProgramBuilder asmb;
+    asmb.loadConst(0, 2.0);
+    asmb.loadConst(1, 0.5);
+    asmb.loadVec(v0, hbm);
+    for (int k = 0; k < 64; ++k)
+        asmb.vecAxpby(v1, 0, v0, 1, v0);
+    asmb.halt();
+    const Program program = asmb.finish();
+    for (auto _ : state) {
+        machine.resetStats();
+        machine.run(program);
+        benchmark::DoNotOptimize(machine.stats().totalCycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * n);
+}
+BENCHMARK(BM_MachineVectorEngine)->Arg(1024)->Arg(16384);
+
+void
+BM_SolutionPolish(benchmark::State& state)
+{
+    const QpProblem qp = generateProblem(
+        Domain::Portfolio, static_cast<Index>(state.range(0)), 7);
+    OsqpSettings settings;
+    OsqpSolver solver(qp, settings);
+    OsqpResult result = solver.solve();
+    for (auto _ : state) {
+        OsqpResult copy = result;
+        PolishReport report = polishSolution(qp, settings, copy);
+        benchmark::DoNotOptimize(&report);
+    }
+}
+BENCHMARK(BM_SolutionPolish)->Arg(60)->Arg(200);
+
+} // namespace
+
+BENCHMARK_MAIN();

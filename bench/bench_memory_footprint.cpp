@@ -1,0 +1,60 @@
+/**
+ * @file
+ * On-chip memory ablation (paper Sec. 3.4): full vector duplication
+ * versus compressed vector buffers across the benchmark, against the
+ * U50's 28.4 MB budget. For the larger problems the compression is not
+ * just faster to update — it is what makes the design fit at all.
+ */
+
+#include "bench_util.hpp"
+
+using namespace rsqp;
+using namespace rsqp::bench;
+
+int
+main(int argc, char** argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    if (options.sizesPerDomain == 6)
+        options.sizesPerDomain = 5;
+
+    TextTable table({"problem", "domain", "n+m", "dup_MB",
+                     "compressed_MB", "ratio", "fits_dup",
+                     "fits_compressed"});
+    Index dup_misfits = 0;
+    for (const ProblemSpec& spec :
+         benchmarkSuite(options.sizesPerDomain)) {
+        QpProblem qp = spec.generate();
+        const Index dims = qp.numVariables() + qp.numConstraints();
+        ruizEquilibrate(qp, 10);
+
+        const ProblemCustomization baseline =
+            baselineCustomization(qp, options.deviceC);
+        CustomizeSettings cfg;
+        cfg.c = options.deviceC;
+        const ProblemCustomization custom = customizeProblem(qp, cfg);
+
+        const OnChipMemoryEstimate dup =
+            estimateOnChipMemory(baseline);
+        const OnChipMemoryEstimate compressed =
+            estimateOnChipMemory(custom);
+        if (!fitsU50Memory(dup))
+            ++dup_misfits;
+        table.addRow({spec.name, toString(spec.domain),
+                      std::to_string(dims),
+                      formatFixed(dup.totalMb(), 2),
+                      formatFixed(compressed.totalMb(), 2),
+                      formatFixed(dup.totalMb() /
+                                      std::max(compressed.totalMb(),
+                                               1e-6),
+                                  1),
+                      fitsU50Memory(dup) ? "yes" : "NO",
+                      fitsU50Memory(compressed) ? "yes" : "NO"});
+    }
+    emitTable(table, options,
+              "On-chip memory: full duplication vs compressed CVB "
+              "(U50 budget 28.4 MB)");
+    std::cout << "problems where full duplication exceeds the U50 "
+                 "budget: " << dup_misfits << "\n";
+    return 0;
+}

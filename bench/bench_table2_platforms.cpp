@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table 2 reproduction: evaluation platform details, plus the U50
+ * resource budget the customized designs must fit.
+ */
+
+#include "bench_util.hpp"
+
+using namespace rsqp;
+using namespace rsqp::bench;
+
+int
+main(int argc, char** argv)
+{
+    const BenchOptions options = parseOptions(argc, argv);
+    TextTable table({"Device", "Model", "Peak Throughput",
+                     "Lithography", "TDP"});
+    for (const DeviceSpec& spec : platformTable())
+        table.addRow({spec.device, spec.model,
+                      formatFixed(spec.peakTeraflops, 1) + " teraflops",
+                      std::to_string(spec.lithographyNm) + " nm",
+                      formatFixed(spec.tdpWatts, 0) + " W"});
+    emitTable(table, options, "Table 2: platform details");
+
+    const FpgaBudget budget = u50Budget();
+    std::cout << "U50 budget: " << budget.dsp << " DSPs, "
+              << formatFixed(budget.onChipMemoryMb, 1)
+              << " MB on-chip memory, " << formatFixed(budget.hbmGb, 0)
+              << " GB HBM\n";
+    return 0;
+}

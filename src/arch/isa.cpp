@@ -1,0 +1,102 @@
+#include "isa.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+InstrClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Halt:
+      case Opcode::Jump:
+      case Opcode::JumpIfLess:
+      case Opcode::JumpIfGeq:
+        return InstrClass::Control;
+      case Opcode::LoadConst:
+      case Opcode::ScalarAdd:
+      case Opcode::ScalarSub:
+      case Opcode::ScalarMul:
+      case Opcode::ScalarDiv:
+      case Opcode::ScalarMax:
+      case Opcode::ScalarSqrt:
+      case Opcode::ScalarAbs:
+        return InstrClass::Scalar;
+      case Opcode::LoadVec:
+      case Opcode::StoreVec:
+        return InstrClass::DataTransfer;
+      case Opcode::VecAxpby:
+      case Opcode::VecEwProd:
+      case Opcode::VecEwRecip:
+      case Opcode::VecEwMin:
+      case Opcode::VecEwMax:
+      case Opcode::VecCopy:
+      case Opcode::VecSetConst:
+      case Opcode::VecDot:
+      case Opcode::VecAmax:
+        return InstrClass::VectorOp;
+      case Opcode::VecDup:
+        return InstrClass::VectorDup;
+      case Opcode::SpMV:
+        return InstrClass::SpMV;
+    }
+    RSQP_PANIC("unknown opcode");
+}
+
+const char*
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Halt: return "halt";
+      case Opcode::Jump: return "jmp";
+      case Opcode::JumpIfLess: return "jlt";
+      case Opcode::JumpIfGeq: return "jge";
+      case Opcode::LoadConst: return "ldc";
+      case Opcode::ScalarAdd: return "sadd";
+      case Opcode::ScalarSub: return "ssub";
+      case Opcode::ScalarMul: return "smul";
+      case Opcode::ScalarDiv: return "sdiv";
+      case Opcode::ScalarMax: return "smax";
+      case Opcode::ScalarSqrt: return "ssqrt";
+      case Opcode::ScalarAbs: return "sabs";
+      case Opcode::LoadVec: return "ldv";
+      case Opcode::StoreVec: return "stv";
+      case Opcode::VecAxpby: return "vaxpby";
+      case Opcode::VecEwProd: return "vmul";
+      case Opcode::VecEwRecip: return "vrecip";
+      case Opcode::VecEwMin: return "vmin";
+      case Opcode::VecEwMax: return "vmax";
+      case Opcode::VecCopy: return "vcopy";
+      case Opcode::VecSetConst: return "vset";
+      case Opcode::VecDot: return "vdot";
+      case Opcode::VecAmax: return "vamax";
+      case Opcode::VecDup: return "vdup";
+      case Opcode::SpMV: return "spmv";
+    }
+    return "???";
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream oss;
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+        const Instruction& instr = code[pc];
+        oss << pc << ":\t" << mnemonic(instr.op) << " dst=" << instr.dst
+            << " a=" << instr.a << " b=" << instr.b;
+        if (instr.sa >= 0 || instr.sb >= 0)
+            oss << " sa=" << instr.sa << " sb=" << instr.sb;
+        if (instr.op == Opcode::LoadConst ||
+            instr.op == Opcode::VecSetConst)
+            oss << " imm=" << instr.imm;
+        if (!instr.comment.empty())
+            oss << "\t; " << instr.comment;
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace rsqp

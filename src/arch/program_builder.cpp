@@ -1,0 +1,218 @@
+#include "program_builder.hpp"
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+Index
+ProgramBuilder::newLabel()
+{
+    labelTargets_.push_back(-1);
+    return static_cast<Index>(labelTargets_.size()) - 1;
+}
+
+void
+ProgramBuilder::bind(Index label)
+{
+    RSQP_ASSERT(label >= 0 &&
+                label < static_cast<Index>(labelTargets_.size()),
+                "unknown label");
+    RSQP_ASSERT(labelTargets_[static_cast<std::size_t>(label)] == -1,
+                "label bound twice");
+    labelTargets_[static_cast<std::size_t>(label)] =
+        static_cast<Index>(code_.size());
+}
+
+void
+ProgramBuilder::emit(Instruction instr)
+{
+    code_.push_back(std::move(instr));
+}
+
+void
+ProgramBuilder::halt(const std::string& comment)
+{
+    emit({Opcode::Halt, -1, -1, -1, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::jump(Index label, const std::string& comment)
+{
+    fixups_.emplace_back(code_.size(), label);
+    emit({Opcode::Jump, -1, -1, -1, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::jumpIfLess(Index sa, Index sb, Index label,
+                           const std::string& comment)
+{
+    fixups_.emplace_back(code_.size(), label);
+    emit({Opcode::JumpIfLess, -1, sa, sb, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::jumpIfGeq(Index sa, Index sb, Index label,
+                          const std::string& comment)
+{
+    fixups_.emplace_back(code_.size(), label);
+    emit({Opcode::JumpIfGeq, -1, sa, sb, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::loadConst(Index dst, Real value,
+                          const std::string& comment)
+{
+    emit({Opcode::LoadConst, dst, -1, -1, -1, -1, value, comment});
+}
+
+void
+ProgramBuilder::scalarAdd(Index dst, Index a, Index b,
+                          const std::string& comment)
+{
+    emit({Opcode::ScalarAdd, dst, a, b, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::scalarSub(Index dst, Index a, Index b,
+                          const std::string& comment)
+{
+    emit({Opcode::ScalarSub, dst, a, b, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::scalarMul(Index dst, Index a, Index b,
+                          const std::string& comment)
+{
+    emit({Opcode::ScalarMul, dst, a, b, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::scalarDiv(Index dst, Index a, Index b,
+                          const std::string& comment)
+{
+    emit({Opcode::ScalarDiv, dst, a, b, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::scalarMax(Index dst, Index a, Index b,
+                          const std::string& comment)
+{
+    emit({Opcode::ScalarMax, dst, a, b, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::scalarSqrt(Index dst, Index a, const std::string& comment)
+{
+    emit({Opcode::ScalarSqrt, dst, a, -1, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::loadVec(Index vec_dst, Index hbm_src,
+                        const std::string& comment)
+{
+    emit({Opcode::LoadVec, vec_dst, hbm_src, -1, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::storeVec(Index hbm_dst, Index vec_src,
+                         const std::string& comment)
+{
+    emit({Opcode::StoreVec, hbm_dst, vec_src, -1, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::vecAxpby(Index dst, Index sa, Index x, Index sb, Index y,
+                         const std::string& comment)
+{
+    emit({Opcode::VecAxpby, dst, x, y, sa, sb, 0.0, comment});
+}
+
+void
+ProgramBuilder::vecEwProd(Index dst, Index x, Index y,
+                          const std::string& comment)
+{
+    emit({Opcode::VecEwProd, dst, x, y, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::vecEwRecip(Index dst, Index x, const std::string& comment)
+{
+    emit({Opcode::VecEwRecip, dst, x, -1, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::vecEwMin(Index dst, Index x, Index y,
+                         const std::string& comment)
+{
+    emit({Opcode::VecEwMin, dst, x, y, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::vecEwMax(Index dst, Index x, Index y,
+                         const std::string& comment)
+{
+    emit({Opcode::VecEwMax, dst, x, y, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::vecCopy(Index dst, Index x, const std::string& comment)
+{
+    emit({Opcode::VecCopy, dst, x, -1, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::vecSetConst(Index dst, Real value,
+                            const std::string& comment)
+{
+    emit({Opcode::VecSetConst, dst, -1, -1, -1, -1, value, comment});
+}
+
+void
+ProgramBuilder::vecDot(Index scalar_dst, Index x, Index y,
+                       const std::string& comment)
+{
+    emit({Opcode::VecDot, scalar_dst, x, y, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::vecAmax(Index scalar_dst, Index x,
+                        const std::string& comment)
+{
+    emit({Opcode::VecAmax, scalar_dst, x, -1, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::vecDup(Index cvb, Index src, const std::string& comment)
+{
+    emit({Opcode::VecDup, cvb, src, -1, -1, -1, 0.0, comment});
+}
+
+void
+ProgramBuilder::spmv(Index vec_dst, Index matrix,
+                     const std::string& comment)
+{
+    emit({Opcode::SpMV, vec_dst, matrix, -1, -1, -1, 0.0, comment});
+}
+
+Program
+ProgramBuilder::finish()
+{
+    for (const auto& [pos, label] : fixups_) {
+        RSQP_ASSERT(label >= 0 &&
+                    label < static_cast<Index>(labelTargets_.size()),
+                    "fixup references unknown label");
+        const Index target =
+            labelTargets_[static_cast<std::size_t>(label)];
+        RSQP_ASSERT(target >= 0, "label never bound");
+        code_[pos].dst = target;
+    }
+    Program program;
+    program.code = std::move(code_);
+    code_.clear();
+    fixups_.clear();
+    labelTargets_.clear();
+    return program;
+}
+
+} // namespace rsqp

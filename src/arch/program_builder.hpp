@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Small assembler for RSQP programs: label management plus typed
+ * emit helpers for every opcode.
+ */
+
+#ifndef RSQP_ARCH_PROGRAM_BUILDER_HPP
+#define RSQP_ARCH_PROGRAM_BUILDER_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/isa.hpp"
+#include "common/types.hpp"
+
+namespace rsqp
+{
+
+/** Builds a Program with forward-referenceable labels. */
+class ProgramBuilder
+{
+  public:
+    /** Create a label; bind it later with bind(). */
+    Index newLabel();
+
+    /** Bind a label to the next emitted instruction. */
+    void bind(Index label);
+
+    // Control
+    void halt(const std::string& comment = "");
+    void jump(Index label, const std::string& comment = "");
+    void jumpIfLess(Index sa, Index sb, Index label,
+                    const std::string& comment = "");
+    void jumpIfGeq(Index sa, Index sb, Index label,
+                   const std::string& comment = "");
+
+    // Scalar
+    void loadConst(Index dst, Real value, const std::string& comment = "");
+    void scalarAdd(Index dst, Index a, Index b,
+                   const std::string& comment = "");
+    void scalarSub(Index dst, Index a, Index b,
+                   const std::string& comment = "");
+    void scalarMul(Index dst, Index a, Index b,
+                   const std::string& comment = "");
+    void scalarDiv(Index dst, Index a, Index b,
+                   const std::string& comment = "");
+    void scalarMax(Index dst, Index a, Index b,
+                   const std::string& comment = "");
+    void scalarSqrt(Index dst, Index a, const std::string& comment = "");
+
+    // Data transfer
+    void loadVec(Index vec_dst, Index hbm_src,
+                 const std::string& comment = "");
+    void storeVec(Index hbm_dst, Index vec_src,
+                  const std::string& comment = "");
+
+    // Vector ops
+    void vecAxpby(Index dst, Index sa, Index x, Index sb, Index y,
+                  const std::string& comment = "");
+    void vecEwProd(Index dst, Index x, Index y,
+                   const std::string& comment = "");
+    void vecEwRecip(Index dst, Index x, const std::string& comment = "");
+    void vecEwMin(Index dst, Index x, Index y,
+                  const std::string& comment = "");
+    void vecEwMax(Index dst, Index x, Index y,
+                  const std::string& comment = "");
+    void vecCopy(Index dst, Index x, const std::string& comment = "");
+    void vecSetConst(Index dst, Real value,
+                     const std::string& comment = "");
+    void vecDot(Index scalar_dst, Index x, Index y,
+                const std::string& comment = "");
+    void vecAmax(Index scalar_dst, Index x,
+                 const std::string& comment = "");
+
+    // Duplication + SpMV
+    void vecDup(Index cvb, Index src, const std::string& comment = "");
+    void spmv(Index vec_dst, Index matrix, const std::string& comment = "");
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return code_.size(); }
+
+    /** Patch label targets and return the finished program. */
+    Program finish();
+
+  private:
+    void emit(Instruction instr);
+
+    std::vector<Instruction> code_;
+    std::vector<Index> labelTargets_;              ///< -1 = unbound
+    std::vector<std::pair<std::size_t, Index>> fixups_;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_ARCH_PROGRAM_BUILDER_HPP

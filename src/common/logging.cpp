@@ -1,0 +1,62 @@
+#include "logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rsqp
+{
+
+namespace
+{
+std::atomic<bool> g_verbose{false};
+} // namespace
+
+void
+setLogVerbose(bool verbose)
+{
+    g_verbose.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+logVerbose()
+{
+    return g_verbose.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::string full = std::string("rsqp fatal: ") + msg + " [" + file +
+        ":" + std::to_string(line) + "]";
+    throw FatalError(full);
+}
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "rsqp panic: %s [%s:%d]\n", msg.c_str(), file,
+                 line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+warnImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "rsqp warn: %s [%s:%d]\n", msg.c_str(), file,
+                 line);
+}
+
+void
+informImpl(const std::string& msg)
+{
+    if (logVerbose())
+        std::fprintf(stderr, "rsqp: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace rsqp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * RSQP_FATAL is for user errors (bad problem data, invalid settings):
+ * it throws rsqp::FatalError so library users can catch and recover.
+ * RSQP_PANIC is for internal invariant violations (library bugs): it
+ * aborts after printing the location.
+ */
+
+#ifndef RSQP_COMMON_LOGGING_HPP
+#define RSQP_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rsqp
+{
+
+/** Exception thrown on unrecoverable *user* errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+namespace detail
+{
+
+[[noreturn]] void fatalImpl(const char* file, int line,
+                            const std::string& msg);
+[[noreturn]] void panicImpl(const char* file, int line,
+                            const std::string& msg);
+void warnImpl(const char* file, int line, const std::string& msg);
+void informImpl(const std::string& msg);
+
+/** Stream-compose a message from variadic arguments. */
+template <typename... Args>
+std::string
+composeMessage(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Verbosity control for inform/warn output (errors always print). */
+void setLogVerbose(bool verbose);
+bool logVerbose();
+
+} // namespace rsqp
+
+/** Unrecoverable user error: throws rsqp::FatalError. */
+#define RSQP_FATAL(...)                                                     \
+    ::rsqp::detail::fatalImpl(__FILE__, __LINE__,                           \
+        ::rsqp::detail::composeMessage(__VA_ARGS__))
+
+/** Internal invariant violation: prints and aborts. */
+#define RSQP_PANIC(...)                                                     \
+    ::rsqp::detail::panicImpl(__FILE__, __LINE__,                           \
+        ::rsqp::detail::composeMessage(__VA_ARGS__))
+
+/** Checked invariant; panics with the stringified condition on failure. */
+#define RSQP_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rsqp::detail::panicImpl(__FILE__, __LINE__,                   \
+                ::rsqp::detail::composeMessage("assertion failed: ", #cond, \
+                    " ", ##__VA_ARGS__));                                   \
+        }                                                                   \
+    } while (0)
+
+/** Non-fatal diagnostic for suspicious-but-survivable conditions. */
+#define RSQP_WARN(...)                                                      \
+    ::rsqp::detail::warnImpl(__FILE__, __LINE__,                            \
+        ::rsqp::detail::composeMessage(__VA_ARGS__))
+
+/** Status message for the user; suppressed unless verbose. */
+#define RSQP_INFORM(...)                                                    \
+    ::rsqp::detail::informImpl(                                             \
+        ::rsqp::detail::composeMessage(__VA_ARGS__))
+
+#endif // RSQP_COMMON_LOGGING_HPP

@@ -1,0 +1,145 @@
+#include "random.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "logging.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+inline std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    return next64();
+}
+
+Real
+Rng::uniform()
+{
+    // 53 uniform mantissa bits -> double in [0, 1).
+    return static_cast<Real>(next64() >> 11) * 0x1.0p-53;
+}
+
+Real
+Rng::uniform(Real lo, Real hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+Real
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    Real u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const Real u2 = uniform();
+    const Real radius = std::sqrt(-2.0 * std::log(u1));
+    const Real angle = 2.0 * M_PI * u2;
+    cachedNormal_ = radius * std::sin(angle);
+    hasCachedNormal_ = true;
+    return radius * std::cos(angle);
+}
+
+Real
+Rng::normal(Real mean, Real stddev)
+{
+    return mean + stddev * normal();
+}
+
+Index
+Rng::uniformIndex(Index n)
+{
+    RSQP_ASSERT(n > 0, "uniformIndex needs a positive range");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t range = static_cast<std::uint64_t>(n);
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t draw = 0;
+    do {
+        draw = next64();
+    } while (draw >= limit);
+    return static_cast<Index>(draw % range);
+}
+
+bool
+Rng::bernoulli(Real p)
+{
+    return uniform() < p;
+}
+
+IndexVector
+Rng::sampleDistinct(Index n, Index k)
+{
+    RSQP_ASSERT(k >= 0 && k <= n, "sampleDistinct: need 0 <= k <= n");
+    // Floyd's algorithm produces k distinct values uniformly.
+    std::set<Index> chosen;
+    for (Index j = n - k; j < n; ++j) {
+        const Index t = uniformIndex(j + 1);
+        if (!chosen.insert(t).second)
+            chosen.insert(j);
+    }
+    return IndexVector(chosen.begin(), chosen.end());
+}
+
+IndexVector
+Rng::permutation(Index n)
+{
+    IndexVector perm(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i)
+        perm[static_cast<std::size_t>(i)] = i;
+    for (Index i = n - 1; i > 0; --i)
+        std::swap(perm[static_cast<std::size_t>(i)],
+                  perm[static_cast<std::size_t>(uniformIndex(i + 1))]);
+    return perm;
+}
+
+} // namespace rsqp

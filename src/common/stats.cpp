@@ -1,0 +1,99 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "logging.hpp"
+
+namespace rsqp
+{
+
+void
+RunningStats::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+double
+RunningStats::min() const
+{
+    RSQP_ASSERT(count_ > 0, "min() of empty stats");
+    return min_;
+}
+
+double
+RunningStats::max() const
+{
+    RSQP_ASSERT(count_ > 0, "max() of empty stats");
+    return max_;
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    RSQP_ASSERT(!samples.empty(), "percentile of empty sample");
+    RSQP_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples.front();
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double
+geometricMean(const std::vector<double>& values)
+{
+    RSQP_ASSERT(!values.empty(), "geometricMean of empty sample");
+    double log_sum = 0.0;
+    for (double v : values) {
+        RSQP_ASSERT(v > 0.0, "geometricMean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string
+formatFixed(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+formatSci(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", digits, value);
+    return buf;
+}
+
+} // namespace rsqp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small statistics helpers used by benchmark harnesses and reports.
+ */
+
+#ifndef RSQP_COMMON_STATS_HPP
+#define RSQP_COMMON_STATS_HPP
+
+#include <string>
+#include <vector>
+
+#include "types.hpp"
+
+namespace rsqp
+{
+
+/** Streaming mean/min/max/stddev accumulator (Welford's algorithm). */
+class RunningStats
+{
+  public:
+    void add(double value);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return mean_; }
+    double min() const;
+    double max() const;
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Percentile of a sample (linear interpolation); p in [0, 100]. */
+double percentile(std::vector<double> samples, double p);
+
+/** Geometric mean; values must be strictly positive. */
+double geometricMean(const std::vector<double>& values);
+
+/** Render a double with fixed precision (helper for table output). */
+std::string formatFixed(double value, int digits);
+
+/** Render a double in scientific notation with the given digits. */
+std::string formatSci(double value, int digits);
+
+} // namespace rsqp
+
+#endif // RSQP_COMMON_STATS_HPP

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal fixed-width text table writer used by the benchmark harnesses
+ * to print the rows/series corresponding to the paper's tables and
+ * figures, plus a CSV emitter for downstream plotting.
+ */
+
+#ifndef RSQP_COMMON_TABLE_HPP
+#define RSQP_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rsqp
+{
+
+/** Accumulates rows of strings and renders an aligned text table. */
+class TextTable
+{
+  public:
+    /** Define the column headers; locks the column count. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render with column alignment and a separator rule. */
+    void print(std::ostream& os) const;
+
+    /** Render as CSV (no alignment, comma-separated, quoted as needed). */
+    void printCsv(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_COMMON_TABLE_HPP

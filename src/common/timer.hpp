@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the CPU baseline measurements.
+ */
+
+#ifndef RSQP_COMMON_TIMER_HPP
+#define RSQP_COMMON_TIMER_HPP
+
+#include <chrono>
+
+namespace rsqp
+{
+
+/** Simple monotonic stopwatch reporting seconds. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto dt = Clock::now() - start_;
+        return std::chrono::duration<double>(dt).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Accumulates time across multiple start/stop windows. */
+class AccumulatingTimer
+{
+  public:
+    void
+    start()
+    {
+        timer_.reset();
+        running_ = true;
+    }
+
+    void
+    stop()
+    {
+        if (running_) {
+            total_ += timer_.seconds();
+            running_ = false;
+        }
+    }
+
+    /** Total accumulated seconds over all completed windows. */
+    double totalSeconds() const { return total_; }
+
+    void
+    clear()
+    {
+        total_ = 0.0;
+        running_ = false;
+    }
+
+  private:
+    Timer timer_;
+    double total_ = 0.0;
+    bool running_ = false;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_COMMON_TIMER_HPP

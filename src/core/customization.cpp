@@ -1,0 +1,182 @@
+#include "customization.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "encoding/match_score.hpp"
+#include "hwmodel/resources.hpp"
+
+namespace rsqp
+{
+
+Real
+MatrixArtifacts::eta() const
+{
+    return matchScore(schedule.nnz, static_cast<Count>(csr.cols()),
+                      schedule.ep, std::max(Real(1.0), plan.ec()));
+}
+
+Count
+ProblemCustomization::totalEp() const
+{
+    return p.schedule.ep + a.schedule.ep + at.schedule.ep;
+}
+
+Real
+ProblemCustomization::eta() const
+{
+    const MatrixArtifacts* mats[] = {&p, &a, &at};
+    Count nnz = 0, length = 0;
+    Real real_cost = 0.0;
+    for (const MatrixArtifacts* m : mats) {
+        nnz += m->schedule.nnz;
+        length += m->csr.cols();
+        real_cost += static_cast<Real>(m->schedule.nnz) +
+            static_cast<Real>(m->schedule.ep) +
+            std::max(Real(1.0), m->plan.ec()) *
+                static_cast<Real>(m->csr.cols());
+    }
+    return static_cast<Real>(nnz + length) / real_cost;
+}
+
+Count
+ProblemCustomization::kApplyPacks() const
+{
+    return p.packed.packCount() + a.packed.packCount() +
+        at.packed.packCount();
+}
+
+namespace
+{
+
+MatrixArtifacts
+buildArtifacts(std::string name, CsrMatrix csr, const StructureSet& set,
+               bool compress_cvb)
+{
+    MatrixArtifacts artifacts;
+    artifacts.name = std::move(name);
+    artifacts.csr = std::move(csr);
+    artifacts.str = encodeMatrix(artifacts.csr, set.c());
+    artifacts.schedule = scheduleString(artifacts.str, set);
+    artifacts.packed = packMatrix(artifacts.csr, artifacts.str,
+                                  artifacts.schedule, set);
+    if (compress_cvb) {
+        const AccessRequirements req =
+            buildAccessRequirements(artifacts.packed);
+        artifacts.plan = compressFirstFit(req);
+    } else {
+        artifacts.plan = fullDuplicationPlan(set.c(),
+                                             artifacts.csr.cols());
+    }
+    return artifacts;
+}
+
+/** Copy of a CSR matrix with element-wise squared values. */
+CsrMatrix
+squaredValues(const CsrMatrix& matrix)
+{
+    CsrMatrix result = matrix;
+    for (Real& v : result.values())
+        v *= v;
+    return result;
+}
+
+} // namespace
+
+ProblemCustomization
+customizeProblem(const QpProblem& scaled, const CustomizeSettings& settings)
+{
+    RSQP_ASSERT(isPow2(settings.c) && settings.c <= 64,
+                "datapath width must be a power of two <= 64");
+
+    const CsrMatrix p_csr =
+        CsrMatrix::fromCsc(scaled.pUpper.symUpperToFull());
+    const CsrMatrix a_csr = CsrMatrix::fromCsc(scaled.a);
+    const CsrMatrix at_csr = CsrMatrix::fromCsc(scaled.a.transpose());
+
+    // Choose the structure set.
+    StructureSet set = StructureSet::baseline(settings.c);
+    if (!settings.forcedPatterns.empty()) {
+        set = StructureSet(settings.c, settings.forcedPatterns);
+    } else if (settings.customizeStructures) {
+        const SparsityString p_str = encodeMatrix(p_csr, settings.c);
+        const SparsityString a_str = encodeMatrix(a_csr, settings.c);
+        const SparsityString at_str = encodeMatrix(at_csr, settings.c);
+        StructureSearchSettings search = settings.search;
+        const bool default_objective = !search.objective;
+        if (default_objective) {
+            // Time-aware objective: minimize slots / fmax(S). A set
+            // with many tree outputs schedules in fewer cycles but
+            // clocks slower (the Table 3 trade-off); end-to-end time
+            // is what the customization must win.
+            const Index width = settings.c;
+            search.objective = [width](const StructureSet& candidate,
+                                       Count slots) -> Real {
+                ArchConfig probe;
+                probe.c = width;
+                probe.structures = candidate;
+                return static_cast<Real>(slots) /
+                    estimateFmaxMhz(probe);
+            };
+        }
+        const auto result =
+            searchStructureSet({&p_str, &a_str, &at_str}, search);
+        set = result.set;
+
+        // Final guard (default objective only): the search scores SpMV
+        // slots/fmax, but an fmax penalty taxes *every* cycle (vector
+        // engine, duplication, control) while structure gains only
+        // shrink the SpMV share. Estimate the per-K-application time
+        // including that fixed overhead and fall back to the baseline
+        // tree if it wins.
+        const Index n = scaled.numVariables();
+        const Index m = scaled.numConstraints();
+        const Count overhead =
+            (8 * n + 6 * m) / settings.c + 600;  // vec ops + latencies
+        auto estimate_time = [&](const StructureSet& candidate) {
+            Count slots = 0;
+            for (const SparsityString* str :
+                 {&p_str, &a_str, &at_str})
+                slots += scheduleString(*str, candidate).slotCount();
+            ArchConfig probe;
+            probe.c = settings.c;
+            probe.structures = candidate;
+            return static_cast<Real>(slots + overhead) /
+                estimateFmaxMhz(probe);
+        };
+        const StructureSet baseline = StructureSet::baseline(settings.c);
+        if (default_objective &&
+            estimate_time(baseline) <= estimate_time(set))
+            set = baseline;
+    }
+
+    ProblemCustomization customization;
+    customization.config.c = settings.c;
+    customization.config.structures = set;
+    customization.config.compressedCvb = settings.compressCvb;
+    customization.config.fp32Datapath = settings.fp32Datapath;
+
+    customization.p =
+        buildArtifacts("P", p_csr, set, settings.compressCvb);
+    customization.a =
+        buildArtifacts("A", a_csr, set, settings.compressCvb);
+    customization.at =
+        buildArtifacts("At", at_csr, set, settings.compressCvb);
+    // A'^2 shares the sparsity structure (and therefore the schedule
+    // and CVB plan shape) with A'; only the values differ.
+    customization.atSq = buildArtifacts("AtSq", squaredValues(at_csr),
+                                        set, settings.compressCvb);
+    return customization;
+}
+
+ProblemCustomization
+baselineCustomization(const QpProblem& scaled, Index c)
+{
+    CustomizeSettings settings;
+    settings.c = c;
+    settings.customizeStructures = false;
+    settings.compressCvb = false;
+    return customizeProblem(scaled, settings);
+}
+
+} // namespace rsqp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The problem-specific customization pipeline (paper Fig. 6):
+ *
+ *   problem structure -> sparsity-string encoding -> E_p optimization
+ *   (LZW + greedy structure search) -> schedule -> HBM pack layout ->
+ *   E_c optimization (First-Fit CVB compression) -> architecture
+ *   configuration + match score eta.
+ *
+ * RSQP schedules three matrices on the same SpMV engine (P, A, A' —
+ * plus an element-squared A' used to rebuild the PCG preconditioner on
+ * device after rho updates), so the structure search optimizes their
+ * strings jointly.
+ */
+
+#ifndef RSQP_CORE_CUSTOMIZATION_HPP
+#define RSQP_CORE_CUSTOMIZATION_HPP
+
+#include <string>
+
+#include "arch/config.hpp"
+#include "cvb/cvb.hpp"
+#include "encoding/packing.hpp"
+#include "encoding/scheduler.hpp"
+#include "encoding/structure_search.hpp"
+#include "osqp/problem.hpp"
+
+namespace rsqp
+{
+
+/** Everything derived for one matrix under one architecture. */
+struct MatrixArtifacts
+{
+    std::string name;
+    CsrMatrix csr;
+    SparsityString str;
+    Schedule schedule;
+    PackedMatrix packed;
+    CvbPlan plan;
+
+    /** Match score of this matrix's SpMV + duplication pair. */
+    Real eta() const;
+};
+
+/** Customization settings. */
+struct CustomizeSettings
+{
+    Index c = 64;                     ///< datapath width
+    bool customizeStructures = true;  ///< run the E_p optimization
+    bool compressCvb = true;          ///< run the E_c optimization
+    bool fp32Datapath = false;        ///< FP32 MAC trees (the silicon)
+    StructureSearchSettings search;   ///< E_p search knobs
+    /** Explicit structure set (bypasses the search when non-empty). */
+    std::vector<std::string> forcedPatterns;
+};
+
+/** Result of customizing one problem. */
+struct ProblemCustomization
+{
+    ArchConfig config;
+    MatrixArtifacts p;     ///< full symmetric P
+    MatrixArtifacts a;     ///< A
+    MatrixArtifacts at;    ///< A'
+    MatrixArtifacts atSq;  ///< A' with squared values
+
+    /** Aggregate E_p over P, A, A' (atSq mirrors at; not re-counted). */
+    Count totalEp() const;
+    /** Aggregate match score over the three SpMV matrices. */
+    Real eta() const;
+    /** Cycles of one K-operator application (3 SpMVs). */
+    Count kApplyPacks() const;
+};
+
+/**
+ * Run the full pipeline on a (scaled) problem.
+ *
+ * @param scaled The scaled problem as the accelerator will see it.
+ * @param settings Pipeline knobs (width, which optimizations to run).
+ */
+ProblemCustomization customizeProblem(const QpProblem& scaled,
+                                      const CustomizeSettings& settings);
+
+/** Convenience: the paper's generic baseline at width c. */
+ProblemCustomization baselineCustomization(const QpProblem& scaled,
+                                           Index c);
+
+} // namespace rsqp
+
+#endif // RSQP_CORE_CUSTOMIZATION_HPP

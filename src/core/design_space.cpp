@@ -1,0 +1,71 @@
+#include "design_space.hpp"
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+DesignPoint
+evaluateDesignPoint(const QpProblem& scaled, Index c,
+                    const std::vector<std::string>& patterns,
+                    bool compress_cvb)
+{
+    CustomizeSettings baseline_settings;
+    baseline_settings.c = c;
+    baseline_settings.customizeStructures = false;
+    baseline_settings.compressCvb = false;
+    const ProblemCustomization baseline =
+        customizeProblem(scaled, baseline_settings);
+
+    CustomizeSettings settings;
+    settings.c = c;
+    settings.customizeStructures = false;
+    settings.compressCvb = compress_cvb;
+    settings.forcedPatterns = patterns;
+    const ProblemCustomization custom = customizeProblem(scaled, settings);
+
+    DesignPoint point;
+    point.name = custom.config.structures.name();
+    point.fmaxMhz = estimateFmaxMhz(custom.config);
+    point.eta = custom.eta();
+    point.deltaEta = custom.eta() - baseline.eta();
+    point.resources = estimateResources(custom.config);
+    point.kApplyPacks = custom.kApplyPacks();
+    // One K application = SpMV with P, A, A' back to back, plus the
+    // pipeline fill per SpMV instruction.
+    const Real cycles = static_cast<Real>(custom.kApplyPacks()) +
+        3.0 * static_cast<Real>(custom.config.timings.spmvLatency);
+    point.spmvPerUs = point.fmaxMhz / cycles;
+    return point;
+}
+
+std::vector<DesignPoint>
+exploreDesignSpace(const QpProblem& scaled)
+{
+    std::vector<DesignPoint> points;
+    for (const Index c : {16, 32, 64}) {
+        // Baseline (single-output tree, full duplication).
+        points.push_back(evaluateDesignPoint(scaled, c, {}, false));
+
+        // Structure sets of increasing size from the search.
+        const CsrMatrix p_csr =
+            CsrMatrix::fromCsc(scaled.pUpper.symUpperToFull());
+        const CsrMatrix a_csr = CsrMatrix::fromCsc(scaled.a);
+        const CsrMatrix at_csr = CsrMatrix::fromCsc(scaled.a.transpose());
+        const SparsityString p_str = encodeMatrix(p_csr, c);
+        const SparsityString a_str = encodeMatrix(a_csr, c);
+        const SparsityString at_str = encodeMatrix(at_csr, c);
+        for (const Index target : {2, 3, 5}) {
+            StructureSearchSettings search;
+            search.targetSize = target;
+            const auto result = searchStructureSet(
+                {&p_str, &a_str, &at_str}, search);
+            std::vector<std::string> patterns = result.set.patterns();
+            points.push_back(
+                evaluateDesignPoint(scaled, c, patterns, true));
+        }
+    }
+    return points;
+}
+
+} // namespace rsqp

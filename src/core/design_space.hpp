@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Micro-architectural design-space exploration (paper Sec. 5.3 /
+ * Table 3): evaluate a family of architecture candidates C{S} on one
+ * problem, reporting fmax, delta-eta, SpMV throughput and estimated
+ * resources, so the performance/area trade-off can be examined.
+ */
+
+#ifndef RSQP_CORE_DESIGN_SPACE_HPP
+#define RSQP_CORE_DESIGN_SPACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/customization.hpp"
+#include "hwmodel/resources.hpp"
+#include "osqp/problem.hpp"
+
+namespace rsqp
+{
+
+/** One evaluated design point (a Table 3 row). */
+struct DesignPoint
+{
+    std::string name;        ///< "C{S}" notation
+    Real fmaxMhz = 0.0;
+    Real deltaEta = 0.0;     ///< eta gain over the same-C baseline
+    Real spmvPerUs = 0.0;    ///< K-operator applications per microsecond
+    ResourceEstimate resources;
+    Real eta = 0.0;
+    Count kApplyPacks = 0;   ///< cycles of one K application
+};
+
+/**
+ * Evaluate one architecture candidate on a scaled problem.
+ *
+ * @param scaled Scaled problem data.
+ * @param c Datapath width.
+ * @param patterns Structure set (paper notation, fallback implied);
+ *        empty = baseline.
+ * @param compress_cvb Customized CVB on/off.
+ */
+DesignPoint evaluateDesignPoint(const QpProblem& scaled, Index c,
+                                const std::vector<std::string>& patterns,
+                                bool compress_cvb = true);
+
+/**
+ * Evaluate a Table 3-style candidate family on a problem: for each
+ * width in {16, 32, 64}, the baseline plus structure sets of
+ * increasing size found by the search.
+ */
+std::vector<DesignPoint> exploreDesignSpace(const QpProblem& scaled);
+
+} // namespace rsqp
+
+#endif // RSQP_CORE_DESIGN_SPACE_HPP

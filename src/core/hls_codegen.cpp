@@ -1,0 +1,120 @@
+#include "hls_codegen.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+/** Distinct per-cycle output counts of a structure set, ascending. */
+std::vector<Index>
+outputCounts(const StructureSet& set)
+{
+    std::set<Index> counts;
+    for (const auto& pattern : set.patterns())
+        counts.insert(static_cast<Index>(pattern.size()));
+    return {counts.begin(), counts.end()};
+}
+
+} // namespace
+
+std::string
+generateAlignmentSwitch(const StructureSet& set)
+{
+    const auto counts = outputCounts(set);
+    const Index pack_width = counts.back();  // widest output bundle
+    std::ostringstream oss;
+
+    if (counts.size() == 1 && counts.front() == 1) {
+        // Baseline: the single-output MAC tree needs no routing.
+        oss << "align_out[0] << acc_pack.data[0];\n";
+        return oss.str();
+    }
+
+    oss << "switch (acc_cnt) {\n";
+    for (const Index cnt : counts) {
+        oss << "case " << cnt << ":\n";
+        oss << "\tswitch (align_ptr){\n";
+        for (Index i = 0; i < pack_width; ++i) {
+            oss << "\tcase " << i << ":\n";
+            for (Index j = 0; j < cnt; ++j) {
+                oss << "\t\talign_out[" << (j + i) % pack_width
+                    << "] << acc_pack.data[" << j << "];\n";
+            }
+            oss << "\t\tbreak;\n";
+        }
+        oss << "\t}\n";
+        oss << "\tbreak;\n";
+    }
+    oss << "}\nalign_ptr += acc_cnt;\n";
+    oss << "if (align_ptr >= " << pack_width << ") align_ptr -= "
+        << pack_width << ";\n";
+    return oss.str();
+}
+
+std::string
+generateSpmvAlignFunction(const StructureSet& set)
+{
+    const auto counts = outputCounts(set);
+    const Index pack_width = counts.back();
+    std::ostringstream oss;
+    oss << "void spmv_align(int align_cnt,\n"
+        << "                data_stream align_out[" << pack_width
+        << "],\n"
+        << "                cnt_pack_stream &acc_cnt_in,\n"
+        << "                data_stream &acc_complete_in,\n"
+        << "                spmv_pack_stream &spmv_pack_in)\n"
+        << "{\n"
+        << "    ap_uint<ALIGN_PTR_BITWIDTH> align_ptr = 0;\n"
+        << "align_loop:\n"
+        << "    for (int loc = 0; loc < align_cnt; loc++)\n"
+        << "    {\n"
+        << "#pragma HLS pipeline II = 1\n"
+        << "        u16_t acc_cnt = acc_cnt_in.read();\n"
+        << "        spmv_pack_t acc_pack;\n"
+        << "        if (acc_cnt == CNT_AS_FADD_FLAG) {\n"
+        << "            acc_pack.data[0] = acc_complete_in.read();\n"
+        << "            acc_cnt = 1;\n"
+        << "        } else {\n"
+        << "            acc_pack = spmv_pack_in.read();\n"
+        << "        }\n"
+        << "#include \"align_acc_cnt_switch.h\"\n"
+        << "    }\n"
+        << "}\n";
+    return oss.str();
+}
+
+std::string
+generateArchitectureHeader(const ArchConfig& config)
+{
+    std::ostringstream oss;
+    oss << "// Auto-generated problem-specific RSQP architecture\n"
+        << "// " << config.name() << "\n"
+        << "#ifndef RSQP_GENERATED_ARCH_H\n"
+        << "#define RSQP_GENERATED_ARCH_H\n\n"
+        << "#define ISCA_C " << config.c << "\n"
+        << "#define MAC_STRUCTURES "
+        << config.structures.patterns().size() << "\n"
+        << "#define MAC_OUTPUTS_TOTAL "
+        << config.structures.totalOutputs() << "\n"
+        << "#define CVB_COMPRESSED " << (config.compressedCvb ? 1 : 0)
+        << "\n\n";
+    oss << "// Structure set S:\n";
+    for (std::size_t i = 0; i < config.structures.patterns().size(); ++i)
+        oss << "//   S[" << i << "] = \""
+            << config.structures.patterns()[i] << "\"\n";
+    oss << "\n// ---- spmv_align ----\n"
+        << generateSpmvAlignFunction(config.structures)
+        << "\n// ---- align_acc_cnt_switch.h ----\n"
+        << generateAlignmentSwitch(config.structures)
+        << "\n#endif // RSQP_GENERATED_ARCH_H\n";
+    return oss.str();
+}
+
+} // namespace rsqp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * HLS code generation (paper Figs. 4-6): emit the problem-specific
+ * C++/HLS description of the customized routing logic between the MAC
+ * tree and the vector buffers, plus the top-level alignment function
+ * that #includes it.
+ *
+ * On the paper's flow this text goes into the vendor HLS compiler; in
+ * this reproduction it is the tangible "architecture generation"
+ * artifact (and is validated structurally by the tests) while the
+ * cycle-level machine plays the role of the bitstream.
+ */
+
+#ifndef RSQP_CORE_HLS_CODEGEN_HPP
+#define RSQP_CORE_HLS_CODEGEN_HPP
+
+#include <string>
+
+#include "arch/config.hpp"
+#include "encoding/mac_structure.hpp"
+
+namespace rsqp
+{
+
+/**
+ * Generate the `align_acc_cnt_switch.h` snippet of Fig. 4: a nested
+ * switch over the per-cycle output count and the alignment pointer
+ * that routes variable-length MAC outputs into C-wide groups.
+ */
+std::string generateAlignmentSwitch(const StructureSet& set);
+
+/**
+ * Generate the `spmv_align` top-level HLS function of Fig. 5 that
+ * instantiates the switch.
+ */
+std::string generateSpmvAlignFunction(const StructureSet& set);
+
+/**
+ * Generate a self-contained architecture header: structure-set
+ * constants, CVB geometry macros, and both snippets above.
+ */
+std::string generateArchitectureHeader(const ArchConfig& config);
+
+} // namespace rsqp
+
+#endif // RSQP_CORE_HLS_CODEGEN_HPP

@@ -1,0 +1,46 @@
+#include "memory_model.hpp"
+
+#include "hwmodel/devices.hpp"
+
+namespace rsqp
+{
+
+OnChipMemoryEstimate
+estimateOnChipMemory(const ProblemCustomization& customization)
+{
+    OnChipMemoryEstimate estimate;
+    constexpr Count kWord = 4;   // FP32 value
+    constexpr Count kIndex = 4;  // address/index word
+
+    const MatrixArtifacts* mats[] = {
+        &customization.p, &customization.a, &customization.at,
+        &customization.atSq};
+    for (const MatrixArtifacts* m : mats) {
+        // One cell per stored copy in the CVB banks.
+        estimate.cvbBytes += m->plan.storedCopies() * kWord;
+        // Index-translation table: one address per vector element,
+        // plus the duplication-control map (one source id per cell).
+        if (!m->plan.fullDuplication)
+            estimate.tableBytes +=
+                static_cast<Count>(m->plan.length) * kIndex +
+                m->plan.storedCopies() * kIndex;
+    }
+
+    // Solver-state vector buffers: the OSQP program keeps ~16
+    // n-vectors and ~17 m-vectors on chip.
+    const Count n = customization.p.csr.cols();
+    const Count m_dim = customization.a.csr.rows();
+    estimate.vbBytes = (16 * n + 17 * m_dim) * kWord;
+
+    estimate.totalBytes =
+        estimate.cvbBytes + estimate.vbBytes + estimate.tableBytes;
+    return estimate;
+}
+
+bool
+fitsU50Memory(const OnChipMemoryEstimate& estimate)
+{
+    return estimate.totalMb() <= u50Budget().onChipMemoryMb;
+}
+
+} // namespace rsqp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * On-chip memory accounting of a customized architecture.
+ *
+ * The CVBs are the dominant on-chip consumer: full duplication stores
+ * C copies of every multiplicand vector — exactly the "severe
+ * scalability pressure" of paper Sec. 3.4 — while the compressed
+ * buffers shrink that to depth * C cells. The U50 offers 28.4 MB of
+ * on-chip memory (Table 2), which every generated design must fit;
+ * problems whose baseline exceeds it are precisely where CVB
+ * compression is not merely faster but *enabling*.
+ */
+
+#ifndef RSQP_CORE_MEMORY_MODEL_HPP
+#define RSQP_CORE_MEMORY_MODEL_HPP
+
+#include "core/customization.hpp"
+
+namespace rsqp
+{
+
+/** On-chip memory footprint breakdown (FP32 words -> bytes). */
+struct OnChipMemoryEstimate
+{
+    Count cvbBytes = 0;    ///< vector-buffer cells across all CVBs
+    Count vbBytes = 0;     ///< plain vector buffers (solver state)
+    Count tableBytes = 0;  ///< index-translation + duplication tables
+    Count totalBytes = 0;
+
+    Real
+    totalMb() const
+    {
+        return static_cast<Real>(totalBytes) / (1024.0 * 1024.0);
+    }
+};
+
+/** Estimate the on-chip footprint of a customized problem. */
+OnChipMemoryEstimate
+estimateOnChipMemory(const ProblemCustomization& customization);
+
+/** Does the design fit the U50's on-chip memory budget? */
+bool fitsU50Memory(const OnChipMemoryEstimate& estimate);
+
+} // namespace rsqp
+
+#endif // RSQP_CORE_MEMORY_MODEL_HPP

@@ -1,0 +1,66 @@
+#include "report.hpp"
+
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/memory_model.hpp"
+#include "hwmodel/resources.hpp"
+
+namespace rsqp
+{
+
+std::string
+customizationReport(const ProblemCustomization& custom)
+{
+    std::ostringstream oss;
+    oss << "architecture " << custom.config.name() << "\n";
+    oss << "structure set S:\n";
+    for (const auto& pattern : custom.config.structures.patterns())
+        oss << "  \"" << pattern << "\" (width "
+            << patternWidth(pattern) << ", " << pattern.size()
+            << " outputs)\n";
+
+    TextTable table({"matrix", "rows", "cols", "nnz", "slots", "E_p",
+                     "cvb_depth", "E_c", "eta"});
+    for (const MatrixArtifacts* m :
+         {&custom.p, &custom.a, &custom.at, &custom.atSq}) {
+        table.addRow({m->name, std::to_string(m->csr.rows()),
+                      std::to_string(m->csr.cols()),
+                      std::to_string(m->csr.nnz()),
+                      std::to_string(m->schedule.slotCount()),
+                      std::to_string(m->schedule.ep),
+                      std::to_string(m->plan.depth),
+                      formatFixed(m->plan.ec(), 2),
+                      formatFixed(m->eta(), 3)});
+    }
+    table.print(oss);
+
+    const ResourceEstimate resources = estimateResources(custom.config);
+    const OnChipMemoryEstimate memory = estimateOnChipMemory(custom);
+    oss << "aggregate eta " << formatFixed(custom.eta(), 3)
+        << ", K-apply packs " << custom.kApplyPacks() << "\n";
+    oss << "fmax " << formatFixed(estimateFmaxMhz(custom.config), 0)
+        << " MHz, DSP " << resources.dsp << ", FF " << resources.ff
+        << ", LUT " << resources.lut << "\n";
+    oss << "on-chip memory " << formatFixed(memory.totalMb(), 2)
+        << " MB (CVB " << formatFixed(
+               static_cast<Real>(memory.cvbBytes) / (1024.0 * 1024.0), 2)
+        << " MB)" << (fitsU50Memory(memory) ? "" : "  ** EXCEEDS U50 **")
+        << "\n";
+    return oss.str();
+}
+
+std::string
+customizationSummary(const ProblemCustomization& custom)
+{
+    std::ostringstream oss;
+    oss << custom.config.name() << " eta="
+        << formatFixed(custom.eta(), 3) << " fmax="
+        << formatFixed(estimateFmaxMhz(custom.config), 0) << "MHz "
+        << formatFixed(estimateOnChipMemory(custom).totalMb(), 2)
+        << "MB";
+    return oss.str();
+}
+
+} // namespace rsqp

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Human-readable customization reports — the textual rendering of the
+ * Fig. 6 generation flow's outcome: per-matrix schedules, E_p/E_c,
+ * match scores, the chosen structure set, estimated resources, clock
+ * and on-chip memory.
+ */
+
+#ifndef RSQP_CORE_REPORT_HPP
+#define RSQP_CORE_REPORT_HPP
+
+#include <string>
+
+#include "core/customization.hpp"
+
+namespace rsqp
+{
+
+/** Render a full customization report (multi-line text). */
+std::string customizationReport(const ProblemCustomization& custom);
+
+/** One-line summary: "64{8d4e1g}+cvb eta=0.44 fmax=237MHz 1.2MB". */
+std::string customizationSummary(const ProblemCustomization& custom);
+
+} // namespace rsqp
+
+#endif // RSQP_CORE_REPORT_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The end-to-end RSQP solver: OSQP accelerated by a problem-specific
+ * simulated FPGA architecture.
+ *
+ * Construction mirrors the paper's deployment flow: scale the problem,
+ * run the customization pipeline (or pick the generic baseline),
+ * "generate the hardware" (instantiate the cycle-level machine), lower
+ * OSQP onto the ISA, and load the packed matrices into HBM. solve()
+ * then runs the program, reads back the scaled solution, unscales it,
+ * and converts the cycle count into wall-clock time through the fmax
+ * model. Parametric re-solves (new q / bounds / warm starts) reuse the
+ * generated architecture — the amortization story of the paper.
+ */
+
+#ifndef RSQP_CORE_RSQP_SOLVER_HPP
+#define RSQP_CORE_RSQP_SOLVER_HPP
+
+#include <memory>
+
+#include "arch/machine.hpp"
+#include "arch/osqp_program.hpp"
+#include "core/customization.hpp"
+#include "osqp/scaling.hpp"
+#include "osqp/settings.hpp"
+#include "osqp/status.hpp"
+
+namespace rsqp
+{
+
+/** Result of one accelerated solve. */
+struct RsqpResult
+{
+    Vector x;  ///< primal solution (unscaled)
+    Vector y;  ///< dual solution (unscaled)
+    Vector z;  ///< A x (unscaled)
+
+    SolveStatus status = SolveStatus::Unsolved;
+    Index iterations = 0;
+    Count pcgIterationsTotal = 0;
+    Index rhoUpdates = 0;
+    Real primRes = 0.0;
+    Real dualRes = 0.0;
+    Real objective = 0.0;
+
+    MachineStats machineStats;
+    Real fmaxMhz = 0.0;
+    /** Accelerator wall-clock time: cycles / fmax. */
+    Real deviceSeconds = 0.0;
+    Real eta = 0.0;          ///< match score of the architecture
+    std::string archName;    ///< "C{...}+cvb" tag
+};
+
+/** OSQP on the simulated RSQP accelerator. */
+class RsqpSolver
+{
+  public:
+    /**
+     * Set up the accelerated solver.
+     *
+     * @param problem The QP (unscaled).
+     * @param settings OSQP settings (maxIter is rounded up to a
+     *        multiple of checkInterval for the device loop).
+     * @param custom Customization pipeline settings (width, E_p/E_c
+     *        optimizations on/off).
+     */
+    RsqpSolver(QpProblem problem, OsqpSettings settings,
+               CustomizeSettings custom);
+
+    /** Run the accelerator program and return the solution. */
+    RsqpResult solve();
+
+    /** Warm start the next solve() (unscaled guesses). */
+    void warmStart(const Vector& x, const Vector& y);
+
+    /** Replace q; the architecture and program are reused. */
+    void updateLinearCost(const Vector& q);
+
+    /** Replace the bounds; the architecture and program are reused. */
+    void updateBounds(const Vector& l, const Vector& u);
+
+    /**
+     * Replace the numeric values of P and/or A keeping the sparsity
+     * structure (pass empty vectors to keep current values). Values
+     * follow the original (unscaled) CSC order. The schedules, CVB
+     * plans and program are all reused; only the packed HBM streams
+     * are rewritten — the paper's same-structure amortization.
+     */
+    void updateMatrixValues(const std::vector<Real>& p_values,
+                            const std::vector<Real>& a_values);
+
+    const ProblemCustomization& customization() const { return custom_; }
+    const ArchConfig& config() const { return custom_.config; }
+    const Machine& machine() const { return *machine_; }
+    const Program& program() const { return prog_.program; }
+
+  private:
+    QpProblem original_;
+    QpProblem scaled_;
+    Scaling scaling_;
+    OsqpSettings settings_;
+    ProblemCustomization custom_;
+    std::unique_ptr<Machine> machine_;
+    OsqpMatrixIds mats_;
+    OsqpDeviceProgram prog_;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_CORE_RSQP_SOLVER_HPP

@@ -1,0 +1,146 @@
+#include "structure_adapt.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+
+namespace rsqp
+{
+
+QpProblem
+permuteProblem(const QpProblem& problem, const IndexVector& var_perm,
+               const IndexVector& constraint_perm)
+{
+    const Index n = problem.numVariables();
+    const Index m = problem.numConstraints();
+    RSQP_ASSERT(static_cast<Index>(var_perm.size()) == n,
+                "variable permutation size");
+    RSQP_ASSERT(static_cast<Index>(constraint_perm.size()) == m,
+                "constraint permutation size");
+
+    IndexVector inv_var(var_perm.size());
+    for (Index i = 0; i < n; ++i)
+        inv_var[static_cast<std::size_t>(
+            var_perm[static_cast<std::size_t>(i)])] = i;
+    IndexVector inv_con(constraint_perm.size());
+    for (Index i = 0; i < m; ++i)
+        inv_con[static_cast<std::size_t>(
+            constraint_perm[static_cast<std::size_t>(i)])] = i;
+
+    QpProblem permuted;
+    permuted.name = problem.name + "_perm";
+    // Symmetric permutation of P (rows and columns together).
+    permuted.pUpper = problem.pUpper.symUpperPermute(var_perm);
+    // A: rows by the constraint permutation, columns by the variable
+    // permutation.
+    TripletList a_triplets(m, n);
+    a_triplets.reserve(static_cast<std::size_t>(problem.a.nnz()));
+    for (Index c = 0; c < n; ++c)
+        for (Index p = problem.a.colPtr()[c];
+             p < problem.a.colPtr()[c + 1]; ++p)
+            a_triplets.add(
+                inv_con[static_cast<std::size_t>(
+                    problem.a.rowIdx()[p])],
+                inv_var[static_cast<std::size_t>(c)],
+                problem.a.values()[p]);
+    permuted.a = CscMatrix::fromTriplets(a_triplets);
+
+    permuted.q.resize(static_cast<std::size_t>(n));
+    for (Index j = 0; j < n; ++j)
+        permuted.q[static_cast<std::size_t>(j)] =
+            problem.q[static_cast<std::size_t>(
+                var_perm[static_cast<std::size_t>(j)])];
+    permuted.l.resize(static_cast<std::size_t>(m));
+    permuted.u.resize(static_cast<std::size_t>(m));
+    for (Index i = 0; i < m; ++i) {
+        const auto src = static_cast<std::size_t>(
+            constraint_perm[static_cast<std::size_t>(i)]);
+        permuted.l[static_cast<std::size_t>(i)] = problem.l[src];
+        permuted.u[static_cast<std::size_t>(i)] = problem.u[src];
+    }
+    return permuted;
+}
+
+namespace
+{
+
+AdaptationCandidate
+evaluateCandidate(const QpProblem& scaled,
+                  const CustomizeSettings& settings,
+                  IndexVector var_perm, IndexVector con_perm)
+{
+    AdaptationCandidate candidate;
+    candidate.variablePerm = std::move(var_perm);
+    candidate.constraintPerm = std::move(con_perm);
+    const QpProblem permuted = permuteProblem(
+        scaled, candidate.variablePerm, candidate.constraintPerm);
+    // Sec. 4.4 compares achievable E_p/E_c, so every candidate is
+    // customized under the same pure slot-count objective (the
+    // time-aware objective of the end-to-end flow would confound the
+    // comparison with fmax effects).
+    CustomizeSettings fixed = settings;
+    if (!fixed.search.objective)
+        fixed.search.objective = [](const StructureSet&,
+                                    Count slots) -> Real {
+            return static_cast<Real>(slots);
+        };
+    const ProblemCustomization custom =
+        customizeProblem(permuted, fixed);
+    candidate.eta = custom.eta();
+    candidate.ep = custom.totalEp();
+    return candidate;
+}
+
+} // namespace
+
+AdaptationResult
+adaptProblemStructure(const QpProblem& scaled,
+                      const CustomizeSettings& settings,
+                      Index candidates, std::uint64_t seed)
+{
+    const Index n = scaled.numVariables();
+    const Index m = scaled.numConstraints();
+
+    IndexVector id_var(static_cast<std::size_t>(n));
+    std::iota(id_var.begin(), id_var.end(), Index{0});
+    IndexVector id_con(static_cast<std::size_t>(m));
+    std::iota(id_con.begin(), id_con.end(), Index{0});
+
+    AdaptationResult result;
+    result.identity =
+        evaluateCandidate(scaled, settings, id_var, id_con);
+    result.best = result.identity;
+    ++result.candidatesTried;
+
+    auto consider = [&](IndexVector var_perm, IndexVector con_perm) {
+        AdaptationCandidate candidate = evaluateCandidate(
+            scaled, settings, std::move(var_perm),
+            std::move(con_perm));
+        ++result.candidatesTried;
+        if (candidate.eta > result.best.eta)
+            result.best = std::move(candidate);
+    };
+
+    // Heuristic candidate: cluster constraint rows by non-zero count
+    // (groups rows of equal width into runs of equal characters).
+    {
+        const CsrMatrix a_csr = CsrMatrix::fromCsc(scaled.a);
+        IndexVector by_nnz = id_con;
+        std::stable_sort(by_nnz.begin(), by_nnz.end(),
+                         [&](Index a, Index b) {
+                             return a_csr.rowNnz(a) < a_csr.rowNnz(b);
+                         });
+        consider(id_var, std::move(by_nnz));
+    }
+
+    // Random symmetric permutations.
+    Rng rng(seed);
+    for (Index k = 1; k < candidates; ++k)
+        consider(rng.permutation(n), rng.permutation(m));
+
+    return result;
+}
+
+} // namespace rsqp

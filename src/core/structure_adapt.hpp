@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Problem-structure adaptation by symmetric permutation (paper
+ * Sec. 4.4).
+ *
+ * Rows of P and A can be permuted to expose more repeated sub-strings
+ * (lower E_p bound) or a sparser access matrix V (better E_c), but KKT
+ * symmetry forces variable permutations to apply to rows *and* columns
+ * simultaneously. This module implements the search the paper
+ * describes — try candidate permutations, keep the best match score —
+ * and reproduces its negative finding: the symmetric coupling leaves
+ * little to gain (quantified by bench_ablation_permute).
+ */
+
+#ifndef RSQP_CORE_STRUCTURE_ADAPT_HPP
+#define RSQP_CORE_STRUCTURE_ADAPT_HPP
+
+#include "core/customization.hpp"
+
+namespace rsqp
+{
+
+/** One evaluated permutation candidate. */
+struct AdaptationCandidate
+{
+    IndexVector variablePerm;    ///< variable (symmetric) permutation
+    IndexVector constraintPerm;  ///< constraint-row permutation
+    Real eta = 0.0;              ///< match score after customization
+    Count ep = 0;                ///< aggregate E_p
+};
+
+/** Result of the adaptation search. */
+struct AdaptationResult
+{
+    AdaptationCandidate identity;  ///< the unpermuted baseline
+    AdaptationCandidate best;      ///< best candidate found
+    Index candidatesTried = 0;
+
+    /** Relative eta gain of the best candidate over identity. */
+    Real
+    gain() const
+    {
+        return identity.eta > 0.0
+            ? (best.eta - identity.eta) / identity.eta
+            : 0.0;
+    }
+};
+
+/**
+ * Try `candidates` random symmetric permutations (plus sorting
+ * constraint rows by non-zero count, a natural clustering heuristic)
+ * and return the best-scoring one.
+ *
+ * @param scaled Scaled problem data.
+ * @param settings Customization settings (width etc.).
+ * @param candidates Number of random permutations to evaluate.
+ * @param seed RNG seed for the candidate permutations.
+ */
+AdaptationResult adaptProblemStructure(const QpProblem& scaled,
+                                       const CustomizeSettings& settings,
+                                       Index candidates = 4,
+                                       std::uint64_t seed = 1);
+
+/**
+ * Apply a symmetric variable permutation + constraint permutation to a
+ * problem (P rows+columns, A columns and rows, q/l/u accordingly).
+ * var_perm[i] = original variable at new position i.
+ */
+QpProblem permuteProblem(const QpProblem& problem,
+                         const IndexVector& var_perm,
+                         const IndexVector& constraint_perm);
+
+} // namespace rsqp
+
+#endif // RSQP_CORE_STRUCTURE_ADAPT_HPP

@@ -1,0 +1,237 @@
+#include "cvb.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+Count
+AccessRequirements::totalCopies() const
+{
+    Count copies = 0;
+    for (std::uint64_t mask : laneMask)
+        copies += std::popcount(mask);
+    return copies;
+}
+
+Index
+AccessRequirements::usedElements() const
+{
+    Index used = 0;
+    for (std::uint64_t mask : laneMask)
+        if (mask != 0)
+            ++used;
+    return used;
+}
+
+AccessRequirements
+buildAccessRequirements(const PackedMatrix& packed)
+{
+    RSQP_ASSERT(packed.c <= 64,
+                "lane masks support datapath widths up to 64");
+    AccessRequirements req;
+    req.c = packed.c;
+    req.length = packed.cols;
+    req.laneMask.assign(static_cast<std::size_t>(packed.cols), 0);
+    for (const LanePack& pack : packed.packs) {
+        for (Index k = 0; k < packed.c; ++k) {
+            const Index j = pack.colIdx[static_cast<std::size_t>(k)];
+            if (j >= 0)
+                req.laneMask[static_cast<std::size_t>(j)] |=
+                    std::uint64_t(1) << k;
+        }
+    }
+    return req;
+}
+
+Real
+CvbPlan::ec() const
+{
+    if (length == 0)
+        return 1.0;
+    return static_cast<Real>(depth) * static_cast<Real>(c) /
+        static_cast<Real>(length);
+}
+
+Count
+CvbPlan::updateCycles() const
+{
+    const Count stream = (static_cast<Count>(length) + c - 1) / c;
+    return std::max<Count>(depth, stream);
+}
+
+Count
+CvbPlan::storedCopies() const
+{
+    if (fullDuplication)
+        return static_cast<Count>(c) * static_cast<Count>(length);
+    Count copies = 0;
+    for (const IndexVector& bank : bankContents)
+        for (Index element : bank)
+            if (element >= 0)
+                ++copies;
+    return copies;
+}
+
+bool
+CvbPlan::isConsistentWith(const AccessRequirements& req) const
+{
+    if (req.c != c || req.length != length)
+        return false;
+    if (fullDuplication)
+        return true;  // every bank holds the complete vector
+    for (Index j = 0; j < length; ++j) {
+        const std::uint64_t mask = req.laneMask[static_cast<std::size_t>(j)];
+        const Index addr = address[static_cast<std::size_t>(j)];
+        if (mask == 0)
+            continue;
+        if (addr < 0 || addr >= depth)
+            return false;
+        for (Index k = 0; k < c; ++k) {
+            if (!(mask & (std::uint64_t(1) << k)))
+                continue;
+            if (bankContents[static_cast<std::size_t>(k)]
+                            [static_cast<std::size_t>(addr)] != j)
+                return false;
+        }
+    }
+    return true;
+}
+
+CvbPlan
+compressFirstFit(const AccessRequirements& req, FirstFitOrder order)
+{
+    CvbPlan plan;
+    plan.c = req.c;
+    plan.length = req.length;
+    plan.address.assign(static_cast<std::size_t>(req.length), -1);
+
+    IndexVector elements;
+    for (Index j = 0; j < req.length; ++j)
+        if (req.laneMask[static_cast<std::size_t>(j)] != 0)
+            elements.push_back(j);
+    if (order == FirstFitOrder::Decreasing) {
+        std::stable_sort(elements.begin(), elements.end(),
+                         [&](Index a, Index b) {
+                             return std::popcount(req.laneMask[
+                                 static_cast<std::size_t>(a)]) >
+                                 std::popcount(req.laneMask[
+                                     static_cast<std::size_t>(b)]);
+                         });
+    }
+
+    // usedLanes[a] = union of lane masks already placed at address a.
+    std::vector<std::uint64_t> used_lanes;
+    for (Index j : elements) {
+        const std::uint64_t mask =
+            req.laneMask[static_cast<std::size_t>(j)];
+        Index addr = -1;
+        for (std::size_t a = 0; a < used_lanes.size(); ++a) {
+            if ((used_lanes[a] & mask) == 0) {
+                addr = static_cast<Index>(a);
+                break;
+            }
+        }
+        if (addr < 0) {
+            addr = static_cast<Index>(used_lanes.size());
+            used_lanes.push_back(0);
+        }
+        used_lanes[static_cast<std::size_t>(addr)] |= mask;
+        plan.address[static_cast<std::size_t>(j)] = addr;
+    }
+
+    plan.depth = static_cast<Index>(used_lanes.size());
+    plan.bankContents.assign(static_cast<std::size_t>(req.c),
+                             IndexVector(static_cast<std::size_t>(
+                                 plan.depth), -1));
+    for (Index j : elements) {
+        const std::uint64_t mask =
+            req.laneMask[static_cast<std::size_t>(j)];
+        const Index addr = plan.address[static_cast<std::size_t>(j)];
+        for (Index k = 0; k < req.c; ++k)
+            if (mask & (std::uint64_t(1) << k))
+                plan.bankContents[static_cast<std::size_t>(k)]
+                                 [static_cast<std::size_t>(addr)] = j;
+    }
+    return plan;
+}
+
+CvbPlan
+fullDuplicationPlan(const AccessRequirements& req)
+{
+    return fullDuplicationPlan(req.c, req.length);
+}
+
+CvbPlan
+fullDuplicationPlan(Index c, Index length)
+{
+    CvbPlan plan;
+    plan.c = c;
+    plan.length = length;
+    plan.depth = length;
+    plan.fullDuplication = true;
+    plan.address.resize(static_cast<std::size_t>(length));
+    std::iota(plan.address.begin(), plan.address.end(), Index{0});
+    // Every bank holds the complete vector; the bank tables stay
+    // implicit (bankContents[k][a] == a for every bank).
+    return plan;
+}
+
+namespace
+{
+
+/** Recursive exact colorer: assign element idx to an address. */
+void
+exactColor(const std::vector<std::uint64_t>& masks, std::size_t idx,
+           std::vector<std::uint64_t>& used, Index& best)
+{
+    if (static_cast<Index>(used.size()) >= best)
+        return;  // prune: already as deep as the incumbent
+    if (idx == masks.size()) {
+        best = static_cast<Index>(used.size());
+        return;
+    }
+    const std::uint64_t mask = masks[idx];
+    for (std::size_t a = 0; a < used.size(); ++a) {
+        if ((used[a] & mask) == 0) {
+            used[a] |= mask;
+            exactColor(masks, idx + 1, used, best);
+            used[a] &= ~mask;
+        }
+    }
+    // Open a new address.
+    used.push_back(mask);
+    exactColor(masks, idx + 1, used, best);
+    used.pop_back();
+}
+
+} // namespace
+
+Index
+exactMinimumDepth(const AccessRequirements& req, Index max_elements)
+{
+    std::vector<std::uint64_t> masks;
+    for (std::uint64_t mask : req.laneMask)
+        if (mask != 0)
+            masks.push_back(mask);
+    if (masks.empty())
+        return 0;
+    if (static_cast<Index>(masks.size()) > max_elements)
+        RSQP_FATAL("exactMinimumDepth: instance with ", masks.size(),
+                   " elements exceeds the cap of ", max_elements);
+    // Order by popcount descending: stronger early pruning.
+    std::sort(masks.begin(), masks.end(),
+              [](std::uint64_t a, std::uint64_t b) {
+                  return std::popcount(a) > std::popcount(b);
+              });
+    Index best = static_cast<Index>(masks.size());
+    std::vector<std::uint64_t> used;
+    exactColor(masks, 0, used, best);
+    return best;
+}
+
+} // namespace rsqp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Compressed Vector Buffers (paper Sec. 3.4 / 4.3).
+ *
+ * The SpMV engine needs C random accesses per cycle into the
+ * multiplicand vector. Naive duplication stores C full copies (one per
+ * single-ported bank): update cost L cycles, E_c = C. RSQP instead
+ * computes, per bank, which vector elements that bank ever serves
+ * (the access-requirement matrix V) and then packs elements into a
+ * shallow address space such that no two elements sharing an address
+ * are needed by the same bank — the MILP (5) of the paper, solved
+ * approximately with First-Fit and exactly (small cases) with
+ * branch-and-bound for validation.
+ */
+
+#ifndef RSQP_CVB_CVB_HPP
+#define RSQP_CVB_CVB_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "encoding/packing.hpp"
+
+namespace rsqp
+{
+
+/**
+ * Per-element bank-requirement bitmasks: bit k of laneMask[j] is set
+ * iff vector element j is ever read by datapath lane (bank) k.
+ * Datapath widths up to 64 fit one word per element.
+ */
+struct AccessRequirements
+{
+    Index c = 0;       ///< number of banks (datapath width)
+    Index length = 0;  ///< vector length L
+    std::vector<std::uint64_t> laneMask;  ///< size L
+
+    /** Number of (element, bank) pairs — total stored copies. */
+    Count totalCopies() const;
+
+    /** Elements with at least one requesting bank. */
+    Index usedElements() const;
+};
+
+/** Build V from a packed matrix stream (lane k reads colIdx[k]). */
+AccessRequirements buildAccessRequirements(const PackedMatrix& packed);
+
+/** Element ordering heuristic for First-Fit. */
+enum class FirstFitOrder
+{
+    InputOrder,  ///< elements in index order
+    Decreasing,  ///< most-requested elements first (FFD)
+};
+
+/**
+ * The compression map M of the paper, in executable form.
+ *
+ * address[j] is the CVB address of element j (-1 if the element is
+ * never read and therefore not stored). bankContents[k][a] is the
+ * element stored by bank k at address a (-1 if that cell is unused).
+ */
+struct CvbPlan
+{
+    Index c = 0;
+    Index length = 0;  ///< vector length L
+    Index depth = 0;   ///< addresses used (sum of G in the paper)
+    /** Baseline full duplication (bank tables left implicit). */
+    bool fullDuplication = false;
+    IndexVector address;                    ///< size L
+    std::vector<IndexVector> bankContents;  ///< c banks x depth cells
+
+    /** Effective copy count E_c = depth * C / L (>= raw storage). */
+    Real ec() const;
+
+    /**
+     * Cycles to broadcast a new vector into the CVB: one address per
+     * cycle, but never faster than streaming the source vector.
+     */
+    Count updateCycles() const;
+
+    /** Total occupied cells (on-chip memory footprint in words). */
+    Count storedCopies() const;
+
+    /**
+     * Validity: every used element stored in every requesting bank at
+     * its address, and no bank cell double-booked.
+     */
+    bool isConsistentWith(const AccessRequirements& req) const;
+};
+
+/** First-Fit CVB compression (the paper's practical algorithm). */
+CvbPlan compressFirstFit(const AccessRequirements& req,
+                         FirstFitOrder order = FirstFitOrder::Decreasing);
+
+/** Trivial full-duplication plan (baseline architecture: E_c = C). */
+CvbPlan fullDuplicationPlan(const AccessRequirements& req);
+
+/** Same, from dimensions only (no requirements needed). */
+CvbPlan fullDuplicationPlan(Index c, Index length);
+
+/**
+ * Exact minimum depth via branch-and-bound on the conflict graph
+ * (elements conflict iff their lane masks intersect). Exponential —
+ * use only for small instances (validation tests).
+ *
+ * @param max_elements Hard safety cap on the instance size.
+ */
+Index exactMinimumDepth(const AccessRequirements& req,
+                        Index max_elements = 24);
+
+} // namespace rsqp
+
+#endif // RSQP_CVB_CVB_HPP

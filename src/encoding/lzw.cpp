@@ -1,0 +1,70 @@
+#include "lzw.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rsqp
+{
+
+namespace
+{
+
+/** Shared LZW scan; calls emit(phrase) for every output code. */
+template <typename EmitFn>
+void
+lzwScan(const std::string& text, std::size_t max_dict_size, EmitFn emit)
+{
+    std::unordered_map<std::string, Count> dict;
+    // Seed with single characters so every input is encodable.
+    for (char ch : text)
+        dict.emplace(std::string(1, ch), 0);
+
+    std::string w;
+    for (char ch : text) {
+        std::string wc = w + ch;
+        if (dict.find(wc) != dict.end()) {
+            w = std::move(wc);
+        } else {
+            emit(w);
+            if (dict.size() < max_dict_size)
+                dict.emplace(std::move(wc), 0);
+            w.assign(1, ch);
+        }
+    }
+    if (!w.empty())
+        emit(w);
+}
+
+} // namespace
+
+std::vector<LzwEntry>
+lzwDictionary(const std::string& text, std::size_t max_dict_size)
+{
+    std::unordered_map<std::string, Count> counts;
+    lzwScan(text, max_dict_size,
+            [&](const std::string& phrase) { ++counts[phrase]; });
+
+    std::vector<LzwEntry> entries;
+    entries.reserve(counts.size());
+    for (auto& [phrase, count] : counts)
+        entries.push_back(LzwEntry{phrase, count});
+    std::sort(entries.begin(), entries.end(),
+              [](const LzwEntry& a, const LzwEntry& b) {
+                  if (a.emitCount != b.emitCount)
+                      return a.emitCount > b.emitCount;
+                  if (a.phrase.size() != b.phrase.size())
+                      return a.phrase.size() > b.phrase.size();
+                  return a.phrase < b.phrase;
+              });
+    return entries;
+}
+
+Count
+lzwCompressedLength(const std::string& text, std::size_t max_dict_size)
+{
+    Count codes = 0;
+    lzwScan(text, max_dict_size, [&](const std::string&) { ++codes; });
+    return codes;
+}
+
+} // namespace rsqp

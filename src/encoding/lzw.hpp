@@ -1,0 +1,51 @@
+/**
+ * @file
+ * LZW dictionary pass over sparsity strings (paper Sec. 4.2).
+ *
+ * Finding the optimal structure set S (problem (4) in the paper) is
+ * intractable, so RSQP harvests candidate sub-strings with the LZW
+ * lossless-compression dictionary: sub-strings that LZW keeps emitting
+ * are exactly the frequently-repeated row patterns worth dedicated MAC
+ * tree partitions.
+ */
+
+#ifndef RSQP_ENCODING_LZW_HPP
+#define RSQP_ENCODING_LZW_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rsqp
+{
+
+/** A dictionary phrase and how often LZW emitted it. */
+struct LzwEntry
+{
+    std::string phrase;
+    Count emitCount = 0;
+};
+
+/**
+ * Run LZW over the text and return every phrase together with its
+ * emission count, most-emitted first.
+ *
+ * @param text Input string (a sparsity encoding).
+ * @param max_dict_size Dictionary capacity; when full, no new phrases
+ *        are added (counts keep accumulating). Power-of-two sizes
+ *        mirror classic LZW code widths but any value works.
+ */
+std::vector<LzwEntry> lzwDictionary(const std::string& text,
+                                    std::size_t max_dict_size = 65536);
+
+/**
+ * Compressed length (number of codes) LZW achieves on the text — a
+ * cheap structure-richness metric used in reports.
+ */
+Count lzwCompressedLength(const std::string& text,
+                          std::size_t max_dict_size = 65536);
+
+} // namespace rsqp
+
+#endif // RSQP_ENCODING_LZW_HPP

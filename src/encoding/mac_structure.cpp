@@ -1,0 +1,145 @@
+#include "mac_structure.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+StructureSet::StructureSet(Index c, std::vector<std::string> patterns)
+    : c_(c), patterns_(std::move(patterns))
+{
+    RSQP_ASSERT(isPow2(c), "datapath width must be a power of two");
+    const std::string fallback(1, topChar(c));
+    fallbackIndex_ = -1;
+    for (std::size_t i = 0; i < patterns_.size(); ++i) {
+        if (!isValidPattern(patterns_[i], c))
+            RSQP_FATAL("invalid MAC structure '", patterns_[i],
+                       "' for C = ", c);
+        if (patterns_[i] == fallback)
+            fallbackIndex_ = static_cast<Index>(i);
+    }
+    if (fallbackIndex_ < 0) {
+        patterns_.push_back(fallback);
+        fallbackIndex_ = static_cast<Index>(patterns_.size()) - 1;
+    }
+    // Duplicate structures waste hardware; reject them.
+    auto sorted = patterns_;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+        RSQP_FATAL("duplicate MAC structure in set");
+}
+
+StructureSet
+StructureSet::baseline(Index c)
+{
+    return StructureSet(c, {});
+}
+
+StructureSet
+StructureSet::parse(const std::string& name)
+{
+    // Format: <C>{(<count><char>)+}
+    std::size_t pos = 0;
+    auto read_int = [&]() -> Index {
+        if (pos >= name.size() ||
+            !std::isdigit(static_cast<unsigned char>(name[pos])))
+            RSQP_FATAL("parse error in structure name '", name, "' at ",
+                       pos);
+        Index value = 0;
+        while (pos < name.size() &&
+               std::isdigit(static_cast<unsigned char>(name[pos]))) {
+            value = value * 10 + (name[pos] - '0');
+            ++pos;
+        }
+        return value;
+    };
+
+    const Index c = read_int();
+    if (pos >= name.size() || name[pos] != '{')
+        RSQP_FATAL("structure name '", name, "' missing '{'");
+    ++pos;
+    std::vector<std::string> patterns;
+    while (pos < name.size() && name[pos] != '}') {
+        const Index count = read_int();
+        if (pos >= name.size() || name[pos] < 'a' || name[pos] > 'z')
+            RSQP_FATAL("structure name '", name,
+                       "' missing character after count");
+        const char ch = name[pos];
+        ++pos;
+        patterns.emplace_back(static_cast<std::size_t>(count), ch);
+    }
+    if (pos >= name.size() || name[pos] != '}')
+        RSQP_FATAL("structure name '", name, "' missing '}'");
+    return StructureSet(c, std::move(patterns));
+}
+
+std::vector<SegmentLayout>
+StructureSet::layout(Index pattern_idx) const
+{
+    RSQP_ASSERT(pattern_idx >= 0 &&
+                pattern_idx < static_cast<Index>(patterns_.size()),
+                "pattern index out of range");
+    const std::string& pattern =
+        patterns_[static_cast<std::size_t>(pattern_idx)];
+    std::vector<SegmentLayout> segments;
+    segments.reserve(pattern.size());
+    Index lane = 0;
+    for (char ch : pattern) {
+        const Index width = charWidth(ch);
+        segments.push_back(SegmentLayout{ch, lane, lane + width});
+        lane += width;
+    }
+    RSQP_ASSERT(lane <= c_, "structure exceeds datapath width");
+    return segments;
+}
+
+Index
+StructureSet::totalOutputs() const
+{
+    Index outputs = 0;
+    for (const auto& pattern : patterns_)
+        outputs += static_cast<Index>(pattern.size());
+    return outputs;
+}
+
+std::string
+StructureSet::name() const
+{
+    std::ostringstream oss;
+    oss << c_ << '{';
+    for (const auto& pattern : patterns_) {
+        // Run-length encode each structure.
+        std::size_t i = 0;
+        while (i < pattern.size()) {
+            std::size_t j = i;
+            while (j < pattern.size() && pattern[j] == pattern[i])
+                ++j;
+            oss << (j - i) << pattern[i];
+            i = j;
+        }
+    }
+    oss << '}';
+    return oss.str();
+}
+
+IndexVector
+StructureSet::schedulingOrder() const
+{
+    IndexVector order(patterns_.size());
+    std::iota(order.begin(), order.end(), Index{0});
+    std::stable_sort(order.begin(), order.end(), [&](Index a, Index b) {
+        const auto& pa = patterns_[static_cast<std::size_t>(a)];
+        const auto& pb = patterns_[static_cast<std::size_t>(b)];
+        if (pa.size() != pb.size())
+            return pa.size() > pb.size();
+        return patternWidth(pa) > patternWidth(pb);
+    });
+    return order;
+}
+
+} // namespace rsqp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * MAC-tree structure sets (the "S" of paper Sec. 4.1-4.2).
+ *
+ * A structure is a string over the row alphabet describing how the
+ * C-wide MAC tree is partitioned into independently-reduced segments:
+ * structure "bb" (C = 4) produces two 2-wide dot products per cycle;
+ * structure "d" produces one 4-wide dot product. A structure set S is
+ * the (small) collection of partitions the generated hardware supports;
+ * its size trades throughput against routing area and fmax (Table 3).
+ *
+ * Naming follows the paper: "16{16a1e}" is C = 16 with
+ * S = { "aaaaaaaaaaaaaaaa", "e" } — run-length groups, one group per
+ * homogeneous structure. Arbitrary mixed structures are supported
+ * programmatically and printed as explicit run-length strings.
+ */
+
+#ifndef RSQP_ENCODING_MAC_STRUCTURE_HPP
+#define RSQP_ENCODING_MAC_STRUCTURE_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "encoding/sparsity_string.hpp"
+
+namespace rsqp
+{
+
+/** Lane interval occupied by one segment of a structure. */
+struct SegmentLayout
+{
+    char ch;          ///< row character of this segment
+    Index laneBegin;  ///< first lane (inclusive)
+    Index laneEnd;    ///< one past the last lane
+};
+
+/** A set of MAC-tree partitions for a given datapath width. */
+class StructureSet
+{
+  public:
+    /**
+     * Build a structure set; the full-width single-output structure
+     * (the baseline reduction, also used for '$' chunks) is appended
+     * automatically if absent.
+     *
+     * @param c Datapath width (power of two).
+     * @param patterns Structures, e.g. {"bb", "d"} for C = 4.
+     */
+    StructureSet(Index c, std::vector<std::string> patterns);
+
+    /** The baseline set S = { top } (single full-width reduction). */
+    static StructureSet baseline(Index c);
+
+    /** Parse the paper's "C{...}" notation, e.g. "32{32a4d1f}". */
+    static StructureSet parse(const std::string& name);
+
+    Index c() const { return c_; }
+
+    /** Structures ordered as given (scheduling order is separate). */
+    const std::vector<std::string>& patterns() const { return patterns_; }
+
+    /** Index of the full-width fallback structure within patterns(). */
+    Index fallbackIndex() const { return fallbackIndex_; }
+
+    /** Lane layout of one structure (segments packed left to right). */
+    std::vector<SegmentLayout> layout(Index pattern_idx) const;
+
+    /**
+     * Total number of adder-tree outputs across all structures — the
+     * routing-pressure metric of the hardware model.
+     */
+    Index totalOutputs() const;
+
+    /** Render in the paper's "C{...}" notation. */
+    std::string name() const;
+
+    /**
+     * Structure indices sorted for scheduling: longest pattern first
+     * (paper Sec. 4.2), ties broken by larger width then insertion
+     * order.
+     */
+    IndexVector schedulingOrder() const;
+
+    bool operator==(const StructureSet& other) const
+    {
+        return c_ == other.c_ && patterns_ == other.patterns_;
+    }
+
+  private:
+    Index c_ = 0;
+    std::vector<std::string> patterns_;
+    Index fallbackIndex_ = 0;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_ENCODING_MAC_STRUCTURE_HPP

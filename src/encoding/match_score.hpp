@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The customization evaluation metric eta (paper Sec. 3.6):
+ *
+ *   eta = (nnz + L) / (nnz + E_p + E_c * L),   eta in (0, 1]
+ *
+ * where L is the multiplicand vector length, E_p the zero padding of
+ * the SpMV schedule and E_c the effective vector-copy count of the
+ * compressed vector buffer. T_ideal = eta * T_real.
+ */
+
+#ifndef RSQP_ENCODING_MATCH_SCORE_HPP
+#define RSQP_ENCODING_MATCH_SCORE_HPP
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace rsqp
+{
+
+/** Match score of one SpMV + vector-duplication pair. */
+inline Real
+matchScore(Count nnz, Count vector_length, Count ep, Real ec)
+{
+    RSQP_ASSERT(nnz >= 0 && vector_length >= 0 && ep >= 0 && ec >= 1.0,
+                "invalid match-score inputs");
+    const Real ideal = static_cast<Real>(nnz + vector_length);
+    const Real real = static_cast<Real>(nnz) + static_cast<Real>(ep) +
+        ec * static_cast<Real>(vector_length);
+    return real > 0.0 ? ideal / real : 1.0;
+}
+
+} // namespace rsqp
+
+#endif // RSQP_ENCODING_MATCH_SCORE_HPP

@@ -1,0 +1,131 @@
+#include "packing.hpp"
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+PackedMatrix
+packMatrix(const CsrMatrix& matrix, const SparsityString& str,
+           const Schedule& schedule, const StructureSet& set)
+{
+    RSQP_ASSERT(str.c == set.c() && schedule.c == set.c(),
+                "packMatrix: width mismatch");
+    const Index c = set.c();
+
+    PackedMatrix packed;
+    packed.c = c;
+    packed.rows = matrix.rows();
+    packed.cols = matrix.cols();
+    packed.nnz = matrix.nnz();
+    packed.packs.reserve(schedule.slots.size());
+
+    // Chunk offset bookkeeping: nnz of the row already consumed by
+    // earlier positions (only non-zero for '$'-chunked rows).
+    IndexVector chunk_offset(str.length(), 0);
+    for (std::size_t p = 1; p < str.length(); ++p) {
+        if (str.rowOfPos[p] == str.rowOfPos[p - 1])
+            chunk_offset[p] = chunk_offset[p - 1] +
+                str.nnzOfPos[p - 1];
+    }
+
+    for (const SlotAssignment& slot : schedule.slots) {
+        LanePack pack;
+        pack.values.assign(static_cast<std::size_t>(c), 0.0);
+        pack.colIdx.assign(static_cast<std::size_t>(c), -1);
+
+        auto fill_segment = [&](Index pos, Index lane_begin,
+                                Index lane_end) {
+            PackSegment segment;
+            segment.laneBegin = lane_begin;
+            segment.laneEnd = lane_end;
+            if (pos < 0) {
+                // Empty segment: pure padding, no output row.
+                segment.row = -1;
+                segment.emit = false;
+                packed.ep += lane_end - lane_begin;
+                pack.segments.push_back(segment);
+                return;
+            }
+            const auto upos = static_cast<std::size_t>(pos);
+            const Index row = str.rowOfPos[upos];
+            const Index count = str.nnzOfPos[upos];
+            RSQP_ASSERT(count <= lane_end - lane_begin,
+                        "segment too narrow for scheduled row");
+            segment.row = row;
+            // A position is a continuation iff the previous position
+            // belongs to the same row; it completes the row iff the
+            // next position belongs to a different row.
+            segment.accumulate = upos > 0 &&
+                str.rowOfPos[upos - 1] == row;
+            segment.emit = upos + 1 >= str.length() ||
+                str.rowOfPos[upos + 1] != row;
+            const Index base = matrix.rowPtr()[row] + chunk_offset[upos];
+            for (Index k = 0; k < count; ++k) {
+                pack.values[static_cast<std::size_t>(lane_begin + k)] =
+                    matrix.values()[static_cast<std::size_t>(base + k)];
+                pack.colIdx[static_cast<std::size_t>(lane_begin + k)] =
+                    matrix.colIdx()[static_cast<std::size_t>(base + k)];
+            }
+            packed.ep += (lane_end - lane_begin) - count;
+            pack.segments.push_back(segment);
+        };
+
+        if (slot.isChunk) {
+            RSQP_ASSERT(slot.positions.size() == 1,
+                        "chunk slot must hold exactly one position");
+            fill_segment(slot.positions[0], 0, c);
+        } else {
+            const auto layout = set.layout(slot.structureId);
+            RSQP_ASSERT(layout.size() == slot.positions.size(),
+                        "slot/structure segment count mismatch");
+            Index used_end = 0;
+            for (std::size_t s = 0; s < layout.size(); ++s) {
+                fill_segment(slot.positions[s], layout[s].laneBegin,
+                             layout[s].laneEnd);
+                used_end = layout[s].laneEnd;
+            }
+            // Lanes beyond the structure's width are implicit padding.
+            packed.ep += c - used_end;
+        }
+        packed.packs.push_back(std::move(pack));
+    }
+
+    RSQP_ASSERT(packed.ep == schedule.ep,
+                "materialized padding ", packed.ep,
+                " disagrees with scheduled E_p ", schedule.ep);
+    return packed;
+}
+
+Vector
+PackedMatrix::referenceSpmv(const Vector& x) const
+{
+    RSQP_ASSERT(static_cast<Index>(x.size()) == cols,
+                "referenceSpmv: x size");
+    Vector y(static_cast<std::size_t>(rows), 0.0);
+    std::vector<bool> touched(static_cast<std::size_t>(rows), false);
+    Real carry = 0.0;  // partial sum carried across '$' chunk packs
+    for (const LanePack& pack : packs) {
+        for (const PackSegment& segment : pack.segments) {
+            Real acc = segment.accumulate ? carry : 0.0;
+            for (Index k = segment.laneBegin; k < segment.laneEnd; ++k) {
+                const Index j = pack.colIdx[static_cast<std::size_t>(k)];
+                if (j >= 0)
+                    acc += pack.values[static_cast<std::size_t>(k)] *
+                        x[static_cast<std::size_t>(j)];
+            }
+            if (segment.emit && segment.row >= 0) {
+                y[static_cast<std::size_t>(segment.row)] = acc;
+                touched[static_cast<std::size_t>(segment.row)] = true;
+            } else {
+                carry = acc;
+            }
+        }
+    }
+    for (Index r = 0; r < rows; ++r)
+        RSQP_ASSERT(touched[static_cast<std::size_t>(r)],
+                    "row ", r, " never produced by the packed stream");
+    return y;
+}
+
+} // namespace rsqp

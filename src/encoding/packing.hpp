@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Offline HBM data layout: turn a matrix plus its schedule into the
+ * per-cycle non-zero packs streamed to the SpMV engine.
+ *
+ * Each pack is one clock cycle of HBM traffic: C values and C vector
+ * indices, with explicit zero padding where the schedule could not fill
+ * a lane, plus the segment descriptors the MAC tree and alignment
+ * logic need (which rows are produced, over which lanes, and whether
+ * the row's partial sum continues into the next pack — the '$' chunks).
+ */
+
+#ifndef RSQP_ENCODING_PACKING_HPP
+#define RSQP_ENCODING_PACKING_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "encoding/scheduler.hpp"
+#include "linalg/csr.hpp"
+
+namespace rsqp
+{
+
+/** One MAC-tree output within a pack. */
+struct PackSegment
+{
+    Index row = -1;        ///< destination matrix row
+    Index laneBegin = 0;   ///< first datapath lane (inclusive)
+    Index laneEnd = 0;     ///< one past the last lane
+    bool accumulate = false; ///< continues the previous pack's partial sum
+    bool emit = true;        ///< row dot product completes here
+};
+
+/** One clock cycle of matrix data (C lanes). */
+struct LanePack
+{
+    std::vector<Real> values;  ///< length C, zero in padded lanes
+    IndexVector colIdx;        ///< length C, -1 in padded lanes
+    std::vector<PackSegment> segments;
+};
+
+/** Full packed stream of one matrix. */
+struct PackedMatrix
+{
+    Index c = 0;
+    Index rows = 0;
+    Index cols = 0;
+    Count nnz = 0;
+    Count ep = 0;  ///< zero padding actually materialized
+    std::vector<LanePack> packs;
+
+    Count packCount() const { return static_cast<Count>(packs.size()); }
+
+    /**
+     * Functional reference: run the packed stream against x and return
+     * y = A x. Must agree with CsrMatrix::spmv (tested); this is the
+     * ground truth the simulated SpMV engine is validated against.
+     */
+    Vector referenceSpmv(const Vector& x) const;
+};
+
+/**
+ * Materialize the packed stream for a matrix under a schedule.
+ *
+ * @param matrix The matrix in CSR form.
+ * @param str Its sparsity string (must come from this matrix).
+ * @param schedule A schedule of str onto some structure set.
+ * @param set The structure set the schedule was built with.
+ */
+PackedMatrix packMatrix(const CsrMatrix& matrix, const SparsityString& str,
+                        const Schedule& schedule, const StructureSet& set);
+
+} // namespace rsqp
+
+#endif // RSQP_ENCODING_PACKING_HPP

@@ -1,0 +1,112 @@
+#include "scheduler.hpp"
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+Schedule
+scheduleString(const SparsityString& str, const StructureSet& set)
+{
+    RSQP_ASSERT(str.c == set.c(),
+                "sparsity string and structure set widths differ: ",
+                str.c, " vs ", set.c());
+    const Index c = set.c();
+    const std::size_t len = str.length();
+
+    Schedule schedule;
+    schedule.c = c;
+    for (Index nnz : str.nnzOfPos)
+        schedule.nnz += nnz;
+
+    std::vector<bool> consumed(len, false);
+
+    // Pre-pass: rows wider than C were broken into '$' chunks plus a
+    // remainder; all of their positions become dedicated full-width
+    // accumulation slots (the paper's "series of g").
+    const Index fallback = set.fallbackIndex();
+    for (std::size_t p = 0; p < len; ++p) {
+        const bool chunk_char = str.encoded[p] == kChunkChar;
+        const bool chunk_tail = p > 0 &&
+            str.encoded[p - 1] == kChunkChar &&
+            str.rowOfPos[p] == str.rowOfPos[p - 1];
+        if (!chunk_char && !chunk_tail)
+            continue;
+        SlotAssignment slot;
+        slot.structureId = fallback;
+        slot.isChunk = true;
+        slot.positions.push_back(static_cast<Index>(p));
+        schedule.slots.push_back(std::move(slot));
+        consumed[p] = true;
+        ++schedule.chunkSlots;
+    }
+
+    // Structure passes, longest first; per structure an exact pass then
+    // a domination pass (paper's regex replacement, e.g. bb before
+    // ba|ab|aa).
+    for (Index sid : set.schedulingOrder()) {
+        const std::string& pattern =
+            set.patterns()[static_cast<std::size_t>(sid)];
+        const std::size_t plen = pattern.size();
+        if (plen > len)
+            continue;
+        for (int exact = 1; exact >= 0; --exact) {
+            std::size_t p = 0;
+            while (p + plen <= len) {
+                bool match = true;
+                for (std::size_t j = 0; j < plen && match; ++j) {
+                    const std::size_t q = p + j;
+                    if (consumed[q] || str.encoded[q] == kChunkChar) {
+                        match = false;
+                    } else if (exact) {
+                        match = str.encoded[q] == pattern[j];
+                    } else {
+                        match = charWidth(str.encoded[q]) <=
+                            charWidth(pattern[j]);
+                    }
+                }
+                if (!match) {
+                    ++p;
+                    continue;
+                }
+                SlotAssignment slot;
+                slot.structureId = sid;
+                slot.positions.reserve(plen);
+                for (std::size_t j = 0; j < plen; ++j) {
+                    consumed[p + j] = true;
+                    slot.positions.push_back(static_cast<Index>(p + j));
+                }
+                schedule.slots.push_back(std::move(slot));
+                p += plen;
+            }
+        }
+    }
+
+    // The fallback structure dominates every single character, so
+    // nothing can remain unconsumed.
+    for (std::size_t p = 0; p < len; ++p)
+        RSQP_ASSERT(consumed[p], "scheduler left position ", p,
+                    " unassigned (missing fallback structure?)");
+
+    schedule.ep = static_cast<Count>(c) * schedule.slotCount() -
+        schedule.nnz;
+    return schedule;
+}
+
+Count
+recomputeEp(const Schedule& schedule, const SparsityString& str)
+{
+    Count padding = 0;
+    for (const SlotAssignment& slot : schedule.slots) {
+        Count covered = 0;
+        for (Index pos : slot.positions) {
+            if (pos < 0)
+                continue;
+            covered += str.nnzOfPos[static_cast<std::size_t>(pos)];
+        }
+        padding += static_cast<Count>(schedule.c) - covered;
+    }
+    return padding;
+}
+
+} // namespace rsqp

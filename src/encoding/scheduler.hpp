@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Longest-first string-replacement scheduler (paper Sec. 4.2).
+ *
+ * Maps the sparsity string of a matrix onto a MAC structure set S by
+ * repeated pattern replacement: for each structure (longest first) an
+ * exact pass consumes exact matches, then a "domination" pass consumes
+ * row groups whose characters are element-wise <= the structure's
+ * characters (they fit with zero padding). Rows wider than C were
+ * pre-broken into '$' chunks and are scheduled as dedicated full-width
+ * accumulation slots.
+ *
+ * The result is the cycle-by-cycle slot assignment, from which
+ *   E_p = C * slots - nnz
+ * (total zero padding) follows directly.
+ */
+
+#ifndef RSQP_ENCODING_SCHEDULER_HPP
+#define RSQP_ENCODING_SCHEDULER_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "encoding/mac_structure.hpp"
+#include "encoding/sparsity_string.hpp"
+
+namespace rsqp
+{
+
+/** One datapath cycle of the SpMV engine. */
+struct SlotAssignment
+{
+    /** Structure used this cycle (index into StructureSet::patterns()). */
+    Index structureId = 0;
+    /** True for a '$' full-width partial-accumulation slot. */
+    bool isChunk = false;
+    /**
+     * String position assigned to each segment of the structure;
+     * -1 marks a segment left empty (full zero padding).
+     * For chunk slots this has exactly one entry.
+     */
+    IndexVector positions;
+};
+
+/** Complete schedule of one matrix on one structure set. */
+struct Schedule
+{
+    Index c = 0;
+    std::vector<SlotAssignment> slots;
+    Count nnz = 0;        ///< matrix non-zeros covered
+    Count ep = 0;         ///< total zero padding E_p
+    Count chunkSlots = 0; ///< how many slots were '$' chunks
+
+    Count slotCount() const { return static_cast<Count>(slots.size()); }
+};
+
+/**
+ * Schedule a sparsity string onto a structure set.
+ *
+ * Invariants (property-tested):
+ *  - every string position appears in exactly one slot segment;
+ *  - segment width always covers the assigned position's nnz;
+ *  - ep == c * slotCount() - nnz.
+ */
+Schedule scheduleString(const SparsityString& str,
+                        const StructureSet& set);
+
+/** E_p of a schedule recomputed from first principles (for checks). */
+Count recomputeEp(const Schedule& schedule, const SparsityString& str);
+
+} // namespace rsqp
+
+#endif // RSQP_ENCODING_SCHEDULER_HPP

@@ -1,0 +1,127 @@
+#include "sparsity_string.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+bool
+isPow2(Index c)
+{
+    return c > 0 && (c & (c - 1)) == 0;
+}
+
+Index
+log2Exact(Index c)
+{
+    RSQP_ASSERT(isPow2(c), "log2Exact of non-power-of-two ", c);
+    Index log = 0;
+    while ((Index(1) << log) < c)
+        ++log;
+    return log;
+}
+
+Index
+alphabetSize(Index c)
+{
+    return log2Exact(c) + 1;
+}
+
+char
+topChar(Index c)
+{
+    return static_cast<char>('a' + log2Exact(c));
+}
+
+Index
+charWidth(char ch)
+{
+    RSQP_ASSERT(ch >= 'a' && ch <= 'z', "invalid row character '", ch, "'");
+    return Index(1) << (ch - 'a');
+}
+
+char
+charForNnz(Index nnz, Index c)
+{
+    RSQP_ASSERT(nnz >= 0 && nnz <= c, "charForNnz: nnz ", nnz,
+                " outside [0, ", c, "]");
+    // Zero rows are carried as 'a' (one explicit padded zero).
+    Index log = 0;
+    while ((Index(1) << log) < nnz)
+        ++log;
+    return static_cast<char>('a' + log);
+}
+
+bool
+isValidPattern(const std::string& pattern, Index c)
+{
+    if (pattern.empty())
+        return false;
+    const char top = topChar(c);
+    Index width = 0;
+    for (char ch : pattern) {
+        if (ch < 'a' || ch > top)
+            return false;
+        width += charWidth(ch);
+    }
+    return width <= c;
+}
+
+Index
+patternWidth(const std::string& pattern)
+{
+    Index width = 0;
+    for (char ch : pattern)
+        width += charWidth(ch);
+    return width;
+}
+
+SparsityString
+encodeRowNnz(const IndexVector& row_nnz, Index c)
+{
+    RSQP_ASSERT(isPow2(c), "datapath width must be a power of two");
+    SparsityString result;
+    result.c = c;
+    result.encoded.reserve(row_nnz.size());
+    result.rowOfPos.reserve(row_nnz.size());
+    result.nnzOfPos.reserve(row_nnz.size());
+
+    for (Index row = 0; row < static_cast<Index>(row_nnz.size()); ++row) {
+        Index remaining = row_nnz[static_cast<std::size_t>(row)];
+        RSQP_ASSERT(remaining >= 0, "negative row nnz");
+        // Full-width chunks for wide rows ('$' means "row continues").
+        while (remaining > c) {
+            result.encoded.push_back(kChunkChar);
+            result.rowOfPos.push_back(row);
+            result.nnzOfPos.push_back(c);
+            remaining -= c;
+        }
+        result.encoded.push_back(charForNnz(remaining, c));
+        result.rowOfPos.push_back(row);
+        result.nnzOfPos.push_back(remaining);
+    }
+    return result;
+}
+
+SparsityString
+encodeMatrix(const CsrMatrix& matrix, Index c)
+{
+    IndexVector row_nnz(static_cast<std::size_t>(matrix.rows()));
+    for (Index r = 0; r < matrix.rows(); ++r)
+        row_nnz[static_cast<std::size_t>(r)] = matrix.rowNnz(r);
+    return encodeRowNnz(row_nnz, c);
+}
+
+std::vector<std::pair<char, Count>>
+characterHistogram(const std::string& encoded)
+{
+    std::map<char, Count> counts;
+    for (char ch : encoded)
+        ++counts[ch];
+    return {counts.begin(), counts.end()};
+}
+
+} // namespace rsqp

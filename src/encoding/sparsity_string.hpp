@@ -1,0 +1,85 @@
+/**
+ * @file
+ * String-based encoding of matrix sparsity structure (paper Sec. 4.1).
+ *
+ * Each matrix row is assigned a character by the log2 of its non-zero
+ * count: rows with <= 1, 2, 4, ..., C non-zeros map to 'a', 'b', 'c',
+ * ..., up to the "top" character for a full datapath width C. Rows with
+ * more than C non-zeros are broken into full-width '$' chunks that the
+ * MAC tree accumulates across cycles, followed by the character of the
+ * remainder chunk.
+ *
+ * Zero rows (possible for P when a variable has no quadratic cost) are
+ * encoded as 'a': the offline data layout feeds one explicit zero so
+ * that the row still produces an output — one element of padding.
+ */
+
+#ifndef RSQP_ENCODING_SPARSITY_STRING_HPP
+#define RSQP_ENCODING_SPARSITY_STRING_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/csr.hpp"
+
+namespace rsqp
+{
+
+/** Character used for full-width chunks of rows wider than C. */
+inline constexpr char kChunkChar = '$';
+
+/** True if c is a power of two (valid datapath width). */
+bool isPow2(Index c);
+
+/** log2 of a power of two. */
+Index log2Exact(Index c);
+
+/** Number of distinct row characters for width C: log2(C) + 1. */
+Index alphabetSize(Index c);
+
+/** The widest row character for width C (e.g. 'g' for C = 64). */
+char topChar(Index c);
+
+/** Width (max non-zero capacity) of a row character: 2^(ch - 'a'). */
+Index charWidth(char ch);
+
+/** Smallest character whose width covers nnz (1 <= nnz <= C). */
+char charForNnz(Index nnz, Index c);
+
+/** True if every character of pattern is valid for width C (no '$'). */
+bool isValidPattern(const std::string& pattern, Index c);
+
+/** Sum of character widths of a pattern. */
+Index patternWidth(const std::string& pattern);
+
+/**
+ * The sparsity string of a matrix plus the bookkeeping needed to map
+ * string positions back to matrix rows.
+ */
+struct SparsityString
+{
+    Index c = 0;           ///< datapath width used for the encoding
+    std::string encoded;   ///< one char per row chunk
+    IndexVector rowOfPos;  ///< matrix row of each string position
+    IndexVector nnzOfPos;  ///< non-zeros covered by each position
+
+    std::size_t length() const { return encoded.size(); }
+};
+
+/** Encode the rows of a CSR matrix (paper's nnz2str). */
+SparsityString encodeMatrix(const CsrMatrix& matrix, Index c);
+
+/** Encode from a row-nnz histogram only (used by tests/generators). */
+SparsityString encodeRowNnz(const IndexVector& row_nnz, Index c);
+
+/**
+ * Character frequency summary of an encoded string — used in reports
+ * and by the structure search heuristics.
+ */
+std::vector<std::pair<char, Count>>
+characterHistogram(const std::string& encoded);
+
+} // namespace rsqp
+
+#endif // RSQP_ENCODING_SPARSITY_STRING_HPP

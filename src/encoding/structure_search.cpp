@@ -1,0 +1,179 @@
+#include "structure_search.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hpp"
+#include "encoding/lzw.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+/**
+ * Stratified sample of a sparsity string: four evenly spaced windows,
+ * preserving the row bookkeeping so chunk detection still works.
+ */
+SparsityString
+sampleString(const SparsityString& str, std::size_t max_length)
+{
+    if (str.length() <= max_length)
+        return str;
+    SparsityString sample;
+    sample.c = str.c;
+    const std::size_t windows = 4;
+    const std::size_t window_len = max_length / windows;
+    const std::size_t stride = str.length() / windows;
+    for (std::size_t w = 0; w < windows; ++w) {
+        const std::size_t begin = w * stride;
+        const std::size_t end = std::min(begin + window_len, str.length());
+        for (std::size_t p = begin; p < end; ++p) {
+            sample.encoded.push_back(str.encoded[p]);
+            sample.rowOfPos.push_back(str.rowOfPos[p]);
+            sample.nnzOfPos.push_back(str.nnzOfPos[p]);
+        }
+    }
+    return sample;
+}
+
+/** Candidate patterns: LZW phrases + homogeneous full-width runs. */
+std::vector<std::string>
+collectCandidates(const std::vector<const SparsityString*>& strs, Index c,
+                  std::size_t max_candidates)
+{
+    std::set<std::string> seen;
+    std::vector<std::string> candidates;
+    auto consider = [&](const std::string& pattern) {
+        if (!isValidPattern(pattern, c))
+            return;
+        if (pattern.size() < 2 && charWidth(pattern[0]) == c)
+            return;  // that is the fallback, always present
+        if (seen.insert(pattern).second)
+            candidates.push_back(pattern);
+    };
+
+    // Homogeneous full-width runs for every character that appears:
+    // e.g. "dddd" for C = 32 — the Table 3 style "4d" structures.
+    std::set<char> chars;
+    for (const SparsityString* str : strs)
+        for (char ch : str->encoded)
+            if (ch != kChunkChar)
+                chars.insert(ch);
+    for (char ch : chars) {
+        const Index run = c / charWidth(ch);
+        if (run >= 1)
+            consider(std::string(static_cast<std::size_t>(run), ch));
+        if (run >= 4)
+            consider(std::string(static_cast<std::size_t>(run / 2), ch));
+    }
+
+    // LZW phrases, most-emitted first, scored by padding savings.
+    std::vector<LzwEntry> pool;
+    for (const SparsityString* str : strs) {
+        auto entries = lzwDictionary(str->encoded);
+        pool.insert(pool.end(), entries.begin(), entries.end());
+    }
+    std::stable_sort(pool.begin(), pool.end(),
+                     [](const LzwEntry& a, const LzwEntry& b) {
+                         const Count score_a = a.emitCount *
+                             static_cast<Count>(a.phrase.size() - 1);
+                         const Count score_b = b.emitCount *
+                             static_cast<Count>(b.phrase.size() - 1);
+                         return score_a > score_b;
+                     });
+    for (const LzwEntry& entry : pool) {
+        if (candidates.size() >= max_candidates)
+            break;
+        if (entry.phrase.size() >= 2 &&
+            entry.phrase.find(kChunkChar) == std::string::npos)
+            consider(entry.phrase);
+    }
+    return candidates;
+}
+
+} // namespace
+
+StructureSearchResult
+searchStructureSet(const std::vector<const SparsityString*>& strs,
+                   const StructureSearchSettings& settings)
+{
+    RSQP_ASSERT(!strs.empty(), "structure search needs at least one "
+                "sparsity string");
+    const Index c = strs.front()->c;
+    for (const SparsityString* str : strs)
+        RSQP_ASSERT(str->c == c, "mixed datapath widths in search");
+
+    // Selection runs on (possibly sampled) strings for speed.
+    std::vector<SparsityString> samples;
+    samples.reserve(strs.size());
+    for (const SparsityString* str : strs)
+        samples.push_back(sampleString(*str, settings.evalSampleLength));
+
+    auto total_slots = [&](const StructureSet& set) {
+        Count slots = 0;
+        for (const SparsityString& sample : samples)
+            slots += scheduleString(sample, set).slotCount();
+        return slots;
+    };
+    auto cost_of = [&](const StructureSet& set, Count slots) -> Real {
+        if (settings.objective)
+            return settings.objective(set, slots);
+        return static_cast<Real>(slots);
+    };
+
+    StructureSearchResult result{StructureSet::baseline(c), 0, 0, 0, 0};
+    std::vector<std::string> chosen;  // besides the implicit fallback
+    Real current = cost_of(result.set, total_slots(result.set));
+
+    const auto candidates =
+        collectCandidates(strs, c, settings.maxCandidates);
+
+    while (static_cast<Index>(chosen.size()) + 1 < settings.targetSize) {
+        Real best_cost = current;
+        const std::string* best = nullptr;
+        for (const std::string& cand : candidates) {
+            if (std::find(chosen.begin(), chosen.end(), cand) !=
+                chosen.end())
+                continue;
+            auto trial = chosen;
+            trial.push_back(cand);
+            const StructureSet trial_set(c, trial);
+            const Real cost =
+                cost_of(trial_set, total_slots(trial_set));
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = &cand;
+            }
+        }
+        if (best == nullptr)
+            break;
+        chosen.push_back(*best);
+        current = best_cost;
+    }
+
+    result.set = StructureSet(c, chosen);
+
+    // Final numbers on the full strings.
+    const StructureSet baseline = StructureSet::baseline(c);
+    for (const SparsityString* str : strs) {
+        const Schedule base = scheduleString(*str, baseline);
+        const Schedule opt = scheduleString(*str, result.set);
+        result.baselineSlots += base.slotCount();
+        result.baselineEp += base.ep;
+        result.chosenSlots += opt.slotCount();
+        result.chosenEp += opt.ep;
+    }
+    return result;
+}
+
+StructureSearchResult
+searchStructureSet(const SparsityString& str,
+                   const StructureSearchSettings& settings)
+{
+    return searchStructureSet(std::vector<const SparsityString*>{&str},
+                              settings);
+}
+
+} // namespace rsqp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Problem-specific structure-set search: the E_p optimization
+ * (problem (4) of the paper), solved heuristically with LZW candidate
+ * harvesting plus greedy forward selection under a schedule-length
+ * objective.
+ */
+
+#ifndef RSQP_ENCODING_STRUCTURE_SEARCH_HPP
+#define RSQP_ENCODING_STRUCTURE_SEARCH_HPP
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "encoding/mac_structure.hpp"
+#include "encoding/scheduler.hpp"
+#include "encoding/sparsity_string.hpp"
+
+namespace rsqp
+{
+
+/**
+ * Search objective: maps a candidate set and its total scheduled slot
+ * count to a cost (lower is better). The default minimizes the slot
+ * count (pure E_p optimization); the customization pipeline installs a
+ * time-aware objective slots / fmax(S), because a structure set with
+ * many tree outputs depresses the achievable clock (the Table 3
+ * trade-off) and can lose end-to-end despite fewer cycles.
+ */
+using SearchObjective =
+    std::function<Real(const StructureSet& set, Count slots)>;
+
+/** Tuning knobs of the structure search. */
+struct StructureSearchSettings
+{
+    /** |S|_target: structure budget including the full-width fallback. */
+    Index targetSize = 4;
+    /** Candidate pool size taken from the LZW dictionary. */
+    std::size_t maxCandidates = 24;
+    /**
+     * Strings longer than this are evaluated on stratified sample
+     * windows during selection (the final schedule always uses the
+     * full string).
+     */
+    std::size_t evalSampleLength = 262144;
+    /** Candidate cost; null = minimize slots. */
+    SearchObjective objective;
+};
+
+/** Outcome of a structure search on one sparsity string. */
+struct StructureSearchResult
+{
+    StructureSet set;         ///< chosen structures
+    Count baselineSlots = 0;  ///< schedule length with S = {top}
+    Count chosenSlots = 0;    ///< schedule length with the chosen set
+    Count baselineEp = 0;
+    Count chosenEp = 0;
+};
+
+/**
+ * Search a structure set for one sparsity string.
+ *
+ * The greedy loop starts from the baseline set and adds the candidate
+ * that shrinks the scheduled length the most, until the budget is
+ * exhausted or no candidate helps.
+ */
+StructureSearchResult
+searchStructureSet(const SparsityString& str,
+                   const StructureSearchSettings& settings = {});
+
+/**
+ * Search one structure set that serves several matrices at once (RSQP
+ * schedules P, A and A' on the same SpMV engine). Schedule lengths are
+ * summed across the strings.
+ */
+StructureSearchResult
+searchStructureSet(const std::vector<const SparsityString*>& strs,
+                   const StructureSearchSettings& settings = {});
+
+} // namespace rsqp
+
+#endif // RSQP_ENCODING_STRUCTURE_SEARCH_HPP

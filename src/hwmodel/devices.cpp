@@ -1,0 +1,36 @@
+#include "devices.hpp"
+
+namespace rsqp
+{
+
+DeviceSpec
+u50Fpga()
+{
+    return {"FPGA", "AMD-Xilinx U50", 0.3, 16, 75.0};
+}
+
+DeviceSpec
+i7Cpu()
+{
+    return {"CPU", "Intel i7-10700KF", 0.5, 14, 125.0};
+}
+
+DeviceSpec
+rtx3070Gpu()
+{
+    return {"GPU", "NVIDIA RTX3070", 20.0, 8, 220.0};
+}
+
+std::vector<DeviceSpec>
+platformTable()
+{
+    return {u50Fpga(), i7Cpu(), rtx3070Gpu()};
+}
+
+FpgaBudget
+u50Budget()
+{
+    return FpgaBudget{};
+}
+
+} // namespace rsqp

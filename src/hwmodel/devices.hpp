@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Device catalog — the evaluation platforms of Table 2.
+ */
+
+#ifndef RSQP_HWMODEL_DEVICES_HPP
+#define RSQP_HWMODEL_DEVICES_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rsqp
+{
+
+/** One evaluation platform (a Table 2 row). */
+struct DeviceSpec
+{
+    std::string device;        ///< "FPGA" / "CPU" / "GPU"
+    std::string model;         ///< commercial model name
+    Real peakTeraflops = 0.0;  ///< peak FP32 throughput
+    Index lithographyNm = 0;   ///< process node
+    Real tdpWatts = 0.0;       ///< thermal design power
+};
+
+/** AMD-Xilinx Alveo U50 (the RSQP platform). */
+DeviceSpec u50Fpga();
+
+/** Intel i7-10700KF (the OSQP+MKL baseline host). */
+DeviceSpec i7Cpu();
+
+/** NVIDIA RTX 3070 (the cuOSQP platform). */
+DeviceSpec rtx3070Gpu();
+
+/** All Table 2 rows in paper order. */
+std::vector<DeviceSpec> platformTable();
+
+/** U50 physical resource budget (for over-subscription checks). */
+struct FpgaBudget
+{
+    Index dsp = 5952;
+    Real onChipMemoryMb = 28.4;
+    Real hbmGb = 8.0;
+};
+
+FpgaBudget u50Budget();
+
+} // namespace rsqp
+
+#endif // RSQP_HWMODEL_DEVICES_HPP

@@ -1,0 +1,43 @@
+#include "power.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+Real
+fpgaPowerWatts(const ArchConfig& config)
+{
+    // ~15 W static (HBM + shell) plus a datapath term; C = 64 lands on
+    // the paper's measured ~19 W.
+    return 15.0 + static_cast<Real>(config.c) / 16.0;
+}
+
+Real
+gpuPowerWatts(Real utilization)
+{
+    RSQP_ASSERT(utilization >= 0.0 && utilization <= 1.0,
+                "utilization must be in [0, 1]");
+    const Real raw = 38.0 + 180.0 * utilization;
+    return std::clamp(raw, 44.0, 126.0);
+}
+
+Real
+cpuPowerWatts()
+{
+    // Single-socket active package power of the i7-10700KF under a
+    // mostly single-threaded sparse workload.
+    return 65.0;
+}
+
+Real
+powerEfficiency(Real solve_time_seconds, Real watts)
+{
+    RSQP_ASSERT(solve_time_seconds > 0.0 && watts > 0.0,
+                "efficiency needs positive time and power");
+    return 1.0 / (solve_time_seconds * watts);
+}
+
+} // namespace rsqp

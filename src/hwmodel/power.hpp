@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Power models for the Fig. 13 energy-efficiency comparison.
+ *
+ * The paper measured a steady ~19 W on the U50 (xbutil) across the
+ * whole benchmark and 44-126 W on the RTX 3070 (nvidia-smi), with GPU
+ * draw rising on the bandwidth-saturating large problems. We model the
+ * FPGA as a flat draw with a small width-dependent term and the GPU as
+ * idle power plus a utilization-proportional dynamic term.
+ */
+
+#ifndef RSQP_HWMODEL_POWER_HPP
+#define RSQP_HWMODEL_POWER_HPP
+
+#include "arch/config.hpp"
+#include "common/types.hpp"
+
+namespace rsqp
+{
+
+/** Steady FPGA board power (W) while solving. */
+Real fpgaPowerWatts(const ArchConfig& config);
+
+/**
+ * GPU board power (W) at a given memory-bandwidth utilization in
+ * [0, 1]; clamped into the 44-126 W envelope the paper measured.
+ */
+Real gpuPowerWatts(Real utilization);
+
+/** Active single-socket CPU package power (W) for the MKL baseline. */
+Real cpuPowerWatts();
+
+/**
+ * Power efficiency as plotted in Fig. 13: problem instances solved per
+ * second per watt.
+ */
+Real powerEfficiency(Real solve_time_seconds, Real watts);
+
+} // namespace rsqp
+
+#endif // RSQP_HWMODEL_POWER_HPP

@@ -1,0 +1,49 @@
+#include "resources.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "hwmodel/devices.hpp"
+
+namespace rsqp
+{
+
+ResourceEstimate
+estimateResources(const ArchConfig& config)
+{
+    const Real c = static_cast<Real>(config.c);
+    const Real outputs =
+        static_cast<Real>(config.structures.totalOutputs());
+
+    ResourceEstimate estimate;
+    // Each FP32 multiply-add lane costs 5 DSPs in the Table 3 designs.
+    estimate.dsp = static_cast<Index>(5 * config.c);
+    // Datapath registers scale with C; each MAC output adds a result
+    // path (accumulator, tag, alignment slot).
+    estimate.ff = static_cast<Index>(700.0 * c + 300.0 * outputs + 1000.0);
+    estimate.lut = static_cast<Index>(470.0 * c + 240.0 * outputs + 800.0);
+    // The customized CVB adds index-translation tables.
+    if (config.compressedCvb) {
+        estimate.ff += static_cast<Index>(40.0 * c);
+        estimate.lut += static_cast<Index>(55.0 * c);
+    }
+    return estimate;
+}
+
+Real
+estimateFmaxMhz(const ArchConfig& config)
+{
+    const Real pressure = static_cast<Real>(config.c) *
+        static_cast<Real>(config.structures.totalOutputs());
+    // 300 MHz HLS target, eroded by the alignment/routing network.
+    const Real fmax = 300.0 / (1.0 + std::pow(pressure / 2500.0, 1.2));
+    return fmax;
+}
+
+bool
+fitsU50(const ResourceEstimate& estimate)
+{
+    return estimate.dsp <= u50Budget().dsp;
+}
+
+} // namespace rsqp

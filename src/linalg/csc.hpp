@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Compressed Sparse Column matrix — the canonical sparse container of
+ * the solver side of RSQP (mirrors OSQP's internal `csc` type).
+ */
+
+#ifndef RSQP_LINALG_CSC_HPP
+#define RSQP_LINALG_CSC_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/triplet.hpp"
+
+namespace rsqp
+{
+
+/**
+ * Immutable-structure CSC sparse matrix.
+ *
+ * The sparsity structure (column pointers / row indices) is fixed after
+ * construction; numeric values may be updated in place, which is exactly
+ * the "same structure, different parameters" reuse model that amortizes
+ * RSQP's hardware generation cost.
+ */
+class CscMatrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    CscMatrix() = default;
+
+    /** All-zero matrix of the given shape. */
+    CscMatrix(Index rows, Index cols);
+
+    /** Compress a triplet list; duplicate entries are summed. */
+    static CscMatrix fromTriplets(const TripletList& triplets);
+
+    /** Build directly from raw CSC arrays (validated). */
+    static CscMatrix fromRaw(Index rows, Index cols,
+                             std::vector<Index> col_ptr,
+                             std::vector<Index> row_idx,
+                             std::vector<Real> values);
+
+    /** n x n identity scaled by value. */
+    static CscMatrix identity(Index n, Real value = 1.0);
+
+    /** n x n diagonal matrix from a dense vector. */
+    static CscMatrix diagonal(const Vector& diag);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Count nnz() const { return static_cast<Count>(values_.size()); }
+
+    const std::vector<Index>& colPtr() const { return colPtr_; }
+    const std::vector<Index>& rowIdx() const { return rowIdx_; }
+    const std::vector<Real>& values() const { return values_; }
+
+    /** Mutable access to numeric values (structure stays fixed). */
+    std::vector<Real>& values() { return values_; }
+
+    /** Value at (row, col); zero if not stored. O(log nnz_col). */
+    Real coeff(Index row, Index col) const;
+
+    /** y = A x (y is overwritten). */
+    void spmv(const Vector& x, Vector& y) const;
+
+    /** y += alpha * A x. */
+    void spmvAccumulate(const Vector& x, Vector& y, Real alpha = 1.0) const;
+
+    /** y = A' x (y is overwritten). */
+    void spmvTranspose(const Vector& x, Vector& y) const;
+
+    /** y += alpha * A' x. */
+    void spmvTransposeAccumulate(const Vector& x, Vector& y,
+                                 Real alpha = 1.0) const;
+
+    /**
+     * y = A x for a symmetric matrix stored as its upper triangle
+     * (diagonal included). Mirrors OSQP's P storage convention.
+     */
+    void spmvSymUpper(const Vector& x, Vector& y) const;
+
+    /** Explicit transpose with sorted row indices. */
+    CscMatrix transpose() const;
+
+    /** Keep only entries with row <= col (upper triangle). */
+    CscMatrix upperTriangular() const;
+
+    /**
+     * Expand an upper-triangle symmetric storage into the full
+     * (structurally symmetric) matrix.
+     */
+    CscMatrix symUpperToFull() const;
+
+    /**
+     * Symmetric permutation B = A(p, p) of an upper-triangle-stored
+     * symmetric matrix; result is again upper-triangle-stored.
+     * perm[i] gives the original index placed at position i.
+     */
+    CscMatrix symUpperPermute(const IndexVector& perm) const;
+
+    /** B = diag(r) * A * diag(c); r has rows() and c cols() entries. */
+    CscMatrix scaled(const Vector& row_scale, const Vector& col_scale) const;
+
+    /** In-place A <- diag(r) * A * diag(c). */
+    void scaleInPlace(const Vector& row_scale, const Vector& col_scale);
+
+    /** Dense main diagonal (length min(rows, cols)). */
+    Vector diagonalVector() const;
+
+    /** Per-column infinity norms. */
+    Vector columnInfNorms() const;
+
+    /** Per-row infinity norms. */
+    Vector rowInfNorms() const;
+
+    /**
+     * Per-column infinity norms of the full symmetric matrix given
+     * upper-triangle storage.
+     */
+    Vector symUpperColumnInfNorms() const;
+
+    /** Number of stored entries in one column. */
+    Index colNnz(Index col) const;
+
+    /** Structural validity check (sorted indices, in-range, monotone). */
+    bool isValid() const;
+
+    /** True if structure and values are identical. */
+    bool operator==(const CscMatrix& other) const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Index> colPtr_;  ///< size cols_+1
+    std::vector<Index> rowIdx_;  ///< size nnz, sorted within a column
+    std::vector<Real> values_;   ///< size nnz
+};
+
+} // namespace rsqp
+
+#endif // RSQP_LINALG_CSC_HPP

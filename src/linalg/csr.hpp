@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Compressed Sparse Row matrix — the accelerator-side container.
+ *
+ * RSQP's sparsity-string encoding, MAC-tree scheduling and HBM layout
+ * all operate on rows, so the architecture modules consume CSR.
+ */
+
+#ifndef RSQP_LINALG_CSR_HPP
+#define RSQP_LINALG_CSR_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/csc.hpp"
+
+namespace rsqp
+{
+
+/** CSR sparse matrix with row-major non-zero storage. */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /** All-zero matrix of the given shape. */
+    CsrMatrix(Index rows, Index cols);
+
+    /** Convert from CSC (sorted column indices guaranteed). */
+    static CsrMatrix fromCsc(const CscMatrix& csc);
+
+    /** Build directly from raw CSR arrays (validated). */
+    static CsrMatrix fromRaw(Index rows, Index cols,
+                             std::vector<Index> row_ptr,
+                             std::vector<Index> col_idx,
+                             std::vector<Real> values);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Count nnz() const { return static_cast<Count>(values_.size()); }
+
+    const std::vector<Index>& rowPtr() const { return rowPtr_; }
+    const std::vector<Index>& colIdx() const { return colIdx_; }
+    const std::vector<Real>& values() const { return values_; }
+    std::vector<Real>& values() { return values_; }
+
+    /** Number of stored entries in one row. */
+    Index rowNnz(Index row) const;
+
+    /** y = A x (row-parallel formulation). */
+    void spmv(const Vector& x, Vector& y) const;
+
+    /** Round-trip back to CSC. */
+    CscMatrix toCsc() const;
+
+    /**
+     * Permute rows: B.row(i) = A.row(perm[i]). Used by the (Sec. 4.4)
+     * structure-adaptation ablation.
+     */
+    CsrMatrix permuteRows(const IndexVector& perm) const;
+
+    /** Structural validity check. */
+    bool isValid() const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Index> rowPtr_;  ///< size rows_+1
+    std::vector<Index> colIdx_;  ///< size nnz, sorted within a row
+    std::vector<Real> values_;   ///< size nnz
+};
+
+} // namespace rsqp
+
+#endif // RSQP_LINALG_CSR_HPP

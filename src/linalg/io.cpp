@@ -1,0 +1,91 @@
+#include "io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+void
+writeMatrixMarket(std::ostream& os, const CscMatrix& matrix,
+                  bool symmetric_upper)
+{
+    os << "%%MatrixMarket matrix coordinate real "
+       << (symmetric_upper ? "symmetric" : "general") << "\n";
+    os << matrix.rows() << " " << matrix.cols() << " " << matrix.nnz()
+       << "\n";
+    os.precision(17);
+    for (Index c = 0; c < matrix.cols(); ++c) {
+        for (Index p = matrix.colPtr()[c]; p < matrix.colPtr()[c + 1];
+             ++p) {
+            Index r = matrix.rowIdx()[p];
+            Index cc = c;
+            // MatrixMarket symmetric stores the LOWER triangle.
+            if (symmetric_upper)
+                std::swap(r, cc);
+            os << (r + 1) << " " << (cc + 1) << " " << matrix.values()[p]
+               << "\n";
+        }
+    }
+}
+
+CscMatrix
+readMatrixMarket(std::istream& is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        RSQP_FATAL("MatrixMarket: empty input");
+    bool symmetric = false;
+    {
+        std::istringstream header(line);
+        std::string banner, object, format, field, symmetry;
+        header >> banner >> object >> format >> field >> symmetry;
+        if (banner != "%%MatrixMarket" || object != "matrix" ||
+            format != "coordinate")
+            RSQP_FATAL("MatrixMarket: unsupported header '", line, "'");
+        if (field != "real" && field != "integer")
+            RSQP_FATAL("MatrixMarket: unsupported field '", field, "'");
+        if (symmetry == "symmetric")
+            symmetric = true;
+        else if (symmetry != "general")
+            RSQP_FATAL("MatrixMarket: unsupported symmetry '", symmetry,
+                       "'");
+    }
+    // Skip comments.
+    while (std::getline(is, line))
+        if (!line.empty() && line[0] != '%')
+            break;
+    Index rows = 0, cols = 0;
+    Count nnz = 0;
+    {
+        std::istringstream sizes(line);
+        if (!(sizes >> rows >> cols >> nnz))
+            RSQP_FATAL("MatrixMarket: bad size line '", line, "'");
+    }
+
+    TripletList triplets(rows, cols);
+    triplets.reserve(static_cast<std::size_t>(nnz));
+    for (Count k = 0; k < nnz; ++k) {
+        Index r = 0, c = 0;
+        Real v = 0.0;
+        if (!(is >> r >> c >> v))
+            RSQP_FATAL("MatrixMarket: truncated data at entry ", k);
+        --r;
+        --c;
+        if (symmetric) {
+            // Symmetric files store the lower triangle; return upper.
+            if (r < c)
+                RSQP_FATAL("MatrixMarket: symmetric file with entry "
+                           "above the diagonal");
+            triplets.add(c, r, v);
+        } else {
+            triplets.add(r, c, v);
+        }
+    }
+    return CscMatrix::fromTriplets(triplets);
+}
+
+} // namespace rsqp

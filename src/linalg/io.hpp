@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Matrix and problem serialization.
+ *
+ * Sparse matrices read/write the MatrixMarket coordinate format
+ * (interoperable with SciPy, Julia, MATLAB, SuiteSparse); whole QP
+ * problems use a small self-describing text container embedding the
+ * matrices, so benchmark instances can be exported, shared and
+ * re-imported bit-for-bit into other OSQP implementations.
+ */
+
+#ifndef RSQP_LINALG_IO_HPP
+#define RSQP_LINALG_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hpp"
+#include "linalg/csc.hpp"
+
+namespace rsqp
+{
+
+/** Write a CSC matrix in MatrixMarket coordinate format. */
+void writeMatrixMarket(std::ostream& os, const CscMatrix& matrix,
+                       bool symmetric_upper = false);
+
+/**
+ * Read a MatrixMarket coordinate matrix (general or symmetric;
+ * symmetric input is returned as upper-triangle storage).
+ */
+CscMatrix readMatrixMarket(std::istream& is);
+
+} // namespace rsqp
+
+#endif // RSQP_LINALG_IO_HPP

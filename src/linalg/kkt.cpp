@@ -1,0 +1,185 @@
+#include "kkt.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace rsqp
+{
+
+KktAssembler::KktAssembler(const CscMatrix& p_upper, const CscMatrix& a,
+                           Real sigma, const Vector& rho_vec)
+    : n_(p_upper.cols()), m_(a.rows()), sigma_(sigma)
+{
+    RSQP_ASSERT(p_upper.rows() == p_upper.cols(), "P must be square");
+    RSQP_ASSERT(a.cols() == n_, "A column count must match P");
+    RSQP_ASSERT(static_cast<Index>(rho_vec.size()) == m_,
+                "rho vector length must be m");
+
+    pSlots_.resize(static_cast<std::size_t>(p_upper.nnz()));
+    aSlots_.resize(static_cast<std::size_t>(a.nnz()));
+    sigmaSlots_.resize(static_cast<std::size_t>(n_));
+    pHasDiag_.assign(static_cast<std::size_t>(n_), false);
+    rhoSlots_.resize(static_cast<std::size_t>(m_));
+
+    const Index dim = n_ + m_;
+    std::vector<Index> col_ptr(static_cast<std::size_t>(dim) + 1, 0);
+    std::vector<Index> row_idx;
+    std::vector<Real> values;
+    row_idx.reserve(static_cast<std::size_t>(p_upper.nnz() + a.nnz() +
+                                             dim));
+    values.reserve(row_idx.capacity());
+
+    // (1,1) block columns: P upper column + sigma on the diagonal.
+    for (Index j = 0; j < n_; ++j) {
+        bool has_diag = false;
+        for (Index p = p_upper.colPtr()[j]; p < p_upper.colPtr()[j + 1];
+             ++p) {
+            const Index r = p_upper.rowIdx()[p];
+            RSQP_ASSERT(r <= j, "P must be upper-triangular storage");
+            Real v = p_upper.values()[p];
+            if (r == j) {
+                has_diag = true;
+                v += sigma;
+                sigmaSlots_[static_cast<std::size_t>(j)] =
+                    static_cast<Index>(values.size());
+            }
+            pSlots_[static_cast<std::size_t>(p)] =
+                static_cast<Index>(values.size());
+            row_idx.push_back(r);
+            values.push_back(v);
+        }
+        if (!has_diag) {
+            // P column lacks an explicit diagonal; sigma creates one.
+            sigmaSlots_[static_cast<std::size_t>(j)] =
+                static_cast<Index>(values.size());
+            row_idx.push_back(j);
+            values.push_back(sigma);
+        }
+        pHasDiag_[static_cast<std::size_t>(j)] = has_diag;
+        col_ptr[static_cast<std::size_t>(j) + 1] =
+            static_cast<Index>(values.size());
+    }
+
+    // Row-major view of A with back-pointers into its CSC value order.
+    std::vector<std::vector<std::pair<Index, Index>>> a_rows(
+        static_cast<std::size_t>(m_));
+    for (Index c = 0; c < a.cols(); ++c)
+        for (Index p = a.colPtr()[c]; p < a.colPtr()[c + 1]; ++p)
+            a_rows[static_cast<std::size_t>(a.rowIdx()[p])].emplace_back(
+                c, p);
+
+    // (1,2)/(2,2) block columns: A row i above a -1/rho_i diagonal.
+    for (Index i = 0; i < m_; ++i) {
+        RSQP_ASSERT(rho_vec[static_cast<std::size_t>(i)] > 0.0,
+                    "rho must be positive");
+        for (const auto& [c, csc_pos] : a_rows[static_cast<std::size_t>(i)]) {
+            aSlots_[static_cast<std::size_t>(csc_pos)] =
+                static_cast<Index>(values.size());
+            row_idx.push_back(c);
+            values.push_back(a.values()[csc_pos]);
+        }
+        rhoSlots_[static_cast<std::size_t>(i)] =
+            static_cast<Index>(values.size());
+        row_idx.push_back(n_ + i);
+        values.push_back(-1.0 / rho_vec[static_cast<std::size_t>(i)]);
+        col_ptr[static_cast<std::size_t>(n_ + i) + 1] =
+            static_cast<Index>(values.size());
+    }
+
+    kkt_ = CscMatrix::fromRaw(dim, dim, std::move(col_ptr),
+                              std::move(row_idx), std::move(values));
+}
+
+void
+KktAssembler::updateRho(const Vector& rho_vec)
+{
+    RSQP_ASSERT(static_cast<Index>(rho_vec.size()) == m_,
+                "rho vector length must be m");
+    auto& values = kkt_.values();
+    for (Index i = 0; i < m_; ++i) {
+        RSQP_ASSERT(rho_vec[static_cast<std::size_t>(i)] > 0.0,
+                    "rho must be positive");
+        values[static_cast<std::size_t>(
+            rhoSlots_[static_cast<std::size_t>(i)])] =
+            -1.0 / rho_vec[static_cast<std::size_t>(i)];
+    }
+}
+
+void
+KktAssembler::updateMatrices(const std::vector<Real>& p_values,
+                             const std::vector<Real>& a_values)
+{
+    RSQP_ASSERT(p_values.size() == pSlots_.size(), "P value count");
+    RSQP_ASSERT(a_values.size() == aSlots_.size(), "A value count");
+    auto& values = kkt_.values();
+    for (std::size_t p = 0; p < p_values.size(); ++p)
+        values[static_cast<std::size_t>(pSlots_[p])] = p_values[p];
+    // Re-apply sigma to every diagonal slot that P contributes to (the
+    // slots were just overwritten above when P has an explicit diagonal).
+    for (Index j = 0; j < n_; ++j) {
+        const auto slot =
+            static_cast<std::size_t>(sigmaSlots_[static_cast<std::size_t>(j)]);
+        if (pHasDiag_[static_cast<std::size_t>(j)])
+            values[slot] += sigma_;
+        else
+            values[slot] = sigma_;
+    }
+    for (std::size_t p = 0; p < a_values.size(); ++p)
+        values[static_cast<std::size_t>(aSlots_[p])] = a_values[p];
+}
+
+ReducedKktOperator::ReducedKktOperator(const CscMatrix& p_upper,
+                                       const CscMatrix& a, Real sigma,
+                                       Vector rho_vec)
+    : pUpper_(&p_upper), a_(&a), sigma_(sigma), rhoVec_(std::move(rho_vec))
+{
+    RSQP_ASSERT(p_upper.rows() == p_upper.cols(), "P must be square");
+    RSQP_ASSERT(a.cols() == p_upper.cols(), "A/P dimension mismatch");
+    RSQP_ASSERT(static_cast<Index>(rhoVec_.size()) == a.rows(),
+                "rho vector length must be m");
+}
+
+void
+ReducedKktOperator::apply(const Vector& x, Vector& y) const
+{
+    // y = P x  (symmetric upper storage)
+    pUpper_->spmvSymUpper(x, y);
+    // y += sigma x
+    axpy(sigma_, x, y);
+    // y += A' diag(rho) A x, computed incrementally.
+    a_->spmv(x, scratchM_);
+    for (std::size_t i = 0; i < scratchM_.size(); ++i)
+        scratchM_[i] *= rhoVec_[i];
+    a_->spmvTransposeAccumulate(scratchM_, y, 1.0);
+}
+
+Vector
+ReducedKktOperator::diagonal() const
+{
+    const Index n = pUpper_->cols();
+    Vector diag = pUpper_->diagonalVector();
+    for (Index j = 0; j < n; ++j)
+        diag[static_cast<std::size_t>(j)] += sigma_;
+    // diag(A' diag(rho) A)_j = sum_i rho_i * A_ij^2, column-wise in CSC.
+    for (Index c = 0; c < a_->cols(); ++c) {
+        Real acc = 0.0;
+        for (Index p = a_->colPtr()[c]; p < a_->colPtr()[c + 1]; ++p) {
+            const Real v = a_->values()[p];
+            acc += rhoVec_[static_cast<std::size_t>(a_->rowIdx()[p])] * v *
+                v;
+        }
+        diag[static_cast<std::size_t>(c)] += acc;
+    }
+    return diag;
+}
+
+void
+ReducedKktOperator::setRho(Vector rho_vec)
+{
+    RSQP_ASSERT(rho_vec.size() == rhoVec_.size(), "rho length change");
+    rhoVec_ = std::move(rho_vec);
+}
+
+} // namespace rsqp

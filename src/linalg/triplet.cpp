@@ -1,0 +1,32 @@
+#include "triplet.hpp"
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+TripletList::TripletList(Index rows, Index cols)
+    : rows_(rows), cols_(cols)
+{
+    RSQP_ASSERT(rows >= 0 && cols >= 0, "negative matrix dimension");
+}
+
+void
+TripletList::add(Index row, Index col, Real value)
+{
+    RSQP_ASSERT(row >= 0 && row < rows_, "triplet row ", row,
+                " out of range [0, ", rows_, ")");
+    RSQP_ASSERT(col >= 0 && col < cols_, "triplet col ", col,
+                " out of range [0, ", cols_, ")");
+    entries_.push_back(Triplet{row, col, value});
+}
+
+void
+TripletList::addSymmetric(Index row, Index col, Real value)
+{
+    add(row, col, value);
+    if (row != col)
+        add(col, row, value);
+}
+
+} // namespace rsqp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Coordinate-format (COO) builder for sparse matrices.
+ *
+ * All problem generators assemble matrices as triplet lists and then
+ * compress them to CSC/CSR. Duplicate entries are summed during
+ * compression, matching the usual FE/optimization assembly convention.
+ */
+
+#ifndef RSQP_LINALG_TRIPLET_HPP
+#define RSQP_LINALG_TRIPLET_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rsqp
+{
+
+/** One (row, col, value) entry of a matrix under assembly. */
+struct Triplet
+{
+    Index row;
+    Index col;
+    Real value;
+};
+
+/**
+ * Mutable COO assembly buffer.
+ *
+ * Entries may be added in any order; duplicates are summed when the
+ * buffer is compressed by CscMatrix::fromTriplets().
+ */
+class TripletList
+{
+  public:
+    /** Create an empty buffer for a rows x cols matrix. */
+    TripletList(Index rows, Index cols);
+
+    /** Add a single entry; indices are bounds-checked. */
+    void add(Index row, Index col, Real value);
+
+    /**
+     * Add value at (row, col) and, if off-diagonal, also at (col, row).
+     * Convenience for assembling symmetric matrices.
+     */
+    void addSymmetric(Index row, Index col, Real value);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+
+    /** Number of raw (possibly duplicated) entries added. */
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    const std::vector<Triplet>& entries() const { return entries_; }
+
+    /** Reserve storage for n entries. */
+    void reserve(std::size_t n) { entries_.reserve(n); }
+
+  private:
+    Index rows_;
+    Index cols_;
+    std::vector<Triplet> entries_;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_LINALG_TRIPLET_HPP

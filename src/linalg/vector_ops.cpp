@@ -1,0 +1,154 @@
+#include "vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+inline void
+checkSameSize(const Vector& x, const Vector& y, const char* what)
+{
+    RSQP_ASSERT(x.size() == y.size(), what, ": size mismatch ", x.size(),
+                " vs ", y.size());
+}
+
+} // namespace
+
+void
+axpby(Real alpha, const Vector& x, Real beta, const Vector& y, Vector& out)
+{
+    checkSameSize(x, y, "axpby");
+    out.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = alpha * x[i] + beta * y[i];
+}
+
+void
+axpy(Real alpha, const Vector& x, Vector& y)
+{
+    checkSameSize(x, y, "axpy");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+void
+scale(Vector& x, Real alpha)
+{
+    for (Real& v : x)
+        v *= alpha;
+}
+
+Real
+dot(const Vector& x, const Vector& y)
+{
+    checkSameSize(x, y, "dot");
+    Real acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        acc += x[i] * y[i];
+    return acc;
+}
+
+Real
+norm2(const Vector& x)
+{
+    return std::sqrt(dot(x, x));
+}
+
+Real
+normInf(const Vector& x)
+{
+    Real best = 0.0;
+    for (Real v : x)
+        best = std::max(best, std::abs(v));
+    return best;
+}
+
+Real
+normInfDiff(const Vector& x, const Vector& y)
+{
+    checkSameSize(x, y, "normInfDiff");
+    Real best = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        best = std::max(best, std::abs(x[i] - y[i]));
+    return best;
+}
+
+void
+ewProduct(const Vector& x, const Vector& y, Vector& out)
+{
+    checkSameSize(x, y, "ewProduct");
+    out.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = x[i] * y[i];
+}
+
+void
+ewReciprocal(const Vector& x, Vector& out)
+{
+    out.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        RSQP_ASSERT(x[i] != 0.0, "ewReciprocal: zero element at ", i);
+        out[i] = 1.0 / x[i];
+    }
+}
+
+void
+ewMin(const Vector& x, const Vector& y, Vector& out)
+{
+    checkSameSize(x, y, "ewMin");
+    out.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = std::min(x[i], y[i]);
+}
+
+void
+ewMax(const Vector& x, const Vector& y, Vector& out)
+{
+    checkSameSize(x, y, "ewMax");
+    out.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = std::max(x[i], y[i]);
+}
+
+void
+ewClamp(const Vector& x, const Vector& lo, const Vector& hi, Vector& out)
+{
+    checkSameSize(x, lo, "ewClamp");
+    checkSameSize(x, hi, "ewClamp");
+    out.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = clampReal(x[i], lo[i], hi[i]);
+}
+
+void
+ewSqrt(const Vector& x, Vector& out)
+{
+    out.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        RSQP_ASSERT(x[i] >= 0.0, "ewSqrt: negative element at ", i);
+        out[i] = std::sqrt(x[i]);
+    }
+}
+
+bool
+allFinite(const Vector& x)
+{
+    for (Real v : x)
+        if (!std::isfinite(v))
+            return false;
+    return true;
+}
+
+Vector
+constantVector(Index n, Real value)
+{
+    return Vector(static_cast<std::size_t>(n), value);
+}
+
+} // namespace rsqp

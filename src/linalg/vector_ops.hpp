@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dense vector kernels shared by the reference solver and the simulated
+ * vector engine. These are exactly the "Vector Operations" of the RSQP
+ * instruction set (Table 1): linear combination, element-wise
+ * compare/reciprocal/multiplication and dot product.
+ */
+
+#ifndef RSQP_LINALG_VECTOR_OPS_HPP
+#define RSQP_LINALG_VECTOR_OPS_HPP
+
+#include "common/types.hpp"
+
+namespace rsqp
+{
+
+/** out = alpha * x + beta * y (out may alias x or y). */
+void axpby(Real alpha, const Vector& x, Real beta, const Vector& y,
+           Vector& out);
+
+/** y += alpha * x. */
+void axpy(Real alpha, const Vector& x, Vector& y);
+
+/** x *= alpha. */
+void scale(Vector& x, Real alpha);
+
+/** Dot product x' y. */
+Real dot(const Vector& x, const Vector& y);
+
+/** Euclidean norm. */
+Real norm2(const Vector& x);
+
+/** Infinity norm. */
+Real normInf(const Vector& x);
+
+/** Infinity norm of (x - y). */
+Real normInfDiff(const Vector& x, const Vector& y);
+
+/** out[i] = x[i] * y[i]. */
+void ewProduct(const Vector& x, const Vector& y, Vector& out);
+
+/** out[i] = 1 / x[i]; panics on exact zero. */
+void ewReciprocal(const Vector& x, Vector& out);
+
+/** out[i] = min(x[i], y[i]). */
+void ewMin(const Vector& x, const Vector& y, Vector& out);
+
+/** out[i] = max(x[i], y[i]). */
+void ewMax(const Vector& x, const Vector& y, Vector& out);
+
+/** out[i] = clamp(x[i], lo[i], hi[i]) — the OSQP projection Pi. */
+void ewClamp(const Vector& x, const Vector& lo, const Vector& hi,
+             Vector& out);
+
+/** out[i] = sqrt(x[i]); x must be non-negative. */
+void ewSqrt(const Vector& x, Vector& out);
+
+/** All elements finite? */
+bool allFinite(const Vector& x);
+
+/** Constant vector helper. */
+Vector constantVector(Index n, Real value);
+
+} // namespace rsqp
+
+#endif // RSQP_LINALG_VECTOR_OPS_HPP

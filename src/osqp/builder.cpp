@@ -1,0 +1,87 @@
+#include "builder.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+QpBuilder::QpBuilder(Index n)
+    : n_(n), q_(static_cast<std::size_t>(n), 0.0)
+{
+    RSQP_ASSERT(n >= 1, "a QP needs at least one variable");
+}
+
+QpBuilder&
+QpBuilder::quadraticCost(Index i, Index j, Real v)
+{
+    RSQP_ASSERT(i >= 0 && i < n_ && j >= 0 && j < n_,
+                "quadraticCost index out of range");
+    if (i > j)
+        std::swap(i, j);  // store the upper triangle
+    pEntries_.push_back(Triplet{i, j, v});
+    return *this;
+}
+
+QpBuilder&
+QpBuilder::linearCost(Index i, Real v)
+{
+    RSQP_ASSERT(i >= 0 && i < n_, "linearCost index out of range");
+    q_[static_cast<std::size_t>(i)] += v;
+    return *this;
+}
+
+Index
+QpBuilder::addConstraint(Real l, Real u,
+                         const std::vector<std::pair<Index, Real>>& terms)
+{
+    if (l > u)
+        RSQP_FATAL("constraint bounds crossed: l = ", l, " > u = ", u);
+    const Index row = numConstraints();
+    for (const auto& [var, coeff] : terms) {
+        RSQP_ASSERT(var >= 0 && var < n_,
+                    "constraint variable out of range");
+        aEntries_.push_back(Triplet{row, var, coeff});
+    }
+    lower_.push_back(l);
+    upper_.push_back(u);
+    return row;
+}
+
+Index
+QpBuilder::addEquality(Real b,
+                       const std::vector<std::pair<Index, Real>>& terms)
+{
+    return addConstraint(b, b, terms);
+}
+
+Index
+QpBuilder::addBox(Index var, Real lo, Real hi)
+{
+    return addConstraint(lo, hi, {{var, 1.0}});
+}
+
+QpProblem
+QpBuilder::build(std::string name) const
+{
+    const Index m = numConstraints();
+    TripletList p_triplets(n_, n_);
+    for (const Triplet& t : pEntries_)
+        p_triplets.add(t.row, t.col, t.value);
+    TripletList a_triplets(m, n_);
+    for (const Triplet& t : aEntries_)
+        a_triplets.add(t.row, t.col, t.value);
+
+    QpProblem problem;
+    problem.pUpper = CscMatrix::fromTriplets(p_triplets);
+    problem.q = q_;
+    problem.a = CscMatrix::fromTriplets(a_triplets);
+    problem.l = lower_;
+    problem.u = upper_;
+    problem.name = std::move(name);
+    problem.validate();
+    return problem;
+}
+
+} // namespace rsqp

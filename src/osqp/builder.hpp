@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ergonomic QP construction: incremental objective/constraint assembly
+ * without touching triplet lists or CSC layouts directly.
+ *
+ * @code
+ *   QpBuilder builder(2);
+ *   builder.quadraticCost(0, 0, 4.0);
+ *   builder.quadraticCost(0, 1, 1.0);   // symmetric entry
+ *   builder.quadraticCost(1, 1, 2.0);
+ *   builder.linearCost(0, 1.0);
+ *   builder.linearCost(1, 1.0);
+ *   builder.addConstraint(1.0, 1.0, {{0, 1.0}, {1, 1.0}});  // x0+x1 = 1
+ *   builder.addBox(0, 0.0, 0.7);
+ *   builder.addBox(1, 0.0, 0.7);
+ *   QpProblem qp = builder.build();
+ * @endcode
+ */
+
+#ifndef RSQP_OSQP_BUILDER_HPP
+#define RSQP_OSQP_BUILDER_HPP
+
+#include <utility>
+#include <vector>
+
+#include "osqp/problem.hpp"
+
+namespace rsqp
+{
+
+/** Incremental builder for QpProblem. */
+class QpBuilder
+{
+  public:
+    /** Start a problem with n decision variables. */
+    explicit QpBuilder(Index n);
+
+    /**
+     * Add v to the quadratic cost coefficient P[i][j] (= P[j][i]).
+     * The objective is (1/2) x'Px, so a pure quadratic c*x_i^2 is
+     * entered as quadraticCost(i, i, 2*c).
+     */
+    QpBuilder& quadraticCost(Index i, Index j, Real v);
+
+    /** Add v to the linear cost coefficient q[i]. */
+    QpBuilder& linearCost(Index i, Real v);
+
+    /**
+     * Add a constraint l <= sum coeff_k * x_{var_k} <= u.
+     * @return the constraint's row index.
+     */
+    Index addConstraint(Real l, Real u,
+                        const std::vector<std::pair<Index, Real>>& terms);
+
+    /** Add an equality constraint (l = u = b). */
+    Index addEquality(Real b,
+                      const std::vector<std::pair<Index, Real>>& terms);
+
+    /** Box constraint lo <= x_var <= hi (a single-entry row). */
+    Index addBox(Index var, Real lo, Real hi);
+
+    /** Number of constraints added so far. */
+    Index numConstraints() const
+    {
+        return static_cast<Index>(lower_.size());
+    }
+
+    /** Assemble (and validate) the problem. */
+    QpProblem build(std::string name = "") const;
+
+  private:
+    Index n_;
+    std::vector<Triplet> pEntries_;  ///< upper-triangle accumulation
+    Vector q_;
+    std::vector<Triplet> aEntries_;
+    Vector lower_;
+    Vector upper_;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_OSQP_BUILDER_HPP

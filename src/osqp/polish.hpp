@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Solution polishing (the OSQP post-processing step).
+ *
+ * After ADMM terminates, the active constraints are guessed from the
+ * signs of the dual variables, and the equality-constrained QP on that
+ * active set is solved directly:
+ *
+ *   [ P + delta*I   A_act' ] [ x ]   [ -q    ]
+ *   [ A_act        -delta*I ] [ y ] = [ b_act ]
+ *
+ * with a few steps of iterative refinement against the unregularized
+ * system. The polished point typically satisfies the KKT conditions to
+ * near machine precision; it is adopted only if it improves both
+ * residuals.
+ */
+
+#ifndef RSQP_OSQP_POLISH_HPP
+#define RSQP_OSQP_POLISH_HPP
+
+#include "osqp/problem.hpp"
+#include "osqp/settings.hpp"
+#include "osqp/status.hpp"
+
+namespace rsqp
+{
+
+/**
+ * Try to polish a solved result in place (unscaled data).
+ *
+ * @param problem The original (unscaled) problem.
+ * @param settings Solver settings (polishDelta, polishRefineIter).
+ * @param result Solution to polish; x/y/z and the residual info are
+ *        replaced if polishing succeeds.
+ * @return report of what happened.
+ */
+PolishReport polishSolution(const QpProblem& problem,
+                            const OsqpSettings& settings,
+                            OsqpResult& result);
+
+} // namespace rsqp
+
+#endif // RSQP_OSQP_POLISH_HPP

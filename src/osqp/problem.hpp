@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Convex QP problem data container — problem (1) of the paper:
+ *
+ *   minimize    (1/2) x' P x + q' x
+ *   subject to  l <= A x <= u
+ */
+
+#ifndef RSQP_OSQP_PROBLEM_HPP
+#define RSQP_OSQP_PROBLEM_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+#include "linalg/csc.hpp"
+
+namespace rsqp
+{
+
+/** QP problem data. P is stored as its upper triangle (CSC). */
+struct QpProblem
+{
+    CscMatrix pUpper;  ///< objective Hessian, upper triangle, n x n
+    Vector q;          ///< linear objective, length n
+    CscMatrix a;       ///< constraint matrix, m x n
+    Vector l;          ///< lower bounds, length m (-kInf allowed)
+    Vector u;          ///< upper bounds, length m (+kInf allowed)
+    std::string name;  ///< optional label for reports
+
+    Index numVariables() const { return pUpper.cols(); }
+    Index numConstraints() const { return a.rows(); }
+
+    /** nnz(P) + nnz(A) — the size axis of every figure in the paper. */
+    Count totalNnz() const { return pUpper.nnz() + a.nnz(); }
+
+    /** Objective value (1/2) x'Px + q'x for a given x. */
+    Real objective(const Vector& x) const;
+
+    /**
+     * Validate shapes, bound ordering (l <= u) and upper-triangularity;
+     * throws FatalError on violations.
+     */
+    void validate() const;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_OSQP_PROBLEM_HPP

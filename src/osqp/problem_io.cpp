@@ -1,0 +1,104 @@
+#include "problem_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "linalg/io.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+void
+writeVector(std::ostream& os, const char* tag, const Vector& values)
+{
+    os << tag << " " << values.size() << "\n";
+    os.precision(17);
+    for (Real v : values)
+        os << v << "\n";
+}
+
+Vector
+readVector(std::istream& is, const char* tag)
+{
+    std::string token;
+    std::size_t count = 0;
+    if (!(is >> token >> count) || token != tag)
+        RSQP_FATAL("problem file: expected section '", tag, "', got '",
+                   token, "'");
+    Vector values(count);
+    for (Real& v : values)
+        if (!(is >> v))
+            RSQP_FATAL("problem file: truncated '", tag, "' section");
+    return values;
+}
+
+} // namespace
+
+void
+writeQpProblem(std::ostream& os, const QpProblem& problem)
+{
+    os << "RSQP-QP 1\n";
+    os << "name " << (problem.name.empty() ? "unnamed" : problem.name)
+       << "\n";
+    writeVector(os, "q", problem.q);
+    writeVector(os, "l", problem.l);
+    writeVector(os, "u", problem.u);
+    os << "P\n";
+    writeMatrixMarket(os, problem.pUpper, /*symmetric_upper=*/true);
+    os << "A\n";
+    writeMatrixMarket(os, problem.a, /*symmetric_upper=*/false);
+}
+
+QpProblem
+readQpProblem(std::istream& is)
+{
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != "RSQP-QP" || version != 1)
+        RSQP_FATAL("not an RSQP-QP v1 problem file");
+    std::string token, name;
+    if (!(is >> token >> name) || token != "name")
+        RSQP_FATAL("problem file: missing name");
+
+    QpProblem problem;
+    problem.name = name;
+    problem.q = readVector(is, "q");
+    problem.l = readVector(is, "l");
+    problem.u = readVector(is, "u");
+    if (!(is >> token) || token != "P")
+        RSQP_FATAL("problem file: missing P section");
+    is.ignore();  // consume the newline before the MM banner
+    problem.pUpper = readMatrixMarket(is);
+    if (!(is >> token) || token != "A")
+        RSQP_FATAL("problem file: missing A section");
+    is.ignore();
+    problem.a = readMatrixMarket(is);
+    problem.validate();
+    return problem;
+}
+
+void
+saveQpProblem(const std::string& path, const QpProblem& problem)
+{
+    std::ofstream os(path);
+    if (!os)
+        RSQP_FATAL("cannot open '", path, "' for writing");
+    writeQpProblem(os, problem);
+}
+
+QpProblem
+loadQpProblem(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is)
+        RSQP_FATAL("cannot open '", path, "' for reading");
+    return readQpProblem(is);
+}
+
+} // namespace rsqp

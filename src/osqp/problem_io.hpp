@@ -1,0 +1,32 @@
+/**
+ * @file
+ * QP problem serialization: a small self-describing text container
+ * (embedded MatrixMarket sections for P and A) so benchmark instances
+ * can be exported to disk and re-imported exactly — e.g. to feed the
+ * same problems to another OSQP implementation.
+ */
+
+#ifndef RSQP_OSQP_PROBLEM_IO_HPP
+#define RSQP_OSQP_PROBLEM_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "osqp/problem.hpp"
+
+namespace rsqp
+{
+
+/** Write a problem to a stream (text, round-trip exact). */
+void writeQpProblem(std::ostream& os, const QpProblem& problem);
+
+/** Read a problem written by writeQpProblem. */
+QpProblem readQpProblem(std::istream& is);
+
+/** Convenience file wrappers. */
+void saveQpProblem(const std::string& path, const QpProblem& problem);
+QpProblem loadQpProblem(const std::string& path);
+
+} // namespace rsqp
+
+#endif // RSQP_OSQP_PROBLEM_IO_HPP

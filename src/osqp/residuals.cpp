@@ -1,0 +1,39 @@
+#include "residuals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace rsqp
+{
+
+ResidualInfo
+computeResiduals(const QpProblem& problem, const Vector& x,
+                 const Vector& y, const Vector& z, Real eps_abs,
+                 Real eps_rel)
+{
+    ResidualInfo info;
+    Vector ax;
+    problem.a.spmv(x, ax);
+    info.primRes = normInfDiff(ax, z);
+    info.epsPrim = eps_abs +
+        eps_rel * std::max(normInf(ax), normInf(z));
+
+    Vector px;
+    problem.pUpper.spmvSymUpper(x, px);
+    Vector aty;
+    problem.a.spmvTranspose(y, aty);
+    Real dual = 0.0;
+    for (std::size_t j = 0; j < px.size(); ++j)
+        dual = std::max(dual,
+                        std::abs(px[j] + problem.q[j] + aty[j]));
+    info.dualRes = dual;
+    info.epsDual = eps_abs +
+        eps_rel * std::max({normInf(px), normInf(aty),
+                            normInf(problem.q)});
+    return info;
+}
+
+} // namespace rsqp

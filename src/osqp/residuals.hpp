@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared (unscaled) OSQP residual and tolerance computations, used by
+ * the ADMM loop, the polisher and the tests.
+ */
+
+#ifndef RSQP_OSQP_RESIDUALS_HPP
+#define RSQP_OSQP_RESIDUALS_HPP
+
+#include "osqp/problem.hpp"
+#include "osqp/settings.hpp"
+
+namespace rsqp
+{
+
+/** Residuals and the matching OSQP termination tolerances. */
+struct ResidualInfo
+{
+    Real primRes = 0.0;   ///< ||A x - z||_inf
+    Real dualRes = 0.0;   ///< ||P x + q + A' y||_inf
+    Real epsPrim = 0.0;   ///< eps_abs + eps_rel * max(||Ax||, ||z||)
+    Real epsDual = 0.0;   ///< eps_abs + eps_rel * max(||Px||,||A'y||,||q||)
+
+    bool
+    converged() const
+    {
+        return primRes <= epsPrim && dualRes <= epsDual;
+    }
+};
+
+/** Compute unscaled residuals/tolerances at the point (x, y, z). */
+ResidualInfo computeResiduals(const QpProblem& problem, const Vector& x,
+                              const Vector& y, const Vector& z,
+                              Real eps_abs, Real eps_rel);
+
+} // namespace rsqp
+
+#endif // RSQP_OSQP_RESIDUALS_HPP

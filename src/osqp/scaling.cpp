@@ -1,0 +1,113 @@
+#include "scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+constexpr Real kMinScaling = 1e-4;
+constexpr Real kMaxScaling = 1e4;
+
+/** 1/sqrt(norm), guarded for zero norms and clamped to sane bounds. */
+Real
+equilibrationFactor(Real norm)
+{
+    if (norm == 0.0)
+        return 1.0;
+    return clampReal(1.0 / std::sqrt(norm), kMinScaling, kMaxScaling);
+}
+
+} // namespace
+
+Scaling
+Scaling::identity(Index n, Index m)
+{
+    Scaling s;
+    s.d = constantVector(n, 1.0);
+    s.dInv = constantVector(n, 1.0);
+    s.e = constantVector(m, 1.0);
+    s.eInv = constantVector(m, 1.0);
+    return s;
+}
+
+Scaling
+ruizEquilibrate(QpProblem& problem, Index iterations)
+{
+    const Index n = problem.numVariables();
+    const Index m = problem.numConstraints();
+    Scaling scaling = Scaling::identity(n, m);
+    if (iterations <= 0)
+        return scaling;
+
+    for (Index sweep = 0; sweep < iterations; ++sweep) {
+        // Column infinity norms of the symmetric KKT-like stack
+        // M = [[P, A'], [A, 0]].
+        const Vector p_norms = problem.pUpper.symUpperColumnInfNorms();
+        const Vector a_col_norms = problem.a.columnInfNorms();
+        const Vector a_row_norms = problem.a.rowInfNorms();
+
+        Vector delta_d(static_cast<std::size_t>(n));
+        for (Index j = 0; j < n; ++j)
+            delta_d[static_cast<std::size_t>(j)] = equilibrationFactor(
+                std::max(p_norms[static_cast<std::size_t>(j)],
+                         a_col_norms[static_cast<std::size_t>(j)]));
+        Vector delta_e(static_cast<std::size_t>(m));
+        for (Index i = 0; i < m; ++i)
+            delta_e[static_cast<std::size_t>(i)] = equilibrationFactor(
+                a_row_norms[static_cast<std::size_t>(i)]);
+
+        // Apply this sweep's diagonal scaling.
+        problem.pUpper.scaleInPlace(delta_d, delta_d);
+        for (Index j = 0; j < n; ++j)
+            problem.q[static_cast<std::size_t>(j)] *=
+                delta_d[static_cast<std::size_t>(j)];
+        problem.a.scaleInPlace(delta_e, delta_d);
+        for (Index j = 0; j < n; ++j)
+            scaling.d[static_cast<std::size_t>(j)] *=
+                delta_d[static_cast<std::size_t>(j)];
+        for (Index i = 0; i < m; ++i)
+            scaling.e[static_cast<std::size_t>(i)] *=
+                delta_e[static_cast<std::size_t>(i)];
+
+        // Cost normalization: make the objective O(1).
+        const Vector p_norms_now = problem.pUpper.symUpperColumnInfNorms();
+        Real mean_p = 0.0;
+        for (Real v : p_norms_now)
+            mean_p += v;
+        if (n > 0)
+            mean_p /= static_cast<Real>(n);
+        const Real q_norm = normInf(problem.q);
+        Real gamma = std::max(mean_p, q_norm);
+        gamma = (gamma == 0.0)
+            ? 1.0
+            : clampReal(1.0 / gamma, kMinScaling, kMaxScaling);
+        scale(problem.q, gamma);
+        scale(problem.pUpper.values(), gamma);
+        scaling.c *= gamma;
+    }
+
+    // Scale the bounds once with the accumulated E (infinities stay put).
+    for (Index i = 0; i < m; ++i) {
+        const Real e_i = scaling.e[static_cast<std::size_t>(i)];
+        auto& lo = problem.l[static_cast<std::size_t>(i)];
+        auto& hi = problem.u[static_cast<std::size_t>(i)];
+        if (lo > -kInf)
+            lo *= e_i;
+        if (hi < kInf)
+            hi *= e_i;
+    }
+
+    ewReciprocal(scaling.d, scaling.dInv);
+    ewReciprocal(scaling.e, scaling.eInv);
+    scaling.cInv = 1.0 / scaling.c;
+    return scaling;
+}
+
+} // namespace rsqp

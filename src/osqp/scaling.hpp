@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Modified Ruiz equilibration of the QP data, as in OSQP.
+ *
+ * The scaled problem is
+ *   minimize    (1/2) xb' (c D P D) xb + (c D q)' xb
+ *   subject to  E l <= (E A D) xb <= E u
+ * with diagonal D (n), E (m) and cost scalar c. Solutions map back as
+ *   x = D xb,   y = c^{-1} E yb,   z = E^{-1} zb.
+ */
+
+#ifndef RSQP_OSQP_SCALING_HPP
+#define RSQP_OSQP_SCALING_HPP
+
+#include "common/types.hpp"
+#include "osqp/problem.hpp"
+
+namespace rsqp
+{
+
+/** Diagonal scaling produced by Ruiz equilibration. */
+struct Scaling
+{
+    Vector d;     ///< variable scaling, length n
+    Vector dInv;  ///< 1 / d
+    Vector e;     ///< constraint scaling, length m
+    Vector eInv;  ///< 1 / e
+    Real c = 1.0;     ///< cost scaling
+    Real cInv = 1.0;  ///< 1 / c
+
+    /** Identity scaling of the given dimensions. */
+    static Scaling identity(Index n, Index m);
+};
+
+/**
+ * Run `iterations` sweeps of modified Ruiz equilibration on (P, q, A)
+ * and scale the problem in place (bounds included).
+ *
+ * @param problem QP data, modified in place to the scaled problem.
+ * @param iterations Number of sweeps; 0 returns identity scaling.
+ * @return the scaling that was applied.
+ */
+Scaling ruizEquilibrate(QpProblem& problem, Index iterations);
+
+} // namespace rsqp
+
+#endif // RSQP_OSQP_SCALING_HPP

@@ -1,0 +1,450 @@
+#include "solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "linalg/vector_ops.hpp"
+#include "osqp/polish.hpp"
+#include "osqp/residuals.hpp"
+
+namespace rsqp
+{
+
+const char*
+toString(SolveStatus status)
+{
+    switch (status) {
+      case SolveStatus::Solved: return "solved";
+      case SolveStatus::MaxIterReached: return "max_iter_reached";
+      case SolveStatus::PrimalInfeasible: return "primal_infeasible";
+      case SolveStatus::DualInfeasible: return "dual_infeasible";
+      case SolveStatus::NumericalError: return "numerical_error";
+      case SolveStatus::Unsolved: return "unsolved";
+    }
+    return "unknown";
+}
+
+OsqpSolver::OsqpSolver(QpProblem problem, OsqpSettings settings)
+    : settings_(std::move(settings)), original_(std::move(problem))
+{
+    Timer setup_timer;
+    original_.validate();
+    if (settings_.alpha <= 0.0 || settings_.alpha >= 2.0)
+        RSQP_FATAL("alpha must be in (0, 2), got ", settings_.alpha);
+    if (settings_.rho <= 0.0 || settings_.sigma <= 0.0)
+        RSQP_FATAL("rho and sigma must be positive");
+
+    n_ = original_.numVariables();
+    m_ = original_.numConstraints();
+
+    scaled_ = original_;
+    scaling_ = ruizEquilibrate(scaled_, settings_.scalingIterations);
+
+    rhoBar_ = settings_.rho;
+    buildRhoVec(rhoBar_);
+    rebuildKktSolver();
+
+    x_.assign(static_cast<std::size_t>(n_), 0.0);
+    y_.assign(static_cast<std::size_t>(m_), 0.0);
+    z_.assign(static_cast<std::size_t>(m_), 0.0);
+    lastInfo_.setupTime = setup_timer.seconds();
+}
+
+OsqpSolver::~OsqpSolver() = default;
+
+void
+OsqpSolver::buildRhoVec(Real rho_bar)
+{
+    rhoVec_.resize(static_cast<std::size_t>(m_));
+    rhoInvVec_.resize(static_cast<std::size_t>(m_));
+    for (Index i = 0; i < m_; ++i) {
+        const Real lo = scaled_.l[static_cast<std::size_t>(i)];
+        const Real hi = scaled_.u[static_cast<std::size_t>(i)];
+        Real rho_i = rho_bar;
+        if (lo <= -kInf && hi >= kInf) {
+            // Loose constraint: keep its multiplier near zero.
+            rho_i = settings_.rhoMin;
+        } else if (hi - lo < 1e-12) {
+            // Equality constraint: stiffer rho speeds convergence.
+            rho_i = settings_.rhoEqScale * rho_bar;
+        }
+        rho_i = clampReal(rho_i, settings_.rhoMin, settings_.rhoMax);
+        rhoVec_[static_cast<std::size_t>(i)] = rho_i;
+        rhoInvVec_[static_cast<std::size_t>(i)] = 1.0 / rho_i;
+    }
+}
+
+void
+OsqpSolver::rebuildKktSolver()
+{
+    switch (settings_.backend) {
+      case KktBackend::DirectLdl:
+        kkt_ = std::make_unique<DirectKktSolver>(
+            scaled_.pUpper, scaled_.a, settings_.sigma, rhoVec_,
+            settings_.ordering);
+        break;
+      case KktBackend::IndirectPcg:
+        kkt_ = std::make_unique<IndirectKktSolver>(
+            scaled_.pUpper, scaled_.a, settings_.sigma, rhoVec_,
+            settings_.pcg);
+        break;
+    }
+}
+
+void
+OsqpSolver::warmStart(const Vector& x, const Vector& y)
+{
+    RSQP_ASSERT(static_cast<Index>(x.size()) == n_, "warmStart x size");
+    RSQP_ASSERT(static_cast<Index>(y.size()) == m_, "warmStart y size");
+    // Map the unscaled guess into scaled space.
+    for (Index j = 0; j < n_; ++j)
+        x_[static_cast<std::size_t>(j)] =
+            scaling_.dInv[static_cast<std::size_t>(j)] *
+            x[static_cast<std::size_t>(j)];
+    for (Index i = 0; i < m_; ++i)
+        y_[static_cast<std::size_t>(i)] = scaling_.c *
+            scaling_.eInv[static_cast<std::size_t>(i)] *
+            y[static_cast<std::size_t>(i)];
+    scaled_.a.spmv(x_, z_);
+}
+
+void
+OsqpSolver::updateLinearCost(const Vector& q)
+{
+    RSQP_ASSERT(static_cast<Index>(q.size()) == n_, "q size mismatch");
+    original_.q = q;
+    for (Index j = 0; j < n_; ++j)
+        scaled_.q[static_cast<std::size_t>(j)] = scaling_.c *
+            scaling_.d[static_cast<std::size_t>(j)] *
+            q[static_cast<std::size_t>(j)];
+}
+
+void
+OsqpSolver::updateBounds(const Vector& l, const Vector& u)
+{
+    RSQP_ASSERT(static_cast<Index>(l.size()) == m_ &&
+                static_cast<Index>(u.size()) == m_, "bound size mismatch");
+    for (Index i = 0; i < m_; ++i)
+        if (l[static_cast<std::size_t>(i)] > u[static_cast<std::size_t>(i)])
+            RSQP_FATAL("updateBounds: l > u at constraint ", i);
+    original_.l = l;
+    original_.u = u;
+    for (Index i = 0; i < m_; ++i) {
+        const Real e_i = scaling_.e[static_cast<std::size_t>(i)];
+        const Real lo = l[static_cast<std::size_t>(i)];
+        const Real hi = u[static_cast<std::size_t>(i)];
+        scaled_.l[static_cast<std::size_t>(i)] =
+            (lo <= -kInf) ? lo : e_i * lo;
+        scaled_.u[static_cast<std::size_t>(i)] =
+            (hi >= kInf) ? hi : e_i * hi;
+    }
+}
+
+void
+OsqpSolver::updateRho(Real rho_bar)
+{
+    if (rho_bar <= 0.0)
+        RSQP_FATAL("rho must be positive, got ", rho_bar);
+    rhoBar_ = clampReal(rho_bar, settings_.rhoMin, settings_.rhoMax);
+    buildRhoVec(rhoBar_);
+    kkt_->updateRho(rhoVec_);
+}
+
+void
+OsqpSolver::updateMatrixValues(const std::vector<Real>& p_values,
+                               const std::vector<Real>& a_values)
+{
+    if (!p_values.empty()) {
+        RSQP_ASSERT(p_values.size() == original_.pUpper.values().size(),
+                    "P value count mismatch");
+        original_.pUpper.values() = p_values;
+        // Re-apply the fixed scaling: Pb = c * D P D.
+        auto& scaled_vals = scaled_.pUpper.values();
+        const auto& col_ptr = scaled_.pUpper.colPtr();
+        const auto& row_idx = scaled_.pUpper.rowIdx();
+        for (Index c = 0; c < n_; ++c)
+            for (Index p = col_ptr[c]; p < col_ptr[c + 1]; ++p)
+                scaled_vals[static_cast<std::size_t>(p)] = scaling_.c *
+                    scaling_.d[static_cast<std::size_t>(row_idx[p])] *
+                    scaling_.d[static_cast<std::size_t>(c)] *
+                    p_values[static_cast<std::size_t>(p)];
+    }
+    if (!a_values.empty()) {
+        RSQP_ASSERT(a_values.size() == original_.a.values().size(),
+                    "A value count mismatch");
+        original_.a.values() = a_values;
+        auto& scaled_vals = scaled_.a.values();
+        const auto& col_ptr = scaled_.a.colPtr();
+        const auto& row_idx = scaled_.a.rowIdx();
+        for (Index c = 0; c < n_; ++c)
+            for (Index p = col_ptr[c]; p < col_ptr[c + 1]; ++p)
+                scaled_vals[static_cast<std::size_t>(p)] =
+                    scaling_.e[static_cast<std::size_t>(row_idx[p])] *
+                    scaling_.d[static_cast<std::size_t>(c)] *
+                    a_values[static_cast<std::size_t>(p)];
+    }
+    if (!p_values.empty() || !a_values.empty())
+        rebuildKktSolver();
+}
+
+void
+OsqpSolver::computeResiduals(const Vector& x, const Vector& y,
+                             const Vector& z, Real& prim_res,
+                             Real& dual_res, Real& eps_prim,
+                             Real& eps_dual) const
+{
+    // All quantities here are unscaled.
+    const ResidualInfo info = rsqp::computeResiduals(
+        original_, x, y, z, settings_.epsAbs, settings_.epsRel);
+    prim_res = info.primRes;
+    dual_res = info.dualRes;
+    eps_prim = info.epsPrim;
+    eps_dual = info.epsDual;
+}
+
+bool
+OsqpSolver::checkPrimalInfeasibility(const Vector& delta_y) const
+{
+    const Real norm_dy = normInf(delta_y);
+    if (norm_dy <= settings_.epsPrimInf)
+        return false;
+    // Certificate: A' dy ~ 0 and u'(dy)+ + l'(dy)- sufficiently negative.
+    Vector at_dy;
+    original_.a.spmvTranspose(delta_y, at_dy);
+    if (normInf(at_dy) > settings_.epsPrimInf * norm_dy)
+        return false;
+    Real support = 0.0;
+    for (Index i = 0; i < m_; ++i) {
+        const Real dy_i = delta_y[static_cast<std::size_t>(i)];
+        if (dy_i > 0.0) {
+            const Real u_i = original_.u[static_cast<std::size_t>(i)];
+            if (u_i >= kInf)
+                return false;
+            support += u_i * dy_i;
+        } else if (dy_i < 0.0) {
+            const Real l_i = original_.l[static_cast<std::size_t>(i)];
+            if (l_i <= -kInf)
+                return false;
+            support += l_i * dy_i;
+        }
+    }
+    return support <= -settings_.epsPrimInf * norm_dy;
+}
+
+bool
+OsqpSolver::checkDualInfeasibility(const Vector& delta_x) const
+{
+    const Real norm_dx = normInf(delta_x);
+    if (norm_dx <= settings_.epsDualInf)
+        return false;
+    if (dot(original_.q, delta_x) > -settings_.epsDualInf * norm_dx)
+        return false;
+    Vector p_dx;
+    original_.pUpper.spmvSymUpper(delta_x, p_dx);
+    if (normInf(p_dx) > settings_.epsDualInf * norm_dx)
+        return false;
+    Vector a_dx;
+    original_.a.spmv(delta_x, a_dx);
+    const Real tol = settings_.epsDualInf * norm_dx;
+    for (Index i = 0; i < m_; ++i) {
+        const Real v = a_dx[static_cast<std::size_t>(i)];
+        if (original_.u[static_cast<std::size_t>(i)] < kInf && v > tol)
+            return false;
+        if (original_.l[static_cast<std::size_t>(i)] > -kInf && v < -tol)
+            return false;
+    }
+    return true;
+}
+
+bool
+OsqpSolver::adaptRho(Real prim_res, Real dual_res, const Vector& x,
+                     const Vector& y, const Vector& z)
+{
+    // Scaled residual ratio as in OSQP Section 5.2 (unscaled space).
+    Vector ax, px, aty;
+    original_.a.spmv(x, ax);
+    original_.pUpper.spmvSymUpper(x, px);
+    original_.a.spmvTranspose(y, aty);
+    const Real prim_den = std::max(normInf(ax), normInf(z));
+    const Real dual_den = std::max({normInf(px), normInf(aty),
+                                    normInf(original_.q)});
+    const Real prim_rel = prim_res / std::max(prim_den, Real(1e-10));
+    const Real dual_rel = dual_res / std::max(dual_den, Real(1e-10));
+    const Real ratio = prim_rel / std::max(dual_rel, Real(1e-10));
+
+    const Real rho_new =
+        clampReal(rhoBar_ * std::sqrt(ratio), settings_.rhoMin,
+                  settings_.rhoMax);
+    if (rho_new > rhoBar_ * settings_.adaptiveRhoTolerance ||
+        rho_new < rhoBar_ / settings_.adaptiveRhoTolerance) {
+        rhoBar_ = rho_new;
+        buildRhoVec(rhoBar_);
+        kkt_->updateRho(rhoVec_);
+        return true;
+    }
+    return false;
+}
+
+OsqpResult
+OsqpSolver::solve()
+{
+    Timer solve_timer;
+    AccumulatingTimer kkt_timer;
+
+    OsqpResult result;
+    OsqpInfo& info = result.info;
+    info = lastInfo_;
+    info.status = SolveStatus::MaxIterReached;
+    info.iterations = 0;
+    info.rhoUpdates = 0;
+    info.pcgIterationsTotal = 0;
+
+    Vector rhs_x(static_cast<std::size_t>(n_));
+    Vector rhs_z(static_cast<std::size_t>(m_));
+    Vector x_tilde, z_tilde;
+    Vector x_prev, y_prev;
+    Vector delta_x(static_cast<std::size_t>(n_));
+    Vector delta_y(static_cast<std::size_t>(m_));
+    Vector proj_arg(static_cast<std::size_t>(m_));
+
+    const Real alpha = settings_.alpha;
+
+    for (Index iter = 1; iter <= settings_.maxIter; ++iter) {
+        x_prev = x_;
+        y_prev = y_;
+
+        // Step 3: solve the (reduced) KKT system.
+        for (Index j = 0; j < n_; ++j)
+            rhs_x[static_cast<std::size_t>(j)] =
+                settings_.sigma * x_[static_cast<std::size_t>(j)] -
+                scaled_.q[static_cast<std::size_t>(j)];
+        for (Index i = 0; i < m_; ++i)
+            rhs_z[static_cast<std::size_t>(i)] =
+                z_[static_cast<std::size_t>(i)] -
+                rhoInvVec_[static_cast<std::size_t>(i)] *
+                    y_[static_cast<std::size_t>(i)];
+        kkt_timer.start();
+        const KktSolveStats kstats =
+            kkt_->solve(rhs_x, rhs_z, x_tilde, z_tilde);
+        kkt_timer.stop();
+        info.pcgIterationsTotal += kstats.pcgIterations;
+
+        // Steps 5-7: relaxation, projection, dual update.
+        for (Index j = 0; j < n_; ++j)
+            x_[static_cast<std::size_t>(j)] =
+                alpha * x_tilde[static_cast<std::size_t>(j)] +
+                (1.0 - alpha) * x_[static_cast<std::size_t>(j)];
+        for (Index i = 0; i < m_; ++i) {
+            const auto s = static_cast<std::size_t>(i);
+            const Real z_relaxed =
+                alpha * z_tilde[s] + (1.0 - alpha) * z_[s];
+            proj_arg[s] = z_relaxed + rhoInvVec_[s] * y_[s];
+            const Real z_next =
+                clampReal(proj_arg[s], scaled_.l[s], scaled_.u[s]);
+            y_[s] += rhoVec_[s] * (z_relaxed - z_next);
+            z_[s] = z_next;
+        }
+
+        info.iterations = iter;
+
+        const bool check_now = (iter % settings_.checkInterval == 0) ||
+            iter == settings_.maxIter;
+        const bool adapt_now = settings_.adaptiveRho &&
+            settings_.adaptiveRhoInterval > 0 &&
+            (iter % settings_.adaptiveRhoInterval == 0);
+        if (!check_now && !adapt_now)
+            continue;
+
+        if (!allFinite(x_) || !allFinite(y_) || !allFinite(z_)) {
+            info.status = SolveStatus::NumericalError;
+            break;
+        }
+
+        // Unscale the iterates for residuals and certificates.
+        Vector x_u(static_cast<std::size_t>(n_));
+        Vector y_u(static_cast<std::size_t>(m_));
+        Vector z_u(static_cast<std::size_t>(m_));
+        for (Index j = 0; j < n_; ++j)
+            x_u[static_cast<std::size_t>(j)] =
+                scaling_.d[static_cast<std::size_t>(j)] *
+                x_[static_cast<std::size_t>(j)];
+        for (Index i = 0; i < m_; ++i) {
+            const auto s = static_cast<std::size_t>(i);
+            y_u[s] = scaling_.cInv * scaling_.e[s] * y_[s];
+            z_u[s] = scaling_.eInv[s] * z_[s];
+        }
+
+        Real prim_res = 0.0, dual_res = 0.0, eps_prim = 0.0,
+             eps_dual = 0.0;
+        computeResiduals(x_u, y_u, z_u, prim_res, dual_res, eps_prim,
+                         eps_dual);
+        info.primRes = prim_res;
+        info.dualRes = dual_res;
+
+        if (settings_.recordTrace) {
+            IterationRecord rec;
+            rec.iteration = iter;
+            rec.primRes = prim_res;
+            rec.dualRes = dual_res;
+            rec.rho = rhoBar_;
+            rec.pcgIterations = kstats.pcgIterations;
+            result.trace.push_back(rec);
+        }
+
+        if (check_now) {
+            if (prim_res <= eps_prim && dual_res <= eps_dual) {
+                info.status = SolveStatus::Solved;
+                break;
+            }
+            // Infeasibility certificates from the iterate deltas.
+            for (Index j = 0; j < n_; ++j)
+                delta_x[static_cast<std::size_t>(j)] =
+                    scaling_.d[static_cast<std::size_t>(j)] *
+                    (x_[static_cast<std::size_t>(j)] -
+                     x_prev[static_cast<std::size_t>(j)]);
+            for (Index i = 0; i < m_; ++i) {
+                const auto s = static_cast<std::size_t>(i);
+                delta_y[s] = scaling_.cInv * scaling_.e[s] *
+                    (y_[s] - y_prev[s]);
+            }
+            if (checkPrimalInfeasibility(delta_y)) {
+                info.status = SolveStatus::PrimalInfeasible;
+                break;
+            }
+            if (checkDualInfeasibility(delta_x)) {
+                info.status = SolveStatus::DualInfeasible;
+                break;
+            }
+        }
+
+        if (adapt_now && adaptRho(prim_res, dual_res, x_u, y_u, z_u))
+            ++info.rhoUpdates;
+    }
+
+    // Final unscaled solution.
+    result.x.resize(static_cast<std::size_t>(n_));
+    result.y.resize(static_cast<std::size_t>(m_));
+    result.z.resize(static_cast<std::size_t>(m_));
+    for (Index j = 0; j < n_; ++j)
+        result.x[static_cast<std::size_t>(j)] =
+            scaling_.d[static_cast<std::size_t>(j)] *
+            x_[static_cast<std::size_t>(j)];
+    for (Index i = 0; i < m_; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        result.y[s] = scaling_.cInv * scaling_.e[s] * y_[s];
+        result.z[s] = scaling_.eInv[s] * z_[s];
+    }
+    info.objective = original_.objective(result.x);
+
+    if (settings_.polish && info.status == SolveStatus::Solved)
+        result.polish = polishSolution(original_, settings_, result);
+
+    info.solveTime = solve_timer.seconds();
+    info.kktSolveTime = kkt_timer.totalSeconds();
+    lastInfo_ = info;
+    return result;
+}
+
+} // namespace rsqp

@@ -1,0 +1,446 @@
+#include "generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+/** Sample a sparse row: k distinct columns with N(0, scale) values. */
+void
+addSparseRow(TripletList& triplets, Index row, Index cols, Index k,
+             Real scale, Rng& rng, Index col_offset = 0)
+{
+    const IndexVector picks = rng.sampleDistinct(cols, std::min(k, cols));
+    for (Index c : picks)
+        triplets.add(row, col_offset + c, rng.normal(0.0, scale));
+}
+
+} // namespace
+
+QpProblem
+generateControl(Index nx, Rng& rng)
+{
+    RSQP_ASSERT(nx >= 2, "control: need at least 2 states");
+    const Index nu = std::max<Index>(1, nx / 2);
+    const Index horizon = 10;
+    const Index n = horizon * (nx + nu);
+    // Variable layout: x_1..x_T then u_0..u_{T-1}.
+    auto state_var = [&](Index k, Index i) {
+        return (k - 1) * nx + i;  // k in 1..T
+    };
+    auto input_var = [&](Index k, Index i) {
+        return horizon * nx + k * nu + i;  // k in 0..T-1
+    };
+
+    // Random stable dynamics: Ad = 0.9 I + sparse perturbation.
+    TripletList ad_triplets(nx, nx);
+    for (Index i = 0; i < nx; ++i) {
+        ad_triplets.add(i, i, 0.9);
+        const IndexVector off =
+            rng.sampleDistinct(nx, std::min<Index>(3, nx));
+        for (Index j : off)
+            if (j != i)
+                ad_triplets.add(i, j, rng.normal(0.0, 0.05));
+    }
+    const CscMatrix ad = CscMatrix::fromTriplets(ad_triplets);
+    TripletList bd_triplets(nx, nu);
+    for (Index i = 0; i < nx; ++i) {
+        const IndexVector picks =
+            rng.sampleDistinct(nu, std::min<Index>(2, nu));
+        for (Index j : picks)
+            bd_triplets.add(i, j, rng.normal(0.0, 0.3));
+    }
+    const CscMatrix bd = CscMatrix::fromTriplets(bd_triplets);
+
+    // Objective: Q = I on states, R = 0.1 I on inputs.
+    TripletList p_triplets(n, n);
+    for (Index k = 1; k <= horizon; ++k)
+        for (Index i = 0; i < nx; ++i)
+            p_triplets.add(state_var(k, i), state_var(k, i), 1.0);
+    for (Index k = 0; k < horizon; ++k)
+        for (Index i = 0; i < nu; ++i)
+            p_triplets.add(input_var(k, i), input_var(k, i), 0.1);
+
+    // Constraints: dynamics equalities + state/input boxes.
+    const Index m_dyn = horizon * nx;
+    const Index m = m_dyn + horizon * nx + horizon * nu;
+    TripletList a_triplets(m, n);
+    Vector l(static_cast<std::size_t>(m));
+    Vector u(static_cast<std::size_t>(m));
+
+    Vector x0(static_cast<std::size_t>(nx));
+    for (Real& v : x0)
+        v = rng.uniform(-1.0, 1.0);
+
+    Index row = 0;
+    const CsrMatrix ad_csr = CsrMatrix::fromCsc(ad);
+    const CsrMatrix bd_csr = CsrMatrix::fromCsc(bd);
+    for (Index k = 0; k < horizon; ++k) {
+        // x_{k+1} - Ad x_k - Bd u_k = (k == 0 ? Ad x0 : 0)
+        for (Index i = 0; i < nx; ++i) {
+            a_triplets.add(row, state_var(k + 1, i), 1.0);
+            if (k > 0) {
+                for (Index p = ad_csr.rowPtr()[i];
+                     p < ad_csr.rowPtr()[i + 1]; ++p)
+                    a_triplets.add(row, state_var(k, ad_csr.colIdx()[p]),
+                                   -ad_csr.values()[p]);
+            }
+            for (Index p = bd_csr.rowPtr()[i]; p < bd_csr.rowPtr()[i + 1];
+                 ++p)
+                a_triplets.add(row, input_var(k, bd_csr.colIdx()[p]),
+                               -bd_csr.values()[p]);
+            Real rhs = 0.0;
+            if (k == 0) {
+                for (Index p = ad_csr.rowPtr()[i];
+                     p < ad_csr.rowPtr()[i + 1]; ++p)
+                    rhs += ad_csr.values()[p] *
+                        x0[static_cast<std::size_t>(ad_csr.colIdx()[p])];
+            }
+            l[static_cast<std::size_t>(row)] = rhs;
+            u[static_cast<std::size_t>(row)] = rhs;
+            ++row;
+        }
+    }
+    for (Index k = 1; k <= horizon; ++k)
+        for (Index i = 0; i < nx; ++i) {
+            a_triplets.add(row, state_var(k, i), 1.0);
+            l[static_cast<std::size_t>(row)] = -4.0;
+            u[static_cast<std::size_t>(row)] = 4.0;
+            ++row;
+        }
+    for (Index k = 0; k < horizon; ++k)
+        for (Index i = 0; i < nu; ++i) {
+            a_triplets.add(row, input_var(k, i), 1.0);
+            l[static_cast<std::size_t>(row)] = -0.5;
+            u[static_cast<std::size_t>(row)] = 0.5;
+            ++row;
+        }
+    RSQP_ASSERT(row == m, "control: row bookkeeping error");
+
+    QpProblem problem;
+    problem.pUpper = CscMatrix::fromTriplets(p_triplets).upperTriangular();
+    problem.q = constantVector(n, 0.0);
+    problem.a = CscMatrix::fromTriplets(a_triplets);
+    problem.l = std::move(l);
+    problem.u = std::move(u);
+    problem.name = "control";
+    problem.validate();
+    return problem;
+}
+
+QpProblem
+generateLasso(Index n, Rng& rng)
+{
+    RSQP_ASSERT(n >= 2, "lasso: need n >= 2");
+    const Index md = 5 * n;
+    const Index row_nnz = std::min<Index>(n, 8 + n / 20);
+    const Index n_tot = 2 * n + md;  // (x, y, t)
+    const Index x0 = 0, y0 = n, t0 = n + md;
+
+    // Data: b = A x_true + noise, x_true sparse.
+    TripletList a_data(md, n);
+    for (Index i = 0; i < md; ++i)
+        addSparseRow(a_data, i, n, row_nnz, 1.0, rng);
+    const CscMatrix a_mat = CscMatrix::fromTriplets(a_data);
+    Vector x_true(static_cast<std::size_t>(n), 0.0);
+    for (Index j = 0; j < n; ++j)
+        if (rng.bernoulli(0.5))
+            x_true[static_cast<std::size_t>(j)] = rng.normal();
+    Vector b;
+    a_mat.spmv(x_true, b);
+    for (Real& v : b)
+        v += rng.normal(0.0, 0.1);
+    Vector atb;
+    a_mat.spmvTranspose(b, atb);
+    const Real lambda = 0.2 * normInf(atb);
+
+    TripletList p_triplets(n_tot, n_tot);
+    for (Index i = 0; i < md; ++i)
+        p_triplets.add(y0 + i, y0 + i, 1.0);
+    Vector q(static_cast<std::size_t>(n_tot), 0.0);
+    for (Index j = 0; j < n; ++j)
+        q[static_cast<std::size_t>(t0 + j)] = lambda;
+
+    const Index m = md + 2 * n;
+    TripletList a_triplets(m, n_tot);
+    Vector l(static_cast<std::size_t>(m));
+    Vector u(static_cast<std::size_t>(m));
+    // Ax - y = b.
+    const CsrMatrix a_csr = CsrMatrix::fromCsc(a_mat);
+    for (Index i = 0; i < md; ++i) {
+        for (Index p = a_csr.rowPtr()[i]; p < a_csr.rowPtr()[i + 1]; ++p)
+            a_triplets.add(i, x0 + a_csr.colIdx()[p], a_csr.values()[p]);
+        a_triplets.add(i, y0 + i, -1.0);
+        l[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)];
+        u[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)];
+    }
+    // x - t <= 0 and x + t >= 0.
+    for (Index j = 0; j < n; ++j) {
+        const Index r1 = md + j;
+        a_triplets.add(r1, x0 + j, 1.0);
+        a_triplets.add(r1, t0 + j, -1.0);
+        l[static_cast<std::size_t>(r1)] = -kInf;
+        u[static_cast<std::size_t>(r1)] = 0.0;
+        const Index r2 = md + n + j;
+        a_triplets.add(r2, x0 + j, 1.0);
+        a_triplets.add(r2, t0 + j, 1.0);
+        l[static_cast<std::size_t>(r2)] = 0.0;
+        u[static_cast<std::size_t>(r2)] = kInf;
+    }
+
+    QpProblem problem;
+    problem.pUpper = CscMatrix::fromTriplets(p_triplets);
+    problem.q = std::move(q);
+    problem.a = CscMatrix::fromTriplets(a_triplets);
+    problem.l = std::move(l);
+    problem.u = std::move(u);
+    problem.name = "lasso";
+    problem.validate();
+    return problem;
+}
+
+QpProblem
+generateHuber(Index n, Rng& rng)
+{
+    RSQP_ASSERT(n >= 2, "huber: need n >= 2");
+    const Index md = 5 * n;
+    const Index row_nnz = std::min<Index>(n, 8 + n / 20);
+    const Index n_tot = n + 3 * md;  // (x, u, r, s)
+    const Index x0 = 0, u0 = n, r0 = n + md, s0 = n + 2 * md;
+    const Real huber_m = 1.0;
+
+    TripletList a_data(md, n);
+    for (Index i = 0; i < md; ++i)
+        addSparseRow(a_data, i, n, row_nnz, 1.0, rng);
+    const CscMatrix a_mat = CscMatrix::fromTriplets(a_data);
+    Vector x_true(static_cast<std::size_t>(n));
+    for (Real& v : x_true)
+        v = rng.normal();
+    Vector b;
+    a_mat.spmv(x_true, b);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        b[i] += rng.normal(0.0, 0.1);
+        if (rng.bernoulli(0.05))
+            b[i] += rng.uniform(-10.0, 10.0);  // outliers
+    }
+
+    TripletList p_triplets(n_tot, n_tot);
+    for (Index i = 0; i < md; ++i)
+        p_triplets.add(u0 + i, u0 + i, 1.0);
+    Vector q(static_cast<std::size_t>(n_tot), 0.0);
+    for (Index i = 0; i < md; ++i) {
+        q[static_cast<std::size_t>(r0 + i)] = huber_m;
+        q[static_cast<std::size_t>(s0 + i)] = huber_m;
+    }
+
+    const Index m = 3 * md;
+    TripletList a_triplets(m, n_tot);
+    Vector l(static_cast<std::size_t>(m));
+    Vector u(static_cast<std::size_t>(m));
+    const CsrMatrix a_csr = CsrMatrix::fromCsc(a_mat);
+    for (Index i = 0; i < md; ++i) {
+        // Ax - u - r + s = b.
+        for (Index p = a_csr.rowPtr()[i]; p < a_csr.rowPtr()[i + 1]; ++p)
+            a_triplets.add(i, x0 + a_csr.colIdx()[p], a_csr.values()[p]);
+        a_triplets.add(i, u0 + i, -1.0);
+        a_triplets.add(i, r0 + i, -1.0);
+        a_triplets.add(i, s0 + i, 1.0);
+        l[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)];
+        u[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)];
+        // r >= 0, s >= 0.
+        const Index rr = md + i;
+        a_triplets.add(rr, r0 + i, 1.0);
+        l[static_cast<std::size_t>(rr)] = 0.0;
+        u[static_cast<std::size_t>(rr)] = kInf;
+        const Index rs = 2 * md + i;
+        a_triplets.add(rs, s0 + i, 1.0);
+        l[static_cast<std::size_t>(rs)] = 0.0;
+        u[static_cast<std::size_t>(rs)] = kInf;
+    }
+
+    QpProblem problem;
+    problem.pUpper = CscMatrix::fromTriplets(p_triplets);
+    problem.q = std::move(q);
+    problem.a = CscMatrix::fromTriplets(a_triplets);
+    problem.l = std::move(l);
+    problem.u = std::move(u);
+    problem.name = "huber";
+    problem.validate();
+    return problem;
+}
+
+QpProblem
+generatePortfolio(Index n, Rng& rng)
+{
+    RSQP_ASSERT(n >= 10, "portfolio: need n >= 10");
+    const Index k = std::max<Index>(1, n / 10);
+    const Index n_tot = n + k;  // (x, y)
+    const Real gamma = 1.0;
+
+    TripletList p_triplets(n_tot, n_tot);
+    for (Index j = 0; j < n; ++j)
+        p_triplets.add(j, j, rng.uniform(0.0, 1.0) * std::sqrt(
+            static_cast<Real>(k)));
+    for (Index i = 0; i < k; ++i)
+        p_triplets.add(n + i, n + i, 1.0);
+
+    Vector q(static_cast<std::size_t>(n_tot), 0.0);
+    for (Index j = 0; j < n; ++j)
+        q[static_cast<std::size_t>(j)] = -rng.normal() / gamma;
+
+    // Factor loadings F (n x k), ~15% dense.
+    const Index f_row_nnz =
+        std::max<Index>(1, std::min(k, (3 * k) / 20 + 1));
+    TripletList f_triplets(n, k);
+    for (Index j = 0; j < n; ++j)
+        addSparseRow(f_triplets, j, k, f_row_nnz, 1.0, rng);
+    const CscMatrix f_mat = CscMatrix::fromTriplets(f_triplets);
+
+    const Index m = k + 1 + n;
+    TripletList a_triplets(m, n_tot);
+    Vector l(static_cast<std::size_t>(m));
+    Vector u(static_cast<std::size_t>(m));
+    // F'x - y = 0 : row i of F' is column i of F.
+    for (Index i = 0; i < k; ++i) {
+        for (Index p = f_mat.colPtr()[i]; p < f_mat.colPtr()[i + 1]; ++p)
+            a_triplets.add(i, f_mat.rowIdx()[p], f_mat.values()[p]);
+        a_triplets.add(i, n + i, -1.0);
+        l[static_cast<std::size_t>(i)] = 0.0;
+        u[static_cast<std::size_t>(i)] = 0.0;
+    }
+    // 1'x = 1.
+    for (Index j = 0; j < n; ++j)
+        a_triplets.add(k, j, 1.0);
+    l[static_cast<std::size_t>(k)] = 1.0;
+    u[static_cast<std::size_t>(k)] = 1.0;
+    // 0 <= x <= 1.
+    for (Index j = 0; j < n; ++j) {
+        const Index row = k + 1 + j;
+        a_triplets.add(row, j, 1.0);
+        l[static_cast<std::size_t>(row)] = 0.0;
+        u[static_cast<std::size_t>(row)] = 1.0;
+    }
+
+    QpProblem problem;
+    problem.pUpper = CscMatrix::fromTriplets(p_triplets);
+    problem.q = std::move(q);
+    problem.a = CscMatrix::fromTriplets(a_triplets);
+    problem.l = std::move(l);
+    problem.u = std::move(u);
+    problem.name = "portfolio";
+    problem.validate();
+    return problem;
+}
+
+QpProblem
+generateSvm(Index n, Rng& rng)
+{
+    RSQP_ASSERT(n >= 2, "svm: need n >= 2");
+    const Index md = 5 * n;
+    const Index row_nnz = std::min<Index>(n, 8 + n / 10);
+    const Index n_tot = n + md;  // (x, t)
+    const Real lambda = 1.0;
+
+    TripletList p_triplets(n_tot, n_tot);
+    for (Index j = 0; j < n; ++j)
+        p_triplets.add(j, j, 1.0);
+    Vector q(static_cast<std::size_t>(n_tot), 0.0);
+    for (Index i = 0; i < md; ++i)
+        q[static_cast<std::size_t>(n + i)] = lambda;
+
+    const Index m = 2 * md;
+    TripletList a_triplets(m, n_tot);
+    Vector l(static_cast<std::size_t>(m));
+    Vector u(static_cast<std::size_t>(m));
+    for (Index i = 0; i < md; ++i) {
+        const Real label = rng.bernoulli(0.5) ? 1.0 : -1.0;
+        const IndexVector picks =
+            rng.sampleDistinct(n, std::min(row_nnz, n));
+        // Make the two classes roughly separable with some overlap.
+        const Real shift = label * 0.5;
+        for (Index c : picks)
+            a_triplets.add(i, c, label * (rng.normal() + shift));
+        a_triplets.add(i, n + i, 1.0);
+        l[static_cast<std::size_t>(i)] = 1.0;
+        u[static_cast<std::size_t>(i)] = kInf;
+        // t >= 0.
+        const Index row = md + i;
+        a_triplets.add(row, n + i, 1.0);
+        l[static_cast<std::size_t>(row)] = 0.0;
+        u[static_cast<std::size_t>(row)] = kInf;
+    }
+
+    QpProblem problem;
+    problem.pUpper = CscMatrix::fromTriplets(p_triplets);
+    problem.q = std::move(q);
+    problem.a = CscMatrix::fromTriplets(a_triplets);
+    problem.l = std::move(l);
+    problem.u = std::move(u);
+    problem.name = "svm";
+    problem.validate();
+    return problem;
+}
+
+QpProblem
+generateEqqp(Index n, Rng& rng)
+{
+    RSQP_ASSERT(n >= 4, "eqqp: need n >= 4");
+    const Index m = n / 2;
+    const Real density = 0.15;
+    const Index p_row_nnz =
+        std::max<Index>(1, static_cast<Index>(density * n));
+
+    // Diagonally dominant symmetric P (positive definite).
+    TripletList p_triplets(n, n);
+    Vector row_abs(static_cast<std::size_t>(n), 0.0);
+    for (Index i = 0; i < n; ++i) {
+        const IndexVector picks = rng.sampleDistinct(
+            n - i - 1, std::min<Index>(p_row_nnz / 2, n - i - 1));
+        for (Index offset : picks) {
+            const Index j = i + 1 + offset;
+            const Real v = rng.normal(0.0, 1.0);
+            p_triplets.add(i, j, v);
+            row_abs[static_cast<std::size_t>(i)] += std::abs(v);
+            row_abs[static_cast<std::size_t>(j)] += std::abs(v);
+        }
+    }
+    for (Index i = 0; i < n; ++i)
+        p_triplets.add(i, i,
+                       row_abs[static_cast<std::size_t>(i)] + 1.0);
+
+    Vector q(static_cast<std::size_t>(n));
+    for (Real& v : q)
+        v = rng.normal();
+
+    const Index a_row_nnz =
+        std::max<Index>(1, static_cast<Index>(density * n));
+    TripletList a_triplets(m, n);
+    for (Index i = 0; i < m; ++i)
+        addSparseRow(a_triplets, i, n, a_row_nnz, 1.0, rng);
+    const CscMatrix a_mat = CscMatrix::fromTriplets(a_triplets);
+    Vector x_hat(static_cast<std::size_t>(n));
+    for (Real& v : x_hat)
+        v = rng.normal();
+    Vector b;
+    a_mat.spmv(x_hat, b);
+
+    QpProblem problem;
+    problem.pUpper = CscMatrix::fromTriplets(p_triplets);
+    problem.q = std::move(q);
+    problem.a = a_mat;
+    problem.l = b;
+    problem.u = b;
+    problem.name = "eqqp";
+    problem.validate();
+    return problem;
+}
+
+} // namespace rsqp

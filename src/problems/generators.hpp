@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Seeded generators for the six OSQP benchmark domains (paper Sec. 5,
+ * following the formulations of the OSQP paper's benchmark suite):
+ * control (linear MPC), lasso, Huber fitting, portfolio optimization,
+ * support vector machine, and equality-constrained QP.
+ *
+ * Every generator takes a single size parameter and an RNG; identical
+ * (parameter, seed) pairs produce identical problems, so all figures
+ * in this repository are exactly reproducible.
+ */
+
+#ifndef RSQP_PROBLEMS_GENERATORS_HPP
+#define RSQP_PROBLEMS_GENERATORS_HPP
+
+#include "common/random.hpp"
+#include "osqp/problem.hpp"
+
+namespace rsqp
+{
+
+/**
+ * Linear MPC for a randomly generated stable system (the "control"
+ * domain).
+ *
+ * States nx, inputs nu = nx/2, horizon T = 10. Decision variables are
+ * the stacked states x_1..x_T and inputs u_0..u_{T-1}; constraints are
+ * the dynamics equalities plus box bounds on states and inputs.
+ *
+ * @param nx Number of states (>= 2).
+ */
+QpProblem generateControl(Index nx, Rng& rng);
+
+/**
+ * Lasso regression: minimize (1/2)||Ax - b||^2 + lambda ||x||_1,
+ * rewritten with residual variables y and bound variables t as
+ *   minimize (1/2) y'y + lambda 1't
+ *   s.t. y = Ax - b, -t <= x <= t.
+ *
+ * @param n Number of features; the data matrix has 5n rows.
+ */
+QpProblem generateLasso(Index n, Rng& rng);
+
+/**
+ * Huber fitting: minimize sum huber_M(a_i'x - b_i), rewritten as
+ *   minimize (1/2) u'u + M 1'(r + s)
+ *   s.t. Ax - b - u = r - s, r >= 0, s >= 0.
+ *
+ * @param n Number of features; the data matrix has 5n rows.
+ */
+QpProblem generateHuber(Index n, Rng& rng);
+
+/**
+ * Markowitz portfolio optimization with a k = max(1, n/10) factor
+ * model Sigma = F F' + D:
+ *   maximize mu'x - gamma (x' Sigma x)
+ * rewritten with y = F'x as
+ *   minimize x'Dx + y'y - (1/gamma) mu'x
+ *   s.t. y = F'x, 1'x = 1, 0 <= x <= 1.
+ *
+ * @param n Number of assets.
+ */
+QpProblem generatePortfolio(Index n, Rng& rng);
+
+/**
+ * Support vector machine with hinge loss:
+ *   minimize (1/2) x'x + lambda 1't
+ *   s.t. t >= diag(b) A x + 1, t >= 0
+ * for labeled data (a_i, b_i), b_i in {-1, +1}; 5n data points.
+ *
+ * @param n Number of features.
+ */
+QpProblem generateSvm(Index n, Rng& rng);
+
+/**
+ * Equality-constrained QP with dense-ish random data (15% density, as
+ * in the OSQP benchmark; this is the domain whose unstructured
+ * sparsity defeats customization in Fig. 9):
+ *   minimize (1/2) x'Px + q'x  s.t.  Ax = b,
+ * with P = M'M + alpha I and m = n/2 constraints.
+ *
+ * @param n Number of variables (>= 4).
+ */
+QpProblem generateEqqp(Index n, Rng& rng);
+
+} // namespace rsqp
+
+#endif // RSQP_PROBLEMS_GENERATORS_HPP

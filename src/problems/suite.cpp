@@ -1,0 +1,128 @@
+#include "suite.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "problems/generators.hpp"
+
+namespace rsqp
+{
+
+const std::vector<Domain>&
+allDomains()
+{
+    static const std::vector<Domain> domains = {
+        Domain::Control, Domain::Lasso, Domain::Huber,
+        Domain::Portfolio, Domain::Svm, Domain::Eqqp,
+    };
+    return domains;
+}
+
+const char*
+toString(Domain domain)
+{
+    switch (domain) {
+      case Domain::Control: return "control";
+      case Domain::Lasso: return "lasso";
+      case Domain::Huber: return "huber";
+      case Domain::Portfolio: return "portfolio";
+      case Domain::Svm: return "svm";
+      case Domain::Eqqp: return "eqqp";
+    }
+    return "unknown";
+}
+
+QpProblem
+generateProblem(Domain domain, Index size_param, std::uint64_t seed)
+{
+    Rng rng(seed);
+    switch (domain) {
+      case Domain::Control: return generateControl(size_param, rng);
+      case Domain::Lasso: return generateLasso(size_param, rng);
+      case Domain::Huber: return generateHuber(size_param, rng);
+      case Domain::Portfolio: return generatePortfolio(size_param, rng);
+      case Domain::Svm: return generateSvm(size_param, rng);
+      case Domain::Eqqp: return generateEqqp(size_param, rng);
+    }
+    RSQP_PANIC("unknown domain");
+}
+
+QpProblem
+ProblemSpec::generate() const
+{
+    QpProblem problem = generateProblem(domain, sizeParam, seed);
+    problem.name = name;
+    return problem;
+}
+
+namespace
+{
+
+/** Size-parameter sweep bounds per domain (nnz spans ~1e2..1e6). */
+void
+domainSizeRange(Domain domain, Index& lo, Index& hi)
+{
+    switch (domain) {
+      case Domain::Control: lo = 4; hi = 1200; return;
+      case Domain::Lasso: lo = 10; hi = 2000; return;
+      case Domain::Huber: lo = 10; hi = 1500; return;
+      case Domain::Portfolio: lo = 20; hi = 8000; return;
+      case Domain::Svm: lo = 10; hi = 1200; return;
+      case Domain::Eqqp: lo = 10; hi = 2500; return;
+    }
+    RSQP_PANIC("unknown domain");
+}
+
+} // namespace
+
+std::vector<ProblemSpec>
+benchmarkSuite(Index sizes_per_domain)
+{
+    RSQP_ASSERT(sizes_per_domain >= 1 && sizes_per_domain <= 20,
+                "sizes_per_domain must be in [1, 20]");
+    // The full suite always uses 20 log-spaced points; a reduced suite
+    // takes every ceil(20/k)-th point so small and large sizes are both
+    // represented.
+    constexpr Index kFullPoints = 20;
+
+    std::vector<ProblemSpec> specs;
+    for (Domain domain : allDomains()) {
+        Index lo = 0, hi = 0;
+        domainSizeRange(domain, lo, hi);
+        std::vector<Index> params;
+        for (Index i = 0; i < kFullPoints; ++i) {
+            const Real t = kFullPoints == 1
+                ? 0.0
+                : static_cast<Real>(i) /
+                    static_cast<Real>(kFullPoints - 1);
+            const Real value = static_cast<Real>(lo) *
+                std::pow(static_cast<Real>(hi) / static_cast<Real>(lo), t);
+            params.push_back(static_cast<Index>(std::lround(value)));
+        }
+        // Subsample when a reduced suite is requested.
+        std::vector<Index> chosen;
+        for (Index i = 0; i < sizes_per_domain; ++i) {
+            const Index idx = sizes_per_domain == 1
+                ? 0
+                : (i * (kFullPoints - 1)) / (sizes_per_domain - 1);
+            chosen.push_back(params[static_cast<std::size_t>(idx)]);
+        }
+        for (std::size_t i = 0; i < chosen.size(); ++i) {
+            ProblemSpec spec;
+            spec.domain = domain;
+            spec.sizeParam = chosen[i];
+            spec.seed = 0xC0FFEEULL * 1000003ULL +
+                static_cast<std::uint64_t>(domain) * 7919ULL +
+                static_cast<std::uint64_t>(i) * 104729ULL;
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%s_%02zu",
+                          toString(domain), i);
+            spec.name = buf;
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+} // namespace rsqp

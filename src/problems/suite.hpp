@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The 120-problem benchmark suite: 6 application domains x 20 sizes,
+ * spanning roughly 1e2 to 1e6 non-zeros (paper Fig. 7).
+ */
+
+#ifndef RSQP_PROBLEMS_SUITE_HPP
+#define RSQP_PROBLEMS_SUITE_HPP
+
+#include <string>
+#include <vector>
+
+#include "osqp/problem.hpp"
+
+namespace rsqp
+{
+
+/** Application domains of the OSQP benchmark. */
+enum class Domain
+{
+    Control,
+    Lasso,
+    Huber,
+    Portfolio,
+    Svm,
+    Eqqp,
+};
+
+/** All six domains in the paper's ordering. */
+const std::vector<Domain>& allDomains();
+
+/** Printable domain name ("control", "lasso", ...). */
+const char* toString(Domain domain);
+
+/** One suite entry: which generator, at which size, with which seed. */
+struct ProblemSpec
+{
+    Domain domain = Domain::Control;
+    Index sizeParam = 0;       ///< generator size argument
+    std::uint64_t seed = 0;    ///< RNG seed
+    std::string name;          ///< e.g. "control_07"
+
+    /** Materialize the QP. */
+    QpProblem generate() const;
+};
+
+/**
+ * The full 120-problem suite. sizes_per_domain can be reduced for
+ * quick runs (the spacing stays logarithmic, anchored at the small
+ * end, so reduced suites are prefixes of the full one in size).
+ */
+std::vector<ProblemSpec> benchmarkSuite(Index sizes_per_domain = 20);
+
+/** Generator dispatch used by ProblemSpec::generate. */
+QpProblem generateProblem(Domain domain, Index size_param,
+                          std::uint64_t seed);
+
+} // namespace rsqp
+
+#endif // RSQP_PROBLEMS_SUITE_HPP

@@ -1,0 +1,140 @@
+#include "kkt_solver.hpp"
+
+#include "common/logging.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace rsqp
+{
+
+DirectKktSolver::DirectKktSolver(const CscMatrix& p_upper,
+                                 const CscMatrix& a, Real sigma,
+                                 const Vector& rho_vec,
+                                 OrderingKind ordering)
+    : n_(p_upper.cols()), m_(a.rows()),
+      assembler_(p_upper, a, sigma, rho_vec), rhoVec_(rho_vec)
+{
+    perm_ = computeOrdering(assembler_.kkt(), ordering);
+    invPerm_.resize(perm_.size());
+    for (Index i = 0; i < static_cast<Index>(perm_.size()); ++i)
+        invPerm_[static_cast<std::size_t>(
+            perm_[static_cast<std::size_t>(i)])] = i;
+    kktPermuted_ = assembler_.kkt().symUpperPermute(perm_);
+    ldl_ = std::make_unique<LdlFactorization>(kktPermuted_);
+    refactor();
+}
+
+void
+DirectKktSolver::refactor()
+{
+    kktPermuted_ = assembler_.kkt().symUpperPermute(perm_);
+    if (!ldl_->factor(kktPermuted_))
+        RSQP_FATAL("LDL factorization hit a zero pivot; the KKT system "
+                   "is not quasi-definite (check sigma/rho)");
+    needRefactor_ = false;
+}
+
+KktSolveStats
+DirectKktSolver::solve(const Vector& rhs_x, const Vector& rhs_z,
+                       Vector& x_tilde, Vector& z_tilde)
+{
+    RSQP_ASSERT(static_cast<Index>(rhs_x.size()) == n_, "rhs_x size");
+    RSQP_ASSERT(static_cast<Index>(rhs_z.size()) == m_, "rhs_z size");
+
+    KktSolveStats stats;
+    if (needRefactor_) {
+        refactor();
+        stats.refactorized = true;
+    }
+
+    // Assemble, permute, solve, un-permute.
+    work_.resize(static_cast<std::size_t>(n_ + m_));
+    Vector permuted(static_cast<std::size_t>(n_ + m_));
+    for (Index i = 0; i < n_; ++i)
+        work_[static_cast<std::size_t>(i)] =
+            rhs_x[static_cast<std::size_t>(i)];
+    for (Index i = 0; i < m_; ++i)
+        work_[static_cast<std::size_t>(n_ + i)] =
+            rhs_z[static_cast<std::size_t>(i)];
+    for (Index i = 0; i < n_ + m_; ++i)
+        permuted[static_cast<std::size_t>(i)] =
+            work_[static_cast<std::size_t>(perm_[static_cast<std::size_t>(
+                i)])];
+
+    ldl_->solve(permuted);
+
+    for (Index i = 0; i < n_ + m_; ++i)
+        work_[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] =
+            permuted[static_cast<std::size_t>(i)];
+
+    x_tilde.assign(work_.begin(), work_.begin() + n_);
+    // z_tilde = rhs_z + diag(1/rho) * nu.
+    z_tilde.resize(static_cast<std::size_t>(m_));
+    for (Index i = 0; i < m_; ++i)
+        z_tilde[static_cast<std::size_t>(i)] =
+            rhs_z[static_cast<std::size_t>(i)] +
+            work_[static_cast<std::size_t>(n_ + i)] /
+                rhoVec_[static_cast<std::size_t>(i)];
+    return stats;
+}
+
+void
+DirectKktSolver::updateRho(const Vector& rho_vec)
+{
+    rhoVec_ = rho_vec;
+    assembler_.updateRho(rho_vec);
+    needRefactor_ = true;
+}
+
+IndirectKktSolver::IndirectKktSolver(const CscMatrix& p_upper,
+                                     const CscMatrix& a, Real sigma,
+                                     const Vector& rho_vec,
+                                     PcgSettings pcg_settings)
+    : a_(&a), op_(p_upper, a, sigma, rho_vec),
+      pcgSettings_(pcg_settings), rhoVec_(rho_vec)
+{
+    precond_ = std::make_unique<JacobiPreconditioner>(op_.diagonal());
+    warmX_.assign(static_cast<std::size_t>(p_upper.cols()), 0.0);
+}
+
+KktSolveStats
+IndirectKktSolver::solve(const Vector& rhs_x, const Vector& rhs_z,
+                         Vector& x_tilde, Vector& z_tilde)
+{
+    // b = rhs_x + A' diag(rho) rhs_z.
+    reducedRhs_ = rhs_x;
+    scaledRhsZ_.resize(rhs_z.size());
+    for (std::size_t i = 0; i < rhs_z.size(); ++i)
+        scaledRhsZ_[i] = rhoVec_[i] * rhs_z[i];
+    a_->spmvTransposeAccumulate(scaledRhsZ_, reducedRhs_, 1.0);
+
+    // Warm-start from the previous solution (the iterates converge, so
+    // consecutive systems have nearby solutions).
+    x_tilde = warmX_;
+    PcgSettings effective = pcgSettings_;
+    effective.epsRel = pcgSettings_.effectiveEpsRel(solveCount_++);
+    effective.adaptiveTolerance = false;
+    const PcgResult pcg =
+        pcgSolve(op_, *precond_, reducedRhs_, x_tilde, effective);
+    if (!pcg.converged)
+        RSQP_WARN("PCG hit the iteration cap (", pcg.iterations,
+                  " iters, residual ", pcg.residualNorm, ")");
+    warmX_ = x_tilde;
+    lastPcgIters_ = pcg.iterations;
+    totalPcgIters_ += pcg.iterations;
+
+    a_->spmv(x_tilde, z_tilde);
+
+    KktSolveStats stats;
+    stats.pcgIterations = pcg.iterations;
+    return stats;
+}
+
+void
+IndirectKktSolver::updateRho(const Vector& rho_vec)
+{
+    rhoVec_ = rho_vec;
+    op_.setRho(rho_vec);
+    precond_ = std::make_unique<JacobiPreconditioner>(op_.diagonal());
+}
+
+} // namespace rsqp

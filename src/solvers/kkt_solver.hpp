@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Linear-system backends for the OSQP iteration (paper Section 2.2).
+ *
+ * DirectKktSolver factors the full indefinite KKT matrix with LDL' and
+ * reuses the numeric factorization until rho changes. IndirectKktSolver
+ * solves the reduced positive-definite system with PCG and never forms
+ * K explicitly. Both present the same interface so the ADMM loop is
+ * backend-agnostic — the same split OSQP uses to host MKL, cuOSQP, or
+ * the RSQP accelerator.
+ */
+
+#ifndef RSQP_SOLVERS_KKT_SOLVER_HPP
+#define RSQP_SOLVERS_KKT_SOLVER_HPP
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "linalg/csc.hpp"
+#include "linalg/kkt.hpp"
+#include "solvers/ldl.hpp"
+#include "solvers/ordering.hpp"
+#include "solvers/pcg.hpp"
+
+namespace rsqp
+{
+
+/** Per-solve statistics reported back to the ADMM loop. */
+struct KktSolveStats
+{
+    Index pcgIterations = 0;   ///< 0 for the direct backend
+    bool refactorized = false; ///< direct backend only
+};
+
+/**
+ * Abstract solver of the ADMM equality-QP step.
+ *
+ * Given rhs_x = sigma*x - q and rhs_z = z - y/rho, produce
+ * x_tilde (the new primal iterate candidate) and z_tilde = A x_tilde.
+ */
+class KktSolver
+{
+  public:
+    virtual ~KktSolver() = default;
+
+    /** Solve the step; returns per-call statistics. */
+    virtual KktSolveStats solve(const Vector& rhs_x, const Vector& rhs_z,
+                                Vector& x_tilde, Vector& z_tilde) = 0;
+
+    /** Inform the backend of a rho change. */
+    virtual void updateRho(const Vector& rho_vec) = 0;
+
+    /** Human-readable backend name for reports. */
+    virtual const char* name() const = 0;
+
+    /** Cumulative PCG iterations (0 for direct). */
+    virtual Count totalPcgIterations() const { return 0; }
+};
+
+/** LDL'-based direct backend (OSQP's default "qdldl" backend). */
+class DirectKktSolver : public KktSolver
+{
+  public:
+    /**
+     * @param p_upper Hessian (upper-triangle CSC).
+     * @param a Constraint matrix.
+     * @param sigma ADMM sigma.
+     * @param rho_vec Initial per-constraint rho.
+     * @param ordering Fill-reducing ordering strategy.
+     */
+    DirectKktSolver(const CscMatrix& p_upper, const CscMatrix& a,
+                    Real sigma, const Vector& rho_vec,
+                    OrderingKind ordering = OrderingKind::Rcm);
+
+    KktSolveStats solve(const Vector& rhs_x, const Vector& rhs_z,
+                        Vector& x_tilde, Vector& z_tilde) override;
+    void updateRho(const Vector& rho_vec) override;
+    const char* name() const override { return "direct-ldl"; }
+
+    /** Factor non-zero count (for reporting). */
+    Count factorNnz() const { return ldl_->lnnz(); }
+
+  private:
+    void refactor();
+
+    Index n_;
+    Index m_;
+    KktAssembler assembler_;
+    IndexVector perm_;     ///< ordering permutation
+    IndexVector invPerm_;  ///< inverse permutation
+    CscMatrix kktPermuted_;
+    std::unique_ptr<LdlFactorization> ldl_;
+    Vector rhoVec_;
+    Vector work_;
+    bool needRefactor_ = true;
+};
+
+/** PCG-based indirect backend (cuOSQP / RSQP style). */
+class IndirectKktSolver : public KktSolver
+{
+  public:
+    IndirectKktSolver(const CscMatrix& p_upper, const CscMatrix& a,
+                      Real sigma, const Vector& rho_vec,
+                      PcgSettings pcg_settings = {});
+
+    KktSolveStats solve(const Vector& rhs_x, const Vector& rhs_z,
+                        Vector& x_tilde, Vector& z_tilde) override;
+    void updateRho(const Vector& rho_vec) override;
+    const char* name() const override { return "indirect-pcg"; }
+    Count totalPcgIterations() const override { return totalPcgIters_; }
+
+    /** Iterations used by the most recent solve. */
+    Index lastPcgIterations() const { return lastPcgIters_; }
+
+  private:
+    const CscMatrix* a_;
+    ReducedKktOperator op_;
+    std::unique_ptr<JacobiPreconditioner> precond_;
+    PcgSettings pcgSettings_;
+    Vector rhoVec_;
+    Vector warmX_;     ///< previous solution for warm starting
+    Vector reducedRhs_;
+    Vector scaledRhsZ_;
+    Index lastPcgIters_ = 0;
+    Count totalPcgIters_ = 0;
+    Count solveCount_ = 0;  ///< drives the adaptive tolerance schedule
+};
+
+} // namespace rsqp
+
+#endif // RSQP_SOLVERS_KKT_SOLVER_HPP

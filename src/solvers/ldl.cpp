@@ -1,0 +1,180 @@
+#include "ldl.hpp"
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+constexpr Index kUnused = -1;
+} // namespace
+
+LdlFactorization::LdlFactorization(const CscMatrix& upper)
+    : n_(upper.cols())
+{
+    RSQP_ASSERT(upper.rows() == upper.cols(), "LDL needs a square matrix");
+    const auto& col_ptr = upper.colPtr();
+    const auto& row_idx = upper.rowIdx();
+
+    parent_.assign(static_cast<std::size_t>(n_), kUnused);
+    IndexVector lnz(static_cast<std::size_t>(n_), 0);
+    IndexVector work(static_cast<std::size_t>(n_), kUnused);
+
+    // Elimination tree + column counts (QDLDL_etree).
+    for (Index j = 0; j < n_; ++j) {
+        work[static_cast<std::size_t>(j)] = j;
+        bool has_diag = false;
+        for (Index p = col_ptr[j]; p < col_ptr[j + 1]; ++p) {
+            Index i = row_idx[p];
+            if (i > j)
+                RSQP_FATAL("LDL input is not upper-triangular");
+            if (i == j) {
+                has_diag = true;
+                continue;
+            }
+            while (work[static_cast<std::size_t>(i)] != j) {
+                if (parent_[static_cast<std::size_t>(i)] == kUnused)
+                    parent_[static_cast<std::size_t>(i)] = j;
+                ++lnz[static_cast<std::size_t>(i)];
+                work[static_cast<std::size_t>(i)] = j;
+                i = parent_[static_cast<std::size_t>(i)];
+            }
+        }
+        if (!has_diag)
+            RSQP_FATAL("LDL input is missing diagonal entry in column ", j);
+    }
+
+    lColPtr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (Index i = 0; i < n_; ++i)
+        lColPtr_[static_cast<std::size_t>(i) + 1] =
+            lColPtr_[static_cast<std::size_t>(i)] +
+            lnz[static_cast<std::size_t>(i)];
+
+    const auto total = static_cast<std::size_t>(lColPtr_.back());
+    li_.assign(total, 0);
+    lx_.assign(total, 0.0);
+    d_.assign(static_cast<std::size_t>(n_), 0.0);
+    dinv_.assign(static_cast<std::size_t>(n_), 0.0);
+    workFlag_.assign(static_cast<std::size_t>(n_), kUnused);
+    elimBuffer_.assign(static_cast<std::size_t>(n_), 0);
+    yIdx_.assign(static_cast<std::size_t>(n_), 0);
+    yVals_.assign(static_cast<std::size_t>(n_), 0.0);
+    lNextSpace_.assign(static_cast<std::size_t>(n_), 0);
+}
+
+bool
+LdlFactorization::factor(const CscMatrix& upper)
+{
+    RSQP_ASSERT(upper.cols() == n_, "structure mismatch in factor()");
+    const auto& col_ptr = upper.colPtr();
+    const auto& row_idx = upper.rowIdx();
+    const auto& values = upper.values();
+
+    numericOk_ = false;
+    posPivots_ = 0;
+    negPivots_ = 0;
+    for (Index i = 0; i < n_; ++i) {
+        lNextSpace_[static_cast<std::size_t>(i)] =
+            lColPtr_[static_cast<std::size_t>(i)];
+        workFlag_[static_cast<std::size_t>(i)] = kUnused;
+        yVals_[static_cast<std::size_t>(i)] = 0.0;
+    }
+
+    // Up-looking factorization, one row of L per step k.
+    for (Index k = 0; k < n_; ++k) {
+        Index nnz_y = 0;
+        d_[static_cast<std::size_t>(k)] = 0.0;
+
+        // Scatter column k of A into the sparse accumulator y and
+        // compute the nonzero pattern of row k of L via etree climbs.
+        for (Index p = col_ptr[k]; p < col_ptr[k + 1]; ++p) {
+            const Index i = row_idx[p];
+            if (i == k) {
+                d_[static_cast<std::size_t>(k)] = values[p];
+                continue;
+            }
+            yVals_[static_cast<std::size_t>(i)] += values[p];
+            Index b = i;
+            Index nnz_e = 0;
+            // Climb the elimination tree until hitting k, a node already
+            // flagged for this step, or (defensively) a tree root.
+            while (b != kUnused && b < k &&
+                   workFlag_[static_cast<std::size_t>(b)] != k) {
+                workFlag_[static_cast<std::size_t>(b)] = k;
+                elimBuffer_[static_cast<std::size_t>(nnz_e++)] = b;
+                b = parent_[static_cast<std::size_t>(b)];
+            }
+            // Reverse the climb so ancestors end up deeper in yIdx.
+            while (nnz_e > 0)
+                yIdx_[static_cast<std::size_t>(nnz_y++)] =
+                    elimBuffer_[static_cast<std::size_t>(--nnz_e)];
+        }
+
+        // Process pattern entries in topological (stack) order.
+        for (Index s = nnz_y - 1; s >= 0; --s) {
+            const Index c = yIdx_[static_cast<std::size_t>(s)];
+            const Real y_c = yVals_[static_cast<std::size_t>(c)];
+
+            // Sparse triangular update with the existing column c of L.
+            for (Index p = lColPtr_[static_cast<std::size_t>(c)];
+                 p < lNextSpace_[static_cast<std::size_t>(c)]; ++p) {
+                yVals_[static_cast<std::size_t>(
+                    li_[static_cast<std::size_t>(p)])] -=
+                    lx_[static_cast<std::size_t>(p)] * y_c;
+            }
+
+            // Store L(k, c) and update the pivot.
+            const Index slot = lNextSpace_[static_cast<std::size_t>(c)]++;
+            const Real l_kc = y_c * dinv_[static_cast<std::size_t>(c)];
+            li_[static_cast<std::size_t>(slot)] = k;
+            lx_[static_cast<std::size_t>(slot)] = l_kc;
+            d_[static_cast<std::size_t>(k)] -= y_c * l_kc;
+
+            yVals_[static_cast<std::size_t>(c)] = 0.0;
+        }
+
+        const Real pivot = d_[static_cast<std::size_t>(k)];
+        if (pivot == 0.0)
+            return false;
+        if (pivot > 0.0)
+            ++posPivots_;
+        else
+            ++negPivots_;
+        dinv_[static_cast<std::size_t>(k)] = 1.0 / pivot;
+    }
+    numericOk_ = true;
+    return true;
+}
+
+void
+LdlFactorization::solve(Vector& x) const
+{
+    RSQP_ASSERT(numericOk_, "solve() before a successful factor()");
+    RSQP_ASSERT(static_cast<Index>(x.size()) == n_, "rhs size mismatch");
+
+    // Forward substitution: L y = b.
+    for (Index j = 0; j < n_; ++j) {
+        const Real xj = x[static_cast<std::size_t>(j)];
+        if (xj == 0.0)
+            continue;
+        for (Index p = lColPtr_[static_cast<std::size_t>(j)];
+             p < lColPtr_[static_cast<std::size_t>(j) + 1]; ++p)
+            x[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] -=
+                lx_[static_cast<std::size_t>(p)] * xj;
+    }
+    // Diagonal solve: D z = y.
+    for (Index j = 0; j < n_; ++j)
+        x[static_cast<std::size_t>(j)] *= dinv_[static_cast<std::size_t>(j)];
+    // Backward substitution: L' x = z.
+    for (Index j = n_ - 1; j >= 0; --j) {
+        Real acc = x[static_cast<std::size_t>(j)];
+        for (Index p = lColPtr_[static_cast<std::size_t>(j)];
+             p < lColPtr_[static_cast<std::size_t>(j) + 1]; ++p)
+            acc -= lx_[static_cast<std::size_t>(p)] *
+                x[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])];
+        x[static_cast<std::size_t>(j)] = acc;
+    }
+}
+
+} // namespace rsqp

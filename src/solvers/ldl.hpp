@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Sparse LDL' factorization for quasi-definite systems.
+ *
+ * Up-looking algorithm with an elimination-tree symbolic phase, in the
+ * style of QDLDL (the factorization used inside OSQP's direct backend).
+ * No pivoting is performed; quasi-definiteness of the OSQP KKT matrix
+ * (sigma > 0, rho > 0) guarantees non-zero pivots in exact arithmetic.
+ *
+ * The symbolic analysis is done once per sparsity structure; numeric
+ * refactorization (after a rho update or new problem data) reuses it,
+ * exactly as in OSQP's three-stage scheme described in the paper.
+ */
+
+#ifndef RSQP_SOLVERS_LDL_HPP
+#define RSQP_SOLVERS_LDL_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/csc.hpp"
+
+namespace rsqp
+{
+
+/** LDL' factorization of an upper-triangle-stored symmetric matrix. */
+class LdlFactorization
+{
+  public:
+    /**
+     * Run the symbolic analysis for the given upper-triangular pattern.
+     * Every column must contain an explicit diagonal entry.
+     */
+    explicit LdlFactorization(const CscMatrix& upper);
+
+    /**
+     * Numeric factorization; the matrix must have exactly the sparsity
+     * structure passed to the constructor.
+     *
+     * @return true on success, false if a zero pivot was hit.
+     */
+    bool factor(const CscMatrix& upper);
+
+    /** Solve (LDL') x = b in place. factor() must have succeeded. */
+    void solve(Vector& x) const;
+
+    /** Dimension of the factored system. */
+    Index dim() const { return n_; }
+
+    /** Non-zeros in the strictly-lower factor L. */
+    Count lnnz() const { return static_cast<Count>(li_.size()); }
+
+    /** Number of positive / negative pivots (inertia check). */
+    Index positivePivots() const { return posPivots_; }
+    Index negativePivots() const { return negPivots_; }
+
+    /** The diagonal D of the factorization. */
+    const Vector& dVector() const { return d_; }
+
+  private:
+    Index n_ = 0;
+    IndexVector parent_;     ///< elimination tree
+    IndexVector lColPtr_;    ///< L column pointers (size n+1)
+    IndexVector li_;         ///< L row indices (strictly lower)
+    Vector lx_;              ///< L values
+    Vector d_;               ///< pivot diagonal D
+    Vector dinv_;            ///< 1 / D
+    Index posPivots_ = 0;
+    Index negPivots_ = 0;
+    bool numericOk_ = false;
+
+    // Workspaces reused across numeric factorizations.
+    mutable IndexVector workFlag_;
+    mutable IndexVector elimBuffer_;
+    mutable IndexVector yIdx_;
+    mutable Vector yVals_;
+    IndexVector lNextSpace_;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_SOLVERS_LDL_HPP

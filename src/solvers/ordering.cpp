@@ -1,0 +1,219 @@
+#include "ordering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+#include <functional>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+/** Symmetrized adjacency (no self loops) from an upper-triangle pattern. */
+std::vector<IndexVector>
+buildAdjacency(const CscMatrix& upper)
+{
+    const Index n = upper.cols();
+    std::vector<IndexVector> adj(static_cast<std::size_t>(n));
+    for (Index c = 0; c < n; ++c) {
+        for (Index p = upper.colPtr()[c]; p < upper.colPtr()[c + 1]; ++p) {
+            const Index r = upper.rowIdx()[p];
+            if (r == c)
+                continue;
+            adj[static_cast<std::size_t>(r)].push_back(c);
+            adj[static_cast<std::size_t>(c)].push_back(r);
+        }
+    }
+    for (auto& neighbors : adj) {
+        std::sort(neighbors.begin(), neighbors.end());
+        neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                        neighbors.end());
+    }
+    return adj;
+}
+
+} // namespace
+
+IndexVector
+reverseCuthillMcKee(const CscMatrix& upper)
+{
+    RSQP_ASSERT(upper.rows() == upper.cols(), "RCM needs a square matrix");
+    const Index n = upper.cols();
+    const auto adj = buildAdjacency(upper);
+
+    std::vector<Index> degree(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i)
+        degree[static_cast<std::size_t>(i)] =
+            static_cast<Index>(adj[static_cast<std::size_t>(i)].size());
+
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    IndexVector order;
+    order.reserve(static_cast<std::size_t>(n));
+
+    // Process every connected component, starting each BFS from its
+    // minimum-degree node (a cheap pseudo-peripheral heuristic).
+    for (Index seed_scan = 0; seed_scan < n; ++seed_scan) {
+        if (visited[static_cast<std::size_t>(seed_scan)])
+            continue;
+        // Find the min-degree unvisited node in this component via BFS
+        // from seed_scan first.
+        Index start = seed_scan;
+        {
+            std::queue<Index> bfs;
+            std::vector<Index> component;
+            std::vector<bool> seen(static_cast<std::size_t>(n), false);
+            bfs.push(seed_scan);
+            seen[static_cast<std::size_t>(seed_scan)] = true;
+            while (!bfs.empty()) {
+                const Index u = bfs.front();
+                bfs.pop();
+                component.push_back(u);
+                for (Index v : adj[static_cast<std::size_t>(u)]) {
+                    if (!seen[static_cast<std::size_t>(v)] &&
+                        !visited[static_cast<std::size_t>(v)]) {
+                        seen[static_cast<std::size_t>(v)] = true;
+                        bfs.push(v);
+                    }
+                }
+            }
+            for (Index u : component)
+                if (degree[static_cast<std::size_t>(u)] <
+                    degree[static_cast<std::size_t>(start)])
+                    start = u;
+        }
+
+        // Cuthill-McKee BFS with degree-sorted neighbor expansion.
+        std::queue<Index> bfs;
+        bfs.push(start);
+        visited[static_cast<std::size_t>(start)] = true;
+        IndexVector buffer;
+        while (!bfs.empty()) {
+            const Index u = bfs.front();
+            bfs.pop();
+            order.push_back(u);
+            buffer.clear();
+            for (Index v : adj[static_cast<std::size_t>(u)])
+                if (!visited[static_cast<std::size_t>(v)])
+                    buffer.push_back(v);
+            std::sort(buffer.begin(), buffer.end(),
+                      [&](Index a, Index b) {
+                          return degree[static_cast<std::size_t>(a)] <
+                              degree[static_cast<std::size_t>(b)];
+                      });
+            for (Index v : buffer) {
+                visited[static_cast<std::size_t>(v)] = true;
+                bfs.push(v);
+            }
+        }
+    }
+
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+IndexVector
+minimumDegree(const CscMatrix& upper)
+{
+    RSQP_ASSERT(upper.rows() == upper.cols(),
+                "minimumDegree needs a square matrix");
+    const Index n = upper.cols();
+    // Elimination graph with exact degree updates. Sets keep the
+    // neighbor lists unique under clique insertion.
+    std::vector<std::set<Index>> adj(static_cast<std::size_t>(n));
+    for (Index c = 0; c < n; ++c) {
+        for (Index p = upper.colPtr()[c]; p < upper.colPtr()[c + 1];
+             ++p) {
+            const Index r = upper.rowIdx()[p];
+            if (r == c)
+                continue;
+            adj[static_cast<std::size_t>(r)].insert(c);
+            adj[static_cast<std::size_t>(c)].insert(r);
+        }
+    }
+
+    // Lazy min-heap of (degree, node).
+    using Entry = std::pair<Index, Index>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (Index v = 0; v < n; ++v)
+        heap.emplace(static_cast<Index>(
+                         adj[static_cast<std::size_t>(v)].size()),
+                     v);
+    std::vector<bool> eliminated(static_cast<std::size_t>(n), false);
+
+    IndexVector order;
+    order.reserve(static_cast<std::size_t>(n));
+    while (!heap.empty()) {
+        const auto [deg, v] = heap.top();
+        heap.pop();
+        if (eliminated[static_cast<std::size_t>(v)] ||
+            deg != static_cast<Index>(
+                       adj[static_cast<std::size_t>(v)].size()))
+            continue;  // stale entry
+        eliminated[static_cast<std::size_t>(v)] = true;
+        order.push_back(v);
+
+        // Eliminate v: its alive neighbors become a clique.
+        const std::set<Index> neighbors =
+            std::move(adj[static_cast<std::size_t>(v)]);
+        adj[static_cast<std::size_t>(v)].clear();
+        for (Index u : neighbors) {
+            auto& adj_u = adj[static_cast<std::size_t>(u)];
+            adj_u.erase(v);
+            for (Index w : neighbors)
+                if (w != u)
+                    adj_u.insert(w);
+            heap.emplace(static_cast<Index>(adj_u.size()), u);
+        }
+    }
+    RSQP_ASSERT(static_cast<Index>(order.size()) == n,
+                "minimum degree lost nodes");
+    return order;
+}
+
+IndexVector
+computeOrdering(const CscMatrix& upper, OrderingKind kind)
+{
+    switch (kind) {
+      case OrderingKind::Natural: {
+        IndexVector perm(static_cast<std::size_t>(upper.cols()));
+        std::iota(perm.begin(), perm.end(), Index{0});
+        return perm;
+      }
+      case OrderingKind::Rcm:
+        return reverseCuthillMcKee(upper);
+      case OrderingKind::MinDegree:
+        return minimumDegree(upper);
+    }
+    RSQP_PANIC("unknown ordering kind");
+}
+
+Index
+symmetricBandwidth(const CscMatrix& upper, const IndexVector& perm)
+{
+    const Index n = upper.cols();
+    RSQP_ASSERT(static_cast<Index>(perm.size()) == n,
+                "permutation size mismatch");
+    IndexVector inv(perm.size());
+    for (Index i = 0; i < n; ++i)
+        inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+    Index band = 0;
+    for (Index c = 0; c < n; ++c) {
+        for (Index p = upper.colPtr()[c]; p < upper.colPtr()[c + 1]; ++p) {
+            const Index r = upper.rowIdx()[p];
+            band = std::max(band, std::abs(
+                inv[static_cast<std::size_t>(r)] -
+                inv[static_cast<std::size_t>(c)]));
+        }
+    }
+    return band;
+}
+
+} // namespace rsqp

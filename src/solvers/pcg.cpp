@@ -1,0 +1,102 @@
+#include "pcg.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace rsqp
+{
+
+JacobiPreconditioner::JacobiPreconditioner(const Vector& diagonal)
+{
+    invDiag_.resize(diagonal.size());
+    for (std::size_t i = 0; i < diagonal.size(); ++i) {
+        RSQP_ASSERT(diagonal[i] > 0.0,
+                    "Jacobi preconditioner needs a positive diagonal, got ",
+                    diagonal[i], " at ", i);
+        invDiag_[i] = 1.0 / diagonal[i];
+    }
+}
+
+void
+JacobiPreconditioner::apply(const Vector& r, Vector& out) const
+{
+    RSQP_ASSERT(r.size() == invDiag_.size(), "preconditioner size");
+    out.resize(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i)
+        out[i] = r[i] * invDiag_[i];
+}
+
+PcgResult
+pcgSolve(const std::function<void(const Vector&, Vector&)>& apply_k,
+         const JacobiPreconditioner& precond, const Vector& b, Vector& x,
+         const PcgSettings& settings)
+{
+    const std::size_t n = b.size();
+    RSQP_ASSERT(x.size() == n, "pcg: x size mismatch");
+
+    PcgResult result;
+    const Real b_norm = norm2(b);
+    const Real threshold =
+        std::max(settings.epsAbs, settings.epsRel * b_norm);
+
+    Vector r(n), d(n), p(n), kp(n);
+
+    // r0 = K x0 - b
+    apply_k(x, r);
+    axpy(-1.0, b, r);
+
+    Real r_norm = norm2(r);
+    if (r_norm < threshold) {
+        result.converged = true;
+        result.residualNorm = r_norm;
+        return result;
+    }
+
+    // d0 = M^-1 r0, p0 = -d0
+    precond.apply(r, d);
+    for (std::size_t i = 0; i < n; ++i)
+        p[i] = -d[i];
+
+    Real rd = dot(r, d);
+    for (Index iter = 0; iter < settings.maxIter; ++iter) {
+        apply_k(p, kp);
+        const Real pkp = dot(p, kp);
+        if (pkp <= 0.0) {
+            // Indefinite direction: K is not positive definite (should
+            // not happen for the reduced KKT operator); bail out.
+            RSQP_WARN("pcg: non-positive curvature ", pkp, "; aborting");
+            break;
+        }
+        const Real lambda = rd / pkp;
+        axpy(lambda, p, x);
+        axpy(lambda, kp, r);
+        precond.apply(r, d);
+        const Real rd_next = dot(r, d);
+        const Real mu = rd_next / rd;
+        rd = rd_next;
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = -d[i] + mu * p[i];
+
+        ++result.iterations;
+        r_norm = norm2(r);
+        if (r_norm < threshold) {
+            result.converged = true;
+            break;
+        }
+    }
+    result.residualNorm = r_norm;
+    return result;
+}
+
+PcgResult
+pcgSolve(const ReducedKktOperator& op, const JacobiPreconditioner& precond,
+         const Vector& b, Vector& x, const PcgSettings& settings)
+{
+    return pcgSolve(
+        [&op](const Vector& in, Vector& out) { op.apply(in, out); },
+        precond, b, x, settings);
+}
+
+} // namespace rsqp

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ISA-level tests: mnemonic/classification coverage for every opcode,
+ * and structural landmarks of the lowered OSQP program (the paper's
+ * Table 1 usage map rendered as assembly comments).
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "arch/osqp_program.hpp"
+#include "core/customization.hpp"
+#include "osqp/scaling.hpp"
+#include "problems/suite.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(Isa, EveryOpcodeHasDistinctMnemonic)
+{
+    const Opcode all[] = {
+        Opcode::Halt,       Opcode::Jump,       Opcode::JumpIfLess,
+        Opcode::JumpIfGeq,  Opcode::LoadConst,  Opcode::ScalarAdd,
+        Opcode::ScalarSub,  Opcode::ScalarMul,  Opcode::ScalarDiv,
+        Opcode::ScalarMax,  Opcode::ScalarSqrt, Opcode::ScalarAbs,
+        Opcode::LoadVec,    Opcode::StoreVec,   Opcode::VecAxpby,
+        Opcode::VecEwProd,  Opcode::VecEwRecip, Opcode::VecEwMin,
+        Opcode::VecEwMax,   Opcode::VecCopy,    Opcode::VecSetConst,
+        Opcode::VecDot,     Opcode::VecAmax,    Opcode::VecDup,
+        Opcode::SpMV,
+    };
+    std::set<std::string> names;
+    for (Opcode op : all) {
+        const std::string name = mnemonic(op);
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "???");
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate mnemonic " << name;
+        // Classification is total.
+        const InstrClass cls = classOf(op);
+        EXPECT_GE(static_cast<int>(cls), 0);
+        EXPECT_LT(static_cast<int>(cls), 6);
+    }
+    EXPECT_EQ(names.size(), std::size(all));
+}
+
+struct LoweredProgram
+{
+    Machine machine;
+    OsqpDeviceProgram handles;
+
+    explicit LoweredProgram(const QpProblem& qp)
+        : machine(makeConfig(qp))
+    {
+        QpProblem scaled = qp;
+        const Scaling scaling = ruizEquilibrate(scaled, 10);
+        CustomizeSettings cfg;
+        cfg.c = 16;
+        custom = customizeProblem(scaled, cfg);
+        // NOTE: machine was constructed with the same deterministic
+        // config (makeConfig reruns the pipeline).
+        OsqpMatrixIds mats;
+        mats.p = machine.addMatrix(custom.p.packed, custom.p.plan, "P");
+        mats.a = machine.addMatrix(custom.a.packed, custom.a.plan, "A");
+        mats.at =
+            machine.addMatrix(custom.at.packed, custom.at.plan, "At");
+        mats.atSq = machine.addMatrix(custom.atSq.packed,
+                                      custom.atSq.plan, "AtSq");
+        OsqpSettings settings;
+        settings.backend = KktBackend::IndirectPcg;
+        handles = buildOsqpProgram(machine, mats, scaled, scaling,
+                                   settings);
+    }
+
+    static ArchConfig
+    makeConfig(const QpProblem& qp)
+    {
+        QpProblem scaled = qp;
+        ruizEquilibrate(scaled, 10);
+        CustomizeSettings cfg;
+        cfg.c = 16;
+        return customizeProblem(scaled, cfg).config;
+    }
+
+    ProblemCustomization custom;
+};
+
+TEST(Isa, LoweredOsqpProgramLandmarks)
+{
+    const QpProblem qp = generateProblem(Domain::Portfolio, 30, 3);
+    LoweredProgram lowered(qp);
+    const std::string text = lowered.handles.program.disassemble();
+
+    // Algorithm 2 (PCG) landmarks.
+    EXPECT_NE(text.find("r0 = K x~ - b"), std::string::npos);
+    EXPECT_NE(text.find("PCG converged"), std::string::npos);
+    EXPECT_NE(text.find("p = -d + mu p"), std::string::npos);
+    // Algorithm 1 landmarks.
+    EXPECT_NE(text.find("z~ = A x~"), std::string::npos);
+    EXPECT_NE(text.find("y update"), std::string::npos);
+    // Termination (Table 1 control) and adaptive rho.
+    EXPECT_NE(text.find("eps_dual"), std::string::npos);
+    EXPECT_NE(text.find("status = solved"), std::string::npos);
+    EXPECT_NE(text.find("rho = rho_new"), std::string::npos);
+    // Epilogue.
+    EXPECT_NE(text.find("store x"), std::string::npos);
+    EXPECT_NE(text.find("end of OSQP program"), std::string::npos);
+}
+
+TEST(Isa, LoweredProgramSizeBounded)
+{
+    // The whole solver fits a small instruction ROM (the paper uses a
+    // simple instruction unit): well under 256 instructions.
+    const QpProblem qp = generateProblem(Domain::Svm, 20, 5);
+    LoweredProgram lowered(qp);
+    EXPECT_GT(lowered.handles.program.size(), 80u);
+    EXPECT_LT(lowered.handles.program.size(), 256u);
+}
+
+TEST(Isa, ProgramSizeIndependentOfProblemSize)
+{
+    // The ROM holds the *algorithm*; problem size only changes data.
+    const QpProblem small = generateProblem(Domain::Lasso, 10, 1);
+    const QpProblem large = generateProblem(Domain::Lasso, 80, 1);
+    LoweredProgram p_small(small);
+    LoweredProgram p_large(large);
+    EXPECT_EQ(p_small.handles.program.size(),
+              p_large.handles.program.size());
+}
+
+} // namespace
+} // namespace rsqp

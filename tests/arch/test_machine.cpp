@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Machine tests: functional semantics of every instruction, cycle
+ * accounting against the paper's cost model, and control flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.hpp"
+#include "arch/program_builder.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+ArchConfig
+smallConfig(Index c = 4)
+{
+    ArchConfig config;
+    config.c = c;
+    config.structures = StructureSet::baseline(c);
+    return config;
+}
+
+TEST(Machine, ScalarArithmetic)
+{
+    Machine machine(smallConfig());
+    ProgramBuilder asmb;
+    asmb.loadConst(0, 6.0);
+    asmb.loadConst(1, 4.0);
+    asmb.scalarAdd(2, 0, 1);
+    asmb.scalarSub(3, 0, 1);
+    asmb.scalarMul(4, 0, 1);
+    asmb.scalarDiv(5, 0, 1);
+    asmb.scalarMax(6, 0, 1);
+    asmb.scalarSqrt(7, 1);
+    asmb.halt();
+    machine.run(asmb.finish());
+    EXPECT_DOUBLE_EQ(machine.scalarValue(2), 10.0);
+    EXPECT_DOUBLE_EQ(machine.scalarValue(3), 2.0);
+    EXPECT_DOUBLE_EQ(machine.scalarValue(4), 24.0);
+    EXPECT_DOUBLE_EQ(machine.scalarValue(5), 1.5);
+    EXPECT_DOUBLE_EQ(machine.scalarValue(6), 6.0);
+    EXPECT_DOUBLE_EQ(machine.scalarValue(7), 2.0);
+}
+
+TEST(Machine, VectorOps)
+{
+    Machine machine(smallConfig());
+    const Index v0 = machine.addVector(3);
+    const Index v1 = machine.addVector(3);
+    const Index v2 = machine.addVector(3);
+    const Index hbm0 = machine.addHbmVector({1.0, 2.0, 3.0});
+    const Index hbm1 = machine.addHbmVector({4.0, 1.0, -2.0});
+
+    ProgramBuilder asmb;
+    asmb.loadConst(0, 2.0);   // alpha
+    asmb.loadConst(1, -1.0);  // beta
+    asmb.loadVec(v0, hbm0);
+    asmb.loadVec(v1, hbm1);
+    asmb.vecAxpby(v2, 0, v0, 1, v1);  // 2x - y
+    asmb.halt();
+    machine.run(asmb.finish());
+    const Vector& out = machine.vectorValue(v2);
+    EXPECT_DOUBLE_EQ(out[0], -2.0);
+    EXPECT_DOUBLE_EQ(out[1], 3.0);
+    EXPECT_DOUBLE_EQ(out[2], 8.0);
+}
+
+TEST(Machine, ElementwiseAndReductions)
+{
+    Machine machine(smallConfig());
+    const Index v0 = machine.addVector(3);
+    const Index v1 = machine.addVector(3);
+    const Index v2 = machine.addVector(3);
+    const Index hbm0 = machine.addHbmVector({2.0, -4.0, 0.5});
+    const Index hbm1 = machine.addHbmVector({1.0, 2.0, 2.0});
+
+    ProgramBuilder asmb;
+    asmb.loadVec(v0, hbm0);
+    asmb.loadVec(v1, hbm1);
+    asmb.vecEwProd(v2, v0, v1);
+    asmb.vecDot(10, v0, v1);
+    asmb.vecAmax(11, v0);
+    asmb.vecEwMin(v2, v0, v1);
+    asmb.vecEwMax(v0, v0, v1);
+    asmb.halt();
+    machine.run(asmb.finish());
+    EXPECT_DOUBLE_EQ(machine.scalarValue(10), 2.0 - 8.0 + 1.0);
+    EXPECT_DOUBLE_EQ(machine.scalarValue(11), 4.0);
+    EXPECT_DOUBLE_EQ(machine.vectorValue(v2)[1], -4.0);  // min
+    EXPECT_DOUBLE_EQ(machine.vectorValue(v0)[1], 2.0);   // max
+}
+
+TEST(Machine, RecipCopySetConstStore)
+{
+    Machine machine(smallConfig());
+    const Index v0 = machine.addVector(2);
+    const Index v1 = machine.addVector(2);
+    const Index hbm0 = machine.addHbmVector({4.0, 0.25});
+    const Index hbm_out = machine.addHbmVector({0.0, 0.0});
+
+    ProgramBuilder asmb;
+    asmb.loadVec(v0, hbm0);
+    asmb.vecEwRecip(v1, v0);
+    asmb.storeVec(hbm_out, v1);
+    asmb.vecSetConst(v0, 7.5);
+    asmb.vecCopy(v1, v0);
+    asmb.halt();
+    machine.run(asmb.finish());
+    EXPECT_DOUBLE_EQ(machine.hbmValue(hbm_out)[0], 0.25);
+    EXPECT_DOUBLE_EQ(machine.hbmValue(hbm_out)[1], 4.0);
+    EXPECT_DOUBLE_EQ(machine.vectorValue(v1)[0], 7.5);
+}
+
+TEST(Machine, ControlFlowLoop)
+{
+    // Count 0..9 with a conditional back-edge.
+    Machine machine(smallConfig());
+    ProgramBuilder asmb;
+    const Index top = asmb.newLabel();
+    asmb.loadConst(0, 0.0);   // i
+    asmb.loadConst(1, 1.0);   // step
+    asmb.loadConst(2, 10.0);  // bound
+    asmb.bind(top);
+    asmb.scalarAdd(0, 0, 1);
+    asmb.jumpIfLess(0, 2, top);
+    asmb.halt();
+    machine.run(asmb.finish());
+    EXPECT_DOUBLE_EQ(machine.scalarValue(0), 10.0);
+}
+
+TEST(Machine, JumpIfGeq)
+{
+    Machine machine(smallConfig());
+    ProgramBuilder asmb;
+    const Index skip = asmb.newLabel();
+    asmb.loadConst(0, 5.0);
+    asmb.loadConst(1, 5.0);
+    asmb.loadConst(2, 0.0);
+    asmb.jumpIfGeq(0, 1, skip);  // 5 >= 5: taken
+    asmb.loadConst(2, 99.0);     // skipped
+    asmb.bind(skip);
+    asmb.halt();
+    machine.run(asmb.finish());
+    EXPECT_DOUBLE_EQ(machine.scalarValue(2), 0.0);
+}
+
+TEST(Machine, RunawayGuardPanics)
+{
+    Machine machine(smallConfig());
+    ProgramBuilder asmb;
+    const Index top = asmb.newLabel();
+    asmb.bind(top);
+    asmb.jump(top);  // infinite loop
+    const Program program = asmb.finish();
+    EXPECT_DEATH(machine.run(program, 1000), "budget");
+}
+
+TEST(Machine, VectorOpCycleModel)
+{
+    // ceil(L/C) + vectorLatency + decodeOverhead per vector op.
+    ArchConfig config = smallConfig(4);
+    Machine machine(config);
+    const Index v0 = machine.addVector(10);
+    const Index v1 = machine.addVector(10);
+    ProgramBuilder asmb;
+    asmb.vecEwProd(v1, v0, v0);
+    asmb.halt();
+    machine.run(asmb.finish());
+    const Count expected_vec = 3 /* ceil(10/4) */ +
+        config.timings.vectorLatency + config.timings.decodeOverhead;
+    EXPECT_EQ(machine.stats().cyclesOf(InstrClass::VectorOp),
+              expected_vec);
+    EXPECT_EQ(machine.stats().instructions, 2);
+}
+
+TEST(Machine, StatsPerClassAccumulate)
+{
+    Machine machine(smallConfig());
+    const Index v0 = machine.addVector(8);
+    const Index hbm0 = machine.addHbmVector(Vector(8, 1.0));
+    ProgramBuilder asmb;
+    asmb.loadConst(0, 1.0);
+    asmb.loadVec(v0, hbm0);
+    asmb.vecDot(1, v0, v0);
+    asmb.halt();
+    machine.run(asmb.finish());
+    const MachineStats& stats = machine.stats();
+    EXPECT_EQ(stats.classCounts[static_cast<std::size_t>(
+        InstrClass::Scalar)], 1);
+    EXPECT_EQ(stats.classCounts[static_cast<std::size_t>(
+        InstrClass::DataTransfer)], 1);
+    EXPECT_EQ(stats.classCounts[static_cast<std::size_t>(
+        InstrClass::VectorOp)], 1);
+    EXPECT_EQ(stats.classCounts[static_cast<std::size_t>(
+        InstrClass::Control)], 1);
+    Count sum = 0;
+    for (Count cycles : stats.classCycles)
+        sum += cycles;
+    EXPECT_EQ(sum, stats.totalCycles);
+    machine.resetStats();
+    EXPECT_EQ(machine.stats().totalCycles, 0);
+}
+
+TEST(Machine, MismatchedVectorLengthsPanic)
+{
+    Machine machine(smallConfig());
+    const Index v0 = machine.addVector(3);
+    const Index v1 = machine.addVector(4);
+    ProgramBuilder asmb;
+    asmb.vecEwProd(v0, v0, v1);
+    asmb.halt();
+    const Program program = asmb.finish();
+    EXPECT_DEATH(machine.run(program), "length mismatch");
+}
+
+
+TEST(Machine, InstructionRomDownloadCharged)
+{
+    // run() charges a one-time hbmLatency + |program| data transfer
+    // for the instruction ROM download (paper Sec. 3.5).
+    ArchConfig config = smallConfig(4);
+    Machine machine(config);
+    ProgramBuilder asmb;
+    asmb.loadConst(0, 1.0);
+    asmb.halt();
+    const Program program = asmb.finish();
+    machine.run(program);
+    const Count rom = config.timings.hbmLatency +
+        static_cast<Count>(program.size());
+    const MachineStats& stats = machine.stats();
+    EXPECT_EQ(stats.classCycles[static_cast<std::size_t>(
+        InstrClass::DataTransfer)], rom);
+    // Still no data-transfer *instructions* executed.
+    EXPECT_EQ(stats.classCounts[static_cast<std::size_t>(
+        InstrClass::DataTransfer)], 0);
+    Count sum = 0;
+    for (Count cycles : stats.classCycles)
+        sum += cycles;
+    EXPECT_EQ(sum, stats.totalCycles);
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Assembler tests: label fixups, forward references, operand encoding
+ * and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/program_builder.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(ProgramBuilder, ForwardLabelPatched)
+{
+    ProgramBuilder asmb;
+    const Index skip = asmb.newLabel();
+    asmb.jump(skip, "over");
+    asmb.loadConst(0, 1.0);
+    asmb.bind(skip);
+    asmb.halt();
+    const Program program = asmb.finish();
+    ASSERT_EQ(program.size(), 3u);
+    EXPECT_EQ(program.code[0].op, Opcode::Jump);
+    EXPECT_EQ(program.code[0].dst, 2);  // points at halt
+}
+
+TEST(ProgramBuilder, BackwardLabel)
+{
+    ProgramBuilder asmb;
+    const Index top = asmb.newLabel();
+    asmb.bind(top);
+    asmb.scalarAdd(0, 0, 1);
+    asmb.jumpIfLess(0, 2, top);
+    asmb.halt();
+    const Program program = asmb.finish();
+    EXPECT_EQ(program.code[1].dst, 0);
+}
+
+TEST(ProgramBuilder, UnboundLabelPanics)
+{
+    ProgramBuilder asmb;
+    const Index label = asmb.newLabel();
+    asmb.jump(label);
+    asmb.halt();
+    EXPECT_DEATH(asmb.finish(), "never bound");
+}
+
+TEST(ProgramBuilder, DoubleBindPanics)
+{
+    ProgramBuilder asmb;
+    const Index label = asmb.newLabel();
+    asmb.bind(label);
+    EXPECT_DEATH(asmb.bind(label), "twice");
+}
+
+TEST(ProgramBuilder, OperandEncoding)
+{
+    ProgramBuilder asmb;
+    asmb.vecAxpby(3, 10, 1, 11, 2, "combo");
+    asmb.vecDot(5, 7, 8);
+    asmb.halt();
+    const Program program = asmb.finish();
+    const Instruction& axpby = program.code[0];
+    EXPECT_EQ(axpby.op, Opcode::VecAxpby);
+    EXPECT_EQ(axpby.dst, 3);
+    EXPECT_EQ(axpby.a, 1);
+    EXPECT_EQ(axpby.b, 2);
+    EXPECT_EQ(axpby.sa, 10);
+    EXPECT_EQ(axpby.sb, 11);
+    const Instruction& dot = program.code[1];
+    EXPECT_EQ(dot.dst, 5);
+    EXPECT_EQ(dot.a, 7);
+    EXPECT_EQ(dot.b, 8);
+}
+
+TEST(ProgramBuilder, DisassemblyContainsMnemonics)
+{
+    ProgramBuilder asmb;
+    asmb.loadConst(1, 3.5, "pi-ish");
+    asmb.spmv(2, 0, "K p");
+    asmb.halt();
+    const Program program = asmb.finish();
+    const std::string text = program.disassemble();
+    EXPECT_NE(text.find("ldc"), std::string::npos);
+    EXPECT_NE(text.find("spmv"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+    EXPECT_NE(text.find("pi-ish"), std::string::npos);
+    EXPECT_NE(text.find("imm=3.5"), std::string::npos);
+}
+
+TEST(InstrClass, ClassificationMatchesTable1)
+{
+    EXPECT_EQ(classOf(Opcode::Halt), InstrClass::Control);
+    EXPECT_EQ(classOf(Opcode::JumpIfLess), InstrClass::Control);
+    EXPECT_EQ(classOf(Opcode::ScalarMul), InstrClass::Scalar);
+    EXPECT_EQ(classOf(Opcode::LoadVec), InstrClass::DataTransfer);
+    EXPECT_EQ(classOf(Opcode::VecDot), InstrClass::VectorOp);
+    EXPECT_EQ(classOf(Opcode::VecDup), InstrClass::VectorDup);
+    EXPECT_EQ(classOf(Opcode::SpMV), InstrClass::SpMV);
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tests of the error-reporting macros: RSQP_FATAL throws FatalError
+ * with location info; RSQP_ASSERT is transparent when satisfied.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(RSQP_FATAL("bad input ", 42), FatalError);
+}
+
+TEST(Logging, FatalMessageContainsDetails)
+{
+    try {
+        RSQP_FATAL("dimension ", 3, " != ", 4);
+        FAIL() << "should have thrown";
+    } catch (const FatalError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("dimension 3 != 4"), std::string::npos);
+        EXPECT_NE(what.find("test_logging.cpp"), std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesWhenTrue)
+{
+    RSQP_ASSERT(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+TEST(Logging, VerboseToggle)
+{
+    setLogVerbose(true);
+    EXPECT_TRUE(logVerbose());
+    setLogVerbose(false);
+    EXPECT_FALSE(logVerbose());
+}
+
+} // namespace
+} // namespace rsqp

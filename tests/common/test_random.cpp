@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of the deterministic RNG: reproducibility, distribution sanity
+ * and the sampling helpers.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const Real u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const Real u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, NormalMomentsReasonable)
+{
+    Rng rng(11);
+    const int count = 200000;
+    Real sum = 0.0, sq = 0.0;
+    for (int i = 0; i < count; ++i) {
+        const Real x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    const Real mean = sum / count;
+    const Real var = sq / count - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters)
+{
+    Rng rng(13);
+    const int count = 100000;
+    Real sum = 0.0;
+    for (int i = 0; i < count; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / count, 5.0, 0.05);
+}
+
+TEST(Rng, UniformIndexInRange)
+{
+    Rng rng(3);
+    std::set<Index> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const Index v = rng.uniformIndex(10);
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 10);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, SampleDistinctProperties)
+{
+    Rng rng(17);
+    for (Index n : {1, 5, 20, 100}) {
+        for (Index k = 0; k <= std::min<Index>(n, 10); ++k) {
+            const IndexVector sample = rng.sampleDistinct(n, k);
+            ASSERT_EQ(static_cast<Index>(sample.size()), k);
+            // Sorted and distinct and in range.
+            for (std::size_t i = 0; i < sample.size(); ++i) {
+                EXPECT_GE(sample[i], 0);
+                EXPECT_LT(sample[i], n);
+                if (i > 0)
+                    EXPECT_LT(sample[i - 1], sample[i]);
+            }
+        }
+    }
+}
+
+TEST(Rng, SampleDistinctFullRange)
+{
+    Rng rng(19);
+    const IndexVector sample = rng.sampleDistinct(8, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    for (Index i = 0; i < 8; ++i)
+        EXPECT_EQ(sample[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(23);
+    for (Index n : {1, 2, 17, 100}) {
+        IndexVector perm = rng.permutation(n);
+        ASSERT_EQ(static_cast<Index>(perm.size()), n);
+        std::sort(perm.begin(), perm.end());
+        for (Index i = 0; i < n; ++i)
+            EXPECT_EQ(perm[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(Rng, PermutationIsShuffled)
+{
+    Rng rng(29);
+    const IndexVector perm = rng.permutation(100);
+    Index fixed = 0;
+    for (Index i = 0; i < 100; ++i)
+        if (perm[static_cast<std::size_t>(i)] == i)
+            ++fixed;
+    EXPECT_LT(fixed, 20);
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests of the statistics helpers and the text-table writer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats stats;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        stats.add(v);
+    EXPECT_EQ(stats.count(), 5u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 2.5);  // sample variance
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats stats;
+    stats.add(42.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(Percentile, MedianAndExtremes)
+{
+    std::vector<double> samples = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(samples, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(samples, 100.0), 5.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> samples = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(samples, 25.0), 2.5);
+}
+
+TEST(GeometricMean, KnownValues)
+{
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Format, FixedAndSci)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(-1.0, 0), "-1");
+    EXPECT_EQ(formatSci(12345.0, 2), "1.23e+04");
+}
+
+TEST(TextTable, AlignedOutput)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, CsvQuoting)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"x,y", "plain"});
+    std::ostringstream oss;
+    table.printCsv(oss);
+    EXPECT_NE(oss.str().find("\"x,y\""), std::string::npos);
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Timer tests: monotonicity, reset semantics and window accumulation.
+ */
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/timer.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(Timer, ElapsedIsNonNegativeAndMonotone)
+{
+    Timer timer;
+    const double t1 = timer.seconds();
+    const double t2 = timer.seconds();
+    EXPECT_GE(t1, 0.0);
+    EXPECT_GE(t2, t1);
+}
+
+TEST(Timer, MeasuresSleep)
+{
+    Timer timer;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GE(timer.seconds(), 0.015);
+}
+
+TEST(Timer, ResetRestarts)
+{
+    Timer timer;
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    timer.reset();
+    EXPECT_LT(timer.seconds(), 0.010);
+}
+
+TEST(AccumulatingTimer, SumsWindows)
+{
+    AccumulatingTimer timer;
+    for (int i = 0; i < 3; ++i) {
+        timer.start();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        timer.stop();
+    }
+    EXPECT_GE(timer.totalSeconds(), 0.012);
+}
+
+TEST(AccumulatingTimer, StopWithoutStartIsNoOp)
+{
+    AccumulatingTimer timer;
+    timer.stop();
+    EXPECT_DOUBLE_EQ(timer.totalSeconds(), 0.0);
+}
+
+TEST(AccumulatingTimer, TimeOutsideWindowsNotCounted)
+{
+    AccumulatingTimer timer;
+    timer.start();
+    timer.stop();
+    const double after_first = timer.totalSeconds();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_DOUBLE_EQ(timer.totalSeconds(), after_first);
+}
+
+TEST(AccumulatingTimer, ClearResets)
+{
+    AccumulatingTimer timer;
+    timer.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    timer.stop();
+    timer.clear();
+    EXPECT_DOUBLE_EQ(timer.totalSeconds(), 0.0);
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Customization-pipeline tests: artifacts are mutually consistent,
+ * eta improves under customization (the Fig. 9 effect), and the
+ * atSq matrix mirrors At.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/customization.hpp"
+#include "encoding/match_score.hpp"
+#include "osqp/scaling.hpp"
+#include "problems/suite.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+QpProblem
+scaledProblem(Domain domain, Index size, std::uint64_t seed)
+{
+    QpProblem qp = generateProblem(domain, size, seed);
+    ruizEquilibrate(qp, 10);
+    return qp;
+}
+
+TEST(Customization, ArtifactsConsistent)
+{
+    const QpProblem scaled = scaledProblem(Domain::Svm, 20, 3);
+    CustomizeSettings settings;
+    settings.c = 16;
+    const ProblemCustomization custom =
+        customizeProblem(scaled, settings);
+
+    // Shapes.
+    EXPECT_EQ(custom.p.csr.rows(), scaled.numVariables());
+    EXPECT_EQ(custom.a.csr.rows(), scaled.numConstraints());
+    EXPECT_EQ(custom.at.csr.rows(), scaled.numVariables());
+    EXPECT_EQ(custom.at.csr.cols(), scaled.numConstraints());
+
+    // Schedules and packs agree.
+    for (const MatrixArtifacts* m :
+         {&custom.p, &custom.a, &custom.at, &custom.atSq}) {
+        EXPECT_EQ(m->packed.packCount(), m->schedule.slotCount());
+        EXPECT_EQ(m->packed.ep, m->schedule.ep);
+        EXPECT_TRUE(m->plan.isConsistentWith(
+            buildAccessRequirements(m->packed)));
+    }
+}
+
+TEST(Customization, AtSqMirrorsAtStructure)
+{
+    const QpProblem scaled = scaledProblem(Domain::Lasso, 15, 5);
+    CustomizeSettings settings;
+    settings.c = 16;
+    const ProblemCustomization custom =
+        customizeProblem(scaled, settings);
+    EXPECT_EQ(custom.atSq.schedule.slotCount(),
+              custom.at.schedule.slotCount());
+    EXPECT_EQ(custom.atSq.csr.nnz(), custom.at.csr.nnz());
+    // Values are element-wise squares.
+    for (std::size_t i = 0; i < custom.at.csr.values().size(); ++i)
+        EXPECT_NEAR(custom.atSq.csr.values()[i],
+                    custom.at.csr.values()[i] *
+                        custom.at.csr.values()[i],
+                    1e-14);
+}
+
+TEST(Customization, EtaImprovesOverBaseline)
+{
+    // The Fig. 9 effect: customization raises eta on structured
+    // domains.
+    for (Domain domain :
+         {Domain::Control, Domain::Lasso, Domain::Svm}) {
+        const QpProblem scaled = scaledProblem(
+            domain, domain == Domain::Control ? 8 : 25, 11);
+        const ProblemCustomization baseline =
+            baselineCustomization(scaled, 64);
+        CustomizeSettings settings;
+        settings.c = 64;
+        const ProblemCustomization custom =
+            customizeProblem(scaled, settings);
+        EXPECT_GT(custom.eta(), baseline.eta()) << toString(domain);
+        EXPECT_LE(custom.totalEp(), baseline.totalEp())
+            << toString(domain);
+    }
+}
+
+TEST(Customization, EtaWithinUnitInterval)
+{
+    const QpProblem scaled = scaledProblem(Domain::Huber, 12, 7);
+    for (Index c : {16, 64}) {
+        CustomizeSettings settings;
+        settings.c = c;
+        const ProblemCustomization custom =
+            customizeProblem(scaled, settings);
+        EXPECT_GT(custom.eta(), 0.0);
+        EXPECT_LE(custom.eta(), 1.0);
+        EXPECT_GT(custom.p.eta(), 0.0);
+        EXPECT_LE(custom.p.eta(), 1.0);
+    }
+}
+
+TEST(Customization, ForcedPatternsBypassSearch)
+{
+    const QpProblem scaled = scaledProblem(Domain::Portfolio, 30, 9);
+    CustomizeSettings settings;
+    settings.c = 16;
+    settings.forcedPatterns = {"bbbbbbbb"};
+    const ProblemCustomization custom =
+        customizeProblem(scaled, settings);
+    ASSERT_EQ(custom.config.structures.patterns().size(), 2u);
+    EXPECT_EQ(custom.config.structures.patterns()[0], "bbbbbbbb");
+}
+
+TEST(Customization, BaselineUsesFullDuplication)
+{
+    const QpProblem scaled = scaledProblem(Domain::Svm, 12, 13);
+    const ProblemCustomization baseline =
+        baselineCustomization(scaled, 16);
+    EXPECT_TRUE(baseline.p.plan.fullDuplication);
+    EXPECT_DOUBLE_EQ(baseline.p.plan.ec(), 16.0);
+    EXPECT_EQ(baseline.config.structures.totalOutputs(), 1);
+    EXPECT_FALSE(baseline.config.compressedCvb);
+}
+
+TEST(MatchScore, PaperFormula)
+{
+    // eta = (nnz + L) / (nnz + Ep + Ec L).
+    EXPECT_DOUBLE_EQ(matchScore(100, 10, 0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(matchScore(100, 10, 110, 1.0),
+                     110.0 / 220.0);
+    EXPECT_NEAR(matchScore(100, 10, 0, 4.0), 110.0 / 140.0, 1e-12);
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Design-space exploration tests (the Table 3 machinery): evaluated
+ * points carry consistent metrics and reproduce the trade-off shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design_space.hpp"
+#include "osqp/scaling.hpp"
+#include "problems/suite.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+QpProblem
+svmScaled()
+{
+    QpProblem qp = generateProblem(Domain::Svm, 40, 13);
+    ruizEquilibrate(qp, 10);
+    return qp;
+}
+
+TEST(DesignSpace, BaselinePointHasZeroDeltaEta)
+{
+    const QpProblem scaled = svmScaled();
+    const DesignPoint base = evaluateDesignPoint(scaled, 16, {}, false);
+    EXPECT_NEAR(base.deltaEta, 0.0, 1e-12);
+    EXPECT_EQ(base.resources.dsp, 80);
+    EXPECT_GT(base.spmvPerUs, 0.0);
+}
+
+TEST(DesignSpace, CustomizedPointImprovesEta)
+{
+    const QpProblem scaled = svmScaled();
+    const DesignPoint base = evaluateDesignPoint(scaled, 16, {}, false);
+    const DesignPoint custom = evaluateDesignPoint(
+        scaled, 16, {std::string(16, 'a'), "bbbbbbbb"}, true);
+    EXPECT_GT(custom.deltaEta, 0.05);
+    EXPECT_GT(custom.spmvPerUs, base.spmvPerUs);
+    EXPECT_GT(custom.resources.ff, base.resources.ff);
+}
+
+TEST(DesignSpace, ExploreProducesTable3Family)
+{
+    const QpProblem scaled = svmScaled();
+    const auto points = exploreDesignSpace(scaled);
+    // 3 widths x (1 baseline + 3 searched sizes).
+    EXPECT_EQ(points.size(), 12u);
+    for (const DesignPoint& point : points) {
+        EXPECT_GT(point.fmaxMhz, 0.0);
+        EXPECT_LE(point.fmaxMhz, 300.0);
+        EXPECT_GT(point.kApplyPacks, 0);
+        EXPECT_GE(point.deltaEta, -1e-9);
+        EXPECT_GT(point.resources.dsp, 0);
+    }
+    // Baselines come first per width and have the fewest outputs.
+    EXPECT_EQ(points[0].name, "16{1e}");
+    EXPECT_EQ(points[4].name, "32{1f}");
+    EXPECT_EQ(points[8].name, "64{1g}");
+}
+
+TEST(DesignSpace, ThroughputReflectsFmaxAndCycles)
+{
+    const QpProblem scaled = svmScaled();
+    const DesignPoint point =
+        evaluateDesignPoint(scaled, 32, {"dddd"}, true);
+    // spmvPerUs = fmax / cycles-per-K-application.
+    const Real cycles = static_cast<Real>(point.kApplyPacks) + 3.0 * 64.0;
+    EXPECT_NEAR(point.spmvPerUs, point.fmaxMhz / cycles,
+                1e-9 * point.spmvPerUs);
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * HLS code-generation tests: the emitted routing switch and top-level
+ * function must mirror the paper's Figs. 4-5 structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hls_codegen.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(HlsCodegen, BaselineNeedsNoSwitch)
+{
+    const StructureSet baseline = StructureSet::baseline(16);
+    const std::string snippet = generateAlignmentSwitch(baseline);
+    EXPECT_NE(snippet.find("align_out[0] << acc_pack.data[0];"),
+              std::string::npos);
+    EXPECT_EQ(snippet.find("switch"), std::string::npos);
+}
+
+TEST(HlsCodegen, SwitchCoversAllOutputCounts)
+{
+    // S = {bb, c} at C = 4: output counts {1, 2}.
+    const StructureSet set(4, {"bb"});
+    const std::string snippet = generateAlignmentSwitch(set);
+    EXPECT_NE(snippet.find("switch (acc_cnt) {"), std::string::npos);
+    EXPECT_NE(snippet.find("case 1:"), std::string::npos);
+    EXPECT_NE(snippet.find("case 2:"), std::string::npos);
+    EXPECT_NE(snippet.find("align_ptr += acc_cnt;"), std::string::npos);
+}
+
+TEST(HlsCodegen, RotationModuloPackWidth)
+{
+    const StructureSet set(4, {"aaaa"});
+    const std::string snippet = generateAlignmentSwitch(set);
+    // With pack width 4, pointer case 3 writing 4 outputs wraps:
+    // align_out[(j + 3) % 4] covers index 0 again.
+    EXPECT_NE(snippet.find("align_out[3] << acc_pack.data[0];"),
+              std::string::npos);
+    EXPECT_NE(snippet.find("align_out[0] << acc_pack.data[1];"),
+              std::string::npos);
+}
+
+TEST(HlsCodegen, TopLevelFunctionShape)
+{
+    const StructureSet set(8, {"bbbb"});
+    const std::string function = generateSpmvAlignFunction(set);
+    EXPECT_NE(function.find("void spmv_align("), std::string::npos);
+    EXPECT_NE(function.find("#pragma HLS pipeline II = 1"),
+              std::string::npos);
+    EXPECT_NE(function.find("CNT_AS_FADD_FLAG"), std::string::npos);
+    EXPECT_NE(function.find("#include \"align_acc_cnt_switch.h\""),
+              std::string::npos);
+}
+
+TEST(HlsCodegen, ArchitectureHeaderSelfDescribing)
+{
+    ArchConfig config;
+    config.c = 32;
+    config.structures = StructureSet::parse("32{4d1f}");
+    config.compressedCvb = true;
+    const std::string header = generateArchitectureHeader(config);
+    EXPECT_NE(header.find("#define ISCA_C 32"), std::string::npos);
+    EXPECT_NE(header.find("#define CVB_COMPRESSED 1"),
+              std::string::npos);
+    EXPECT_NE(header.find("S[0] = \"dddd\""), std::string::npos);
+    EXPECT_NE(header.find("32{4d1f}"), std::string::npos);
+}
+
+TEST(HlsCodegen, DeterministicOutput)
+{
+    const StructureSet set(16, {"cccc", "bbbbbbbb"});
+    EXPECT_EQ(generateAlignmentSwitch(set),
+              generateAlignmentSwitch(set));
+}
+
+} // namespace
+} // namespace rsqp

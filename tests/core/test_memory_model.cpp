@@ -1,0 +1,86 @@
+/**
+ * @file
+ * On-chip memory model tests: compression shrinks the CVB footprint
+ * on structured problems, the accounting is internally consistent,
+ * and the U50 budget check behaves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/memory_model.hpp"
+#include "osqp/scaling.hpp"
+#include "problems/suite.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+ProblemCustomization
+customFor(Domain domain, Index size, bool compress)
+{
+    QpProblem qp = generateProblem(domain, size, 5);
+    ruizEquilibrate(qp, 10);
+    CustomizeSettings cfg;
+    cfg.c = 64;
+    cfg.customizeStructures = compress;
+    cfg.compressCvb = compress;
+    return customizeProblem(qp, cfg);
+}
+
+TEST(MemoryModel, AccountingConsistent)
+{
+    const ProblemCustomization custom =
+        customFor(Domain::Svm, 30, true);
+    const OnChipMemoryEstimate estimate =
+        estimateOnChipMemory(custom);
+    EXPECT_EQ(estimate.totalBytes,
+              estimate.cvbBytes + estimate.vbBytes +
+                  estimate.tableBytes);
+    EXPECT_GT(estimate.cvbBytes, 0);
+    EXPECT_GT(estimate.vbBytes, 0);
+    EXPECT_GT(estimate.totalMb(), 0.0);
+}
+
+TEST(MemoryModel, FullDuplicationHasNoTables)
+{
+    const ProblemCustomization baseline =
+        customFor(Domain::Svm, 30, false);
+    const OnChipMemoryEstimate estimate =
+        estimateOnChipMemory(baseline);
+    EXPECT_EQ(estimate.tableBytes, 0);
+    // Dup stores exactly C copies of each multiplicand vector.
+    Count expected = 0;
+    for (const MatrixArtifacts* m :
+         {&baseline.p, &baseline.a, &baseline.at, &baseline.atSq})
+        expected += 64LL * m->csr.cols() * 4;
+    EXPECT_EQ(estimate.cvbBytes, expected);
+}
+
+TEST(MemoryModel, CompressionShrinksCvbOnStructuredProblems)
+{
+    const OnChipMemoryEstimate dup =
+        estimateOnChipMemory(customFor(Domain::Control, 12, false));
+    const OnChipMemoryEstimate compressed =
+        estimateOnChipMemory(customFor(Domain::Control, 12, true));
+    EXPECT_LT(compressed.cvbBytes, dup.cvbBytes);
+}
+
+TEST(MemoryModel, SmallProblemsFitU50)
+{
+    const OnChipMemoryEstimate estimate =
+        estimateOnChipMemory(customFor(Domain::Portfolio, 40, true));
+    EXPECT_TRUE(fitsU50Memory(estimate));
+    EXPECT_LT(estimate.totalMb(), 28.4);
+}
+
+TEST(MemoryModel, BudgetCheckRejectsHugeFootprints)
+{
+    OnChipMemoryEstimate estimate;
+    estimate.totalBytes = 64LL * 1024 * 1024;  // 64 MB
+    EXPECT_FALSE(fitsU50Memory(estimate));
+}
+
+} // namespace
+} // namespace rsqp

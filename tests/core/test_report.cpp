@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Customization-report tests: the rendered report carries the key
+ * figures and flags memory violations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "osqp/scaling.hpp"
+#include "problems/suite.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(Report, ContainsKeySections)
+{
+    QpProblem qp = generateProblem(Domain::Svm, 25, 3);
+    ruizEquilibrate(qp, 10);
+    CustomizeSettings settings;
+    settings.c = 32;
+    const ProblemCustomization custom = customizeProblem(qp, settings);
+    const std::string report = customizationReport(custom);
+    EXPECT_NE(report.find("architecture 32{"), std::string::npos);
+    EXPECT_NE(report.find("structure set S:"), std::string::npos);
+    EXPECT_NE(report.find("E_p"), std::string::npos);
+    EXPECT_NE(report.find("fmax"), std::string::npos);
+    EXPECT_NE(report.find("on-chip memory"), std::string::npos);
+    // One row per matrix.
+    EXPECT_NE(report.find("AtSq"), std::string::npos);
+}
+
+TEST(Report, SummaryIsOneLine)
+{
+    QpProblem qp = generateProblem(Domain::Portfolio, 30, 5);
+    ruizEquilibrate(qp, 10);
+    CustomizeSettings settings;
+    settings.c = 16;
+    const ProblemCustomization custom = customizeProblem(qp, settings);
+    const std::string summary = customizationSummary(custom);
+    EXPECT_EQ(summary.find('\n'), std::string::npos);
+    EXPECT_NE(summary.find("eta="), std::string::npos);
+    EXPECT_NE(summary.find("MHz"), std::string::npos);
+}
+
+TEST(Report, Deterministic)
+{
+    QpProblem qp = generateProblem(Domain::Lasso, 15, 7);
+    ruizEquilibrate(qp, 10);
+    CustomizeSettings settings;
+    settings.c = 16;
+    const ProblemCustomization a = customizeProblem(qp, settings);
+    const ProblemCustomization b = customizeProblem(qp, settings);
+    EXPECT_EQ(customizationReport(a), customizationReport(b));
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Compressed-vector-buffer tests: the paper's Fig. 3 example,
+ * First-Fit correctness (no bank conflicts, all requests satisfied),
+ * comparison against the exact branch-and-bound optimum, full
+ * duplication baseline, and E_c accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "cvb/cvb.hpp"
+#include "problems/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+/** Requirements from explicit (element, lanes...) pairs. */
+AccessRequirements
+makeRequirements(Index c, Index length,
+                 const std::vector<std::pair<Index, IndexVector>>& reqs)
+{
+    AccessRequirements result;
+    result.c = c;
+    result.length = length;
+    result.laneMask.assign(static_cast<std::size_t>(length), 0);
+    for (const auto& [element, lanes] : reqs)
+        for (Index lane : lanes)
+            result.laneMask[static_cast<std::size_t>(element)] |=
+                std::uint64_t(1) << lane;
+    return result;
+}
+
+TEST(Cvb, PaperFig3StyleExample)
+{
+    // Fig. 3(a): an 8-element vector on 4 banks where each bank needs
+    // only a few elements compresses from depth 8 to a shallow buffer.
+    const AccessRequirements req = makeRequirements(
+        4, 8,
+        {{0, {0, 3}}, {1, {1, 2}}, {2, {0, 1}}, {3, {0, 2}},
+         {4, {0, 1, 2}}, {5, {2}}, {6, {1, 3}}, {7, {3}}});
+    const CvbPlan plan = compressFirstFit(req);
+    EXPECT_TRUE(plan.isConsistentWith(req));
+    EXPECT_LT(plan.depth, 8);  // actually compresses
+    EXPECT_LE(plan.ec(), 4.0);
+    // Exact optimum for this instance.
+    const Index optimum = exactMinimumDepth(req);
+    EXPECT_GE(plan.depth, optimum);
+    EXPECT_LE(plan.depth, optimum + 1);
+}
+
+TEST(Cvb, DisjointLanesShareOneAddress)
+{
+    // Four elements each needed by a different lane: depth 1.
+    const AccessRequirements req = makeRequirements(
+        4, 4, {{0, {0}}, {1, {1}}, {2, {2}}, {3, {3}}});
+    const CvbPlan plan = compressFirstFit(req);
+    EXPECT_EQ(plan.depth, 1);
+    EXPECT_DOUBLE_EQ(plan.ec(), 1.0);
+    EXPECT_TRUE(plan.isConsistentWith(req));
+}
+
+TEST(Cvb, ConflictingElementsNeedSeparateAddresses)
+{
+    // All elements needed by lane 0: no sharing possible.
+    const AccessRequirements req = makeRequirements(
+        4, 5, {{0, {0}}, {1, {0}}, {2, {0}}, {3, {0}}, {4, {0}}});
+    const CvbPlan plan = compressFirstFit(req);
+    EXPECT_EQ(plan.depth, 5);
+    EXPECT_EQ(exactMinimumDepth(req), 5);
+}
+
+TEST(Cvb, UnusedElementsNotStored)
+{
+    const AccessRequirements req =
+        makeRequirements(4, 6, {{1, {0}}, {4, {2}}});
+    const CvbPlan plan = compressFirstFit(req);
+    EXPECT_EQ(plan.address[0], -1);
+    EXPECT_EQ(plan.address[2], -1);
+    EXPECT_GE(plan.address[1], 0);
+    EXPECT_GE(plan.address[4], 0);
+    EXPECT_EQ(plan.storedCopies(), 2);
+}
+
+TEST(Cvb, FullDuplicationBaseline)
+{
+    const CvbPlan plan = fullDuplicationPlan(8, 100);
+    EXPECT_EQ(plan.depth, 100);
+    EXPECT_DOUBLE_EQ(plan.ec(), 8.0);
+    EXPECT_EQ(plan.updateCycles(), 100);  // E_c * L / C = 8*100/8
+    EXPECT_EQ(plan.storedCopies(), 800);
+    // Consistent with any requirement set of matching shape.
+    Rng rng(3);
+    AccessRequirements req;
+    req.c = 8;
+    req.length = 100;
+    req.laneMask.assign(100, 0);
+    for (Index j = 0; j < 100; ++j)
+        req.laneMask[static_cast<std::size_t>(j)] =
+            rng() & ((1u << 8) - 1);
+    EXPECT_TRUE(plan.isConsistentWith(req));
+}
+
+TEST(Cvb, UpdateCyclesNeverBelowStreamTime)
+{
+    // Even a depth-1 plan cannot update faster than streaming L/C.
+    const AccessRequirements req = makeRequirements(
+        4, 64, {{0, {0}}, {1, {1}}, {2, {2}}, {3, {3}}});
+    const CvbPlan plan = compressFirstFit(req);
+    EXPECT_EQ(plan.depth, 1);
+    EXPECT_EQ(plan.updateCycles(), 16);  // ceil(64/4)
+}
+
+TEST(Cvb, FirstFitOrderingsBothValid)
+{
+    Rng rng(11);
+    AccessRequirements req;
+    req.c = 8;
+    req.length = 60;
+    req.laneMask.assign(60, 0);
+    for (Index j = 0; j < 60; ++j)
+        req.laneMask[static_cast<std::size_t>(j)] =
+            rng() & ((1u << 8) - 1);
+    const CvbPlan in_order =
+        compressFirstFit(req, FirstFitOrder::InputOrder);
+    const CvbPlan decreasing =
+        compressFirstFit(req, FirstFitOrder::Decreasing);
+    EXPECT_TRUE(in_order.isConsistentWith(req));
+    EXPECT_TRUE(decreasing.isConsistentWith(req));
+    // FFD is a standard improvement; allow ties.
+    EXPECT_LE(decreasing.depth, in_order.depth + 2);
+}
+
+TEST(Cvb, ExactSolverMatchesKnownColorings)
+{
+    // Two cliques of conflicting elements -> depth = clique size.
+    const AccessRequirements req = makeRequirements(
+        4, 6,
+        {{0, {0, 1}}, {1, {1, 2}}, {2, {0, 2}},   // pairwise conflicts
+         {3, {3}}, {4, {3}}, {5, {3}}});
+    EXPECT_EQ(exactMinimumDepth(req), 3);
+}
+
+TEST(Cvb, ExactSolverCapEnforced)
+{
+    AccessRequirements req;
+    req.c = 4;
+    req.length = 30;
+    req.laneMask.assign(30, 1);
+    EXPECT_THROW(exactMinimumDepth(req, 10), FatalError);
+}
+
+TEST(Cvb, RequirementsFromPackedMatrix)
+{
+    Rng rng(5);
+    const QpProblem qp = generateSvm(10, rng);
+    const CsrMatrix csr = CsrMatrix::fromCsc(qp.a);
+    const StructureSet set = StructureSet::baseline(16);
+    const SparsityString str = encodeMatrix(csr, 16);
+    const Schedule schedule = scheduleString(str, set);
+    const PackedMatrix packed = packMatrix(csr, str, schedule, set);
+    const AccessRequirements req = buildAccessRequirements(packed);
+    EXPECT_EQ(req.length, csr.cols());
+    // Every column with at least one non-zero must be requested.
+    const CscMatrix csc = csr.toCsc();
+    for (Index c = 0; c < csc.cols(); ++c) {
+        const bool has_nnz = csc.colNnz(c) > 0;
+        const bool requested =
+            req.laneMask[static_cast<std::size_t>(c)] != 0;
+        EXPECT_EQ(has_nnz, requested) << "column " << c;
+    }
+    EXPECT_GE(req.totalCopies(), static_cast<Count>(req.usedElements()));
+}
+
+/** Property sweep: First-Fit plans are always consistent and within a
+ *  small factor of the exact optimum on small random instances. */
+class CvbProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CvbProperty, FirstFitConsistentAndNearOptimal)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 101);
+    AccessRequirements req;
+    req.c = 6;
+    req.length = 14;
+    req.laneMask.assign(14, 0);
+    for (Index j = 0; j < 14; ++j)
+        if (rng.bernoulli(0.8))
+            req.laneMask[static_cast<std::size_t>(j)] =
+                rng() & ((1u << 6) - 1);
+    const CvbPlan plan = compressFirstFit(req);
+    EXPECT_TRUE(plan.isConsistentWith(req));
+    const Index optimum = exactMinimumDepth(req);
+    EXPECT_GE(plan.depth, optimum);
+    // First-Fit-Decreasing stays close on these tiny instances.
+    EXPECT_LE(plan.depth, optimum + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CvbProperty,
+                         ::testing::Range(1, 13));
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Encoding/scheduling/packing edge cases: empty matrices, single
+ * rows, all-chunk strings, interleaved wide and narrow rows, and
+ * minimal datapath widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cvb/cvb.hpp"
+#include "encoding/packing.hpp"
+#include "encoding/scheduler.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+PackedMatrix
+packAll(const CsrMatrix& csr, Index c)
+{
+    const StructureSet set = StructureSet::baseline(c);
+    const SparsityString str = encodeMatrix(csr, c);
+    const Schedule schedule = scheduleString(str, set);
+    return packMatrix(csr, str, schedule, set);
+}
+
+TEST(EdgeCases, EmptyMatrixZeroRows)
+{
+    const CsrMatrix csr(0, 5);
+    const SparsityString str = encodeMatrix(csr, 4);
+    EXPECT_EQ(str.length(), 0u);
+    const Schedule schedule =
+        scheduleString(str, StructureSet::baseline(4));
+    EXPECT_EQ(schedule.slotCount(), 0);
+    EXPECT_EQ(schedule.ep, 0);
+}
+
+TEST(EdgeCases, MatrixOfOnlyZeroRows)
+{
+    const CsrMatrix csr(4, 3);  // no entries at all
+    const PackedMatrix packed = packAll(csr, 4);
+    EXPECT_EQ(packed.packCount(), 4);  // one padded slot per row
+    const Vector y = packed.referenceSpmv({1.0, 2.0, 3.0});
+    for (Real v : y)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EdgeCases, SingleDenseRowManyChunks)
+{
+    TripletList triplets(1, 100);
+    Rng rng(1);
+    for (Index j = 0; j < 100; ++j)
+        triplets.add(0, j, rng.normal());
+    const CsrMatrix csr =
+        CsrMatrix::fromCsc(CscMatrix::fromTriplets(triplets));
+    const SparsityString str = encodeMatrix(csr, 8);
+    // 100 = 12 * 8 + 4: twelve '$' chunks + a 'c' remainder.
+    EXPECT_EQ(str.encoded, std::string(12, kChunkChar) + "c");
+    const PackedMatrix packed = packAll(csr, 8);
+    EXPECT_EQ(packed.packCount(), 13);
+
+    const Vector x = test::randomVector(100, rng);
+    Vector y_ref;
+    csr.spmv(x, y_ref);
+    EXPECT_NEAR(packed.referenceSpmv(x)[0], y_ref[0],
+                1e-10 * (1.0 + std::abs(y_ref[0])));
+}
+
+TEST(EdgeCases, InterleavedWideAndNarrowRows)
+{
+    // Alternate 20-nnz and 1-nnz rows at C = 8. The '$' chunk
+    // positions of the wide rows act as match barriers (the paper's
+    // '*' replacement semantics), so interleaved singletons cannot be
+    // grouped — but results must still be exact.
+    TripletList triplets(10, 30);
+    Rng rng(2);
+    for (Index r = 0; r < 10; ++r) {
+        const Index k = (r % 2 == 0) ? 20 : 1;
+        for (Index c : rng.sampleDistinct(30, k))
+            triplets.add(r, c, rng.normal());
+    }
+    const CsrMatrix csr =
+        CsrMatrix::fromCsc(CscMatrix::fromTriplets(triplets));
+    const StructureSet set(8, {"aaaa"});
+    const SparsityString str = encodeMatrix(csr, 8);
+    const Schedule schedule = scheduleString(str, set);
+    const PackedMatrix packed = packMatrix(csr, str, schedule, set);
+
+    const Vector x = test::randomVector(30, rng);
+    Vector y_ref;
+    csr.spmv(x, y_ref);
+    EXPECT_LT(test::maxAbsDiff(packed.referenceSpmv(x), y_ref),
+              1e-10);
+    for (const SlotAssignment& slot : schedule.slots)
+        if (!slot.isChunk)
+            EXPECT_LT(slot.positions.size(), 4u)
+                << "interleaved singletons must not group across "
+                   "chunk barriers";
+}
+
+TEST(EdgeCases, GroupedNarrowRowsDoShareSlots)
+{
+    // Same rows but grouped: wide rows first, then five singletons in
+    // a row — now a "aaaa" structure packs four of them per cycle.
+    TripletList triplets(10, 30);
+    Rng rng(2);
+    for (Index r = 0; r < 10; ++r) {
+        const Index k = (r < 5) ? 20 : 1;
+        for (Index c : rng.sampleDistinct(30, k))
+            triplets.add(r, c, rng.normal());
+    }
+    const CsrMatrix csr =
+        CsrMatrix::fromCsc(CscMatrix::fromTriplets(triplets));
+    const StructureSet set(8, {"aaaa"});
+    const SparsityString str = encodeMatrix(csr, 8);
+    const Schedule schedule = scheduleString(str, set);
+    Count grouped = 0;
+    for (const SlotAssignment& slot : schedule.slots)
+        if (!slot.isChunk && slot.positions.size() == 4)
+            ++grouped;
+    EXPECT_EQ(grouped, 1);
+
+    const PackedMatrix packed = packMatrix(csr, str, schedule, set);
+    const Vector x = test::randomVector(30, rng);
+    Vector y_ref;
+    csr.spmv(x, y_ref);
+    EXPECT_LT(test::maxAbsDiff(packed.referenceSpmv(x), y_ref),
+              1e-10);
+}
+
+TEST(EdgeCases, WidthTwoDatapath)
+{
+    // Minimal interesting width: C = 2, alphabet {a, b}.
+    EXPECT_EQ(alphabetSize(2), 2);
+    EXPECT_EQ(topChar(2), 'b');
+    TripletList triplets(5, 5);
+    Rng rng(3);
+    for (Index r = 0; r < 5; ++r)
+        triplets.add(r, rng.uniformIndex(5), rng.normal());
+    const CsrMatrix csr =
+        CsrMatrix::fromCsc(CscMatrix::fromTriplets(triplets));
+    const PackedMatrix packed = packAll(csr, 2);
+    const Vector x = test::randomVector(5, rng);
+    Vector y_ref;
+    csr.spmv(x, y_ref);
+    EXPECT_LT(test::maxAbsDiff(packed.referenceSpmv(x), y_ref), 1e-12);
+}
+
+TEST(EdgeCases, CvbWithAllLanesConflicting)
+{
+    // Every element needed by every lane: no compression possible.
+    AccessRequirements req;
+    req.c = 4;
+    req.length = 6;
+    req.laneMask.assign(6, 0xF);
+    const CvbPlan plan = compressFirstFit(req);
+    EXPECT_EQ(plan.depth, 6);
+    EXPECT_DOUBLE_EQ(plan.ec(), 4.0);
+    EXPECT_TRUE(plan.isConsistentWith(req));
+}
+
+TEST(EdgeCases, CvbEmptyRequirements)
+{
+    AccessRequirements req;
+    req.c = 4;
+    req.length = 8;
+    req.laneMask.assign(8, 0);
+    const CvbPlan plan = compressFirstFit(req);
+    EXPECT_EQ(plan.depth, 0);
+    EXPECT_EQ(plan.storedCopies(), 0);
+    EXPECT_EQ(plan.updateCycles(), 2);  // still streams L/C
+}
+
+TEST(EdgeCases, SchedulerWithStructureNarrowerThanC)
+{
+    // A width-4 structure on a C = 8 datapath: the unused upper lanes
+    // count as padding but the result stays correct.
+    TripletList triplets(6, 10);
+    Rng rng(4);
+    for (Index r = 0; r < 6; ++r)
+        for (Index c : rng.sampleDistinct(10, 2))
+            triplets.add(r, c, rng.normal());
+    const CsrMatrix csr =
+        CsrMatrix::fromCsc(CscMatrix::fromTriplets(triplets));
+    const StructureSet set(8, {"bb"});  // width 4 of 8
+    const SparsityString str = encodeMatrix(csr, 8);
+    const Schedule schedule = scheduleString(str, set);
+    const PackedMatrix packed = packMatrix(csr, str, schedule, set);
+    EXPECT_EQ(packed.ep, schedule.ep);
+    const Vector x = test::randomVector(10, rng);
+    Vector y_ref;
+    csr.spmv(x, y_ref);
+    EXPECT_LT(test::maxAbsDiff(packed.referenceSpmv(x), y_ref), 1e-12);
+}
+
+} // namespace
+} // namespace rsqp

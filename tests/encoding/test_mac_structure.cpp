@@ -1,0 +1,122 @@
+/**
+ * @file
+ * MAC structure set tests: fallback handling, the paper's C{...}
+ * notation, lane layouts and scheduling order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "encoding/mac_structure.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(StructureSet, BaselineHasOnlyFallback)
+{
+    const StructureSet set = StructureSet::baseline(16);
+    ASSERT_EQ(set.patterns().size(), 1u);
+    EXPECT_EQ(set.patterns()[0], "e");
+    EXPECT_EQ(set.fallbackIndex(), 0);
+    EXPECT_EQ(set.totalOutputs(), 1);
+}
+
+TEST(StructureSet, FallbackAppendedAutomatically)
+{
+    const StructureSet set(4, {"bb"});
+    ASSERT_EQ(set.patterns().size(), 2u);
+    EXPECT_EQ(set.patterns()[0], "bb");
+    EXPECT_EQ(set.patterns()[1], "c");
+    EXPECT_EQ(set.fallbackIndex(), 1);
+}
+
+TEST(StructureSet, PaperExampleBbD)
+{
+    // Fig. 2(c): S = {bb, d} at C = 4... at C = 8 'd' is width 8.
+    const StructureSet set(8, {"bb", "d"});
+    EXPECT_EQ(set.fallbackIndex(), 1);  // 'd' is the top char for C=8
+    EXPECT_EQ(set.totalOutputs(), 3);
+}
+
+TEST(StructureSet, InvalidPatternsRejected)
+{
+    EXPECT_THROW(StructureSet(4, {"cc"}), FatalError);   // too wide
+    EXPECT_THROW(StructureSet(4, {"x"}), FatalError);    // bad char
+    EXPECT_THROW(StructureSet(4, {"bb", "bb"}), FatalError);  // dup
+}
+
+TEST(StructureSet, NameRoundTrip)
+{
+    const StructureSet set(16, {"aaaaaaaaaaaaaaaa"});
+    EXPECT_EQ(set.name(), "16{16a1e}");
+    const StructureSet parsed = StructureSet::parse("16{16a1e}");
+    EXPECT_TRUE(parsed == set);
+}
+
+TEST(StructureSet, ParsePaperTable3Names)
+{
+    const StructureSet set = StructureSet::parse("32{32a4d1f}");
+    EXPECT_EQ(set.c(), 32);
+    ASSERT_EQ(set.patterns().size(), 3u);
+    EXPECT_EQ(set.patterns()[0], std::string(32, 'a'));
+    EXPECT_EQ(set.patterns()[1], "dddd");
+    EXPECT_EQ(set.patterns()[2], "f");
+    EXPECT_EQ(set.totalOutputs(), 37);
+    EXPECT_EQ(set.name(), "32{32a4d1f}");
+}
+
+TEST(StructureSet, ParseErrors)
+{
+    EXPECT_THROW(StructureSet::parse("{4d}"), FatalError);
+    EXPECT_THROW(StructureSet::parse("32[4d]"), FatalError);
+    EXPECT_THROW(StructureSet::parse("32{4d"), FatalError);
+    EXPECT_THROW(StructureSet::parse("32{d4}"), FatalError);
+}
+
+TEST(StructureSet, LayoutPacksSegmentsLeftToRight)
+{
+    const StructureSet set(8, {"bac"});
+    const auto layout = set.layout(0);
+    ASSERT_EQ(layout.size(), 3u);
+    EXPECT_EQ(layout[0].ch, 'b');
+    EXPECT_EQ(layout[0].laneBegin, 0);
+    EXPECT_EQ(layout[0].laneEnd, 2);
+    EXPECT_EQ(layout[1].ch, 'a');
+    EXPECT_EQ(layout[1].laneBegin, 2);
+    EXPECT_EQ(layout[1].laneEnd, 3);
+    EXPECT_EQ(layout[2].ch, 'c');
+    EXPECT_EQ(layout[2].laneBegin, 3);
+    EXPECT_EQ(layout[2].laneEnd, 7);
+}
+
+TEST(StructureSet, SchedulingOrderLongestFirst)
+{
+    const StructureSet set(8, {"d", "bb", "aaaa"});
+    const IndexVector order = set.schedulingOrder();
+    // "aaaa" (len 4) before "bb" (len 2) before "d" (len 1).
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(set.patterns()[static_cast<std::size_t>(order[0])],
+              "aaaa");
+    EXPECT_EQ(set.patterns()[static_cast<std::size_t>(order[1])], "bb");
+    EXPECT_EQ(set.patterns()[static_cast<std::size_t>(order[2])], "d");
+}
+
+TEST(StructureSet, SchedulingOrderTieBrokenByWidth)
+{
+    const StructureSet set(8, {"aa", "bb"});
+    const IndexVector order = set.schedulingOrder();
+    // Same length; "bb" (width 4) wins over "aa" (width 2).
+    EXPECT_EQ(set.patterns()[static_cast<std::size_t>(order[0])], "bb");
+}
+
+TEST(StructureSet, MixedPatternNameUsesRuns)
+{
+    const StructureSet set(8, {"bab"});
+    EXPECT_EQ(set.name(), "8{1b1a1b1d}");
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Pack-layout tests: the materialized HBM stream must reproduce the
+ * exact SpMV result of the source matrix for any structure set, count
+ * its padding consistently with the schedule, and handle '$'
+ * accumulation chains and zero rows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "encoding/packing.hpp"
+#include "problems/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+using test::randomSparse;
+using test::randomVector;
+
+PackedMatrix
+packWith(const CsrMatrix& csr, const StructureSet& set)
+{
+    const SparsityString str = encodeMatrix(csr, set.c());
+    const Schedule schedule = scheduleString(str, set);
+    return packMatrix(csr, str, schedule, set);
+}
+
+TEST(Packing, ReferenceSpmvMatchesCsr)
+{
+    Rng rng(1);
+    const CscMatrix csc = randomSparse(40, 30, 0.2, rng);
+    const CsrMatrix csr = CsrMatrix::fromCsc(csc);
+    const PackedMatrix packed =
+        packWith(csr, StructureSet::baseline(8));
+    const Vector x = randomVector(30, rng);
+    Vector y_ref;
+    csr.spmv(x, y_ref);
+    const Vector y_packed = packed.referenceSpmv(x);
+    EXPECT_LT(test::maxAbsDiff(y_ref, y_packed), 1e-12);
+}
+
+TEST(Packing, PaddingMatchesScheduleEp)
+{
+    Rng rng(2);
+    const CscMatrix csc = randomSparse(60, 25, 0.15, rng);
+    const CsrMatrix csr = CsrMatrix::fromCsc(csc);
+    const StructureSet set(16, {"bbbbbbbb", "cccc"});
+    const SparsityString str = encodeMatrix(csr, 16);
+    const Schedule schedule = scheduleString(str, set);
+    const PackedMatrix packed = packMatrix(csr, str, schedule, set);
+    EXPECT_EQ(packed.ep, schedule.ep);
+    EXPECT_EQ(packed.packCount(), schedule.slotCount());
+    EXPECT_EQ(packed.nnz, csr.nnz());
+}
+
+TEST(Packing, WideRowsAccumulateAcrossPacks)
+{
+    // Single dense row wider than C: the stream must chain partial
+    // sums through the accumulate/emit flags.
+    TripletList triplets(1, 20);
+    for (Index j = 0; j < 20; ++j)
+        triplets.add(0, j, static_cast<Real>(j + 1));
+    const CsrMatrix csr =
+        CsrMatrix::fromCsc(CscMatrix::fromTriplets(triplets));
+    const PackedMatrix packed =
+        packWith(csr, StructureSet::baseline(8));
+    ASSERT_EQ(packed.packCount(), 3);  // 8 + 8 + 4
+    EXPECT_TRUE(packed.packs[0].segments[0].accumulate == false);
+    EXPECT_FALSE(packed.packs[0].segments[0].emit);
+    EXPECT_TRUE(packed.packs[1].segments[0].accumulate);
+    EXPECT_FALSE(packed.packs[1].segments[0].emit);
+    EXPECT_TRUE(packed.packs[2].segments[0].accumulate);
+    EXPECT_TRUE(packed.packs[2].segments[0].emit);
+
+    Vector x(20, 1.0);
+    const Vector y = packed.referenceSpmv(x);
+    EXPECT_DOUBLE_EQ(y[0], 210.0);  // 1 + 2 + ... + 20
+}
+
+TEST(Packing, ZeroRowsProduceZeroOutputs)
+{
+    TripletList triplets(4, 4);
+    triplets.add(1, 2, 3.0);  // rows 0, 2, 3 empty
+    const CsrMatrix csr =
+        CsrMatrix::fromCsc(CscMatrix::fromTriplets(triplets));
+    const PackedMatrix packed =
+        packWith(csr, StructureSet::baseline(4));
+    Vector x(4, 5.0);
+    const Vector y = packed.referenceSpmv(x);
+    EXPECT_DOUBLE_EQ(y[0], 0.0);
+    EXPECT_DOUBLE_EQ(y[1], 15.0);
+    EXPECT_DOUBLE_EQ(y[2], 0.0);
+    EXPECT_DOUBLE_EQ(y[3], 0.0);
+}
+
+TEST(Packing, PadLanesAreExplicitZeros)
+{
+    const SparsityString str = encodeRowNnz({1, 1}, 4);
+    TripletList triplets(2, 2);
+    triplets.add(0, 0, 2.0);
+    triplets.add(1, 1, 3.0);
+    const CsrMatrix csr =
+        CsrMatrix::fromCsc(CscMatrix::fromTriplets(triplets));
+    const StructureSet set(4, {"bb"});
+    const Schedule schedule = scheduleString(str, set);
+    const PackedMatrix packed = packMatrix(csr, str, schedule, set);
+    ASSERT_EQ(packed.packCount(), 1);
+    const LanePack& pack = packed.packs[0];
+    // Lanes 1 and 3 are padding: zero value, -1 index.
+    EXPECT_DOUBLE_EQ(pack.values[1], 0.0);
+    EXPECT_EQ(pack.colIdx[1], -1);
+    EXPECT_DOUBLE_EQ(pack.values[3], 0.0);
+    EXPECT_EQ(pack.colIdx[3], -1);
+}
+
+/** Property sweep: pack + reference SpMV equal CSR SpMV across
+ *  widths, structure sets and matrix shapes (incl. benchmark data). */
+class PackingProperty : public ::testing::TestWithParam<Index>
+{};
+
+TEST_P(PackingProperty, FunctionalEquivalenceRandom)
+{
+    const Index c = GetParam();
+    Rng rng(static_cast<std::uint64_t>(c) * 17);
+    for (int trial = 0; trial < 3; ++trial) {
+        const CscMatrix csc =
+            randomSparse(50, 35, 0.05 + 0.1 * trial, rng);
+        const CsrMatrix csr = CsrMatrix::fromCsc(csc);
+        // Random structure set.
+        std::vector<std::string> patterns;
+        for (char ch = 'a'; ch < topChar(c); ++ch)
+            if (rng.bernoulli(0.6))
+                patterns.emplace_back(
+                    static_cast<std::size_t>(c / charWidth(ch)), ch);
+        const StructureSet set(c, patterns);
+        const PackedMatrix packed = packWith(csr, set);
+
+        const Vector x = randomVector(35, rng);
+        Vector y_ref;
+        csr.spmv(x, y_ref);
+        const Vector y = packed.referenceSpmv(x);
+        EXPECT_LT(test::maxAbsDiff(y_ref, y), 1e-10);
+    }
+}
+
+TEST_P(PackingProperty, FunctionalEquivalenceBenchmark)
+{
+    const Index c = GetParam();
+    Rng rng(1234);
+    const QpProblem qp = generateHuber(15, rng);
+    const CsrMatrix csr = CsrMatrix::fromCsc(qp.a);
+    const PackedMatrix packed =
+        packWith(csr, StructureSet::baseline(c));
+    const Vector x = randomVector(csr.cols(), rng);
+    Vector y_ref;
+    csr.spmv(x, y_ref);
+    EXPECT_LT(test::maxAbsDiff(y_ref, packed.referenceSpmv(x)), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PackingProperty,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+} // namespace
+} // namespace rsqp

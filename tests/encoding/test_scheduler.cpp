@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Scheduler tests: the paper's Sec. 4.2 worked example, E_p accounting,
+ * coverage invariants and property sweeps over random strings and
+ * structure sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "encoding/scheduler.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(Scheduler, PaperWorkedExample)
+{
+    // Fig. 2(a)/(e): rows with nnz (4,2,2,1,1,1,3,1) at C = 4 and
+    // S = {bb, full}. The paper's toy figure labels the full-width row
+    // 'd' (a literal per-count alphabet); the production encoding of
+    // Sec. 4.1 uses log2 buckets, where width-4 rows are 'c'. Either
+    // way the schedule is the paper's: 6 slots, E_p = 9.
+    const SparsityString str =
+        encodeRowNnz({4, 2, 2, 1, 1, 1, 3, 1}, 4);
+    ASSERT_EQ(str.encoded, "cbbaaaca");
+    const StructureSet set(4, {"bb"});  // fallback 'c' (width 4) added
+    const Schedule schedule = scheduleString(str, set);
+    EXPECT_EQ(schedule.slotCount(), 6);
+    // nnz = 15, so E_p = 4 * 6 - 15 = 9.
+    EXPECT_EQ(schedule.nnz, 15);
+    EXPECT_EQ(schedule.ep, 9);
+    EXPECT_EQ(recomputeEp(schedule, str), schedule.ep);
+}
+
+TEST(Scheduler, BaselineOneSlotPerRow)
+{
+    const SparsityString str = encodeRowNnz({1, 2, 3, 4, 1}, 4);
+    const Schedule schedule =
+        scheduleString(str, StructureSet::baseline(4));
+    EXPECT_EQ(schedule.slotCount(), 5);
+    EXPECT_EQ(schedule.ep, 4 * 5 - (1 + 2 + 3 + 4 + 1));
+}
+
+TEST(Scheduler, ExactMatchesPreferredOverDominated)
+{
+    // "abb": exact pass grabs "bb", leaving 'a' for the fallback.
+    const SparsityString str = encodeRowNnz({1, 2, 2}, 4);
+    const StructureSet set(4, {"bb"});
+    const Schedule schedule = scheduleString(str, set);
+    ASSERT_EQ(schedule.slotCount(), 2);
+    // First slot: the exact "bb" match (rows 1 and 2).
+    const SlotAssignment& slot = schedule.slots[0];
+    EXPECT_EQ(set.patterns()[static_cast<std::size_t>(
+        slot.structureId)], "bb");
+    ASSERT_EQ(slot.positions.size(), 2u);
+    EXPECT_EQ(str.rowOfPos[static_cast<std::size_t>(slot.positions[0])],
+              1);
+    EXPECT_EQ(str.rowOfPos[static_cast<std::size_t>(slot.positions[1])],
+              2);
+}
+
+TEST(Scheduler, DominationAllowsNarrowerRows)
+{
+    // "aa" fits a "bb" structure with 2 zeros of padding.
+    const SparsityString str = encodeRowNnz({1, 1}, 4);
+    const StructureSet set(4, {"bb"});
+    const Schedule schedule = scheduleString(str, set);
+    EXPECT_EQ(schedule.slotCount(), 1);
+    EXPECT_EQ(schedule.ep, 2);
+}
+
+TEST(Scheduler, ChunkRowsGetDedicatedSlots)
+{
+    // One row of 10 nnz at C = 4 ('$$b') plus two 'a' rows.
+    const SparsityString str = encodeRowNnz({10, 1, 1}, 4);
+    const StructureSet set(4, {"aa"});
+    const Schedule schedule = scheduleString(str, set);
+    EXPECT_EQ(schedule.chunkSlots, 3);  // $, $, and the 'b' remainder
+    // Plus one "aa" slot for the two singleton rows.
+    EXPECT_EQ(schedule.slotCount(), 4);
+    EXPECT_EQ(schedule.ep, 4 * 4 - 12);
+    // Chunk slots are flagged and single-position.
+    Index chunk_count = 0;
+    for (const SlotAssignment& slot : schedule.slots)
+        if (slot.isChunk) {
+            ++chunk_count;
+            EXPECT_EQ(slot.positions.size(), 1u);
+        }
+    EXPECT_EQ(chunk_count, 3);
+}
+
+TEST(Scheduler, ChunkSlotsStayInRowOrder)
+{
+    const SparsityString str = encodeRowNnz({9, 6}, 4);
+    const Schedule schedule =
+        scheduleString(str, StructureSet::baseline(4));
+    // Positions of row 0's chunks must precede row 1's and be
+    // consecutive.
+    IndexVector rows;
+    for (const SlotAssignment& slot : schedule.slots)
+        rows.push_back(
+            str.rowOfPos[static_cast<std::size_t>(slot.positions[0])]);
+    const IndexVector expected = {0, 0, 0, 1, 1};
+    EXPECT_EQ(rows, expected);
+}
+
+TEST(Scheduler, MismatchedWidthRejected)
+{
+    const SparsityString str = encodeRowNnz({1, 1}, 4);
+    const StructureSet set = StructureSet::baseline(8);
+    EXPECT_DEATH(scheduleString(str, set), "width");
+}
+
+/** Property sweep: every position scheduled exactly once; E_p
+ *  formula consistent; customized never worse than baseline. */
+class SchedulerProperty
+    : public ::testing::TestWithParam<std::tuple<Index, int>>
+{};
+
+TEST_P(SchedulerProperty, InvariantsHold)
+{
+    const auto [c, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 131 + c);
+    IndexVector row_nnz;
+    for (int i = 0; i < 300; ++i)
+        row_nnz.push_back(rng.uniformIndex(2 * c + 1));
+    const SparsityString str = encodeRowNnz(row_nnz, c);
+
+    // Random structure set: a couple of homogeneous runs.
+    std::vector<std::string> patterns;
+    for (char ch = 'a'; ch < topChar(c); ++ch)
+        if (rng.bernoulli(0.5))
+            patterns.emplace_back(
+                static_cast<std::size_t>(c / charWidth(ch)), ch);
+    const StructureSet set(c, patterns);
+    const Schedule schedule = scheduleString(str, set);
+
+    // Coverage: each position in exactly one slot.
+    std::vector<int> covered(str.length(), 0);
+    for (const SlotAssignment& slot : schedule.slots)
+        for (Index pos : slot.positions)
+            if (pos >= 0)
+                ++covered[static_cast<std::size_t>(pos)];
+    for (int count : covered)
+        EXPECT_EQ(count, 1);
+
+    // E_p accounting.
+    EXPECT_EQ(schedule.ep,
+              static_cast<Count>(c) * schedule.slotCount() -
+                  schedule.nnz);
+    EXPECT_EQ(recomputeEp(schedule, str), schedule.ep);
+
+    // Customization never hurts.
+    const Schedule baseline =
+        scheduleString(str, StructureSet::baseline(c));
+    EXPECT_LE(schedule.slotCount(), baseline.slotCount());
+    EXPECT_LE(schedule.ep, baseline.ep);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulerProperty,
+    ::testing::Combine(::testing::Values(4, 8, 16, 32, 64),
+                       ::testing::Values(1, 2, 3)));
+
+} // namespace
+} // namespace rsqp

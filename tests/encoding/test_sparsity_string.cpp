@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Sparsity-string encoding tests: character maps, the paper's Fig. 2(a)
+ * example, '$' chunking of wide rows and zero-row handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "encoding/sparsity_string.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(SparsityChars, WidthsArePowersOfTwo)
+{
+    EXPECT_EQ(charWidth('a'), 1);
+    EXPECT_EQ(charWidth('b'), 2);
+    EXPECT_EQ(charWidth('c'), 4);
+    EXPECT_EQ(charWidth('g'), 64);
+}
+
+TEST(SparsityChars, AlphabetSizeAndTopChar)
+{
+    EXPECT_EQ(alphabetSize(4), 3);
+    EXPECT_EQ(topChar(4), 'c');
+    EXPECT_EQ(alphabetSize(64), 7);
+    EXPECT_EQ(topChar(64), 'g');
+}
+
+TEST(SparsityChars, CharForNnzBuckets)
+{
+    // Rows with <= 1, 2, 4, ... non-zeros map to 'a', 'b', 'c', ...
+    EXPECT_EQ(charForNnz(0, 64), 'a');
+    EXPECT_EQ(charForNnz(1, 64), 'a');
+    EXPECT_EQ(charForNnz(2, 64), 'b');
+    EXPECT_EQ(charForNnz(3, 64), 'c');
+    EXPECT_EQ(charForNnz(4, 64), 'c');
+    EXPECT_EQ(charForNnz(5, 64), 'd');
+    EXPECT_EQ(charForNnz(64, 64), 'g');
+}
+
+TEST(SparsityChars, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(-4));
+}
+
+TEST(SparsityString, PaperFig2aExample)
+{
+    // Fig. 2(a): rows with nnz (4, 2, 2, 1, 1, 1, 3, 1) at C = 4.
+    // The production encoding (Sec. 4.1) uses log2 buckets, so the
+    // width-4 row and the 3-nnz row both map to 'c' (the figure's toy
+    // alphabet labels them 'd' and 'c' respectively).
+    const IndexVector row_nnz = {4, 2, 2, 1, 1, 1, 3, 1};
+    const SparsityString str = encodeRowNnz(row_nnz, 4);
+    EXPECT_EQ(str.encoded, "cbbaaaca");
+    ASSERT_EQ(str.rowOfPos.size(), 8u);
+    for (Index p = 0; p < 8; ++p)
+        EXPECT_EQ(str.rowOfPos[static_cast<std::size_t>(p)], p);
+}
+
+TEST(SparsityString, WideRowsBecomeChunks)
+{
+    // A row with 10 non-zeros at C = 4: two '$' chunks + 'b' remainder.
+    const SparsityString str = encodeRowNnz({10}, 4);
+    EXPECT_EQ(str.encoded, "$$b");
+    EXPECT_EQ(str.nnzOfPos[0], 4);
+    EXPECT_EQ(str.nnzOfPos[1], 4);
+    EXPECT_EQ(str.nnzOfPos[2], 2);
+    for (Index row : str.rowOfPos)
+        EXPECT_EQ(row, 0);
+}
+
+TEST(SparsityString, ExactMultipleEndsWithTopChar)
+{
+    // nnz = 8 = 2 * C: one '$' chunk then a full-width top char.
+    const SparsityString str = encodeRowNnz({8}, 4);
+    EXPECT_EQ(str.encoded, "$c");
+    EXPECT_EQ(str.nnzOfPos[1], 4);
+}
+
+TEST(SparsityString, ZeroRowEncodedAsA)
+{
+    const SparsityString str = encodeRowNnz({0, 3, 0}, 4);
+    EXPECT_EQ(str.encoded, "aca");
+    EXPECT_EQ(str.nnzOfPos[0], 0);
+    EXPECT_EQ(str.nnzOfPos[2], 0);
+}
+
+TEST(SparsityString, EncodeMatrixMatchesRowNnz)
+{
+    Rng rng(2);
+    const CscMatrix csc = test::randomSparse(30, 20, 0.2, rng);
+    const CsrMatrix csr = CsrMatrix::fromCsc(csc);
+    const SparsityString str = encodeMatrix(csr, 16);
+    Count covered = 0;
+    for (Index nnz : str.nnzOfPos)
+        covered += nnz;
+    EXPECT_EQ(covered, csr.nnz());
+    // Every row appears at least once.
+    std::vector<bool> seen(30, false);
+    for (Index row : str.rowOfPos)
+        seen[static_cast<std::size_t>(row)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(SparsityString, Patterns)
+{
+    EXPECT_TRUE(isValidPattern("bb", 4));
+    EXPECT_TRUE(isValidPattern("d", 8));
+    EXPECT_TRUE(isValidPattern("aaaa", 4));
+    EXPECT_FALSE(isValidPattern("", 4));
+    EXPECT_FALSE(isValidPattern("d", 4));   // 'd' width 8 > 4
+    EXPECT_FALSE(isValidPattern("cc", 4));  // total width 8 > 4
+    EXPECT_FALSE(isValidPattern("$a", 4));  // '$' not allowed
+    EXPECT_EQ(patternWidth("bb"), 4);
+    EXPECT_EQ(patternWidth("caa"), 6);
+}
+
+TEST(SparsityString, CharacterHistogram)
+{
+    const auto hist = characterHistogram("aabac");
+    // Sorted by character: a:3, b:1, c:1.
+    ASSERT_EQ(hist.size(), 3u);
+    EXPECT_EQ(hist[0].first, 'a');
+    EXPECT_EQ(hist[0].second, 3);
+    EXPECT_EQ(hist[1].first, 'b');
+    EXPECT_EQ(hist[2].first, 'c');
+}
+
+/** Property: for any row-nnz vector, the chunk decomposition covers
+ *  every non-zero exactly once and respects the width bound. */
+class EncodingProperty : public ::testing::TestWithParam<Index>
+{};
+
+TEST_P(EncodingProperty, ChunksCoverAllNnz)
+{
+    const Index c = GetParam();
+    Rng rng(static_cast<std::uint64_t>(c));
+    IndexVector row_nnz;
+    Count total = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Index nnz = rng.uniformIndex(4 * c + 1);
+        row_nnz.push_back(nnz);
+        total += nnz;
+    }
+    const SparsityString str = encodeRowNnz(row_nnz, c);
+    Count covered = 0;
+    for (std::size_t p = 0; p < str.length(); ++p) {
+        EXPECT_LE(str.nnzOfPos[p], c);
+        EXPECT_GE(str.nnzOfPos[p], 0);
+        if (str.encoded[p] == kChunkChar)
+            EXPECT_EQ(str.nnzOfPos[p], c);
+        else
+            EXPECT_LE(str.nnzOfPos[p],
+                      charWidth(str.encoded[p]));
+        covered += str.nnzOfPos[p];
+    }
+    EXPECT_EQ(covered, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, EncodingProperty,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Structure-search tests: the search must discover profitable
+ * structures on patterned strings, respect the budget, never hurt the
+ * schedule, and handle multi-matrix joint searches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "encoding/structure_search.hpp"
+#include "problems/generators.hpp"
+#include "problems/suite.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(StructureSearch, FindsRepeatedPairPattern)
+{
+    // Alternating (2, 2) rows: "bbbb..." at C = 8; the dedicated
+    // "bbbb" structure packs 4 rows per cycle.
+    IndexVector row_nnz;
+    for (int i = 0; i < 400; ++i)
+        row_nnz.push_back(2);
+    const SparsityString str = encodeRowNnz(row_nnz, 8);
+    StructureSearchSettings settings;
+    settings.targetSize = 2;
+    const StructureSearchResult result =
+        searchStructureSet(str, settings);
+    // Baseline: one row per slot (400 slots). Customized: ~100.
+    EXPECT_EQ(result.baselineSlots, 400);
+    EXPECT_LE(result.chosenSlots, 110);
+    EXPECT_LT(result.chosenEp, result.baselineEp);
+}
+
+TEST(StructureSearch, RespectsBudget)
+{
+    Rng rng(3);
+    const QpProblem qp = generateLasso(30, rng);
+    const CsrMatrix a_csr = CsrMatrix::fromCsc(qp.a);
+    const SparsityString str = encodeMatrix(a_csr, 16);
+    for (Index target : {1, 2, 3, 4}) {
+        StructureSearchSettings settings;
+        settings.targetSize = target;
+        const StructureSearchResult result =
+            searchStructureSet(str, settings);
+        EXPECT_LE(static_cast<Index>(result.set.patterns().size()),
+                  std::max<Index>(target, 1));
+    }
+}
+
+TEST(StructureSearch, NeverWorseThanBaseline)
+{
+    Rng rng(5);
+    for (Domain domain : {Domain::Control, Domain::Svm, Domain::Eqqp}) {
+        const QpProblem qp =
+            generateProblem(domain, domain == Domain::Control ? 8 : 30,
+                            17);
+        const CsrMatrix a_csr = CsrMatrix::fromCsc(qp.a);
+        const SparsityString str = encodeMatrix(a_csr, 32);
+        const StructureSearchResult result = searchStructureSet(str);
+        EXPECT_LE(result.chosenSlots, result.baselineSlots)
+            << toString(domain);
+        EXPECT_LE(result.chosenEp, result.baselineEp)
+            << toString(domain);
+    }
+}
+
+TEST(StructureSearch, UniformStringsGainLittle)
+{
+    // All rows already full width: the baseline is already ideal and
+    // the search should not regress it.
+    IndexVector row_nnz(200, 16);
+    const SparsityString str = encodeRowNnz(row_nnz, 16);
+    const StructureSearchResult result = searchStructureSet(str);
+    EXPECT_EQ(result.chosenSlots, result.baselineSlots);
+    EXPECT_EQ(result.chosenEp, 0);
+}
+
+TEST(StructureSearch, JointSearchCoversAllMatrices)
+{
+    Rng rng(7);
+    const QpProblem qp = generateSvm(25, rng);
+    const CsrMatrix a_csr = CsrMatrix::fromCsc(qp.a);
+    const CsrMatrix at_csr = CsrMatrix::fromCsc(qp.a.transpose());
+    const CsrMatrix p_csr =
+        CsrMatrix::fromCsc(qp.pUpper.symUpperToFull());
+    const SparsityString a_str = encodeMatrix(a_csr, 32);
+    const SparsityString at_str = encodeMatrix(at_csr, 32);
+    const SparsityString p_str = encodeMatrix(p_csr, 32);
+
+    const StructureSearchResult joint =
+        searchStructureSet({&p_str, &a_str, &at_str});
+    EXPECT_LT(joint.chosenSlots, joint.baselineSlots);
+
+    // The joint set is usable on each string individually.
+    for (const SparsityString* str : {&p_str, &a_str, &at_str}) {
+        const Schedule schedule = scheduleString(*str, joint.set);
+        EXPECT_GT(schedule.slotCount(), 0);
+    }
+}
+
+TEST(StructureSearch, SampledSelectionStillValidOnFullString)
+{
+    // Force sampling with a tiny evalSampleLength; final numbers must
+    // still come from the full string and satisfy the invariants.
+    IndexVector row_nnz;
+    Rng rng(9);
+    for (int i = 0; i < 5000; ++i)
+        row_nnz.push_back(1 + rng.uniformIndex(4));
+    const SparsityString str = encodeRowNnz(row_nnz, 16);
+    StructureSearchSettings settings;
+    settings.evalSampleLength = 512;
+    const StructureSearchResult result =
+        searchStructureSet(str, settings);
+    EXPECT_LE(result.chosenSlots, result.baselineSlots);
+    const Schedule check = scheduleString(str, result.set);
+    EXPECT_EQ(check.slotCount(), result.chosenSlots);
+}
+
+} // namespace
+} // namespace rsqp

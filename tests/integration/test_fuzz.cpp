@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Randomized cross-backend fuzzing: random QPs (random shapes,
+ * densities, bound patterns including equalities, loose rows and
+ * one-sided bounds) solved by the direct CPU, indirect CPU and
+ * simulated-accelerator backends must agree whenever they report
+ * Solved, across random solver settings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rsqp.hpp"
+#include "osqp/residuals.hpp"
+#include "linalg/vector_ops.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+/** Random but well-posed QP with a mixed constraint menagerie. */
+QpProblem
+fuzzProblem(Rng& rng)
+{
+    const Index n = 2 + rng.uniformIndex(25);
+    const Index m = 1 + rng.uniformIndex(30);
+    QpProblem qp;
+    qp.pUpper = test::randomSpdUpper(
+        n, 0.1 + 0.4 * rng.uniform(), rng);
+    // Occasionally knock out diagonal curvature on some variables
+    // (semidefinite P), keeping it PSD by zeroing whole rows/cols.
+    qp.q = test::randomVector(n, rng);
+    TripletList a_triplets(m, n);
+    for (Index i = 0; i < m; ++i) {
+        const Index k =
+            1 + rng.uniformIndex(std::min<Index>(n, 6));
+        for (Index c : rng.sampleDistinct(n, k))
+            a_triplets.add(i, c, rng.normal());
+    }
+    qp.a = CscMatrix::fromTriplets(a_triplets);
+    qp.l.resize(static_cast<std::size_t>(m));
+    qp.u.resize(static_cast<std::size_t>(m));
+    for (Index i = 0; i < m; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        const Real center = rng.normal();
+        switch (rng.uniformIndex(5)) {
+          case 0:  // equality
+            qp.l[s] = center;
+            qp.u[s] = center;
+            break;
+          case 1:  // lower bound only
+            qp.l[s] = center;
+            qp.u[s] = kInf;
+            break;
+          case 2:  // upper bound only
+            qp.l[s] = -kInf;
+            qp.u[s] = center;
+            break;
+          case 3:  // loose
+            qp.l[s] = -kInf;
+            qp.u[s] = kInf;
+            break;
+          default:  // two-sided interval
+            qp.l[s] = center - rng.uniform(0.1, 2.0);
+            qp.u[s] = center + rng.uniform(0.1, 2.0);
+        }
+    }
+    qp.name = "fuzz";
+    return qp;
+}
+
+class BackendFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BackendFuzz, BackendsAgreeWhenSolved)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    const QpProblem qp = fuzzProblem(rng);
+
+    OsqpSettings settings;
+    settings.epsAbs = 1e-5;
+    settings.epsRel = 1e-5;
+    settings.maxIter = 10000;
+    // Randomize a few solver knobs.
+    settings.alpha = rng.uniform(1.0, 1.9);
+    settings.rho = std::pow(10.0, rng.uniform(-2.0, 0.5));
+    settings.adaptiveRho = rng.bernoulli(0.7);
+    settings.scalingIterations = rng.bernoulli(0.8) ? 10 : 0;
+
+    settings.backend = KktBackend::DirectLdl;
+    const OsqpResult rd = OsqpSolver(qp, settings).solve();
+    settings.backend = KktBackend::IndirectPcg;
+    const OsqpResult ri = OsqpSolver(qp, settings).solve();
+
+    // Feasibility status must agree between backends on clear-cut
+    // outcomes (both certificates are scale-sensitive, so only check
+    // when both terminated with a certificate or both solved).
+    if (rd.info.status == SolveStatus::Solved &&
+        ri.info.status == SolveStatus::Solved) {
+        const Real scale = 1.0 + std::abs(rd.info.objective);
+        EXPECT_NEAR(rd.info.objective, ri.info.objective,
+                    5e-2 * scale);
+
+        // The accelerated solve matches the indirect reference.
+        CustomizeSettings custom;
+        custom.c = 16;
+        RsqpSolver device(qp, settings, custom);
+        const RsqpResult ra = device.solve();
+        EXPECT_EQ(ra.status, SolveStatus::Solved);
+        EXPECT_NEAR(ra.objective, ri.info.objective, 5e-2 * scale);
+
+        // KKT check of the accelerated solution.
+        const ResidualInfo res = computeResiduals(
+            qp, ra.x, ra.y, ra.z, settings.epsAbs, settings.epsRel);
+        EXPECT_TRUE(res.converged())
+            << "prim " << res.primRes << "/" << res.epsPrim
+            << " dual " << res.dualRes << "/" << res.epsDual;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendFuzz, ::testing::Range(1, 25));
+
+/** Settings fuzz on one fixed problem: every combination must solve. */
+class SettingsFuzz
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int>>
+{};
+
+TEST_P(SettingsFuzz, PortfolioAlwaysSolves)
+{
+    const auto [adaptive_rho, scaling, check_interval] = GetParam();
+    const QpProblem qp = generateProblem(Domain::Portfolio, 30, 77);
+    OsqpSettings settings;
+    settings.adaptiveRho = adaptive_rho;
+    settings.scalingIterations = scaling ? 10 : 0;
+    settings.checkInterval = check_interval;
+    settings.adaptiveRhoInterval =
+        ((100 + check_interval - 1) / check_interval) * check_interval;
+    settings.maxIter = 8000;
+    const OsqpResult result = OsqpSolver(qp, settings).solve();
+    EXPECT_EQ(result.info.status, SolveStatus::Solved);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SettingsFuzz,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 5, 25, 50)));
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Full-pipeline property sweep over (domain x datapath width): for
+ * the P and A matrices of each benchmark family, the complete
+ * customization chain (encode -> search -> schedule -> pack ->
+ * compress) must satisfy every invariant at once:
+ *
+ *  - schedule covers each string position exactly once,
+ *  - E_p accounting agrees between scheduler and packer,
+ *  - the CVB plan is consistent with the packed access pattern,
+ *  - the packed stream reproduces the CSR SpMV exactly,
+ *  - eta lies in (0, 1] and never degrades vs the baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/customization.hpp"
+#include "linalg/vector_ops.hpp"
+#include "osqp/scaling.hpp"
+#include "problems/suite.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<Domain, Index>>
+{};
+
+TEST_P(PipelineSweep, AllInvariantsHold)
+{
+    const auto [domain, c] = GetParam();
+    const Index size = domain == Domain::Control ? 10 : 35;
+    QpProblem qp = generateProblem(domain, size, 2024);
+    ruizEquilibrate(qp, 10);
+
+    CustomizeSettings settings;
+    settings.c = c;
+    const ProblemCustomization custom = customizeProblem(qp, settings);
+    const ProblemCustomization baseline =
+        baselineCustomization(qp, c);
+
+    Rng rng(static_cast<std::uint64_t>(c) * 31 +
+            static_cast<std::uint64_t>(domain));
+    for (const MatrixArtifacts* m :
+         {&custom.p, &custom.a, &custom.at, &custom.atSq}) {
+        SCOPED_TRACE(m->name);
+        // Coverage: every string position in exactly one slot.
+        std::vector<int> covered(m->str.length(), 0);
+        for (const SlotAssignment& slot : m->schedule.slots)
+            for (Index pos : slot.positions)
+                if (pos >= 0)
+                    ++covered[static_cast<std::size_t>(pos)];
+        for (int count : covered)
+            ASSERT_EQ(count, 1);
+
+        // E_p accounting.
+        EXPECT_EQ(m->schedule.ep, m->packed.ep);
+        EXPECT_EQ(m->schedule.ep,
+                  static_cast<Count>(c) * m->schedule.slotCount() -
+                      m->schedule.nnz);
+
+        // CVB plan consistency.
+        EXPECT_TRUE(m->plan.isConsistentWith(
+            buildAccessRequirements(m->packed)));
+
+        // Functional equivalence.
+        const Vector x = test::randomVector(m->csr.cols(), rng);
+        Vector y_ref;
+        m->csr.spmv(x, y_ref);
+        EXPECT_LT(test::maxAbsDiff(m->packed.referenceSpmv(x), y_ref),
+                  1e-9 * (1.0 + normInf(y_ref)));
+
+        // Match score range.
+        EXPECT_GT(m->eta(), 0.0);
+        EXPECT_LE(m->eta(), 1.0 + 1e-12);
+    }
+
+    // Aggregate eta never degrades vs the baseline.
+    EXPECT_GE(custom.eta(), baseline.eta() - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainsByWidth, PipelineSweep,
+    ::testing::Combine(::testing::Values(Domain::Control, Domain::Lasso,
+                                         Domain::Huber,
+                                         Domain::Portfolio, Domain::Svm,
+                                         Domain::Eqqp),
+                       ::testing::Values(8, 16, 32, 64)));
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * CSC matrix tests: construction, conversions, kernels against dense
+ * references, and property sweeps over random matrices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "linalg/csc.hpp"
+#include "linalg/vector_ops.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+using test::randomSparse;
+using test::randomSpdUpper;
+using test::randomVector;
+using test::toDense;
+
+TEST(CscMatrix, FromTripletsSumsDuplicates)
+{
+    TripletList triplets(2, 2);
+    triplets.add(0, 0, 1.0);
+    triplets.add(0, 0, 2.0);
+    triplets.add(1, 1, 5.0);
+    const CscMatrix matrix = CscMatrix::fromTriplets(triplets);
+    EXPECT_EQ(matrix.nnz(), 2);
+    EXPECT_DOUBLE_EQ(matrix.coeff(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(matrix.coeff(1, 1), 5.0);
+    EXPECT_DOUBLE_EQ(matrix.coeff(0, 1), 0.0);
+}
+
+TEST(CscMatrix, FromTripletsSortsRows)
+{
+    TripletList triplets(3, 1);
+    triplets.add(2, 0, 3.0);
+    triplets.add(0, 0, 1.0);
+    triplets.add(1, 0, 2.0);
+    const CscMatrix matrix = CscMatrix::fromTriplets(triplets);
+    EXPECT_TRUE(matrix.isValid());
+    EXPECT_EQ(matrix.rowIdx()[0], 0);
+    EXPECT_EQ(matrix.rowIdx()[1], 1);
+    EXPECT_EQ(matrix.rowIdx()[2], 2);
+}
+
+TEST(CscMatrix, IdentityAndDiagonal)
+{
+    const CscMatrix eye = CscMatrix::identity(4, 2.5);
+    EXPECT_EQ(eye.nnz(), 4);
+    for (Index i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(eye.coeff(i, i), 2.5);
+
+    const CscMatrix diag = CscMatrix::diagonal({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(diag.coeff(2, 2), 3.0);
+    EXPECT_EQ(diag.rows(), 3);
+}
+
+TEST(CscMatrix, FromRawRejectsBadStructure)
+{
+    // Unsorted row indices within a column.
+    EXPECT_THROW(CscMatrix::fromRaw(2, 1, {0, 2}, {1, 0}, {1.0, 2.0}),
+                 FatalError);
+    // colPtr/nnz mismatch.
+    EXPECT_THROW(CscMatrix::fromRaw(2, 1, {0, 1}, {0, 1}, {1.0, 2.0}),
+                 FatalError);
+}
+
+TEST(CscMatrix, TransposeIsInvolution)
+{
+    Rng rng(1);
+    const CscMatrix matrix = randomSparse(7, 5, 0.4, rng);
+    const CscMatrix twice = matrix.transpose().transpose();
+    EXPECT_TRUE(matrix == twice);
+}
+
+TEST(CscMatrix, TransposeMatchesDense)
+{
+    Rng rng(2);
+    const CscMatrix matrix = randomSparse(6, 9, 0.3, rng);
+    const CscMatrix t = matrix.transpose();
+    const auto dense = toDense(matrix);
+    for (Index r = 0; r < matrix.rows(); ++r)
+        for (Index c = 0; c < matrix.cols(); ++c)
+            EXPECT_DOUBLE_EQ(t.coeff(c, r),
+                             dense[static_cast<std::size_t>(r)]
+                                  [static_cast<std::size_t>(c)]);
+}
+
+TEST(CscMatrix, UpperTriangularAndBack)
+{
+    Rng rng(3);
+    const CscMatrix spd_upper = randomSpdUpper(8, 0.4, rng);
+    const CscMatrix full = spd_upper.symUpperToFull();
+    // Full matrix is symmetric.
+    for (Index r = 0; r < 8; ++r)
+        for (Index c = 0; c < 8; ++c)
+            EXPECT_DOUBLE_EQ(full.coeff(r, c), full.coeff(c, r));
+    // Extracting the upper triangle recovers the original.
+    EXPECT_TRUE(full.upperTriangular() == spd_upper);
+}
+
+TEST(CscMatrix, SymUpperSpmvMatchesFull)
+{
+    Rng rng(4);
+    const CscMatrix upper = randomSpdUpper(10, 0.35, rng);
+    const CscMatrix full = upper.symUpperToFull();
+    const Vector x = randomVector(10, rng);
+    Vector y_sym, y_full;
+    upper.spmvSymUpper(x, y_sym);
+    full.spmv(x, y_full);
+    test::expectVectorsNear(y_sym, y_full, 1e-12, "sym spmv");
+}
+
+TEST(CscMatrix, ScaledMatchesElementwise)
+{
+    Rng rng(5);
+    const CscMatrix matrix = randomSparse(5, 6, 0.5, rng);
+    const Vector r = {1.0, 2.0, 0.5, 3.0, 1.5};
+    const Vector c = {2.0, 1.0, 0.25, 4.0, 1.0, 0.5};
+    const CscMatrix scaled = matrix.scaled(r, c);
+    for (Index i = 0; i < 5; ++i)
+        for (Index j = 0; j < 6; ++j)
+            EXPECT_NEAR(scaled.coeff(i, j),
+                        matrix.coeff(i, j) *
+                            r[static_cast<std::size_t>(i)] *
+                            c[static_cast<std::size_t>(j)],
+                        1e-14);
+}
+
+TEST(CscMatrix, DiagonalVector)
+{
+    Rng rng(6);
+    const CscMatrix upper = randomSpdUpper(6, 0.3, rng);
+    const Vector diag = upper.diagonalVector();
+    for (Index i = 0; i < 6; ++i)
+        EXPECT_DOUBLE_EQ(diag[static_cast<std::size_t>(i)],
+                         upper.coeff(i, i));
+}
+
+TEST(CscMatrix, ColumnAndRowInfNorms)
+{
+    TripletList triplets(2, 2);
+    triplets.add(0, 0, -3.0);
+    triplets.add(1, 0, 2.0);
+    triplets.add(1, 1, -0.5);
+    const CscMatrix matrix = CscMatrix::fromTriplets(triplets);
+    const Vector col_norms = matrix.columnInfNorms();
+    EXPECT_DOUBLE_EQ(col_norms[0], 3.0);
+    EXPECT_DOUBLE_EQ(col_norms[1], 0.5);
+    const Vector row_norms = matrix.rowInfNorms();
+    EXPECT_DOUBLE_EQ(row_norms[0], 3.0);
+    EXPECT_DOUBLE_EQ(row_norms[1], 2.0);
+}
+
+TEST(CscMatrix, SymUpperColumnInfNormsSeeBothTriangles)
+{
+    // [[1, 5], [5, 2]] stored as upper: column norms are (5, 5).
+    TripletList triplets(2, 2);
+    triplets.add(0, 0, 1.0);
+    triplets.add(0, 1, 5.0);
+    triplets.add(1, 1, 2.0);
+    const CscMatrix upper = CscMatrix::fromTriplets(triplets);
+    const Vector norms = upper.symUpperColumnInfNorms();
+    EXPECT_DOUBLE_EQ(norms[0], 5.0);
+    EXPECT_DOUBLE_EQ(norms[1], 5.0);
+}
+
+TEST(CscMatrix, SymUpperPermuteKeepsSpectortedValues)
+{
+    Rng rng(7);
+    const CscMatrix upper = randomSpdUpper(9, 0.4, rng);
+    const IndexVector perm = rng.permutation(9);
+    const CscMatrix permuted = upper.symUpperPermute(perm);
+    const CscMatrix full = upper.symUpperToFull();
+    const CscMatrix pfull = permuted.symUpperToFull();
+    for (Index i = 0; i < 9; ++i)
+        for (Index j = 0; j < 9; ++j)
+            EXPECT_NEAR(pfull.coeff(i, j),
+                        full.coeff(perm[static_cast<std::size_t>(i)],
+                                   perm[static_cast<std::size_t>(j)]),
+                        1e-14);
+}
+
+/** Property sweep: spmv kernels match dense mat-vec across shapes. */
+class CscSpmvProperty
+    : public ::testing::TestWithParam<std::tuple<Index, Index, double>>
+{};
+
+TEST_P(CscSpmvProperty, SpmvMatchesDense)
+{
+    const auto [rows, cols, density] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(rows * 1000 + cols));
+    const CscMatrix matrix = randomSparse(rows, cols, density, rng);
+    const Vector x = randomVector(cols, rng);
+    Vector y;
+    matrix.spmv(x, y);
+    const auto dense = toDense(matrix);
+    for (Index r = 0; r < rows; ++r) {
+        Real expected = 0.0;
+        for (Index c = 0; c < cols; ++c)
+            expected += dense[static_cast<std::size_t>(r)]
+                             [static_cast<std::size_t>(c)] *
+                x[static_cast<std::size_t>(c)];
+        EXPECT_NEAR(y[static_cast<std::size_t>(r)], expected, 1e-10);
+    }
+}
+
+TEST_P(CscSpmvProperty, TransposeSpmvMatchesTransposedDense)
+{
+    const auto [rows, cols, density] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(rows * 991 + cols));
+    const CscMatrix matrix = randomSparse(rows, cols, density, rng);
+    const Vector x = randomVector(rows, rng);
+    Vector y;
+    matrix.spmvTranspose(x, y);
+    Vector y_ref;
+    matrix.transpose().spmv(x, y_ref);
+    test::expectVectorsNear(y, y_ref, 1e-10, "A'x");
+}
+
+TEST_P(CscSpmvProperty, AccumulateAddsAlphaTimesProduct)
+{
+    const auto [rows, cols, density] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(rows * 7 + cols));
+    const CscMatrix matrix = randomSparse(rows, cols, density, rng);
+    const Vector x = randomVector(cols, rng);
+    Vector base = randomVector(rows, rng);
+    Vector y = base;
+    matrix.spmvAccumulate(x, y, 2.0);
+    Vector ax;
+    matrix.spmv(x, ax);
+    for (Index r = 0; r < rows; ++r)
+        EXPECT_NEAR(y[static_cast<std::size_t>(r)],
+                    base[static_cast<std::size_t>(r)] +
+                        2.0 * ax[static_cast<std::size_t>(r)],
+                    1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CscSpmvProperty,
+    ::testing::Values(std::tuple<Index, Index, double>{1, 1, 1.0},
+                      std::tuple<Index, Index, double>{5, 3, 0.5},
+                      std::tuple<Index, Index, double>{16, 16, 0.2},
+                      std::tuple<Index, Index, double>{40, 25, 0.1},
+                      std::tuple<Index, Index, double>{3, 60, 0.3},
+                      std::tuple<Index, Index, double>{64, 64, 0.05}));
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CSR matrix tests: CSC round-trips, row access, SpMV equivalence and
+ * row permutation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "linalg/csr.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+using test::randomSparse;
+using test::randomVector;
+
+TEST(CsrMatrix, FromCscRoundTrip)
+{
+    Rng rng(1);
+    const CscMatrix csc = randomSparse(9, 7, 0.3, rng);
+    const CsrMatrix csr = CsrMatrix::fromCsc(csc);
+    EXPECT_TRUE(csr.isValid());
+    EXPECT_EQ(csr.nnz(), csc.nnz());
+    EXPECT_TRUE(csr.toCsc() == csc);
+}
+
+TEST(CsrMatrix, RowNnzMatchesStructure)
+{
+    TripletList triplets(3, 4);
+    triplets.add(0, 0, 1.0);
+    triplets.add(0, 3, 1.0);
+    triplets.add(2, 1, 1.0);
+    const CsrMatrix csr =
+        CsrMatrix::fromCsc(CscMatrix::fromTriplets(triplets));
+    EXPECT_EQ(csr.rowNnz(0), 2);
+    EXPECT_EQ(csr.rowNnz(1), 0);
+    EXPECT_EQ(csr.rowNnz(2), 1);
+}
+
+TEST(CsrMatrix, SpmvMatchesCsc)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 5; ++trial) {
+        const CscMatrix csc = randomSparse(20, 15, 0.25, rng);
+        const CsrMatrix csr = CsrMatrix::fromCsc(csc);
+        const Vector x = randomVector(15, rng);
+        Vector y_csc, y_csr;
+        csc.spmv(x, y_csc);
+        csr.spmv(x, y_csr);
+        test::expectVectorsNear(y_csc, y_csr, 1e-12, "csr spmv");
+    }
+}
+
+TEST(CsrMatrix, FromRawValidates)
+{
+    EXPECT_THROW(
+        CsrMatrix::fromRaw(2, 2, {0, 1, 1}, {5}, {1.0}),  // col 5 > cols
+        FatalError);
+    EXPECT_THROW(
+        CsrMatrix::fromRaw(2, 2, {0, 2, 1}, {0, 1}, {1.0, 1.0}),
+        FatalError);  // decreasing rowPtr
+}
+
+TEST(CsrMatrix, PermuteRowsReordersRows)
+{
+    Rng rng(3);
+    const CscMatrix csc = randomSparse(6, 4, 0.5, rng);
+    const CsrMatrix csr = CsrMatrix::fromCsc(csc);
+    const IndexVector perm = rng.permutation(6);
+    const CsrMatrix permuted = csr.permuteRows(perm);
+    const Vector x = randomVector(4, rng);
+    Vector y, yp;
+    csr.spmv(x, y);
+    permuted.spmv(x, yp);
+    for (Index i = 0; i < 6; ++i)
+        EXPECT_DOUBLE_EQ(
+            yp[static_cast<std::size_t>(i)],
+            y[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])]);
+}
+
+TEST(CsrMatrix, EmptyMatrix)
+{
+    const CsrMatrix csr(3, 3);
+    EXPECT_EQ(csr.nnz(), 0);
+    Vector y;
+    csr.spmv({1.0, 2.0, 3.0}, y);
+    for (Real v : y)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Serialization tests: MatrixMarket round trips (general and
+ * symmetric) and whole-problem save/load across every benchmark
+ * domain.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "linalg/io.hpp"
+#include "osqp/problem_io.hpp"
+#include "osqp/solver.hpp"
+#include "problems/suite.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(MatrixMarket, GeneralRoundTrip)
+{
+    Rng rng(1);
+    const CscMatrix matrix = test::randomSparse(9, 6, 0.3, rng);
+    std::stringstream ss;
+    writeMatrixMarket(ss, matrix);
+    const CscMatrix back = readMatrixMarket(ss);
+    EXPECT_TRUE(matrix == back);
+}
+
+TEST(MatrixMarket, SymmetricRoundTrip)
+{
+    Rng rng(2);
+    const CscMatrix upper = test::randomSpdUpper(8, 0.4, rng);
+    std::stringstream ss;
+    writeMatrixMarket(ss, upper, /*symmetric_upper=*/true);
+    // The file advertises itself as symmetric.
+    EXPECT_NE(ss.str().find("symmetric"), std::string::npos);
+    const CscMatrix back = readMatrixMarket(ss);
+    EXPECT_TRUE(upper == back);
+}
+
+TEST(MatrixMarket, RejectsGarbage)
+{
+    std::stringstream empty;
+    EXPECT_THROW(readMatrixMarket(empty), FatalError);
+    std::stringstream bad("%%MatrixMarket matrix array real general\n");
+    EXPECT_THROW(readMatrixMarket(bad), FatalError);
+    std::stringstream truncated(
+        "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 "
+        "5.0\n");
+    EXPECT_THROW(readMatrixMarket(truncated), FatalError);
+}
+
+TEST(MatrixMarket, ValuesExact)
+{
+    TripletList triplets(2, 2);
+    triplets.add(0, 0, 1.0 / 3.0);
+    triplets.add(1, 1, -2.718281828459045);
+    const CscMatrix matrix = CscMatrix::fromTriplets(triplets);
+    std::stringstream ss;
+    writeMatrixMarket(ss, matrix);
+    const CscMatrix back = readMatrixMarket(ss);
+    EXPECT_DOUBLE_EQ(back.coeff(0, 0), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(back.coeff(1, 1), -2.718281828459045);
+}
+
+TEST(ProblemIo, RoundTripPreservesSolution)
+{
+    const QpProblem qp = generateProblem(Domain::Portfolio, 30, 3);
+    std::stringstream ss;
+    writeQpProblem(ss, qp);
+    const QpProblem back = readQpProblem(ss);
+
+    EXPECT_TRUE(qp.pUpper == back.pUpper);
+    EXPECT_TRUE(qp.a == back.a);
+    EXPECT_EQ(qp.q, back.q);
+    EXPECT_EQ(qp.l, back.l);
+    EXPECT_EQ(qp.u, back.u);
+
+    OsqpSettings settings;
+    const OsqpResult r1 = OsqpSolver(qp, settings).solve();
+    const OsqpResult r2 = OsqpSolver(back, settings).solve();
+    EXPECT_EQ(r1.info.iterations, r2.info.iterations);
+    EXPECT_DOUBLE_EQ(r1.info.objective, r2.info.objective);
+}
+
+TEST(ProblemIo, InfiniteBoundsSurvive)
+{
+    const QpProblem qp = generateProblem(Domain::Svm, 10, 5);
+    std::stringstream ss;
+    writeQpProblem(ss, qp);
+    const QpProblem back = readQpProblem(ss);
+    for (std::size_t i = 0; i < qp.u.size(); ++i) {
+        EXPECT_EQ(qp.u[i] >= kInf, back.u[i] >= kInf);
+        EXPECT_EQ(qp.l[i] <= -kInf, back.l[i] <= -kInf);
+    }
+}
+
+TEST(ProblemIo, RejectsWrongMagic)
+{
+    std::stringstream ss("NOT-A-PROBLEM 1\n");
+    EXPECT_THROW(readQpProblem(ss), FatalError);
+}
+
+/** Round-trip sweep across all six domains. */
+class ProblemIoSweep : public ::testing::TestWithParam<Domain>
+{};
+
+TEST_P(ProblemIoSweep, ExactRoundTrip)
+{
+    const Domain domain = GetParam();
+    const Index size = domain == Domain::Control ? 5 : 20;
+    const QpProblem qp = generateProblem(domain, size, 7);
+    std::stringstream ss;
+    writeQpProblem(ss, qp);
+    const QpProblem back = readQpProblem(ss);
+    EXPECT_TRUE(qp.pUpper == back.pUpper) << toString(domain);
+    EXPECT_TRUE(qp.a == back.a) << toString(domain);
+    EXPECT_EQ(qp.q, back.q) << toString(domain);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, ProblemIoSweep,
+                         ::testing::Values(Domain::Control, Domain::Lasso,
+                                           Domain::Huber,
+                                           Domain::Portfolio, Domain::Svm,
+                                           Domain::Eqqp));
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * KKT assembly tests: structure of the assembled matrix, in-place rho
+ * and matrix-value updates, and the matrix-free reduced operator
+ * against explicit computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/kkt.hpp"
+#include "linalg/vector_ops.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+using test::randomSparse;
+using test::randomSpdUpper;
+using test::randomVector;
+
+struct KktFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        Rng rng(5);
+        p = randomSpdUpper(6, 0.4, rng);
+        a = randomSparse(4, 6, 0.4, rng);
+        rho = {0.5, 1.0, 2.0, 4.0};
+        sigma = 1e-6;
+    }
+
+    CscMatrix p, a;
+    Vector rho;
+    Real sigma = 0.0;
+};
+
+TEST_F(KktFixture, AssembledMatrixHasExpectedBlocks)
+{
+    KktAssembler assembler(p, a, sigma, rho);
+    const CscMatrix& kkt = assembler.kkt();
+    EXPECT_EQ(kkt.rows(), 10);
+    EXPECT_EQ(kkt.cols(), 10);
+    EXPECT_TRUE(kkt.isValid());
+
+    // (1,1) block: P + sigma I.
+    for (Index i = 0; i < 6; ++i)
+        for (Index j = i; j < 6; ++j) {
+            const Real expected =
+                p.coeff(i, j) + (i == j ? sigma : 0.0);
+            EXPECT_NEAR(kkt.coeff(i, j), expected, 1e-15);
+        }
+    // (1,2) block: A' (stored as rows 0..5 of columns 6..9).
+    for (Index i = 0; i < 4; ++i)
+        for (Index j = 0; j < 6; ++j)
+            EXPECT_DOUBLE_EQ(kkt.coeff(j, 6 + i), a.coeff(i, j));
+    // (2,2) block: -1/rho diagonal.
+    for (Index i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(kkt.coeff(6 + i, 6 + i),
+                         -1.0 / rho[static_cast<std::size_t>(i)]);
+}
+
+TEST_F(KktFixture, UpdateRhoRewritesOnlyDiagonal)
+{
+    KktAssembler assembler(p, a, sigma, rho);
+    Vector rho2 = {1.0, 1.0, 1.0, 1.0};
+    assembler.updateRho(rho2);
+    const CscMatrix& kkt = assembler.kkt();
+    for (Index i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(kkt.coeff(6 + i, 6 + i), -1.0);
+    // P block untouched.
+    EXPECT_NEAR(kkt.coeff(0, 0), p.coeff(0, 0) + sigma, 1e-15);
+}
+
+TEST_F(KktFixture, UpdateMatricesRewritesValues)
+{
+    KktAssembler assembler(p, a, sigma, rho);
+    std::vector<Real> p_values = p.values();
+    for (Real& v : p_values)
+        v *= 3.0;
+    std::vector<Real> a_values = a.values();
+    for (Real& v : a_values)
+        v *= -2.0;
+    assembler.updateMatrices(p_values, a_values);
+    const CscMatrix& kkt = assembler.kkt();
+    for (Index i = 0; i < 6; ++i)
+        for (Index j = i; j < 6; ++j)
+            EXPECT_NEAR(kkt.coeff(i, j),
+                        3.0 * p.coeff(i, j) + (i == j ? sigma : 0.0),
+                        1e-12);
+    for (Index i = 0; i < 4; ++i)
+        for (Index j = 0; j < 6; ++j)
+            EXPECT_NEAR(kkt.coeff(j, 6 + i), -2.0 * a.coeff(i, j), 1e-12);
+}
+
+TEST(KktAssembler, MissingPDiagonalStillGetsSigma)
+{
+    // P with an empty column (variable without quadratic cost).
+    TripletList p_triplets(3, 3);
+    p_triplets.add(0, 0, 2.0);
+    // column 1 empty; column 2 off-diagonal only.
+    p_triplets.add(0, 2, 1.0);
+    const CscMatrix p = CscMatrix::fromTriplets(p_triplets);
+    Rng rng(3);
+    const CscMatrix a = test::randomSparse(2, 3, 0.8, rng);
+    KktAssembler assembler(p, a, 0.5, {1.0, 1.0});
+    EXPECT_DOUBLE_EQ(assembler.kkt().coeff(1, 1), 0.5);
+    EXPECT_DOUBLE_EQ(assembler.kkt().coeff(2, 2), 0.5);
+    EXPECT_DOUBLE_EQ(assembler.kkt().coeff(0, 0), 2.5);
+}
+
+TEST_F(KktFixture, ReducedOperatorMatchesExplicit)
+{
+    ReducedKktOperator op(p, a, sigma, rho);
+    Rng rng(11);
+    const Vector x = randomVector(6, rng);
+    Vector y;
+    op.apply(x, y);
+
+    // Explicit: P x + sigma x + A' diag(rho) A x.
+    Vector px;
+    p.spmvSymUpper(x, px);
+    Vector ax;
+    a.spmv(x, ax);
+    for (std::size_t i = 0; i < ax.size(); ++i)
+        ax[i] *= rho[i];
+    Vector aty;
+    a.spmvTranspose(ax, aty);
+    for (Index j = 0; j < 6; ++j) {
+        const auto s = static_cast<std::size_t>(j);
+        EXPECT_NEAR(y[s], px[s] + sigma * x[s] + aty[s], 1e-12);
+    }
+}
+
+TEST_F(KktFixture, ReducedOperatorDiagonal)
+{
+    ReducedKktOperator op(p, a, sigma, rho);
+    const Vector diag = op.diagonal();
+    // Compare against applying K to unit vectors.
+    for (Index j = 0; j < 6; ++j) {
+        Vector e(6, 0.0);
+        e[static_cast<std::size_t>(j)] = 1.0;
+        Vector ke;
+        op.apply(e, ke);
+        EXPECT_NEAR(diag[static_cast<std::size_t>(j)],
+                    ke[static_cast<std::size_t>(j)], 1e-12);
+    }
+}
+
+TEST_F(KktFixture, ReducedOperatorSetRho)
+{
+    ReducedKktOperator op(p, a, sigma, rho);
+    Vector rho2 = {2.0, 2.0, 2.0, 2.0};
+    op.setRho(rho2);
+    ReducedKktOperator fresh(p, a, sigma, rho2);
+    Rng rng(13);
+    const Vector x = randomVector(6, rng);
+    Vector y1, y2;
+    op.apply(x, y1);
+    fresh.apply(x, y2);
+    test::expectVectorsNear(y1, y2, 1e-13, "setRho");
+}
+
+TEST_F(KktFixture, OperatorIsPositiveDefinite)
+{
+    ReducedKktOperator op(p, a, sigma, rho);
+    Rng rng(17);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Vector x = randomVector(6, rng);
+        Vector kx;
+        op.apply(x, kx);
+        EXPECT_GT(dot(x, kx), 0.0);
+    }
+}
+
+} // namespace
+} // namespace rsqp

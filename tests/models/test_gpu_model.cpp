@@ -1,0 +1,104 @@
+/**
+ * @file
+ * GPU model tests: launch-overhead domination on small problems,
+ * bandwidth domination on large ones, and the resulting crossover the
+ * paper reports for cuOSQP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.hpp"
+#include "problems/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+OsqpInfo
+infoWith(Index iters, Count pcg)
+{
+    OsqpInfo info;
+    info.iterations = iters;
+    info.pcgIterationsTotal = pcg;
+    return info;
+}
+
+TEST(GpuModel, SmallProblemDominatedByLaunches)
+{
+    Rng rng(1);
+    const QpProblem small = generateLasso(5, rng);
+    const OsqpInfo info = infoWith(100, 500);
+    const OsqpSettings settings;
+    const GpuSolveEstimate est =
+        estimateGpuSolve(small, info, settings);
+    // Launch overhead: >= 500 PCG iters * 10 kernels * 5 us = 25 ms.
+    EXPECT_GT(est.solveSeconds, 0.025);
+    EXPECT_LT(est.utilization, 0.1);
+    // Near-idle power.
+    EXPECT_LT(est.watts, 60.0);
+}
+
+TEST(GpuModel, LargeProblemDominatedByBandwidth)
+{
+    // Bandwidth only wins over launch overhead near the top of the
+    // benchmark's size range (nnz >= several 1e5) — exactly why the
+    // paper's GPU is competitive only on the largest problems.
+    Rng rng(2);
+    const QpProblem large = generateEqqp(2200, rng);
+    const OsqpInfo info = infoWith(200, 2000);
+    const OsqpSettings settings;
+    const GpuSolveEstimate est =
+        estimateGpuSolve(large, info, settings);
+    EXPECT_GT(est.utilization, 0.25);
+    EXPECT_GT(est.watts, 70.0);
+
+    // And a mid-size problem is still launch-bound.
+    const QpProblem mid = generateEqqp(300, rng);
+    const GpuSolveEstimate mid_est =
+        estimateGpuSolve(mid, info, settings);
+    EXPECT_LT(mid_est.utilization, est.utilization);
+}
+
+TEST(GpuModel, TimeScalesWithIterations)
+{
+    Rng rng(3);
+    const QpProblem qp = generateSvm(50, rng);
+    const OsqpSettings settings;
+    const GpuSolveEstimate one =
+        estimateGpuSolve(qp, infoWith(100, 600), settings);
+    const GpuSolveEstimate two =
+        estimateGpuSolve(qp, infoWith(200, 1200), settings);
+    EXPECT_NEAR(two.solveSeconds, 2.0 * one.solveSeconds,
+                0.25 * two.solveSeconds);
+}
+
+TEST(GpuModel, SetupIncludesPcieTransfer)
+{
+    Rng rng(4);
+    const QpProblem small = generateLasso(5, rng);
+    const QpProblem large = generateEqqp(600, rng);
+    const OsqpSettings settings;
+    const OsqpInfo info = infoWith(10, 50);
+    const GpuSolveEstimate s = estimateGpuSolve(small, info, settings);
+    const GpuSolveEstimate l = estimateGpuSolve(large, info, settings);
+    EXPECT_GT(l.setupSeconds, s.setupSeconds);
+    EXPECT_GE(s.setupSeconds, 3e-4);  // fixed init floor
+}
+
+TEST(GpuModel, WattsWithinMeasuredEnvelope)
+{
+    Rng rng(5);
+    const OsqpSettings settings;
+    for (Index n : {5, 50, 400}) {
+        const QpProblem qp = generateSvm(n, rng);
+        const GpuSolveEstimate est =
+            estimateGpuSolve(qp, infoWith(150, 900), settings);
+        EXPECT_GE(est.watts, 44.0);
+        EXPECT_LE(est.watts, 126.0);
+    }
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Hardware model tests: Table 2 catalog, DSP/FF/LUT estimates and the
+ * fmax model's calibration against the shapes of Table 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/devices.hpp"
+#include "hwmodel/power.hpp"
+#include "hwmodel/resources.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+ArchConfig
+configOf(const std::string& name, bool compressed = true)
+{
+    ArchConfig config;
+    config.structures = StructureSet::parse(name);
+    config.c = config.structures.c();
+    config.compressedCvb = compressed;
+    return config;
+}
+
+TEST(Devices, Table2Catalog)
+{
+    const auto table = platformTable();
+    ASSERT_EQ(table.size(), 3u);
+    EXPECT_EQ(table[0].device, "FPGA");
+    EXPECT_DOUBLE_EQ(table[0].peakTeraflops, 0.3);
+    EXPECT_DOUBLE_EQ(table[0].tdpWatts, 75.0);
+    EXPECT_EQ(table[1].model, "Intel i7-10700KF");
+    EXPECT_EQ(table[2].lithographyNm, 8);
+    EXPECT_DOUBLE_EQ(table[2].peakTeraflops, 20.0);
+}
+
+TEST(Resources, DspIsFiveTimesC)
+{
+    // Every Table 3 row uses exactly 5 DSPs per lane.
+    EXPECT_EQ(estimateResources(configOf("16{1e}")).dsp, 80);
+    EXPECT_EQ(estimateResources(configOf("32{4d1f}")).dsp, 160);
+    EXPECT_EQ(estimateResources(configOf("64{4e1g}")).dsp, 320);
+}
+
+TEST(Resources, FfLutGrowWithOutputs)
+{
+    const auto base = estimateResources(configOf("16{1e}", false));
+    const auto custom = estimateResources(configOf("16{16a1e}", false));
+    EXPECT_GT(custom.ff, base.ff);
+    EXPECT_GT(custom.lut, base.lut);
+    // Roughly the Table 3 magnitudes (12218 -> 17190 FF).
+    EXPECT_NEAR(static_cast<double>(base.ff), 12218.0, 4000.0);
+    EXPECT_NEAR(static_cast<double>(custom.ff), 17190.0, 5000.0);
+}
+
+TEST(Resources, CompressedCvbCostsExtraLogic)
+{
+    const auto plain = estimateResources(configOf("32{4d1f}", false));
+    const auto cvb = estimateResources(configOf("32{4d1f}", true));
+    EXPECT_GT(cvb.ff, plain.ff);
+    EXPECT_GT(cvb.lut, plain.lut);
+    EXPECT_EQ(cvb.dsp, plain.dsp);
+}
+
+TEST(Fmax, BaselineHitsHlsTarget)
+{
+    // Small designs reach the 300 MHz HLS target (Table 3: 16{e},
+    // 32{4d1f} and 32{4d2e1f} all report 300).
+    EXPECT_GT(estimateFmaxMhz(configOf("16{1e}")), 290.0);
+    EXPECT_GT(estimateFmaxMhz(configOf("32{4d1f}")), 280.0);
+}
+
+TEST(Fmax, DegradesWithRoutingPressure)
+{
+    // The Table 3 ranking: wider C with more outputs clocks slower.
+    const Real f_small = estimateFmaxMhz(configOf("16{16a1e}"));
+    const Real f_mid = estimateFmaxMhz(configOf("32{32a4d1f}"));
+    const Real f_big = estimateFmaxMhz(configOf("64{64a4e1g}"));
+    EXPECT_GT(f_small, f_mid);
+    EXPECT_GT(f_mid, f_big);
+    // 64{64a4e1g} measured 121 MHz in the paper.
+    EXPECT_LT(f_big, 180.0);
+    EXPECT_GT(f_big, 60.0);
+}
+
+TEST(Fmax, Table3RankingPreserved)
+{
+    // Candidates with few outputs keep high fmax even at C = 64
+    // (paper: 64{4e1g} = 270 MHz).
+    const Real f = estimateFmaxMhz(configOf("64{4e1g}"));
+    EXPECT_GT(f, 240.0);
+}
+
+TEST(Resources, AllTable3CandidatesFitU50)
+{
+    for (const char* name :
+         {"16{1e}", "16{16a1e}", "32{32a4d1f}", "16{16a2d1e}",
+          "64{64a4e1g}", "32{4d1f}", "32{32a4d2e1f}", "32{4d2e1f}",
+          "32{16b4d1f}", "64{4e1g}", "64{8d4e1g}"}) {
+        EXPECT_TRUE(fitsU50(estimateResources(configOf(name)))) << name;
+    }
+}
+
+TEST(Power, FpgaAround19Watts)
+{
+    ArchConfig config;
+    config.c = 64;
+    config.structures = StructureSet::baseline(64);
+    EXPECT_NEAR(fpgaPowerWatts(config), 19.0, 1.0);
+}
+
+TEST(Power, GpuEnvelopeMatchesPaper)
+{
+    // Paper: 44 W to 126 W across the benchmark.
+    EXPECT_DOUBLE_EQ(gpuPowerWatts(0.0), 44.0);
+    EXPECT_DOUBLE_EQ(gpuPowerWatts(1.0), 126.0);
+    EXPECT_GT(gpuPowerWatts(0.3), gpuPowerWatts(0.1));
+}
+
+TEST(Power, EfficiencyDefinition)
+{
+    // 10 ms per instance at 19 W -> 100/19 instances per joule.
+    EXPECT_NEAR(powerEfficiency(0.01, 19.0), 100.0 / 19.0, 1e-9);
+}
+
+} // namespace
+} // namespace rsqp

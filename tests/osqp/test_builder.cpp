@@ -1,0 +1,109 @@
+/**
+ * @file
+ * QpBuilder tests: assembled problems match hand-built triplets, the
+ * OSQP demo problem solves to its known optimum, and invalid input is
+ * rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "osqp/builder.hpp"
+#include "osqp/solver.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(QpBuilder, OsqpDemoProblem)
+{
+    QpBuilder builder(2);
+    builder.quadraticCost(0, 0, 4.0)
+        .quadraticCost(0, 1, 1.0)
+        .quadraticCost(1, 1, 2.0)
+        .linearCost(0, 1.0)
+        .linearCost(1, 1.0);
+    builder.addEquality(1.0, {{0, 1.0}, {1, 1.0}});
+    builder.addBox(0, 0.0, 0.7);
+    builder.addBox(1, 0.0, 0.7);
+    const QpProblem qp = builder.build("demo");
+    EXPECT_EQ(qp.numVariables(), 2);
+    EXPECT_EQ(qp.numConstraints(), 3);
+
+    OsqpSettings settings;
+    settings.epsAbs = 1e-6;
+    settings.epsRel = 1e-6;
+    settings.polish = true;
+    const OsqpResult result = OsqpSolver(qp, settings).solve();
+    ASSERT_EQ(result.info.status, SolveStatus::Solved);
+    EXPECT_NEAR(result.x[0], 0.3, 1e-4);
+    EXPECT_NEAR(result.x[1], 0.7, 1e-4);
+}
+
+TEST(QpBuilder, SymmetricEntryStoredUpper)
+{
+    QpBuilder builder(3);
+    builder.quadraticCost(2, 0, 5.0);  // below-diagonal input
+    builder.quadraticCost(1, 1, 1.0);
+    builder.quadraticCost(0, 0, 1.0);
+    builder.quadraticCost(2, 2, 1.0);
+    builder.addBox(0, -1.0, 1.0);
+    const QpProblem qp = builder.build();
+    // Entry landed at (0, 2) in the upper triangle.
+    EXPECT_DOUBLE_EQ(qp.pUpper.coeff(0, 2), 5.0);
+    for (Index c = 0; c < 3; ++c)
+        for (Index p = qp.pUpper.colPtr()[c];
+             p < qp.pUpper.colPtr()[c + 1]; ++p)
+            EXPECT_LE(qp.pUpper.rowIdx()[p], c);
+}
+
+TEST(QpBuilder, RepeatedCoefficientsAccumulate)
+{
+    QpBuilder builder(2);
+    builder.quadraticCost(0, 0, 1.0).quadraticCost(0, 0, 2.0);
+    builder.linearCost(1, 0.5).linearCost(1, 0.5);
+    builder.addBox(0, 0.0, 1.0);
+    const QpProblem qp = builder.build();
+    EXPECT_DOUBLE_EQ(qp.pUpper.coeff(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(qp.q[1], 1.0);
+}
+
+TEST(QpBuilder, ConstraintRowIndicesSequential)
+{
+    QpBuilder builder(2);
+    EXPECT_EQ(builder.addBox(0, 0.0, 1.0), 0);
+    EXPECT_EQ(builder.addEquality(2.0, {{0, 1.0}, {1, 1.0}}), 1);
+    EXPECT_EQ(builder.addConstraint(-kInf, 5.0, {{1, 3.0}}), 2);
+    EXPECT_EQ(builder.numConstraints(), 3);
+    const QpProblem qp = builder.build();
+    EXPECT_DOUBLE_EQ(qp.u[2], 5.0);
+    EXPECT_LE(qp.l[2], -kInf);
+}
+
+TEST(QpBuilder, CrossedBoundsRejected)
+{
+    QpBuilder builder(1);
+    EXPECT_THROW(builder.addConstraint(2.0, 1.0, {{0, 1.0}}),
+                 FatalError);
+}
+
+TEST(QpBuilder, UnconstrainedVariableAllowed)
+{
+    // A variable with no constraint rows at all is legal.
+    QpBuilder builder(2);
+    builder.quadraticCost(0, 0, 1.0).quadraticCost(1, 1, 1.0);
+    builder.linearCost(1, -3.0);
+    builder.addBox(0, -1.0, 1.0);
+    const QpProblem qp = builder.build();
+    OsqpSettings settings;
+    settings.epsAbs = 1e-6;
+    settings.epsRel = 1e-6;
+    const OsqpResult result = OsqpSolver(qp, settings).solve();
+    ASSERT_EQ(result.info.status, SolveStatus::Solved);
+    EXPECT_NEAR(result.x[1], 3.0, 1e-3);  // unconstrained minimum
+}
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Residual-computation tests: the shared OSQP residual/tolerance
+ * helper against hand-computed values and the convergence predicate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "osqp/residuals.hpp"
+#include "problems/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+/** 1-variable problem: min (1/2) x^2 - x, s.t. 0 <= x <= 2. */
+QpProblem
+tinyProblem()
+{
+    QpProblem qp;
+    TripletList p_triplets(1, 1);
+    p_triplets.add(0, 0, 1.0);
+    qp.pUpper = CscMatrix::fromTriplets(p_triplets);
+    qp.q = {-1.0};
+    TripletList a_triplets(1, 1);
+    a_triplets.add(0, 0, 1.0);
+    qp.a = CscMatrix::fromTriplets(a_triplets);
+    qp.l = {0.0};
+    qp.u = {2.0};
+    return qp;
+}
+
+TEST(Residuals, ExactAtOptimum)
+{
+    const QpProblem qp = tinyProblem();
+    // Optimum: x = 1 (interior), y = 0, z = x.
+    const ResidualInfo info =
+        computeResiduals(qp, {1.0}, {0.0}, {1.0}, 1e-3, 1e-3);
+    EXPECT_DOUBLE_EQ(info.primRes, 0.0);
+    EXPECT_DOUBLE_EQ(info.dualRes, 0.0);
+    EXPECT_TRUE(info.converged());
+}
+
+TEST(Residuals, HandComputedValues)
+{
+    const QpProblem qp = tinyProblem();
+    // At x = 0.5, y = 0.25, z = 0.7:
+    //   prim = |A x - z| = |0.5 - 0.7| = 0.2
+    //   dual = |P x + q + A'y| = |0.5 - 1 + 0.25| = 0.25
+    const ResidualInfo info =
+        computeResiduals(qp, {0.5}, {0.25}, {0.7}, 1e-3, 1e-3);
+    EXPECT_NEAR(info.primRes, 0.2, 1e-15);
+    EXPECT_NEAR(info.dualRes, 0.25, 1e-15);
+    // eps_prim = 1e-3 + 1e-3 * max(|Ax|, |z|) = 1e-3 + 1e-3*0.7
+    EXPECT_NEAR(info.epsPrim, 1e-3 + 0.7e-3, 1e-15);
+    // eps_dual = 1e-3 + 1e-3 * max(|Px|, |A'y|, |q|) = 1e-3 + 1e-3*1.
+    EXPECT_NEAR(info.epsDual, 2e-3, 1e-15);
+    EXPECT_FALSE(info.converged());
+}
+
+TEST(Residuals, ToleranceScalesWithData)
+{
+    // Scaling the data by 1000 scales the relative tolerance term.
+    QpProblem qp = tinyProblem();
+    for (Real& v : qp.q)
+        v *= 1000.0;
+    const ResidualInfo info =
+        computeResiduals(qp, {0.0}, {0.0}, {0.0}, 1e-3, 1e-3);
+    EXPECT_NEAR(info.epsDual, 1e-3 + 1e-3 * 1000.0, 1e-12);
+}
+
+TEST(Residuals, ConvergedIsConjunction)
+{
+    ResidualInfo info;
+    info.primRes = 0.5;
+    info.epsPrim = 1.0;
+    info.dualRes = 2.0;
+    info.epsDual = 1.0;
+    EXPECT_FALSE(info.converged());  // dual violated
+    info.dualRes = 0.5;
+    EXPECT_TRUE(info.converged());
+}
+
+TEST(Residuals, AgreesWithGeneratorProblems)
+{
+    // Zero point: prim = ||z|| = 0 with z = 0, dual = ||q||.
+    Rng rng(3);
+    const QpProblem qp = generateSvm(15, rng);
+    const Vector x(static_cast<std::size_t>(qp.numVariables()), 0.0);
+    const Vector y(static_cast<std::size_t>(qp.numConstraints()), 0.0);
+    const Vector z(static_cast<std::size_t>(qp.numConstraints()), 0.0);
+    const ResidualInfo info =
+        computeResiduals(qp, x, y, z, 1e-3, 1e-3);
+    EXPECT_DOUBLE_EQ(info.primRes, 0.0);
+    Real q_norm = 0.0;
+    for (Real v : qp.q)
+        q_norm = std::max(q_norm, std::abs(v));
+    EXPECT_DOUBLE_EQ(info.dualRes, q_norm);
+}
+
+} // namespace
+} // namespace rsqp

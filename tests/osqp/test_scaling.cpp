@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Ruiz equilibration tests: scaling invariants, norm equalization and
+ * solution recovery through the scaling maps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.hpp"
+#include "osqp/scaling.hpp"
+#include "problems/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+QpProblem
+sampleProblem()
+{
+    Rng rng(4);
+    return generateLasso(20, rng);
+}
+
+TEST(Scaling, IdentityWhenDisabled)
+{
+    QpProblem problem = sampleProblem();
+    const QpProblem before = problem;
+    const Scaling scaling = ruizEquilibrate(problem, 0);
+    EXPECT_TRUE(problem.pUpper == before.pUpper);
+    EXPECT_TRUE(problem.a == before.a);
+    for (Real d : scaling.d)
+        EXPECT_DOUBLE_EQ(d, 1.0);
+    EXPECT_DOUBLE_EQ(scaling.c, 1.0);
+}
+
+TEST(Scaling, ScaledMatricesMatchExplicitFormula)
+{
+    QpProblem problem = sampleProblem();
+    const QpProblem before = problem;
+    const Scaling scaling = ruizEquilibrate(problem, 10);
+
+    // Pb = c D P D.
+    const CscMatrix expected_p =
+        before.pUpper.scaled(scaling.d, scaling.d);
+    for (std::size_t i = 0; i < problem.pUpper.values().size(); ++i)
+        EXPECT_NEAR(problem.pUpper.values()[i],
+                    scaling.c * expected_p.values()[i], 1e-12);
+    // Ab = E A D.
+    const CscMatrix expected_a = before.a.scaled(scaling.e, scaling.d);
+    for (std::size_t i = 0; i < problem.a.values().size(); ++i)
+        EXPECT_NEAR(problem.a.values()[i], expected_a.values()[i],
+                    1e-12);
+    // qb = c D q.
+    for (std::size_t j = 0; j < problem.q.size(); ++j)
+        EXPECT_NEAR(problem.q[j],
+                    scaling.c * scaling.d[j] * before.q[j], 1e-12);
+}
+
+TEST(Scaling, BoundsScaledAndInfinitiesPreserved)
+{
+    QpProblem problem = sampleProblem();
+    const QpProblem before = problem;
+    const Scaling scaling = ruizEquilibrate(problem, 10);
+    for (std::size_t i = 0; i < problem.l.size(); ++i) {
+        if (before.l[i] <= -kInf)
+            EXPECT_LE(problem.l[i], -kInf);
+        else
+            EXPECT_NEAR(problem.l[i], scaling.e[i] * before.l[i], 1e-10);
+        if (before.u[i] >= kInf)
+            EXPECT_GE(problem.u[i], kInf);
+        else
+            EXPECT_NEAR(problem.u[i], scaling.e[i] * before.u[i], 1e-10);
+    }
+}
+
+TEST(Scaling, EqualizesKktColumnNorms)
+{
+    QpProblem problem = sampleProblem();
+    const Vector before_norms = problem.pUpper.symUpperColumnInfNorms();
+    Real before_spread = 0.0;
+    {
+        const Vector a_cols = problem.a.columnInfNorms();
+        Real lo = 1e30, hi = 0.0;
+        for (std::size_t j = 0; j < before_norms.size(); ++j) {
+            const Real norm = std::max(before_norms[j], a_cols[j]);
+            if (norm > 0.0) {
+                lo = std::min(lo, norm);
+                hi = std::max(hi, norm);
+            }
+        }
+        before_spread = hi / lo;
+    }
+
+    ruizEquilibrate(problem, 10);
+
+    const Vector after_p = problem.pUpper.symUpperColumnInfNorms();
+    const Vector after_a = problem.a.columnInfNorms();
+    Real lo = 1e30, hi = 0.0;
+    for (std::size_t j = 0; j < after_p.size(); ++j) {
+        const Real norm = std::max(after_p[j], after_a[j]);
+        if (norm > 0.0) {
+            lo = std::min(lo, norm);
+            hi = std::max(hi, norm);
+        }
+    }
+    const Real after_spread = hi / lo;
+    EXPECT_LT(after_spread, before_spread + 1e-9);
+    EXPECT_LT(after_spread, 10.0);  // well equilibrated
+}
+
+TEST(Scaling, InverseVectorsConsistent)
+{
+    QpProblem problem = sampleProblem();
+    const Scaling scaling = ruizEquilibrate(problem, 10);
+    for (std::size_t j = 0; j < scaling.d.size(); ++j)
+        EXPECT_NEAR(scaling.d[j] * scaling.dInv[j], 1.0, 1e-14);
+    for (std::size_t i = 0; i < scaling.e.size(); ++i)
+        EXPECT_NEAR(scaling.e[i] * scaling.eInv[i], 1.0, 1e-14);
+    EXPECT_NEAR(scaling.c * scaling.cInv, 1.0, 1e-14);
+}
+
+TEST(Scaling, FactorsWithinClampRange)
+{
+    QpProblem problem = sampleProblem();
+    const Scaling scaling = ruizEquilibrate(problem, 10);
+    for (Real d : scaling.d) {
+        EXPECT_GT(d, 0.0);
+        EXPECT_LT(d, 1e12);
+    }
+    for (Real e : scaling.e) {
+        EXPECT_GT(e, 0.0);
+        EXPECT_LT(e, 1e12);
+    }
+    EXPECT_GT(scaling.c, 0.0);
+}
+
+} // namespace
+} // namespace rsqp

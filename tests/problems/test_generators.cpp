@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Benchmark-generator tests: every domain produces valid, solvable,
+ * correctly-shaped problems; generation is deterministic; the suite
+ * spans the paper's size range.
+ */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "osqp/solver.hpp"
+#include "problems/generators.hpp"
+#include "problems/suite.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(Generators, Deterministic)
+{
+    for (Domain domain : allDomains()) {
+        const Index size = domain == Domain::Control ? 6 : 25;
+        const QpProblem a = generateProblem(domain, size, 9);
+        const QpProblem b = generateProblem(domain, size, 9);
+        EXPECT_TRUE(a.pUpper == b.pUpper) << toString(domain);
+        EXPECT_TRUE(a.a == b.a) << toString(domain);
+        EXPECT_EQ(a.q, b.q) << toString(domain);
+        const QpProblem c = generateProblem(domain, size, 10);
+        EXPECT_FALSE(c.a == a.a) << toString(domain);
+    }
+}
+
+TEST(Generators, ControlShapes)
+{
+    Rng rng(1);
+    const QpProblem qp = generateControl(6, rng);
+    // T = 10, nx = 6, nu = 3: n = 10*(6+3), m = 10*6*2 + 10*3.
+    EXPECT_EQ(qp.numVariables(), 90);
+    EXPECT_EQ(qp.numConstraints(), 150);
+    // Dynamics rows are equalities.
+    for (Index i = 0; i < 60; ++i)
+        EXPECT_DOUBLE_EQ(qp.l[static_cast<std::size_t>(i)],
+                         qp.u[static_cast<std::size_t>(i)]);
+}
+
+TEST(Generators, LassoShapes)
+{
+    Rng rng(2);
+    const QpProblem qp = generateLasso(10, rng);
+    EXPECT_EQ(qp.numVariables(), 2 * 10 + 50);  // x, t, y
+    EXPECT_EQ(qp.numConstraints(), 50 + 20);
+    // t-block costs are the positive lasso weight.
+    bool has_positive_q = false;
+    for (Real v : qp.q)
+        if (v > 0.0)
+            has_positive_q = true;
+    EXPECT_TRUE(has_positive_q);
+}
+
+TEST(Generators, HuberShapes)
+{
+    Rng rng(3);
+    const QpProblem qp = generateHuber(8, rng);
+    EXPECT_EQ(qp.numVariables(), 8 + 3 * 40);
+    EXPECT_EQ(qp.numConstraints(), 3 * 40);
+}
+
+TEST(Generators, PortfolioShapes)
+{
+    Rng rng(4);
+    const QpProblem qp = generatePortfolio(50, rng);
+    const Index k = 5;
+    EXPECT_EQ(qp.numVariables(), 50 + k);
+    EXPECT_EQ(qp.numConstraints(), k + 1 + 50);
+    // Budget row is an equality summing to 1.
+    EXPECT_DOUBLE_EQ(qp.l[static_cast<std::size_t>(k)], 1.0);
+    EXPECT_DOUBLE_EQ(qp.u[static_cast<std::size_t>(k)], 1.0);
+}
+
+TEST(Generators, SvmShapes)
+{
+    Rng rng(5);
+    const QpProblem qp = generateSvm(12, rng);
+    EXPECT_EQ(qp.numVariables(), 12 + 60);
+    EXPECT_EQ(qp.numConstraints(), 120);
+}
+
+TEST(Generators, EqqpShapesAndDensity)
+{
+    Rng rng(6);
+    const QpProblem qp = generateEqqp(100, rng);
+    EXPECT_EQ(qp.numVariables(), 100);
+    EXPECT_EQ(qp.numConstraints(), 50);
+    // All equality constraints.
+    for (std::size_t i = 0; i < qp.l.size(); ++i)
+        EXPECT_DOUBLE_EQ(qp.l[i], qp.u[i]);
+    // Dense-ish: ~15 nnz per A row.
+    const Real avg_row =
+        static_cast<Real>(qp.a.nnz()) / qp.numConstraints();
+    EXPECT_GT(avg_row, 8.0);
+}
+
+TEST(Generators, EqqpIsFeasibleByConstruction)
+{
+    Rng rng(7);
+    const QpProblem qp = generateEqqp(40, rng);
+    OsqpSettings settings;
+    const OsqpResult result = OsqpSolver(qp, settings).solve();
+    EXPECT_EQ(result.info.status, SolveStatus::Solved);
+}
+
+TEST(Generators, AllValidateAndObjectiveFinite)
+{
+    for (Domain domain : allDomains()) {
+        const Index size = domain == Domain::Control ? 10 : 40;
+        const QpProblem qp = generateProblem(domain, size, 3);
+        qp.validate();  // throws on problems
+        Vector x(static_cast<std::size_t>(qp.numVariables()), 0.1);
+        EXPECT_TRUE(std::isfinite(qp.objective(x)));
+    }
+}
+
+TEST(Suite, Has120Problems)
+{
+    const auto suite = benchmarkSuite();
+    EXPECT_EQ(suite.size(), 120u);
+    Index per_domain[6] = {0, 0, 0, 0, 0, 0};
+    for (const ProblemSpec& spec : suite)
+        ++per_domain[static_cast<int>(spec.domain)];
+    for (Index count : per_domain)
+        EXPECT_EQ(count, 20);
+}
+
+TEST(Suite, ReducedSuiteKeepsEndpoints)
+{
+    const auto full = benchmarkSuite(20);
+    const auto reduced = benchmarkSuite(5);
+    EXPECT_EQ(reduced.size(), 30u);
+    // First and last sizes of each domain are retained.
+    for (int d = 0; d < 6; ++d) {
+        EXPECT_EQ(reduced[static_cast<std::size_t>(d * 5)].sizeParam,
+                  full[static_cast<std::size_t>(d * 20)].sizeParam);
+        EXPECT_EQ(
+            reduced[static_cast<std::size_t>(d * 5 + 4)].sizeParam,
+            full[static_cast<std::size_t>(d * 20 + 19)].sizeParam);
+    }
+}
+
+TEST(Suite, SizesSpanPaperRange)
+{
+    // Fig. 7: nnz from ~1e2 to ~1e6. Generate the smallest and the
+    // largest instance of each domain and check the envelope.
+    const auto suite = benchmarkSuite();
+    Count min_nnz = 1 << 30;
+    Count max_nnz = 0;
+    for (int d = 0; d < 6; ++d) {
+        const QpProblem small =
+            suite[static_cast<std::size_t>(d * 20)].generate();
+        const QpProblem large =
+            suite[static_cast<std::size_t>(d * 20 + 19)].generate();
+        min_nnz = std::min(min_nnz, small.totalNnz());
+        max_nnz = std::max(max_nnz, large.totalNnz());
+        EXPECT_LT(small.totalNnz(), 2000) << "domain " << d;
+        EXPECT_GT(large.totalNnz(), 50000) << "domain " << d;
+    }
+    EXPECT_LT(min_nnz, 500);
+    EXPECT_GT(max_nnz, 500000);
+}
+
+TEST(Suite, NamesAreUnique)
+{
+    const auto suite = benchmarkSuite();
+    std::set<std::string> names;
+    for (const ProblemSpec& spec : suite)
+        names.insert(spec.name);
+    EXPECT_EQ(names.size(), suite.size());
+}
+
+/** Every domain solves at small scale with default settings. */
+class GeneratorSolvability : public ::testing::TestWithParam<Domain>
+{};
+
+TEST_P(GeneratorSolvability, SmallInstanceSolves)
+{
+    const Domain domain = GetParam();
+    const Index size = domain == Domain::Control ? 4 : 20;
+    const QpProblem qp = generateProblem(domain, size, 1);
+    OsqpSettings settings;
+    const OsqpResult result = OsqpSolver(qp, settings).solve();
+    EXPECT_EQ(result.info.status, SolveStatus::Solved)
+        << toString(domain);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, GeneratorSolvability,
+                         ::testing::Values(Domain::Control, Domain::Lasso,
+                                           Domain::Huber,
+                                           Domain::Portfolio, Domain::Svm,
+                                           Domain::Eqqp));
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * LDL' factorization tests: known systems, residual checks on random
+ * SPD and quasi-definite KKT systems, inertia, and refactorization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "linalg/kkt.hpp"
+#include "linalg/vector_ops.hpp"
+#include "solvers/ldl.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+using test::randomSparse;
+using test::randomSpdUpper;
+using test::randomVector;
+
+TEST(Ldl, SolvesDiagonalSystem)
+{
+    const CscMatrix diag =
+        CscMatrix::diagonal({2.0, 4.0, -8.0});  // quasi-definite ok
+    LdlFactorization ldl(diag);
+    ASSERT_TRUE(ldl.factor(diag));
+    Vector x = {2.0, 4.0, -8.0};
+    ldl.solve(x);
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+    EXPECT_DOUBLE_EQ(x[1], 1.0);
+    EXPECT_DOUBLE_EQ(x[2], 1.0);
+}
+
+TEST(Ldl, SolvesKnown2x2)
+{
+    // [[4, 2], [2, 3]] x = [10, 8]  ->  x = [1.75, 1.5].
+    TripletList triplets(2, 2);
+    triplets.add(0, 0, 4.0);
+    triplets.add(0, 1, 2.0);
+    triplets.add(1, 1, 3.0);
+    const CscMatrix upper = CscMatrix::fromTriplets(triplets);
+    LdlFactorization ldl(upper);
+    ASSERT_TRUE(ldl.factor(upper));
+    Vector x = {10.0, 8.0};
+    ldl.solve(x);
+    EXPECT_NEAR(x[0], 1.75, 1e-12);
+    EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Ldl, ZeroPivotReported)
+{
+    // Singular matrix: [[1, 1], [1, 1]].
+    TripletList triplets(2, 2);
+    triplets.add(0, 0, 1.0);
+    triplets.add(0, 1, 1.0);
+    triplets.add(1, 1, 1.0);
+    const CscMatrix upper = CscMatrix::fromTriplets(triplets);
+    LdlFactorization ldl(upper);
+    EXPECT_FALSE(ldl.factor(upper));
+}
+
+TEST(Ldl, MissingDiagonalIsFatal)
+{
+    TripletList triplets(2, 2);
+    triplets.add(0, 0, 1.0);
+    triplets.add(0, 1, 1.0);  // column 1 has no diagonal
+    const CscMatrix upper = CscMatrix::fromTriplets(triplets);
+    EXPECT_THROW(LdlFactorization{upper}, FatalError);
+}
+
+TEST(Ldl, InertiaOfKktSystem)
+{
+    // KKT systems have exactly n positive and m negative pivots.
+    Rng rng(5);
+    const CscMatrix p = randomSpdUpper(8, 0.4, rng);
+    const CscMatrix a = randomSparse(5, 8, 0.4, rng);
+    KktAssembler assembler(p, a, 1e-6, constantVector(5, 0.5));
+    LdlFactorization ldl(assembler.kkt());
+    ASSERT_TRUE(ldl.factor(assembler.kkt()));
+    EXPECT_EQ(ldl.positivePivots(), 8);
+    EXPECT_EQ(ldl.negativePivots(), 5);
+}
+
+TEST(Ldl, RefactorizationReusesSymbolic)
+{
+    Rng rng(6);
+    const CscMatrix p = randomSpdUpper(10, 0.3, rng);
+    const CscMatrix a = randomSparse(6, 10, 0.3, rng);
+    KktAssembler assembler(p, a, 1e-6, constantVector(6, 0.1));
+    LdlFactorization ldl(assembler.kkt());
+    ASSERT_TRUE(ldl.factor(assembler.kkt()));
+    const Count lnnz_before = ldl.lnnz();
+
+    assembler.updateRho(constantVector(6, 10.0));
+    ASSERT_TRUE(ldl.factor(assembler.kkt()));
+    EXPECT_EQ(ldl.lnnz(), lnnz_before);  // same structure
+
+    // Solve and verify the residual against the updated matrix.
+    const Vector b = randomVector(16, rng);
+    Vector x = b;
+    ldl.solve(x);
+    const CscMatrix full = assembler.kkt().symUpperToFull();
+    Vector kx;
+    full.spmv(x, kx);
+    EXPECT_LT(test::maxAbsDiff(kx, b), 1e-9);
+}
+
+/** Property sweep: LDL residuals on random SPD systems of many sizes. */
+class LdlProperty : public ::testing::TestWithParam<Index>
+{};
+
+TEST_P(LdlProperty, SpdResidualSmall)
+{
+    const Index n = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) + 77);
+    const CscMatrix upper = randomSpdUpper(n, 0.3, rng);
+    LdlFactorization ldl(upper);
+    ASSERT_TRUE(ldl.factor(upper));
+    EXPECT_EQ(ldl.positivePivots(), n);
+
+    const Vector b = randomVector(n, rng);
+    Vector x = b;
+    ldl.solve(x);
+    Vector ax;
+    upper.spmvSymUpper(x, ax);
+    EXPECT_LT(test::maxAbsDiff(ax, b), 1e-8 * (1.0 + normInf(b)));
+}
+
+TEST_P(LdlProperty, QuasiDefiniteKktResidualSmall)
+{
+    const Index n = GetParam();
+    const Index m = std::max<Index>(1, n / 2);
+    Rng rng(static_cast<std::uint64_t>(n) * 3 + 1);
+    const CscMatrix p = randomSpdUpper(n, 0.25, rng);
+    const CscMatrix a = randomSparse(m, n, 0.3, rng);
+    KktAssembler assembler(p, a, 1e-6, constantVector(m, 0.4));
+    LdlFactorization ldl(assembler.kkt());
+    ASSERT_TRUE(ldl.factor(assembler.kkt()));
+
+    const Vector b = randomVector(n + m, rng);
+    Vector x = b;
+    ldl.solve(x);
+    const CscMatrix full = assembler.kkt().symUpperToFull();
+    Vector kx;
+    full.spmv(x, kx);
+    EXPECT_LT(test::maxAbsDiff(kx, b), 1e-7 * (1.0 + normInf(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LdlProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+} // namespace
+} // namespace rsqp

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Reverse Cuthill-McKee ordering tests: permutation validity,
+ * bandwidth reduction on banded-but-shuffled patterns, and fill-in
+ * reduction of the downstream LDL factor.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "linalg/kkt.hpp"
+#include "linalg/vector_ops.hpp"
+#include "solvers/kkt_solver.hpp"
+#include "solvers/ldl.hpp"
+#include "solvers/ordering.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+/** Tridiagonal SPD pattern of size n, rows permuted by a shuffle. */
+CscMatrix
+shuffledTridiagonal(Index n, Rng& rng, IndexVector& shuffle)
+{
+    shuffle = rng.permutation(n);
+    IndexVector inv(shuffle.size());
+    for (Index i = 0; i < n; ++i)
+        inv[static_cast<std::size_t>(shuffle[static_cast<std::size_t>(i)])] =
+            i;
+    TripletList triplets(n, n);
+    for (Index i = 0; i < n; ++i) {
+        triplets.add(inv[static_cast<std::size_t>(i)],
+                     inv[static_cast<std::size_t>(i)], 4.0);
+        if (i + 1 < n) {
+            Index r = inv[static_cast<std::size_t>(i)];
+            Index c = inv[static_cast<std::size_t>(i + 1)];
+            if (r > c)
+                std::swap(r, c);
+            triplets.add(r, c, -1.0);
+        }
+    }
+    return CscMatrix::fromTriplets(triplets);
+}
+
+TEST(Rcm, ReturnsValidPermutation)
+{
+    Rng rng(1);
+    IndexVector shuffle;
+    const CscMatrix upper = shuffledTridiagonal(20, rng, shuffle);
+    IndexVector perm = reverseCuthillMcKee(upper);
+    ASSERT_EQ(perm.size(), 20u);
+    IndexVector sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (Index i = 0; i < 20; ++i)
+        EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rcm, RecoversSmallBandwidth)
+{
+    Rng rng(2);
+    IndexVector shuffle;
+    const CscMatrix upper = shuffledTridiagonal(50, rng, shuffle);
+    IndexVector natural(50);
+    std::iota(natural.begin(), natural.end(), Index{0});
+    const Index band_before = symmetricBandwidth(upper, natural);
+    const IndexVector perm = reverseCuthillMcKee(upper);
+    const Index band_after = symmetricBandwidth(upper, perm);
+    // A shuffled tridiagonal has large bandwidth; RCM restores ~1.
+    EXPECT_GT(band_before, 5);
+    EXPECT_LE(band_after, 2);
+}
+
+TEST(Rcm, HandlesDisconnectedComponents)
+{
+    // Two disjoint 3-cliques plus an isolated vertex.
+    TripletList triplets(7, 7);
+    for (Index base : {0, 3}) {
+        for (Index i = 0; i < 3; ++i) {
+            triplets.add(base + i, base + i, 1.0);
+            for (Index j = i + 1; j < 3; ++j)
+                triplets.add(base + i, base + j, 1.0);
+        }
+    }
+    triplets.add(6, 6, 1.0);
+    const CscMatrix upper = CscMatrix::fromTriplets(triplets);
+    IndexVector perm = reverseCuthillMcKee(upper);
+    std::sort(perm.begin(), perm.end());
+    for (Index i = 0; i < 7; ++i)
+        EXPECT_EQ(perm[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rcm, ReducesLdlFill)
+{
+    // Arrow matrix: dense first row/column. Natural order fills the
+    // whole factor; RCM pushes the hub to the end.
+    const Index n = 30;
+    TripletList triplets(n, n);
+    for (Index i = 0; i < n; ++i)
+        triplets.add(i, i, 10.0);
+    for (Index j = 1; j < n; ++j)
+        triplets.add(0, j, 1.0);
+    const CscMatrix upper = CscMatrix::fromTriplets(triplets);
+
+    LdlFactorization natural_ldl(upper);
+    const IndexVector perm = reverseCuthillMcKee(upper);
+    const CscMatrix permuted = upper.symUpperPermute(perm);
+    LdlFactorization rcm_ldl(permuted);
+    EXPECT_LT(rcm_ldl.lnnz(), natural_ldl.lnnz());
+    EXPECT_EQ(rcm_ldl.lnnz(), n - 1);  // hub last: only its column fills
+}
+
+TEST(Ordering, NaturalIsIdentity)
+{
+    Rng rng(3);
+    const CscMatrix upper = test::randomSpdUpper(9, 0.3, rng);
+    const IndexVector perm =
+        computeOrdering(upper, OrderingKind::Natural);
+    for (Index i = 0; i < 9; ++i)
+        EXPECT_EQ(perm[static_cast<std::size_t>(i)], i);
+}
+
+
+TEST(MinDegree, ReturnsValidPermutation)
+{
+    Rng rng(7);
+    const CscMatrix upper = test::randomSpdUpper(25, 0.2, rng);
+    IndexVector perm = minimumDegree(upper);
+    ASSERT_EQ(perm.size(), 25u);
+    std::sort(perm.begin(), perm.end());
+    for (Index i = 0; i < 25; ++i)
+        EXPECT_EQ(perm[static_cast<std::size_t>(i)], i);
+}
+
+TEST(MinDegree, ArrowMatrixHubLast)
+{
+    // Dense first row/column: minimum degree defers the hub to the
+    // end, giving the minimal n-1 fill.
+    const Index n = 25;
+    TripletList triplets(n, n);
+    for (Index i = 0; i < n; ++i)
+        triplets.add(i, i, 10.0);
+    for (Index j = 1; j < n; ++j)
+        triplets.add(0, j, 1.0);
+    const CscMatrix upper = CscMatrix::fromTriplets(triplets);
+    const IndexVector perm = minimumDegree(upper);
+    // The hub is deferred until its degree ties the last leaves, so
+    // it lands in one of the final two positions.
+    EXPECT_TRUE(perm.back() == 0 || perm[perm.size() - 2] == 0);
+
+    const CscMatrix permuted = upper.symUpperPermute(perm);
+    LdlFactorization ldl(permuted);
+    EXPECT_EQ(ldl.lnnz(), n - 1);
+}
+
+TEST(MinDegree, NoWorseFillThanNaturalOnKkt)
+{
+    Rng rng(11);
+    const CscMatrix p = test::randomSpdUpper(30, 0.1, rng);
+    const CscMatrix a = test::randomSparse(15, 30, 0.1, rng);
+    KktAssembler assembler(p, a, 1e-6, constantVector(15, 0.5));
+    const CscMatrix& kkt = assembler.kkt();
+
+    LdlFactorization natural(kkt);
+    const IndexVector perm = minimumDegree(kkt);
+    LdlFactorization ordered(kkt.symUpperPermute(perm));
+    EXPECT_LE(ordered.lnnz(), natural.lnnz());
+}
+
+TEST(MinDegree, FactorizationStillCorrect)
+{
+    Rng rng(13);
+    const CscMatrix p = test::randomSpdUpper(20, 0.2, rng);
+    const CscMatrix a = test::randomSparse(10, 20, 0.25, rng);
+    DirectKktSolver solver(p, a, 1e-6, constantVector(10, 0.3),
+                           OrderingKind::MinDegree);
+    DirectKktSolver reference(p, a, 1e-6, constantVector(10, 0.3),
+                              OrderingKind::Natural);
+    const Vector rhs_x = test::randomVector(20, rng);
+    const Vector rhs_z = test::randomVector(10, rng);
+    Vector x1, z1, x2, z2;
+    solver.solve(rhs_x, rhs_z, x1, z1);
+    reference.solve(rhs_x, rhs_z, x2, z2);
+    EXPECT_LT(test::maxAbsDiff(x1, x2), 1e-9);
+}
+
+} // namespace
+} // namespace rsqp
