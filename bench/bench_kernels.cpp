@@ -8,7 +8,9 @@
 #include <benchmark/benchmark.h>
 
 #include "arch/program_builder.hpp"
+#include "common/thread_pool.hpp"
 #include "core/rsqp.hpp"
+#include "linalg/vector_ops.hpp"
 
 namespace
 {
@@ -221,6 +223,115 @@ BM_MachineVectorEngine(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 64 * n);
 }
 BENCHMARK(BM_MachineVectorEngine)->Arg(1024)->Arg(16384);
+
+void
+BM_ParallelDot(benchmark::State& state)
+{
+    // dot() thread scaling; range(0) is the thread count, range(1)
+    // the vector length (above/below kParallelThreshold).
+    NumThreadsScope scope(static_cast<Index>(state.range(0)));
+    Rng rng(3);
+    Vector x(static_cast<std::size_t>(state.range(1)));
+    Vector y(x.size());
+    for (Real& v : x)
+        v = rng.normal();
+    for (Real& v : y)
+        v = rng.normal();
+    for (auto _ : state) {
+        const Real value = dot(x, y);
+        benchmark::DoNotOptimize(value);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(x.size()));
+}
+BENCHMARK(BM_ParallelDot)
+    ->Args({1, 1 << 20})
+    ->Args({2, 1 << 20})
+    ->Args({4, 1 << 20})
+    ->Args({8, 1 << 20})
+    ->Args({8, 4096});
+
+void
+BM_ParallelAxpy(benchmark::State& state)
+{
+    NumThreadsScope scope(static_cast<Index>(state.range(0)));
+    Rng rng(4);
+    Vector x(static_cast<std::size_t>(state.range(1)));
+    Vector y(x.size());
+    for (Real& v : x)
+        v = rng.normal();
+    for (Real& v : y)
+        v = rng.normal();
+    for (auto _ : state) {
+        axpy(1.0 / 4096.0, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(x.size()));
+}
+BENCHMARK(BM_ParallelAxpy)
+    ->Args({1, 1 << 20})
+    ->Args({4, 1 << 20})
+    ->Args({8, 1 << 20});
+
+void
+BM_ThreadedMachineSpmv(benchmark::State& state)
+{
+    // The simulated SpMV engine with the lane-chain fan-out enabled;
+    // range(0) is ArchConfig::numThreads.
+    const CsrMatrix csr = benchMatrix(200);
+    ArchConfig config;
+    config.c = 64;
+    config.structures = StructureSet::baseline(64);
+    config.numThreads = static_cast<Index>(state.range(0));
+    Machine machine(config);
+    const SparsityString str = encodeMatrix(csr, config.c);
+    const Schedule schedule = scheduleString(str, config.structures);
+    const PackedMatrix packed =
+        packMatrix(csr, str, schedule, config.structures);
+    const Index mat = machine.addMatrix(
+        packed, fullDuplicationPlan(config.c, csr.cols()), "M");
+    const Index v_in = machine.addVector(csr.cols());
+    const Index v_out = machine.addVector(csr.rows());
+    const Index hbm_in = machine.addHbmVector(
+        Vector(static_cast<std::size_t>(csr.cols()), 1.0));
+    ProgramBuilder asmb;
+    asmb.loadVec(v_in, hbm_in);
+    asmb.vecDup(mat, v_in);
+    asmb.spmv(v_out, mat);
+    asmb.halt();
+    const Program program = asmb.finish();
+    for (auto _ : state) {
+        machine.run(program);
+        benchmark::DoNotOptimize(machine.stats().totalCycles);
+    }
+    state.SetItemsProcessed(state.iterations() * csr.nnz());
+}
+BENCHMARK(BM_ThreadedMachineSpmv)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_SolveBatch(benchmark::State& state)
+{
+    // Independent QP instances fanned across host threads; range(0)
+    // is the batch width passed to solveBatch.
+    std::vector<QpProblem> problems;
+    for (int i = 0; i < 8; ++i)
+        problems.push_back(generateProblem(
+            allDomains()[static_cast<std::size_t>(i) % 6], 16,
+            static_cast<std::uint64_t>(50 + i)));
+    OsqpSettings settings;
+    settings.backend = KktBackend::IndirectPcg;
+    CustomizeSettings custom;
+    custom.c = 32;
+    for (auto _ : state) {
+        auto results = solveBatch(problems, settings, custom,
+                                  static_cast<Index>(state.range(0)));
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(problems.size()));
+}
+BENCHMARK(BM_SolveBatch)->Arg(1)->Arg(4)->Arg(8);
 
 void
 BM_SolutionPolish(benchmark::State& state)

@@ -40,6 +40,13 @@ struct ArchConfig
     bool compressedCvb = true;
     /** Evaluate the datapath in FP32 like the physical MAC trees. */
     bool fp32Datapath = false;
+    /**
+     * Host threads simulating the C-wide datapath (0 = library
+     * default, i.e. hardware concurrency; 1 = serial execution).
+     * Purely a simulation-speed knob: the cycle model and the numeric
+     * results are identical at every setting.
+     */
+    Index numThreads = 0;
     /** Cycle-model constants. */
     ArchTimings timings;
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/vector_ops.hpp"
 
 namespace rsqp
 {
@@ -68,6 +71,15 @@ Machine::addMatrix(const PackedMatrix& packed, CvbPlan plan,
             compiled.segments.push_back(flat_seg);
         }
     }
+
+    // Precompute the independent accumulation chains: a carry never
+    // crosses a segment with accumulate == false, so those segments
+    // are the legal split points of the parallel SpMV execution.
+    for (std::size_t s = 0; s < compiled.segments.size(); ++s)
+        if (!compiled.segments[s].accumulate)
+            compiled.chainStarts.push_back(static_cast<Index>(s));
+    if (compiled.chainStarts.empty() && !compiled.segments.empty())
+        compiled.chainStarts.push_back(0);
 
     matrices_.push_back(std::move(compiled));
     return static_cast<Index>(matrices_.size()) - 1;
@@ -185,34 +197,70 @@ Machine::execSpmv(const Instruction& instr)
                 "spmv: destination length mismatch");
     const Vector& x = matrix.cvbVector;
 
-    if (config_.fp32Datapath) {
-        // FP32 MAC trees: accumulate in float like the physical design.
-        float carry = 0.0f;
-        for (const auto& seg : matrix.segments) {
-            float acc = seg.accumulate ? carry : 0.0f;
-            for (Index p = seg.begin; p < seg.end; ++p)
-                acc += static_cast<float>(
-                           matrix.flatValues[static_cast<std::size_t>(p)]) *
-                    static_cast<float>(x[static_cast<std::size_t>(
-                        matrix.flatCols[static_cast<std::size_t>(p)])]);
-            if (seg.emit && seg.row >= 0)
-                dst[static_cast<std::size_t>(seg.row)] = acc;
-            else
-                carry = acc;
+    const Index num_chains =
+        static_cast<Index>(matrix.chainStarts.size());
+    const auto num_segments = static_cast<Index>(matrix.segments.size());
+
+    // Execute the accumulation chains [cb, ce) in stream order. Chains
+    // are mutually independent (no carry crosses a chain start, each
+    // chain emits a disjoint set of rows), so any grouping of chains
+    // onto threads is bitwise-identical to the serial stream.
+    std::function<void(Index, Index)> run_chains = [&](Index cb,
+                                                       Index ce) {
+        const Index seg_begin =
+            matrix.chainStarts[static_cast<std::size_t>(cb)];
+        const Index seg_end = ce < num_chains
+            ? matrix.chainStarts[static_cast<std::size_t>(ce)]
+            : num_segments;
+        if (config_.fp32Datapath) {
+            // FP32 MAC trees: accumulate in float like the silicon.
+            float carry = 0.0f;
+            for (Index si = seg_begin; si < seg_end; ++si) {
+                const auto& seg =
+                    matrix.segments[static_cast<std::size_t>(si)];
+                float acc = seg.accumulate ? carry : 0.0f;
+                for (Index p = seg.begin; p < seg.end; ++p)
+                    acc += static_cast<float>(
+                               matrix.flatValues[
+                                   static_cast<std::size_t>(p)]) *
+                        static_cast<float>(x[static_cast<std::size_t>(
+                            matrix.flatCols[
+                                static_cast<std::size_t>(p)])]);
+                if (seg.emit && seg.row >= 0)
+                    dst[static_cast<std::size_t>(seg.row)] = acc;
+                else
+                    carry = acc;
+            }
+        } else {
+            Real carry = 0.0;
+            for (Index si = seg_begin; si < seg_end; ++si) {
+                const auto& seg =
+                    matrix.segments[static_cast<std::size_t>(si)];
+                Real acc = seg.accumulate ? carry : 0.0;
+                for (Index p = seg.begin; p < seg.end; ++p)
+                    acc += matrix.flatValues[
+                               static_cast<std::size_t>(p)] *
+                        x[static_cast<std::size_t>(
+                            matrix.flatCols[
+                                static_cast<std::size_t>(p)])];
+                if (seg.emit && seg.row >= 0)
+                    dst[static_cast<std::size_t>(seg.row)] = acc;
+                else
+                    carry = acc;
+            }
         }
-    } else {
-        Real carry = 0.0;
-        for (const auto& seg : matrix.segments) {
-            Real acc = seg.accumulate ? carry : 0.0;
-            for (Index p = seg.begin; p < seg.end; ++p)
-                acc += matrix.flatValues[static_cast<std::size_t>(p)] *
-                    x[static_cast<std::size_t>(
-                        matrix.flatCols[static_cast<std::size_t>(p)])];
-            if (seg.emit && seg.row >= 0)
-                dst[static_cast<std::size_t>(seg.row)] = acc;
-            else
-                carry = acc;
-        }
+    };
+
+    const Index width = effectiveNumThreads();
+    if (num_chains > 1 && width > 1 && !ThreadPool::insideWorker() &&
+        static_cast<Index>(matrix.flatValues.size()) >=
+            kParallelThreshold) {
+        const Index grain =
+            std::max<Index>(1, num_chains / (width * 4));
+        ThreadPool::global().parallelFor(0, num_chains, grain,
+                                         run_chains);
+    } else if (num_chains > 0) {
+        run_chains(0, num_chains);
     }
 
     stats_.spmvPacks += matrix.packCount;
@@ -224,6 +272,9 @@ void
 Machine::run(const Program& program, Count max_instructions)
 {
     RSQP_ASSERT(!program.code.empty(), "empty program");
+    // Simulation-host parallelism for the C-wide datapath; 0 inherits
+    // the ambient default and 1 forces the legacy serial walk.
+    NumThreadsScope threads_scope(config_.numThreads);
     const auto& timings = config_.timings;
 
     // Download the instruction ROM from HBM (paper Sec. 3.5): one
@@ -348,8 +399,7 @@ Machine::run(const Program& program, Count max_instructions)
                         "vaxpby: length mismatch");
             const Real alpha = scalar(instr.sa);
             const Real beta = scalar(instr.sb);
-            for (std::size_t i = 0; i < dst.size(); ++i)
-                dst[i] = alpha * x[i] + beta * y[i];
+            axpby(alpha, x, beta, y, dst);
             charge(InstrClass::VectorOp,
                    vectorOpCycles(static_cast<Index>(dst.size())) +
                        timings.vectorLatency);
@@ -361,8 +411,7 @@ Machine::run(const Program& program, Count max_instructions)
             Vector& dst = vec(instr.dst);
             RSQP_ASSERT(x.size() == y.size() && x.size() == dst.size(),
                         "vmul: length mismatch");
-            for (std::size_t i = 0; i < dst.size(); ++i)
-                dst[i] = x[i] * y[i];
+            ewProduct(x, y, dst);
             charge(InstrClass::VectorOp,
                    vectorOpCycles(static_cast<Index>(dst.size())) +
                        timings.vectorLatency);
@@ -386,13 +435,10 @@ Machine::run(const Program& program, Count max_instructions)
             Vector& dst = vec(instr.dst);
             RSQP_ASSERT(x.size() == y.size() && x.size() == dst.size(),
                         "vmin/vmax: length mismatch");
-            if (instr.op == Opcode::VecEwMin) {
-                for (std::size_t i = 0; i < dst.size(); ++i)
-                    dst[i] = std::min(x[i], y[i]);
-            } else {
-                for (std::size_t i = 0; i < dst.size(); ++i)
-                    dst[i] = std::max(x[i], y[i]);
-            }
+            if (instr.op == Opcode::VecEwMin)
+                ewMin(x, y, dst);
+            else
+                ewMax(x, y, dst);
             charge(InstrClass::VectorOp,
                    vectorOpCycles(static_cast<Index>(dst.size())) +
                        timings.vectorLatency);
@@ -420,10 +466,7 @@ Machine::run(const Program& program, Count max_instructions)
             const Vector& x = vec(instr.a);
             const Vector& y = vec(instr.b);
             RSQP_ASSERT(x.size() == y.size(), "vdot: length mismatch");
-            Real acc = 0.0;
-            for (std::size_t i = 0; i < x.size(); ++i)
-                acc += x[i] * y[i];
-            scalar(instr.dst) = acc;
+            scalar(instr.dst) = dot(x, y);
             charge(InstrClass::VectorOp,
                    vectorOpCycles(static_cast<Index>(x.size())) +
                        timings.vectorLatency + timings.dotExtraLatency);
@@ -431,10 +474,7 @@ Machine::run(const Program& program, Count max_instructions)
           }
           case Opcode::VecAmax: {
             const Vector& x = vec(instr.a);
-            Real best = 0.0;
-            for (Real v : x)
-                best = std::max(best, std::abs(v));
-            scalar(instr.dst) = best;
+            scalar(instr.dst) = normInf(x);
             charge(InstrClass::VectorOp,
                    vectorOpCycles(static_cast<Index>(x.size())) +
                        timings.vectorLatency + timings.dotExtraLatency);

@@ -147,6 +147,16 @@ class Machine
         std::vector<Real> flatValues;  ///< non-padded values, stream order
         IndexVector flatCols;          ///< matching column indices
         std::vector<Segment> segments;
+        /**
+         * Indices of segments that start a fresh accumulation chain
+         * (accumulate == false). A '$'-chunk partial-sum carry never
+         * crosses such a boundary, and each chain emits into its own
+         * disjoint set of destination rows, so whole chains are the
+         * unit of parallelism of the simulated lane streams: any
+         * grouping of chains onto threads reproduces the serial
+         * result bitwise.
+         */
+        IndexVector chainStarts;
         Count storedCopies = 0;  ///< cached plan.storedCopies()
         /** CVB contents (functional): the duplicated vector. */
         Vector cvbVector;

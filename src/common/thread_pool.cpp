@@ -1,0 +1,293 @@
+#include "thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/logging.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+/** Innermost NumThreadsScope override of this thread (0 = none). */
+thread_local Index tlsNumThreads = 0;
+
+/** Is this thread currently running inside a parallel region? */
+thread_local bool tlsInsideWorker = false;
+
+std::atomic<Index> processNumThreads{0};
+
+struct InsideWorkerScope
+{
+    bool prev;
+    InsideWorkerScope() : prev(tlsInsideWorker) { tlsInsideWorker = true; }
+    ~InsideWorkerScope() { tlsInsideWorker = prev; }
+};
+
+} // namespace
+
+unsigned
+hardwareConcurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+void
+setProcessNumThreads(Index n)
+{
+    RSQP_ASSERT(n >= 0, "setProcessNumThreads: negative count");
+    processNumThreads.store(n);
+}
+
+Index
+effectiveNumThreads()
+{
+    if (tlsNumThreads > 0)
+        return tlsNumThreads;
+    const Index process_default = processNumThreads.load();
+    if (process_default > 0)
+        return process_default;
+    return static_cast<Index>(hardwareConcurrency());
+}
+
+NumThreadsScope::NumThreadsScope(Index n) : prev_(tlsNumThreads)
+{
+    RSQP_ASSERT(n >= 0, "NumThreadsScope: negative count");
+    if (n > 0)
+        tlsNumThreads = n;
+}
+
+NumThreadsScope::~NumThreadsScope()
+{
+    tlsNumThreads = prev_;
+}
+
+ThreadPool::ThreadPool(unsigned num_workers)
+{
+    workers_.reserve(num_workers);
+    for (unsigned i = 0; i < num_workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    InsideWorkerScope inside;
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop requested and queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        // No workers: degenerate inline execution keeps submit() usable.
+        InsideWorkerScope inside;
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        RSQP_ASSERT(!stop_, "submit on a stopping ThreadPool");
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(Index begin, Index end, Index grain,
+                        const std::function<void(Index, Index)>& fn,
+                        unsigned max_workers)
+{
+    if (end <= begin)
+        return;
+    if (grain < 1)
+        grain = 1;
+    const Count span = static_cast<Count>(end) - begin;
+    const Count num_chunks = (span + grain - 1) / grain;
+
+    Count budget = max_workers > 0 ? static_cast<Count>(max_workers)
+                                   : static_cast<Count>(
+                                         effectiveNumThreads());
+    budget = std::min(budget,
+                      static_cast<Count>(workers_.size()) + 1);
+    budget = std::min(budget, num_chunks);
+
+    if (budget <= 1 || tlsInsideWorker) {
+        // Serial fallback / nested region: same chunk arithmetic is
+        // preserved by callers that care (reduceSum iterates chunks in
+        // order); elementwise bodies are order-insensitive anyway.
+        InsideWorkerScope inside;
+        fn(begin, end);
+        return;
+    }
+
+    std::atomic<Count> next_chunk{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::atomic<unsigned> active{static_cast<unsigned>(budget) - 1};
+    std::mutex done_mutex;
+    std::condition_variable done;
+
+    auto run_chunks = [&] {
+        InsideWorkerScope inside;
+        while (!failed.load(std::memory_order_relaxed)) {
+            const Count chunk = next_chunk.fetch_add(1);
+            if (chunk >= num_chunks)
+                break;
+            const Index b =
+                begin + static_cast<Index>(chunk * grain);
+            const Index e = static_cast<Index>(
+                std::min<Count>(static_cast<Count>(b) + grain, end));
+            try {
+                fn(b, e);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                failed.store(true);
+            }
+        }
+    };
+
+    for (Count i = 0; i + 1 < budget; ++i) {
+        submit([&] {
+            run_chunks();
+            if (active.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                done.notify_all();
+            }
+        });
+    }
+    run_chunks();
+    {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done.wait(lock, [&] { return active.load() == 0; });
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+Real
+ThreadPool::reduceSum(Index begin, Index end, Index grain,
+                      const std::function<Real(Index, Index)>& partial,
+                      unsigned max_workers)
+{
+    if (end <= begin)
+        return 0.0;
+    if (grain < 1)
+        grain = 1;
+    const Count span = static_cast<Count>(end) - begin;
+    const Count num_chunks = (span + grain - 1) / grain;
+    std::vector<Real> partials(static_cast<std::size_t>(num_chunks),
+                               0.0);
+    parallelFor(
+        0, static_cast<Index>(num_chunks), 1,
+        [&](Index cb, Index ce) {
+            for (Index c = cb; c < ce; ++c) {
+                const Index b =
+                    begin + static_cast<Index>(
+                                static_cast<Count>(c) * grain);
+                const Index e = static_cast<Index>(std::min<Count>(
+                    static_cast<Count>(b) + grain, end));
+                partials[static_cast<std::size_t>(c)] = partial(b, e);
+            }
+        },
+        max_workers);
+    Real acc = partials[0];
+    for (std::size_t c = 1; c < partials.size(); ++c)
+        acc += partials[c];
+    return acc;
+}
+
+Real
+ThreadPool::reduceMax(Index begin, Index end, Index grain, Real identity,
+                      const std::function<Real(Index, Index)>& partial,
+                      unsigned max_workers)
+{
+    if (end <= begin)
+        return identity;
+    if (grain < 1)
+        grain = 1;
+    const Count span = static_cast<Count>(end) - begin;
+    const Count num_chunks = (span + grain - 1) / grain;
+    std::vector<Real> partials(static_cast<std::size_t>(num_chunks),
+                               identity);
+    parallelFor(
+        0, static_cast<Index>(num_chunks), 1,
+        [&](Index cb, Index ce) {
+            for (Index c = cb; c < ce; ++c) {
+                const Index b =
+                    begin + static_cast<Index>(
+                                static_cast<Count>(c) * grain);
+                const Index e = static_cast<Index>(std::min<Count>(
+                    static_cast<Count>(b) + grain, end));
+                partials[static_cast<std::size_t>(c)] = partial(b, e);
+            }
+        },
+        max_workers);
+    Real acc = identity;
+    for (Real v : partials)
+        acc = std::max(acc, v);
+    return acc;
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    // Capacity, not policy: per-call width is bounded by the caller's
+    // effectiveNumThreads(). A floor of 3 workers keeps the parallel
+    // machinery exercised (tests, TSan) even on small hosts.
+    static ThreadPool pool(std::max(3u, hardwareConcurrency() - 1));
+    return pool;
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return tlsInsideWorker;
+}
+
+} // namespace rsqp

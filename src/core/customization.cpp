@@ -155,6 +155,7 @@ customizeProblem(const QpProblem& scaled, const CustomizeSettings& settings)
     customization.config.structures = set;
     customization.config.compressedCvb = settings.compressCvb;
     customization.config.fp32Datapath = settings.fp32Datapath;
+    customization.config.numThreads = settings.numThreads;
 
     customization.p =
         buildArtifacts("P", p_csr, set, settings.compressCvb);

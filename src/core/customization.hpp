@@ -49,6 +49,8 @@ struct CustomizeSettings
     bool customizeStructures = true;  ///< run the E_p optimization
     bool compressCvb = true;          ///< run the E_c optimization
     bool fp32Datapath = false;        ///< FP32 MAC trees (the silicon)
+    /** Simulation-host threads (0 = library default, 1 = serial). */
+    Index numThreads = 0;
     StructureSearchSettings search;   ///< E_p search knobs
     /** Explicit structure set (bypasses the search when non-empty). */
     std::vector<std::string> forcedPatterns;

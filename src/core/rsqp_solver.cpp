@@ -1,6 +1,9 @@
 #include "rsqp_solver.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "hwmodel/resources.hpp"
 
 namespace rsqp
@@ -226,6 +229,44 @@ RsqpSolver::solve()
     result.eta = custom_.eta();
     result.archName = custom_.config.name();
     return result;
+}
+
+std::vector<RsqpResult>
+solveBatch(const std::vector<QpProblem>& problems,
+           const OsqpSettings& settings, const CustomizeSettings& custom,
+           Index num_threads)
+{
+    std::vector<RsqpResult> results(problems.size());
+    if (problems.empty())
+        return results;
+
+    const Index width = num_threads > 0
+        ? num_threads
+        : effectiveNumThreads();
+
+    auto solve_one = [&](Index i) {
+        const auto s = static_cast<std::size_t>(i);
+        RsqpSolver solver(problems[s], settings, custom);
+        results[s] = solver.solve();
+    };
+
+    if (width <= 1 || problems.size() == 1) {
+        for (Index i = 0; i < static_cast<Index>(problems.size()); ++i)
+            solve_one(i);
+        return results;
+    }
+
+    ThreadPool::global().parallelFor(
+        0, static_cast<Index>(problems.size()), 1,
+        [&](Index b, Index e) {
+            // Pin each instance to its host thread: intra-solve
+            // parallelism would only contend with the batch fan-out.
+            NumThreadsScope serial_instance(1);
+            for (Index i = b; i < e; ++i)
+                solve_one(i);
+        },
+        static_cast<unsigned>(width));
+    return results;
 }
 
 } // namespace rsqp

@@ -17,6 +17,7 @@
 #define RSQP_CORE_RSQP_SOLVER_HPP
 
 #include <memory>
+#include <vector>
 
 #include "arch/machine.hpp"
 #include "arch/osqp_program.hpp"
@@ -104,6 +105,26 @@ class RsqpSolver
     OsqpMatrixIds mats_;
     OsqpDeviceProgram prog_;
 };
+
+/**
+ * Solve independent QP instances concurrently — the multi-instance
+ * analogue of the paper's "multiple solver cores per FPGA" deployment
+ * (Table 3): each worker customizes, generates and runs its own
+ * simulated accelerator.
+ *
+ * Every instance produces exactly the result of a standalone
+ * RsqpSolver(problem, settings, custom).solve(): the per-instance
+ * work is pinned to one host thread, so batch results are independent
+ * of the batch width and of scheduling.
+ *
+ * @param num_threads Workers fanned across the batch (0 = library
+ *        default, 1 = serial loop). The first exception thrown by any
+ *        instance is rethrown after the batch drains.
+ */
+std::vector<RsqpResult> solveBatch(const std::vector<QpProblem>& problems,
+                                   const OsqpSettings& settings,
+                                   const CustomizeSettings& custom,
+                                   Index num_threads = 0);
 
 } // namespace rsqp
 

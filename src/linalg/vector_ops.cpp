@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 
 namespace rsqp
 {
@@ -18,6 +19,28 @@ checkSameSize(const Vector& x, const Vector& y, const char* what)
                 " vs ", y.size());
 }
 
+/**
+ * Should this elementwise kernel fan out? Purely a performance gate:
+ * elementwise bodies produce bitwise-identical results at any width.
+ */
+inline bool
+parallelWorthwhile(std::size_t n)
+{
+    return n >= static_cast<std::size_t>(kParallelThreshold) &&
+        effectiveNumThreads() > 1 && !ThreadPool::insideWorker();
+}
+
+/**
+ * Should this reduction use the fixed-grain chunked path? Gated on the
+ * size only — never on the thread count — so the summation order (and
+ * therefore the bitwise result) is a function of the data alone.
+ */
+inline bool
+chunkedReduction(std::size_t n)
+{
+    return n >= static_cast<std::size_t>(kParallelThreshold);
+}
+
 } // namespace
 
 void
@@ -25,6 +48,17 @@ axpby(Real alpha, const Vector& x, Real beta, const Vector& y, Vector& out)
 {
     checkSameSize(x, y, "axpby");
     out.resize(x.size());
+    if (parallelWorthwhile(x.size())) {
+        ThreadPool::global().parallelFor(
+            0, static_cast<Index>(x.size()), kParallelGrain,
+            [&](Index b, Index e) {
+                for (Index i = b; i < e; ++i) {
+                    const auto s = static_cast<std::size_t>(i);
+                    out[s] = alpha * x[s] + beta * y[s];
+                }
+            });
+        return;
+    }
     for (std::size_t i = 0; i < x.size(); ++i)
         out[i] = alpha * x[i] + beta * y[i];
 }
@@ -33,6 +67,17 @@ void
 axpy(Real alpha, const Vector& x, Vector& y)
 {
     checkSameSize(x, y, "axpy");
+    if (parallelWorthwhile(x.size())) {
+        ThreadPool::global().parallelFor(
+            0, static_cast<Index>(x.size()), kParallelGrain,
+            [&](Index b, Index e) {
+                for (Index i = b; i < e; ++i) {
+                    const auto s = static_cast<std::size_t>(i);
+                    y[s] += alpha * x[s];
+                }
+            });
+        return;
+    }
     for (std::size_t i = 0; i < x.size(); ++i)
         y[i] += alpha * x[i];
 }
@@ -40,6 +85,15 @@ axpy(Real alpha, const Vector& x, Vector& y)
 void
 scale(Vector& x, Real alpha)
 {
+    if (parallelWorthwhile(x.size())) {
+        ThreadPool::global().parallelFor(
+            0, static_cast<Index>(x.size()), kParallelGrain,
+            [&](Index b, Index e) {
+                for (Index i = b; i < e; ++i)
+                    x[static_cast<std::size_t>(i)] *= alpha;
+            });
+        return;
+    }
     for (Real& v : x)
         v *= alpha;
 }
@@ -48,6 +102,18 @@ Real
 dot(const Vector& x, const Vector& y)
 {
     checkSameSize(x, y, "dot");
+    if (chunkedReduction(x.size())) {
+        return ThreadPool::global().reduceSum(
+            0, static_cast<Index>(x.size()), kParallelGrain,
+            [&](Index b, Index e) {
+                Real acc = 0.0;
+                for (Index i = b; i < e; ++i) {
+                    const auto s = static_cast<std::size_t>(i);
+                    acc += x[s] * y[s];
+                }
+                return acc;
+            });
+    }
     Real acc = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i)
         acc += x[i] * y[i];
@@ -63,6 +129,18 @@ norm2(const Vector& x)
 Real
 normInf(const Vector& x)
 {
+    if (chunkedReduction(x.size())) {
+        return ThreadPool::global().reduceMax(
+            0, static_cast<Index>(x.size()), kParallelGrain, 0.0,
+            [&](Index b, Index e) {
+                Real best = 0.0;
+                for (Index i = b; i < e; ++i)
+                    best = std::max(
+                        best,
+                        std::abs(x[static_cast<std::size_t>(i)]));
+                return best;
+            });
+    }
     Real best = 0.0;
     for (Real v : x)
         best = std::max(best, std::abs(v));
@@ -73,6 +151,18 @@ Real
 normInfDiff(const Vector& x, const Vector& y)
 {
     checkSameSize(x, y, "normInfDiff");
+    if (chunkedReduction(x.size())) {
+        return ThreadPool::global().reduceMax(
+            0, static_cast<Index>(x.size()), kParallelGrain, 0.0,
+            [&](Index b, Index e) {
+                Real best = 0.0;
+                for (Index i = b; i < e; ++i) {
+                    const auto s = static_cast<std::size_t>(i);
+                    best = std::max(best, std::abs(x[s] - y[s]));
+                }
+                return best;
+            });
+    }
     Real best = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i)
         best = std::max(best, std::abs(x[i] - y[i]));
@@ -84,6 +174,17 @@ ewProduct(const Vector& x, const Vector& y, Vector& out)
 {
     checkSameSize(x, y, "ewProduct");
     out.resize(x.size());
+    if (parallelWorthwhile(x.size())) {
+        ThreadPool::global().parallelFor(
+            0, static_cast<Index>(x.size()), kParallelGrain,
+            [&](Index b, Index e) {
+                for (Index i = b; i < e; ++i) {
+                    const auto s = static_cast<std::size_t>(i);
+                    out[s] = x[s] * y[s];
+                }
+            });
+        return;
+    }
     for (std::size_t i = 0; i < x.size(); ++i)
         out[i] = x[i] * y[i];
 }
@@ -103,6 +204,17 @@ ewMin(const Vector& x, const Vector& y, Vector& out)
 {
     checkSameSize(x, y, "ewMin");
     out.resize(x.size());
+    if (parallelWorthwhile(x.size())) {
+        ThreadPool::global().parallelFor(
+            0, static_cast<Index>(x.size()), kParallelGrain,
+            [&](Index b, Index e) {
+                for (Index i = b; i < e; ++i) {
+                    const auto s = static_cast<std::size_t>(i);
+                    out[s] = std::min(x[s], y[s]);
+                }
+            });
+        return;
+    }
     for (std::size_t i = 0; i < x.size(); ++i)
         out[i] = std::min(x[i], y[i]);
 }
@@ -112,6 +224,17 @@ ewMax(const Vector& x, const Vector& y, Vector& out)
 {
     checkSameSize(x, y, "ewMax");
     out.resize(x.size());
+    if (parallelWorthwhile(x.size())) {
+        ThreadPool::global().parallelFor(
+            0, static_cast<Index>(x.size()), kParallelGrain,
+            [&](Index b, Index e) {
+                for (Index i = b; i < e; ++i) {
+                    const auto s = static_cast<std::size_t>(i);
+                    out[s] = std::max(x[s], y[s]);
+                }
+            });
+        return;
+    }
     for (std::size_t i = 0; i < x.size(); ++i)
         out[i] = std::max(x[i], y[i]);
 }
@@ -122,6 +245,17 @@ ewClamp(const Vector& x, const Vector& lo, const Vector& hi, Vector& out)
     checkSameSize(x, lo, "ewClamp");
     checkSameSize(x, hi, "ewClamp");
     out.resize(x.size());
+    if (parallelWorthwhile(x.size())) {
+        ThreadPool::global().parallelFor(
+            0, static_cast<Index>(x.size()), kParallelGrain,
+            [&](Index b, Index e) {
+                for (Index i = b; i < e; ++i) {
+                    const auto s = static_cast<std::size_t>(i);
+                    out[s] = clampReal(x[s], lo[s], hi[s]);
+                }
+            });
+        return;
+    }
     for (std::size_t i = 0; i < x.size(); ++i)
         out[i] = clampReal(x[i], lo[i], hi[i]);
 }

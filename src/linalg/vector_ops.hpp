@@ -4,6 +4,13 @@
  * vector engine. These are exactly the "Vector Operations" of the RSQP
  * instruction set (Table 1): linear combination, element-wise
  * compare/reciprocal/multiplication and dot product.
+ *
+ * Vectors at or above kParallelThreshold elements fan out across the
+ * shared ThreadPool (see common/thread_pool.hpp). Reductions (dot,
+ * norm2, normInf*) switch to a fixed-grain chunked evaluation at that
+ * size regardless of the thread count, so their bitwise result depends
+ * only on the data — never on how many threads ran them. Below the
+ * threshold every kernel is the exact legacy serial loop.
  */
 
 #ifndef RSQP_LINALG_VECTOR_OPS_HPP

@@ -54,6 +54,14 @@ struct OsqpSettings
     OrderingKind ordering = OrderingKind::Rcm;  ///< direct backend only
     PcgSettings pcg;                            ///< indirect backend only
 
+    /**
+     * Host threads for the hot-path vector kernels and PCG (0 =
+     * library default, i.e. hardware concurrency; 1 = serial legacy
+     * execution). Large-vector reductions are chunked independently
+     * of this knob, so results are bitwise-identical at any setting.
+     */
+    Index numThreads = 0;
+
     bool recordTrace = false;  ///< keep per-iteration residual history
 };
 

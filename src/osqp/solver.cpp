@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "linalg/vector_ops.hpp"
 #include "osqp/polish.hpp"
@@ -292,6 +293,8 @@ OsqpSolver::solve()
 {
     Timer solve_timer;
     AccumulatingTimer kkt_timer;
+    // Route the settings knob to the vector kernels and PCG below.
+    NumThreadsScope threads_scope(settings_.numThreads);
 
     OsqpResult result;
     OsqpInfo& info = result.info;
@@ -316,15 +319,19 @@ OsqpSolver::solve()
         y_prev = y_;
 
         // Step 3: solve the (reduced) KKT system.
-        for (Index j = 0; j < n_; ++j)
-            rhs_x[static_cast<std::size_t>(j)] =
-                settings_.sigma * x_[static_cast<std::size_t>(j)] -
-                scaled_.q[static_cast<std::size_t>(j)];
-        for (Index i = 0; i < m_; ++i)
-            rhs_z[static_cast<std::size_t>(i)] =
-                z_[static_cast<std::size_t>(i)] -
-                rhoInvVec_[static_cast<std::size_t>(i)] *
-                    y_[static_cast<std::size_t>(i)];
+        parallelForRange(n_, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                rhs_x[static_cast<std::size_t>(j)] =
+                    settings_.sigma * x_[static_cast<std::size_t>(j)] -
+                    scaled_.q[static_cast<std::size_t>(j)];
+        });
+        parallelForRange(m_, [&](Index ib, Index ie) {
+            for (Index i = ib; i < ie; ++i)
+                rhs_z[static_cast<std::size_t>(i)] =
+                    z_[static_cast<std::size_t>(i)] -
+                    rhoInvVec_[static_cast<std::size_t>(i)] *
+                        y_[static_cast<std::size_t>(i)];
+        });
         kkt_timer.start();
         const KktSolveStats kstats =
             kkt_->solve(rhs_x, rhs_z, x_tilde, z_tilde);
@@ -332,20 +339,24 @@ OsqpSolver::solve()
         info.pcgIterationsTotal += kstats.pcgIterations;
 
         // Steps 5-7: relaxation, projection, dual update.
-        for (Index j = 0; j < n_; ++j)
-            x_[static_cast<std::size_t>(j)] =
-                alpha * x_tilde[static_cast<std::size_t>(j)] +
-                (1.0 - alpha) * x_[static_cast<std::size_t>(j)];
-        for (Index i = 0; i < m_; ++i) {
-            const auto s = static_cast<std::size_t>(i);
-            const Real z_relaxed =
-                alpha * z_tilde[s] + (1.0 - alpha) * z_[s];
-            proj_arg[s] = z_relaxed + rhoInvVec_[s] * y_[s];
-            const Real z_next =
-                clampReal(proj_arg[s], scaled_.l[s], scaled_.u[s]);
-            y_[s] += rhoVec_[s] * (z_relaxed - z_next);
-            z_[s] = z_next;
-        }
+        parallelForRange(n_, [&](Index jb, Index je) {
+            for (Index j = jb; j < je; ++j)
+                x_[static_cast<std::size_t>(j)] =
+                    alpha * x_tilde[static_cast<std::size_t>(j)] +
+                    (1.0 - alpha) * x_[static_cast<std::size_t>(j)];
+        });
+        parallelForRange(m_, [&](Index ib, Index ie) {
+            for (Index i = ib; i < ie; ++i) {
+                const auto s = static_cast<std::size_t>(i);
+                const Real z_relaxed =
+                    alpha * z_tilde[s] + (1.0 - alpha) * z_[s];
+                proj_arg[s] = z_relaxed + rhoInvVec_[s] * y_[s];
+                const Real z_next =
+                    clampReal(proj_arg[s], scaled_.l[s], scaled_.u[s]);
+                y_[s] += rhoVec_[s] * (z_relaxed - z_next);
+                z_[s] = z_next;
+            }
+        });
 
         info.iterations = iter;
 

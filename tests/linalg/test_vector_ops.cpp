@@ -3,8 +3,11 @@
  * Dense vector kernel tests (the Table 1 "Vector Operations").
  */
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hpp"
 #include "linalg/vector_ops.hpp"
 #include "tests/test_util.hpp"
 
@@ -111,6 +114,100 @@ TEST(VectorOps, ConstantVector)
     ASSERT_EQ(v.size(), 4u);
     for (Real x : v)
         EXPECT_DOUBLE_EQ(x, 2.5);
+}
+
+/** Random vector comfortably above the parallel threshold. */
+Vector
+bigRandomVector(Index n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vector x(static_cast<std::size_t>(n));
+    for (Real& v : x)
+        v = rng.normal();
+    return x;
+}
+
+TEST(ThreadedVectorOps, DotBitwiseIdenticalAcrossThreadCounts)
+{
+    const Index n = 3 * kParallelThreshold + 137;
+    const Vector x = bigRandomVector(n, 11);
+    const Vector y = bigRandomVector(n, 12);
+
+    Real reference;
+    {
+        NumThreadsScope scope(1);
+        reference = dot(x, y);
+    }
+    for (Index threads : {2, 4, 8}) {
+        NumThreadsScope scope(threads);
+        for (int repeat = 0; repeat < 3; ++repeat) {
+            const Real value = dot(x, y);
+            ASSERT_EQ(std::memcmp(&reference, &value, sizeof(Real)), 0)
+                << "threads " << threads << " repeat " << repeat;
+        }
+    }
+}
+
+TEST(ThreadedVectorOps, Norm2AndNormInfBitwiseStable)
+{
+    const Index n = 2 * kParallelThreshold + 41;
+    const Vector x = bigRandomVector(n, 13);
+    Real n2_ref, ninf_ref;
+    {
+        NumThreadsScope scope(1);
+        n2_ref = norm2(x);
+        ninf_ref = normInf(x);
+    }
+    for (Index threads : {2, 8}) {
+        NumThreadsScope scope(threads);
+        const Real n2 = norm2(x);
+        const Real ninf = normInf(x);
+        EXPECT_EQ(std::memcmp(&n2_ref, &n2, sizeof(Real)), 0);
+        EXPECT_EQ(ninf_ref, ninf);
+    }
+}
+
+TEST(ThreadedVectorOps, ElementwiseKernelsMatchSerialBitwise)
+{
+    const Index n = 2 * kParallelThreshold + 7;
+    const Vector x = bigRandomVector(n, 14);
+    const Vector y = bigRandomVector(n, 15);
+    Vector lo(x.size(), -0.5), hi(x.size(), 0.5);
+
+    Vector axpby_s, prod_s, clamp_s, axpy_s = y;
+    Vector axpby_p, prod_p, clamp_p, axpy_p = y;
+    {
+        NumThreadsScope scope(1);
+        axpby(1.5, x, -0.25, y, axpby_s);
+        ewProduct(x, y, prod_s);
+        ewClamp(x, lo, hi, clamp_s);
+        axpy(0.75, x, axpy_s);
+    }
+    {
+        NumThreadsScope scope(8);
+        axpby(1.5, x, -0.25, y, axpby_p);
+        ewProduct(x, y, prod_p);
+        ewClamp(x, lo, hi, clamp_p);
+        axpy(0.75, x, axpy_p);
+    }
+    EXPECT_EQ(axpby_s, axpby_p);
+    EXPECT_EQ(prod_s, prod_p);
+    EXPECT_EQ(clamp_s, clamp_p);
+    EXPECT_EQ(axpy_s, axpy_p);
+}
+
+TEST(ThreadedVectorOps, SmallVectorsKeepTheLegacySerialPath)
+{
+    // Below the threshold the kernels must not touch the pool: the
+    // plain left-to-right sum is the legacy (pre-threading) result.
+    const Index n = kParallelThreshold - 1;
+    const Vector x = bigRandomVector(n, 16);
+    Real expected = 0.0;
+    for (Real v : x)
+        expected += v * v;
+    NumThreadsScope scope(8);
+    const Real value = dot(x, x);
+    EXPECT_EQ(std::memcmp(&expected, &value, sizeof(Real)), 0);
 }
 
 } // namespace
