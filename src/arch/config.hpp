@@ -43,8 +43,12 @@ struct ArchConfig
     /**
      * Host threads simulating the C-wide datapath (0 = library
      * default, i.e. hardware concurrency; 1 = serial execution).
-     * Purely a simulation-speed knob: the cycle model and the numeric
-     * results are identical at every setting.
+     * The cycle model and the numeric results are identical at every
+     * setting: SpMV partitions on carry-chain boundaries (exact), and
+     * the machine's vector reductions pick their summation order by
+     * vector length alone — large vectors use the fixed-grain chunked
+     * order even at numThreads = 1, which differs in rounding from
+     * the retired pre-threading left-to-right loop.
      */
     Index numThreads = 0;
     /** Cycle-model constants. */

@@ -78,8 +78,13 @@ Machine::addMatrix(const PackedMatrix& packed, CvbPlan plan,
     for (std::size_t s = 0; s < compiled.segments.size(); ++s)
         if (!compiled.segments[s].accumulate)
             compiled.chainStarts.push_back(static_cast<Index>(s));
-    if (compiled.chainStarts.empty() && !compiled.segments.empty())
-        compiled.chainStarts.push_back(0);
+    // Chain 0 must start at segment 0 even if the stream opens with an
+    // accumulate segment (a carry into nothing, executed with carry=0
+    // by the serial walk) — otherwise execSpmv would skip the leading
+    // segments entirely.
+    if (!compiled.segments.empty() &&
+        (compiled.chainStarts.empty() || compiled.chainStarts.front() != 0))
+        compiled.chainStarts.insert(compiled.chainStarts.begin(), 0);
 
     matrices_.push_back(std::move(compiled));
     return static_cast<Index>(matrices_.size()) - 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 #include "common/logging.hpp"
 
@@ -161,50 +162,68 @@ ThreadPool::parallelFor(Index begin, Index end, Index grain,
         return;
     }
 
-    std::atomic<Count> next_chunk{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    std::atomic<unsigned> active{static_cast<unsigned>(budget) - 1};
-    std::mutex done_mutex;
-    std::condition_variable done;
+    // Completion state lives on the heap, kept alive by the tasks
+    // themselves: a helper still queued when the caller returns (all
+    // chunks already claimed and finished) wakes up later, fails to
+    // claim a chunk and touches only this block — never the caller's
+    // stack frame. The caller waits on finished == num_chunks, and a
+    // chunk can only be claimed before it is finished, so fn (captured
+    // by reference below) outlives every fn() call.
+    struct RegionState
+    {
+        std::atomic<Count> nextChunk{0};
+        std::atomic<bool> failed{false};
+        std::mutex mutex; // guards finished and error
+        std::condition_variable done;
+        Count finished = 0;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<RegionState>();
 
-    auto run_chunks = [&] {
+    auto run_chunks = [state, begin, end, grain, num_chunks, &fn] {
         InsideWorkerScope inside;
-        while (!failed.load(std::memory_order_relaxed)) {
-            const Count chunk = next_chunk.fetch_add(1);
+        Count finished_here = 0;
+        while (true) {
+            const Count chunk = state->nextChunk.fetch_add(1);
             if (chunk >= num_chunks)
                 break;
-            const Index b =
-                begin + static_cast<Index>(chunk * grain);
-            const Index e = static_cast<Index>(
-                std::min<Count>(static_cast<Count>(b) + grain, end));
-            try {
-                fn(b, e);
-            } catch (...) {
-                {
-                    std::lock_guard<std::mutex> lock(error_mutex);
-                    if (!error)
-                        error = std::current_exception();
+            // After a failure the remaining chunks are still claimed
+            // and counted (so the caller's wait terminates) but their
+            // bodies are skipped.
+            if (!state->failed.load(std::memory_order_relaxed)) {
+                const Index b =
+                    begin + static_cast<Index>(chunk * grain);
+                const Index e = static_cast<Index>(std::min<Count>(
+                    static_cast<Count>(b) + grain, end));
+                try {
+                    fn(b, e);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(state->mutex);
+                    if (!state->error)
+                        state->error = std::current_exception();
+                    state->failed.store(true);
                 }
-                failed.store(true);
             }
+            ++finished_here;
+        }
+        if (finished_here > 0) {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->finished += finished_here;
+            if (state->finished == num_chunks)
+                state->done.notify_all();
         }
     };
 
-    for (Count i = 0; i + 1 < budget; ++i) {
-        submit([&] {
-            run_chunks();
-            if (active.fetch_sub(1) == 1) {
-                std::lock_guard<std::mutex> lock(done_mutex);
-                done.notify_all();
-            }
-        });
-    }
+    for (Count i = 0; i + 1 < budget; ++i)
+        submit(run_chunks);
     run_chunks();
+
+    std::exception_ptr error;
     {
-        std::unique_lock<std::mutex> lock(done_mutex);
-        done.wait(lock, [&] { return active.load() == 0; });
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->done.wait(
+            lock, [&] { return state->finished == num_chunks; });
+        error = state->error;
     }
     if (error)
         std::rethrow_exception(error);

@@ -103,9 +103,12 @@ class ThreadPool
      * Apply fn(chunk_begin, chunk_end) over [begin, end) partitioned
      * into grain-sized chunks, using at most max_workers threads
      * (0 = the caller's effectiveNumThreads()). Blocks until every
-     * chunk ran; the first exception thrown by fn is rethrown here.
-     * Runs inline when the budget is 1, the range is a single chunk,
-     * or the caller is already inside a pool task.
+     * chunk finished — but not until every queued helper task was
+     * dequeued: helpers that start after the range is drained no-op
+     * against heap-owned region state, so a busy pool never stalls an
+     * unrelated caller. The first exception thrown by fn is rethrown
+     * here. Runs inline when the budget is 1, the range is a single
+     * chunk, or the caller is already inside a pool task.
      */
     void parallelFor(Index begin, Index end, Index grain,
                      const std::function<void(Index, Index)>& fn,

@@ -56,9 +56,14 @@ struct OsqpSettings
 
     /**
      * Host threads for the hot-path vector kernels and PCG (0 =
-     * library default, i.e. hardware concurrency; 1 = serial legacy
-     * execution). Large-vector reductions are chunked independently
-     * of this knob, so results are bitwise-identical at any setting.
+     * library default, i.e. hardware concurrency; 1 = fully serial
+     * execution on the calling thread). Results never depend on this
+     * knob: the serial-vs-chunked summation order of a reduction is
+     * picked by vector length alone (kParallelThreshold), so vectors
+     * at or above the threshold use the fixed-grain chunked order
+     * even at numThreads = 1 — bitwise-identical across settings,
+     * but not to a plain left-to-right accumulation. Below the
+     * threshold every kernel is the exact legacy serial loop.
      */
     Index numThreads = 0;
 

@@ -181,6 +181,55 @@ TEST(SpmvEngine, Fp32DatapathApproximatesFp64)
     EXPECT_GT(test::maxAbsDiff(y32, y_ref), 0.0);  // genuinely float
 }
 
+TEST(SpmvEngine, LeadingAccumulateSegmentIsNotDropped)
+{
+    // A hand-built stream that *opens* with an accumulate segment (a
+    // carry into nothing, executed with carry = 0 by the serial walk):
+    // chain precomputation must still start chain 0 at segment 0, or
+    // the chained execution silently drops the leading rows.
+    const Index c = 4;
+    PackedMatrix packed;
+    packed.c = c;
+    packed.rows = 2;
+    packed.cols = 4;
+    packed.nnz = 8;
+
+    LanePack pack0;
+    pack0.values = {1.0, 2.0, 3.0, 4.0};
+    pack0.colIdx = {0, 1, 2, 3};
+    pack0.segments.push_back(
+        {/*row=*/0, /*laneBegin=*/0, /*laneEnd=*/4,
+         /*accumulate=*/true, /*emit=*/true});
+    LanePack pack1;
+    pack1.values = {5.0, 6.0, 7.0, 8.0};
+    pack1.colIdx = {0, 1, 2, 3};
+    pack1.segments.push_back(
+        {/*row=*/1, /*laneBegin=*/0, /*laneEnd=*/4,
+         /*accumulate=*/false, /*emit=*/true});
+    packed.packs = {pack0, pack1};
+
+    ArchConfig config;
+    config.c = c;
+    config.structures = StructureSet::baseline(c);
+    Machine machine(config);
+    const Index mat = machine.addMatrix(
+        packed, fullDuplicationPlan(c, packed.cols), "leading-acc");
+    const Index v_in = machine.addVector(4);
+    const Index v_out = machine.addVector(2);
+    const Index hbm_in =
+        machine.addHbmVector({1.0, 1.0, 1.0, 1.0});
+
+    ProgramBuilder asmb;
+    asmb.loadVec(v_in, hbm_in);
+    asmb.vecDup(mat, v_in);
+    asmb.spmv(v_out, mat);
+    asmb.halt();
+    machine.run(asmb.finish());
+
+    EXPECT_DOUBLE_EQ(machine.vectorValue(v_out)[0], 10.0);
+    EXPECT_DOUBLE_EQ(machine.vectorValue(v_out)[1], 26.0);
+}
+
 TEST(SpmvEngine, SpmvBeforeDupPanics)
 {
     Rng rng(7);

@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -125,6 +127,36 @@ TEST(ThreadPool, ZeroWorkerPoolRunsInline)
         total += e - b;
     });
     EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, CallerReturnsWhileWorkersAreBusyElsewhere)
+{
+    // Regression: parallelFor must wait for the *chunks* to finish,
+    // not for its queued helper tasks to be dequeued. With every
+    // worker pinned by an unrelated long-running task, the caller
+    // drains the whole range itself and must return before the
+    // workers free up (the old handshake deadlocked here).
+    ThreadPool pool(2);
+    std::mutex gate_mutex;
+    std::condition_variable gate;
+    bool release = false;
+    for (int i = 0; i < 2; ++i)
+        pool.submit([&] {
+            std::unique_lock<std::mutex> lock(gate_mutex);
+            gate.wait(lock, [&] { return release; });
+        });
+
+    std::atomic<Index> total{0};
+    pool.parallelFor(0, 1000, 10,
+                     [&](Index b, Index e) { total += e - b; }, 4);
+    EXPECT_EQ(total.load(), 1000);
+
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        release = true;
+    }
+    gate.notify_all();
+    pool.waitIdle();
 }
 
 TEST(ThreadPool, ReuseAcrossManyRegions)
