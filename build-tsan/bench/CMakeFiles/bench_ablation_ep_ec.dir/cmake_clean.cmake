@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ep_ec.dir/bench_ablation_ep_ec.cpp.o"
+  "CMakeFiles/bench_ablation_ep_ec.dir/bench_ablation_ep_ec.cpp.o.d"
+  "bench_ablation_ep_ec"
+  "bench_ablation_ep_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ep_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fp32.dir/bench_ablation_fp32.cpp.o"
+  "CMakeFiles/bench_ablation_fp32.dir/bench_ablation_fp32.cpp.o.d"
+  "bench_ablation_fp32"
+  "bench_ablation_fp32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fp32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

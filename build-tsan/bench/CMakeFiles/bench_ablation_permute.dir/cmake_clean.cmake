@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_permute.dir/bench_ablation_permute.cpp.o"
+  "CMakeFiles/bench_ablation_permute.dir/bench_ablation_permute.cpp.o.d"
+  "bench_ablation_permute"
+  "bench_ablation_permute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_permute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

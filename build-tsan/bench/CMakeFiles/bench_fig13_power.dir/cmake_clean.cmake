@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_power.dir/bench_fig13_power.cpp.o"
+  "CMakeFiles/bench_fig13_power.dir/bench_fig13_power.cpp.o.d"
+  "bench_fig13_power"
+  "bench_fig13_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

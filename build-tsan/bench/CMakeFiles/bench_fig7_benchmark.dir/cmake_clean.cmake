@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_benchmark.dir/bench_fig7_benchmark.cpp.o"
+  "CMakeFiles/bench_fig7_benchmark.dir/bench_fig7_benchmark.cpp.o.d"
+  "bench_fig7_benchmark"
+  "bench_fig7_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

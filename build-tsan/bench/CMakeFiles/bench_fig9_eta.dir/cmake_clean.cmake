@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_eta.dir/bench_fig9_eta.cpp.o"
+  "CMakeFiles/bench_fig9_eta.dir/bench_fig9_eta.cpp.o.d"
+  "bench_fig9_eta"
+  "bench_fig9_eta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_eta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_footprint.dir/bench_memory_footprint.cpp.o"
+  "CMakeFiles/bench_memory_footprint.dir/bench_memory_footprint.cpp.o.d"
+  "bench_memory_footprint"
+  "bench_memory_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

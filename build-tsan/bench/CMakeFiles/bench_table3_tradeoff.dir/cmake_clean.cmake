@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_tradeoff.dir/bench_table3_tradeoff.cpp.o"
+  "CMakeFiles/bench_table3_tradeoff.dir/bench_table3_tradeoff.cpp.o.d"
+  "bench_table3_tradeoff"
+  "bench_table3_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasso_path.dir/lasso_path.cpp.o"
+  "CMakeFiles/lasso_path.dir/lasso_path.cpp.o.d"
+  "lasso_path"
+  "lasso_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasso_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

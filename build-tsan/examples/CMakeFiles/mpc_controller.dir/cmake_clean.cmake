@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_controller.dir/mpc_controller.cpp.o"
+  "CMakeFiles/mpc_controller.dir/mpc_controller.cpp.o.d"
+  "mpc_controller"
+  "mpc_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio_backtest.dir/portfolio_backtest.cpp.o"
+  "CMakeFiles/portfolio_backtest.dir/portfolio_backtest.cpp.o.d"
+  "portfolio_backtest"
+  "portfolio_backtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio_backtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

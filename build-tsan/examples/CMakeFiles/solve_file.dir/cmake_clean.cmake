@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_file.dir/solve_file.cpp.o"
+  "CMakeFiles/solve_file.dir/solve_file.cpp.o.d"
+  "solve_file"
+  "solve_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sqp_nonlinear.cpp" "examples/CMakeFiles/sqp_nonlinear.dir/sqp_nonlinear.cpp.o" "gcc" "examples/CMakeFiles/sqp_nonlinear.dir/sqp_nonlinear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/rsqp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/rsqp_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cvb/CMakeFiles/rsqp_cvb.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/rsqp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hwmodel/CMakeFiles/rsqp_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/encoding/CMakeFiles/rsqp_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/problems/CMakeFiles/rsqp_problems.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/osqp/CMakeFiles/rsqp_osqp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/solvers/CMakeFiles/rsqp_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/rsqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

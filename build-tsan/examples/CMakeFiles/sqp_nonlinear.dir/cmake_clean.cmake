@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_nonlinear.dir/sqp_nonlinear.cpp.o"
+  "CMakeFiles/sqp_nonlinear.dir/sqp_nonlinear.cpp.o.d"
+  "sqp_nonlinear"
+  "sqp_nonlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-tsan/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mpc_controller "/root/repo/build-tsan/examples/mpc_controller")
+set_tests_properties(example_mpc_controller PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_portfolio_backtest "/root/repo/build-tsan/examples/portfolio_backtest")
+set_tests_properties(example_portfolio_backtest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_design_explorer "/root/repo/build-tsan/examples/design_explorer" "svm" "40")
+set_tests_properties(example_design_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lasso_path "/root/repo/build-tsan/examples/lasso_path")
+set_tests_properties(example_lasso_path PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sqp_nonlinear "/root/repo/build-tsan/examples/sqp_nonlinear")
+set_tests_properties(example_sqp_nonlinear PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_solve_file_export "/root/repo/build-tsan/examples/solve_file" "export" "portfolio" "30" "/root/repo/build-tsan/examples/portfolio30.qp")
+set_tests_properties(example_solve_file_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_solve_file_solve "/root/repo/build-tsan/examples/solve_file" "solve" "/root/repo/build-tsan/examples/portfolio30.qp" "fpga")
+set_tests_properties(example_solve_file_solve PROPERTIES  DEPENDS "example_solve_file_export" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

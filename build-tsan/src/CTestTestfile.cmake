@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("solvers")
+subdirs("osqp")
+subdirs("encoding")
+subdirs("cvb")
+subdirs("arch")
+subdirs("hwmodel")
+subdirs("gpu")
+subdirs("problems")
+subdirs("core")

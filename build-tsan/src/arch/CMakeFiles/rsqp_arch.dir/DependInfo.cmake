@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/isa.cpp" "src/arch/CMakeFiles/rsqp_arch.dir/isa.cpp.o" "gcc" "src/arch/CMakeFiles/rsqp_arch.dir/isa.cpp.o.d"
+  "/root/repo/src/arch/machine.cpp" "src/arch/CMakeFiles/rsqp_arch.dir/machine.cpp.o" "gcc" "src/arch/CMakeFiles/rsqp_arch.dir/machine.cpp.o.d"
+  "/root/repo/src/arch/osqp_program.cpp" "src/arch/CMakeFiles/rsqp_arch.dir/osqp_program.cpp.o" "gcc" "src/arch/CMakeFiles/rsqp_arch.dir/osqp_program.cpp.o.d"
+  "/root/repo/src/arch/program_builder.cpp" "src/arch/CMakeFiles/rsqp_arch.dir/program_builder.cpp.o" "gcc" "src/arch/CMakeFiles/rsqp_arch.dir/program_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/encoding/CMakeFiles/rsqp_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cvb/CMakeFiles/rsqp_cvb.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/osqp/CMakeFiles/rsqp_osqp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/solvers/CMakeFiles/rsqp_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/rsqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqp_arch.dir/isa.cpp.o"
+  "CMakeFiles/rsqp_arch.dir/isa.cpp.o.d"
+  "CMakeFiles/rsqp_arch.dir/machine.cpp.o"
+  "CMakeFiles/rsqp_arch.dir/machine.cpp.o.d"
+  "CMakeFiles/rsqp_arch.dir/osqp_program.cpp.o"
+  "CMakeFiles/rsqp_arch.dir/osqp_program.cpp.o.d"
+  "CMakeFiles/rsqp_arch.dir/program_builder.cpp.o"
+  "CMakeFiles/rsqp_arch.dir/program_builder.cpp.o.d"
+  "librsqp_arch.a"
+  "librsqp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

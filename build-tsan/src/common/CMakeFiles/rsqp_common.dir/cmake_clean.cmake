@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqp_common.dir/logging.cpp.o"
+  "CMakeFiles/rsqp_common.dir/logging.cpp.o.d"
+  "CMakeFiles/rsqp_common.dir/random.cpp.o"
+  "CMakeFiles/rsqp_common.dir/random.cpp.o.d"
+  "CMakeFiles/rsqp_common.dir/stats.cpp.o"
+  "CMakeFiles/rsqp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rsqp_common.dir/table.cpp.o"
+  "CMakeFiles/rsqp_common.dir/table.cpp.o.d"
+  "CMakeFiles/rsqp_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/rsqp_common.dir/thread_pool.cpp.o.d"
+  "librsqp_common.a"
+  "librsqp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

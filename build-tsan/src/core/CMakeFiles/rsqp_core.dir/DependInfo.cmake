@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/customization.cpp" "src/core/CMakeFiles/rsqp_core.dir/customization.cpp.o" "gcc" "src/core/CMakeFiles/rsqp_core.dir/customization.cpp.o.d"
+  "/root/repo/src/core/design_space.cpp" "src/core/CMakeFiles/rsqp_core.dir/design_space.cpp.o" "gcc" "src/core/CMakeFiles/rsqp_core.dir/design_space.cpp.o.d"
+  "/root/repo/src/core/hls_codegen.cpp" "src/core/CMakeFiles/rsqp_core.dir/hls_codegen.cpp.o" "gcc" "src/core/CMakeFiles/rsqp_core.dir/hls_codegen.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "src/core/CMakeFiles/rsqp_core.dir/memory_model.cpp.o" "gcc" "src/core/CMakeFiles/rsqp_core.dir/memory_model.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/rsqp_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/rsqp_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/rsqp_solver.cpp" "src/core/CMakeFiles/rsqp_core.dir/rsqp_solver.cpp.o" "gcc" "src/core/CMakeFiles/rsqp_core.dir/rsqp_solver.cpp.o.d"
+  "/root/repo/src/core/structure_adapt.cpp" "src/core/CMakeFiles/rsqp_core.dir/structure_adapt.cpp.o" "gcc" "src/core/CMakeFiles/rsqp_core.dir/structure_adapt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/arch/CMakeFiles/rsqp_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hwmodel/CMakeFiles/rsqp_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/rsqp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/problems/CMakeFiles/rsqp_problems.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cvb/CMakeFiles/rsqp_cvb.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/encoding/CMakeFiles/rsqp_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/osqp/CMakeFiles/rsqp_osqp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/solvers/CMakeFiles/rsqp_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/rsqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqp_core.dir/customization.cpp.o"
+  "CMakeFiles/rsqp_core.dir/customization.cpp.o.d"
+  "CMakeFiles/rsqp_core.dir/design_space.cpp.o"
+  "CMakeFiles/rsqp_core.dir/design_space.cpp.o.d"
+  "CMakeFiles/rsqp_core.dir/hls_codegen.cpp.o"
+  "CMakeFiles/rsqp_core.dir/hls_codegen.cpp.o.d"
+  "CMakeFiles/rsqp_core.dir/memory_model.cpp.o"
+  "CMakeFiles/rsqp_core.dir/memory_model.cpp.o.d"
+  "CMakeFiles/rsqp_core.dir/report.cpp.o"
+  "CMakeFiles/rsqp_core.dir/report.cpp.o.d"
+  "CMakeFiles/rsqp_core.dir/rsqp_solver.cpp.o"
+  "CMakeFiles/rsqp_core.dir/rsqp_solver.cpp.o.d"
+  "CMakeFiles/rsqp_core.dir/structure_adapt.cpp.o"
+  "CMakeFiles/rsqp_core.dir/structure_adapt.cpp.o.d"
+  "librsqp_core.a"
+  "librsqp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqp_cvb.dir/cvb.cpp.o"
+  "CMakeFiles/rsqp_cvb.dir/cvb.cpp.o.d"
+  "librsqp_cvb.a"
+  "librsqp_cvb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqp_cvb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

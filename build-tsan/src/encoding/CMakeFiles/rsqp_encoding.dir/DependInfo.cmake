@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/lzw.cpp" "src/encoding/CMakeFiles/rsqp_encoding.dir/lzw.cpp.o" "gcc" "src/encoding/CMakeFiles/rsqp_encoding.dir/lzw.cpp.o.d"
+  "/root/repo/src/encoding/mac_structure.cpp" "src/encoding/CMakeFiles/rsqp_encoding.dir/mac_structure.cpp.o" "gcc" "src/encoding/CMakeFiles/rsqp_encoding.dir/mac_structure.cpp.o.d"
+  "/root/repo/src/encoding/packing.cpp" "src/encoding/CMakeFiles/rsqp_encoding.dir/packing.cpp.o" "gcc" "src/encoding/CMakeFiles/rsqp_encoding.dir/packing.cpp.o.d"
+  "/root/repo/src/encoding/scheduler.cpp" "src/encoding/CMakeFiles/rsqp_encoding.dir/scheduler.cpp.o" "gcc" "src/encoding/CMakeFiles/rsqp_encoding.dir/scheduler.cpp.o.d"
+  "/root/repo/src/encoding/sparsity_string.cpp" "src/encoding/CMakeFiles/rsqp_encoding.dir/sparsity_string.cpp.o" "gcc" "src/encoding/CMakeFiles/rsqp_encoding.dir/sparsity_string.cpp.o.d"
+  "/root/repo/src/encoding/structure_search.cpp" "src/encoding/CMakeFiles/rsqp_encoding.dir/structure_search.cpp.o" "gcc" "src/encoding/CMakeFiles/rsqp_encoding.dir/structure_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/rsqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

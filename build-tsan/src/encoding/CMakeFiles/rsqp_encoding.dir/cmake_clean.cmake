@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqp_encoding.dir/lzw.cpp.o"
+  "CMakeFiles/rsqp_encoding.dir/lzw.cpp.o.d"
+  "CMakeFiles/rsqp_encoding.dir/mac_structure.cpp.o"
+  "CMakeFiles/rsqp_encoding.dir/mac_structure.cpp.o.d"
+  "CMakeFiles/rsqp_encoding.dir/packing.cpp.o"
+  "CMakeFiles/rsqp_encoding.dir/packing.cpp.o.d"
+  "CMakeFiles/rsqp_encoding.dir/scheduler.cpp.o"
+  "CMakeFiles/rsqp_encoding.dir/scheduler.cpp.o.d"
+  "CMakeFiles/rsqp_encoding.dir/sparsity_string.cpp.o"
+  "CMakeFiles/rsqp_encoding.dir/sparsity_string.cpp.o.d"
+  "CMakeFiles/rsqp_encoding.dir/structure_search.cpp.o"
+  "CMakeFiles/rsqp_encoding.dir/structure_search.cpp.o.d"
+  "librsqp_encoding.a"
+  "librsqp_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqp_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

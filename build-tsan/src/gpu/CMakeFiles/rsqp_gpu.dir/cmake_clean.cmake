@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqp_gpu.dir/gpu_model.cpp.o"
+  "CMakeFiles/rsqp_gpu.dir/gpu_model.cpp.o.d"
+  "librsqp_gpu.a"
+  "librsqp_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqp_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqp_hwmodel.dir/devices.cpp.o"
+  "CMakeFiles/rsqp_hwmodel.dir/devices.cpp.o.d"
+  "CMakeFiles/rsqp_hwmodel.dir/power.cpp.o"
+  "CMakeFiles/rsqp_hwmodel.dir/power.cpp.o.d"
+  "CMakeFiles/rsqp_hwmodel.dir/resources.cpp.o"
+  "CMakeFiles/rsqp_hwmodel.dir/resources.cpp.o.d"
+  "librsqp_hwmodel.a"
+  "librsqp_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqp_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/csc.cpp" "src/linalg/CMakeFiles/rsqp_linalg.dir/csc.cpp.o" "gcc" "src/linalg/CMakeFiles/rsqp_linalg.dir/csc.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/linalg/CMakeFiles/rsqp_linalg.dir/csr.cpp.o" "gcc" "src/linalg/CMakeFiles/rsqp_linalg.dir/csr.cpp.o.d"
+  "/root/repo/src/linalg/io.cpp" "src/linalg/CMakeFiles/rsqp_linalg.dir/io.cpp.o" "gcc" "src/linalg/CMakeFiles/rsqp_linalg.dir/io.cpp.o.d"
+  "/root/repo/src/linalg/kkt.cpp" "src/linalg/CMakeFiles/rsqp_linalg.dir/kkt.cpp.o" "gcc" "src/linalg/CMakeFiles/rsqp_linalg.dir/kkt.cpp.o.d"
+  "/root/repo/src/linalg/triplet.cpp" "src/linalg/CMakeFiles/rsqp_linalg.dir/triplet.cpp.o" "gcc" "src/linalg/CMakeFiles/rsqp_linalg.dir/triplet.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/rsqp_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/rsqp_linalg.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

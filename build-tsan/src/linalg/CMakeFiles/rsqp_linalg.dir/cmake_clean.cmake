@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqp_linalg.dir/csc.cpp.o"
+  "CMakeFiles/rsqp_linalg.dir/csc.cpp.o.d"
+  "CMakeFiles/rsqp_linalg.dir/csr.cpp.o"
+  "CMakeFiles/rsqp_linalg.dir/csr.cpp.o.d"
+  "CMakeFiles/rsqp_linalg.dir/io.cpp.o"
+  "CMakeFiles/rsqp_linalg.dir/io.cpp.o.d"
+  "CMakeFiles/rsqp_linalg.dir/kkt.cpp.o"
+  "CMakeFiles/rsqp_linalg.dir/kkt.cpp.o.d"
+  "CMakeFiles/rsqp_linalg.dir/triplet.cpp.o"
+  "CMakeFiles/rsqp_linalg.dir/triplet.cpp.o.d"
+  "CMakeFiles/rsqp_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/rsqp_linalg.dir/vector_ops.cpp.o.d"
+  "librsqp_linalg.a"
+  "librsqp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osqp/builder.cpp" "src/osqp/CMakeFiles/rsqp_osqp.dir/builder.cpp.o" "gcc" "src/osqp/CMakeFiles/rsqp_osqp.dir/builder.cpp.o.d"
+  "/root/repo/src/osqp/polish.cpp" "src/osqp/CMakeFiles/rsqp_osqp.dir/polish.cpp.o" "gcc" "src/osqp/CMakeFiles/rsqp_osqp.dir/polish.cpp.o.d"
+  "/root/repo/src/osqp/problem.cpp" "src/osqp/CMakeFiles/rsqp_osqp.dir/problem.cpp.o" "gcc" "src/osqp/CMakeFiles/rsqp_osqp.dir/problem.cpp.o.d"
+  "/root/repo/src/osqp/problem_io.cpp" "src/osqp/CMakeFiles/rsqp_osqp.dir/problem_io.cpp.o" "gcc" "src/osqp/CMakeFiles/rsqp_osqp.dir/problem_io.cpp.o.d"
+  "/root/repo/src/osqp/residuals.cpp" "src/osqp/CMakeFiles/rsqp_osqp.dir/residuals.cpp.o" "gcc" "src/osqp/CMakeFiles/rsqp_osqp.dir/residuals.cpp.o.d"
+  "/root/repo/src/osqp/scaling.cpp" "src/osqp/CMakeFiles/rsqp_osqp.dir/scaling.cpp.o" "gcc" "src/osqp/CMakeFiles/rsqp_osqp.dir/scaling.cpp.o.d"
+  "/root/repo/src/osqp/solver.cpp" "src/osqp/CMakeFiles/rsqp_osqp.dir/solver.cpp.o" "gcc" "src/osqp/CMakeFiles/rsqp_osqp.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/solvers/CMakeFiles/rsqp_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/rsqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqp_osqp.dir/builder.cpp.o"
+  "CMakeFiles/rsqp_osqp.dir/builder.cpp.o.d"
+  "CMakeFiles/rsqp_osqp.dir/polish.cpp.o"
+  "CMakeFiles/rsqp_osqp.dir/polish.cpp.o.d"
+  "CMakeFiles/rsqp_osqp.dir/problem.cpp.o"
+  "CMakeFiles/rsqp_osqp.dir/problem.cpp.o.d"
+  "CMakeFiles/rsqp_osqp.dir/problem_io.cpp.o"
+  "CMakeFiles/rsqp_osqp.dir/problem_io.cpp.o.d"
+  "CMakeFiles/rsqp_osqp.dir/residuals.cpp.o"
+  "CMakeFiles/rsqp_osqp.dir/residuals.cpp.o.d"
+  "CMakeFiles/rsqp_osqp.dir/scaling.cpp.o"
+  "CMakeFiles/rsqp_osqp.dir/scaling.cpp.o.d"
+  "CMakeFiles/rsqp_osqp.dir/solver.cpp.o"
+  "CMakeFiles/rsqp_osqp.dir/solver.cpp.o.d"
+  "librsqp_osqp.a"
+  "librsqp_osqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqp_osqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/problems/generators.cpp" "src/problems/CMakeFiles/rsqp_problems.dir/generators.cpp.o" "gcc" "src/problems/CMakeFiles/rsqp_problems.dir/generators.cpp.o.d"
+  "/root/repo/src/problems/suite.cpp" "src/problems/CMakeFiles/rsqp_problems.dir/suite.cpp.o" "gcc" "src/problems/CMakeFiles/rsqp_problems.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/osqp/CMakeFiles/rsqp_osqp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/solvers/CMakeFiles/rsqp_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/rsqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqp_problems.dir/generators.cpp.o"
+  "CMakeFiles/rsqp_problems.dir/generators.cpp.o.d"
+  "CMakeFiles/rsqp_problems.dir/suite.cpp.o"
+  "CMakeFiles/rsqp_problems.dir/suite.cpp.o.d"
+  "librsqp_problems.a"
+  "librsqp_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqp_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

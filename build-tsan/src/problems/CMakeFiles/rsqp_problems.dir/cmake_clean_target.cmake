@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librsqp_problems.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/kkt_solver.cpp" "src/solvers/CMakeFiles/rsqp_solvers.dir/kkt_solver.cpp.o" "gcc" "src/solvers/CMakeFiles/rsqp_solvers.dir/kkt_solver.cpp.o.d"
+  "/root/repo/src/solvers/ldl.cpp" "src/solvers/CMakeFiles/rsqp_solvers.dir/ldl.cpp.o" "gcc" "src/solvers/CMakeFiles/rsqp_solvers.dir/ldl.cpp.o.d"
+  "/root/repo/src/solvers/ordering.cpp" "src/solvers/CMakeFiles/rsqp_solvers.dir/ordering.cpp.o" "gcc" "src/solvers/CMakeFiles/rsqp_solvers.dir/ordering.cpp.o.d"
+  "/root/repo/src/solvers/pcg.cpp" "src/solvers/CMakeFiles/rsqp_solvers.dir/pcg.cpp.o" "gcc" "src/solvers/CMakeFiles/rsqp_solvers.dir/pcg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/rsqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

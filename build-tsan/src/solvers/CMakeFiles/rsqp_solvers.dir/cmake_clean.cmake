@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsqp_solvers.dir/kkt_solver.cpp.o"
+  "CMakeFiles/rsqp_solvers.dir/kkt_solver.cpp.o.d"
+  "CMakeFiles/rsqp_solvers.dir/ldl.cpp.o"
+  "CMakeFiles/rsqp_solvers.dir/ldl.cpp.o.d"
+  "CMakeFiles/rsqp_solvers.dir/ordering.cpp.o"
+  "CMakeFiles/rsqp_solvers.dir/ordering.cpp.o.d"
+  "CMakeFiles/rsqp_solvers.dir/pcg.cpp.o"
+  "CMakeFiles/rsqp_solvers.dir/pcg.cpp.o.d"
+  "librsqp_solvers.a"
+  "librsqp_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsqp_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

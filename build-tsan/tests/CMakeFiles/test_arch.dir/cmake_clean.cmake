@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/test_isa.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_isa.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_machine.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_machine.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_matrix_update.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_matrix_update.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_osqp_program.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_osqp_program.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_program_builder.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_program_builder.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_spmv_engine.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_spmv_engine.cpp.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

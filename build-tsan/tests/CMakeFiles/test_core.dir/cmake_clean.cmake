@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_customization.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_customization.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_design_space.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_design_space.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_hls_codegen.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_hls_codegen.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_memory_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_memory_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rsqp_solver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rsqp_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_solve_batch.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_solve_batch.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_structure_adapt.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_structure_adapt.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cvb.dir/cvb/test_cvb.cpp.o"
+  "CMakeFiles/test_cvb.dir/cvb/test_cvb.cpp.o.d"
+  "test_cvb"
+  "test_cvb.pdb"
+  "test_cvb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cvb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

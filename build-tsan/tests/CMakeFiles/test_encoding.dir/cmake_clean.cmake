@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encoding.dir/encoding/test_edge_cases.cpp.o"
+  "CMakeFiles/test_encoding.dir/encoding/test_edge_cases.cpp.o.d"
+  "CMakeFiles/test_encoding.dir/encoding/test_lzw.cpp.o"
+  "CMakeFiles/test_encoding.dir/encoding/test_lzw.cpp.o.d"
+  "CMakeFiles/test_encoding.dir/encoding/test_mac_structure.cpp.o"
+  "CMakeFiles/test_encoding.dir/encoding/test_mac_structure.cpp.o.d"
+  "CMakeFiles/test_encoding.dir/encoding/test_packing.cpp.o"
+  "CMakeFiles/test_encoding.dir/encoding/test_packing.cpp.o.d"
+  "CMakeFiles/test_encoding.dir/encoding/test_scheduler.cpp.o"
+  "CMakeFiles/test_encoding.dir/encoding/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_encoding.dir/encoding/test_sparsity_string.cpp.o"
+  "CMakeFiles/test_encoding.dir/encoding/test_sparsity_string.cpp.o.d"
+  "CMakeFiles/test_encoding.dir/encoding/test_structure_search.cpp.o"
+  "CMakeFiles/test_encoding.dir/encoding/test_structure_search.cpp.o.d"
+  "test_encoding"
+  "test_encoding.pdb"
+  "test_encoding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

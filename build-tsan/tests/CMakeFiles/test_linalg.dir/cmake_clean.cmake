@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/linalg/test_csc.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_csc.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_csr.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_csr.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_io.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_io.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_kkt.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_kkt.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_vector_ops.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_vector_ops.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+  "test_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osqp.dir/osqp/test_builder.cpp.o"
+  "CMakeFiles/test_osqp.dir/osqp/test_builder.cpp.o.d"
+  "CMakeFiles/test_osqp.dir/osqp/test_infeasibility.cpp.o"
+  "CMakeFiles/test_osqp.dir/osqp/test_infeasibility.cpp.o.d"
+  "CMakeFiles/test_osqp.dir/osqp/test_parametric.cpp.o"
+  "CMakeFiles/test_osqp.dir/osqp/test_parametric.cpp.o.d"
+  "CMakeFiles/test_osqp.dir/osqp/test_polish.cpp.o"
+  "CMakeFiles/test_osqp.dir/osqp/test_polish.cpp.o.d"
+  "CMakeFiles/test_osqp.dir/osqp/test_residuals.cpp.o"
+  "CMakeFiles/test_osqp.dir/osqp/test_residuals.cpp.o.d"
+  "CMakeFiles/test_osqp.dir/osqp/test_scaling.cpp.o"
+  "CMakeFiles/test_osqp.dir/osqp/test_scaling.cpp.o.d"
+  "CMakeFiles/test_osqp.dir/osqp/test_solver.cpp.o"
+  "CMakeFiles/test_osqp.dir/osqp/test_solver.cpp.o.d"
+  "test_osqp"
+  "test_osqp.pdb"
+  "test_osqp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

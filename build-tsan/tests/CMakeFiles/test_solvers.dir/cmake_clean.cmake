@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solvers.dir/solvers/test_kkt_solver.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_kkt_solver.cpp.o.d"
+  "CMakeFiles/test_solvers.dir/solvers/test_ldl.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_ldl.cpp.o.d"
+  "CMakeFiles/test_solvers.dir/solvers/test_ordering.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_ordering.cpp.o.d"
+  "CMakeFiles/test_solvers.dir/solvers/test_pcg.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_pcg.cpp.o.d"
+  "test_solvers"
+  "test_solvers.pdb"
+  "test_solvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_solvers[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_osqp[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_encoding[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cvb[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_arch[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_models[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_problems[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
