@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/fault_injection.hpp"
 #include "common/types.hpp"
 #include "encoding/mac_structure.hpp"
 
@@ -53,6 +54,13 @@ struct ArchConfig
     Index numThreads = 0;
     /** Cycle-model constants. */
     ArchTimings timings;
+    /**
+     * Seeded soft-error injection into the simulated HBM streams and
+     * MAC-tree outputs (fault-tolerance testing only; off by default).
+     * Fault positions are a pure function of (seed, run, stream,
+     * word), so an injected run is reproducible at any numThreads.
+     */
+    FaultInjectionConfig faultInjection;
 
     /** "C{...}" plus a CVB tag, e.g. "16{16a1e}+cvb". */
     std::string

@@ -156,6 +156,7 @@ customizeProblem(const QpProblem& scaled, const CustomizeSettings& settings)
     customization.config.compressedCvb = settings.compressCvb;
     customization.config.fp32Datapath = settings.fp32Datapath;
     customization.config.numThreads = settings.numThreads;
+    customization.config.faultInjection = settings.faultInjection;
 
     customization.p =
         buildArtifacts("P", p_csr, set, settings.compressCvb);

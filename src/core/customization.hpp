@@ -51,6 +51,8 @@ struct CustomizeSettings
     bool fp32Datapath = false;        ///< FP32 MAC trees (the silicon)
     /** Simulation-host threads (0 = library default, 1 = serial). */
     Index numThreads = 0;
+    /** Seeded HBM/MAC soft-error injection (testing only). */
+    FaultInjectionConfig faultInjection;
     StructureSearchSettings search;   ///< E_p search knobs
     /** Explicit structure set (bypasses the search when non-empty). */
     std::vector<std::string> forcedPatterns;

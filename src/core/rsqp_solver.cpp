@@ -1,10 +1,14 @@
 #include "rsqp_solver.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "hwmodel/resources.hpp"
+#include "linalg/vector_ops.hpp"
+#include "osqp/residuals.hpp"
+#include "osqp/validate.hpp"
 
 namespace rsqp
 {
@@ -13,7 +17,15 @@ RsqpSolver::RsqpSolver(QpProblem problem, OsqpSettings settings,
                        CustomizeSettings custom)
     : original_(std::move(problem)), settings_(std::move(settings))
 {
-    original_.validate();
+    // Malformed problem data leaves the solver inert (machine_ stays
+    // null); solve() then reports a typed InvalidProblem result with
+    // the diagnostics instead of crashing the deployment flow.
+    validation_ = validateProblem(original_);
+    if (!validation_.ok()) {
+        RSQP_WARN("problem '", original_.name,
+                  "' failed validation:\n", validation_.describe());
+        return;
+    }
     // The device loop checks termination every checkInterval
     // iterations, so align maxIter (and the rho interval).
     const Index ci = settings_.checkInterval;
@@ -44,6 +56,8 @@ RsqpSolver::RsqpSolver(QpProblem problem, OsqpSettings settings,
 void
 RsqpSolver::warmStart(const Vector& x, const Vector& y)
 {
+    if (machine_ == nullptr)
+        return;  // inert solver: solve() reports InvalidProblem
     const Index n = original_.numVariables();
     const Index m = original_.numConstraints();
     RSQP_ASSERT(static_cast<Index>(x.size()) == n &&
@@ -69,6 +83,8 @@ RsqpSolver::warmStart(const Vector& x, const Vector& y)
 void
 RsqpSolver::updateLinearCost(const Vector& q)
 {
+    if (machine_ == nullptr)
+        return;
     const Index n = original_.numVariables();
     RSQP_ASSERT(static_cast<Index>(q.size()) == n, "q size mismatch");
     original_.q = q;
@@ -82,6 +98,8 @@ RsqpSolver::updateLinearCost(const Vector& q)
 void
 RsqpSolver::updateBounds(const Vector& l, const Vector& u)
 {
+    if (machine_ == nullptr)
+        return;
     const Index m = original_.numConstraints();
     RSQP_ASSERT(static_cast<Index>(l.size()) == m &&
                 static_cast<Index>(u.size()) == m, "bound size mismatch");
@@ -116,6 +134,8 @@ void
 RsqpSolver::updateMatrixValues(const std::vector<Real>& p_values,
                                const std::vector<Real>& a_values)
 {
+    if (machine_ == nullptr)
+        return;
     const Index n = original_.numVariables();
     // 1. Update the unscaled data and re-apply the fixed scaling,
     //    exactly as the host solver does.
@@ -184,42 +204,102 @@ RsqpSolver::updateMatrixValues(const std::vector<Real>& p_values,
 RsqpResult
 RsqpSolver::solve()
 {
+    RsqpResult result;
+    if (!validation_.ok()) {
+        result.validation = validation_;
+        result.status = SolveStatus::InvalidProblem;
+        return result;
+    }
+
     const Index n = original_.numVariables();
     const Index m = original_.numConstraints();
 
+    // A corrupted device run can leave any scalar register non-finite;
+    // screen before the (undefined-behavior) float->int casts below.
+    const auto scalar_or = [&](Index id, Real fallback) {
+        const Real v = machine_->scalarValue(id);
+        return std::isfinite(v) ? clampReal(v, 0.0, 1e12) : fallback;
+    };
+
     machine_->resetStats();
-    machine_->run(prog_.program);
 
-    RsqpResult result;
-    const Vector& xs = machine_->hbmValue(prog_.hbmXOut);
-    const Vector& ys = machine_->hbmValue(prog_.hbmYOut);
-    const Vector& zs = machine_->hbmValue(prog_.hbmZOut);
-    result.x.resize(static_cast<std::size_t>(n));
-    result.y.resize(static_cast<std::size_t>(m));
-    result.z.resize(static_cast<std::size_t>(m));
-    for (Index j = 0; j < n; ++j)
-        result.x[static_cast<std::size_t>(j)] =
-            scaling_.d[static_cast<std::size_t>(j)] *
-            xs[static_cast<std::size_t>(j)];
-    for (Index i = 0; i < m; ++i) {
-        const auto s = static_cast<std::size_t>(i);
-        result.y[s] = scaling_.cInv * scaling_.e[s] * ys[s];
-        result.z[s] = scaling_.eInv[s] * zs[s];
-    }
+    // Under fault injection the run is retried once: each run() draws
+    // a fresh deterministic fault pattern, so a transient soft error
+    // does not condemn the solve. Cycle counts accumulate across
+    // attempts — the retry cost is real device time.
+    const FaultInjector* injector = machine_->faultInjector();
+    const Index max_attempts = injector != nullptr ? 2 : 1;
 
-    result.status =
-        machine_->scalarValue(prog_.sStatus) > 0.5
+    for (Index attempt = 1; attempt <= max_attempts; ++attempt) {
+        machine_->run(prog_.program);
+
+        const Vector& xs = machine_->hbmValue(prog_.hbmXOut);
+        const Vector& ys = machine_->hbmValue(prog_.hbmYOut);
+        const Vector& zs = machine_->hbmValue(prog_.hbmZOut);
+        result.x.resize(static_cast<std::size_t>(n));
+        result.y.resize(static_cast<std::size_t>(m));
+        result.z.resize(static_cast<std::size_t>(m));
+        for (Index j = 0; j < n; ++j)
+            result.x[static_cast<std::size_t>(j)] =
+                scaling_.d[static_cast<std::size_t>(j)] *
+                xs[static_cast<std::size_t>(j)];
+        for (Index i = 0; i < m; ++i) {
+            const auto s = static_cast<std::size_t>(i);
+            result.y[s] = scaling_.cInv * scaling_.e[s] * ys[s];
+            result.z[s] = scaling_.eInv[s] * zs[s];
+        }
+
+        result.status = machine_->scalarValue(prog_.sStatus) > 0.5
             ? SolveStatus::Solved
             : SolveStatus::MaxIterReached;
-    result.iterations =
-        static_cast<Index>(machine_->scalarValue(prog_.sIterations));
-    result.pcgIterationsTotal =
-        static_cast<Count>(machine_->scalarValue(prog_.sPcgTotal));
-    result.rhoUpdates =
-        static_cast<Index>(machine_->scalarValue(prog_.sRhoUpdates));
-    result.primRes = machine_->scalarValue(prog_.sPrimRes);
-    result.dualRes = machine_->scalarValue(prog_.sDualRes);
+        result.iterations =
+            static_cast<Index>(scalar_or(prog_.sIterations, 0.0));
+        result.pcgIterationsTotal =
+            static_cast<Count>(scalar_or(prog_.sPcgTotal, 0.0));
+        result.rhoUpdates =
+            static_cast<Index>(scalar_or(prog_.sRhoUpdates, 0.0));
+        result.primRes = machine_->scalarValue(prog_.sPrimRes);
+        result.dualRes = machine_->scalarValue(prog_.sDualRes);
+
+        bool healthy = !(hasNonFinite(result.x) ||
+                         hasNonFinite(result.y) ||
+                         hasNonFinite(result.z));
+        if (healthy && injector != nullptr &&
+            result.status == SolveStatus::Solved) {
+            // The device's own convergence verdict rides on registers
+            // the injector may have corrupted — re-verify on the host.
+            const ResidualInfo res = computeResiduals(
+                original_, result.x, result.y, result.z,
+                settings_.epsAbs, settings_.epsRel);
+            result.primRes = res.primRes;
+            result.dualRes = res.dualRes;
+            healthy = res.converged();
+        }
+        if (healthy)
+            break;
+
+        if (attempt < max_attempts) {
+            result.recovery.record(
+                RecoveryAction::FaultRetry, result.iterations,
+                "device run returned non-finite or unverifiable "
+                "results");
+            ++result.recovery.faultRetries;
+            continue;
+        }
+
+        // Out of retries: hand back finite zeros with a typed failure,
+        // never a poisoned vector.
+        result.x.assign(static_cast<std::size_t>(n), 0.0);
+        result.y.assign(static_cast<std::size_t>(m), 0.0);
+        result.z.assign(static_cast<std::size_t>(m), 0.0);
+        result.primRes = kInf;
+        result.dualRes = kInf;
+        result.status = SolveStatus::NumericalError;
+    }
+
     result.objective = original_.objective(result.x);
+    if (injector != nullptr)
+        result.faultsInjected = injector->faultsInjected();
 
     result.machineStats = machine_->stats();
     result.fmaxMhz = estimateFmaxMhz(custom_.config);

@@ -50,6 +50,10 @@ struct RsqpResult
     Real deviceSeconds = 0.0;
     Real eta = 0.0;          ///< match score of the architecture
     std::string archName;    ///< "C{...}+cvb" tag
+
+    RecoveryReport recovery;       ///< device-run retries on record
+    Count faultsInjected = 0;      ///< soft errors injected (testing)
+    ValidationReport validation;   ///< diagnostics when InvalidProblem
 };
 
 /** OSQP on the simulated RSQP accelerator. */
@@ -90,6 +94,13 @@ class RsqpSolver
     void updateMatrixValues(const std::vector<Real>& p_values,
                             const std::vector<Real>& a_values);
 
+    /**
+     * Problem diagnostics from setup. When not ok() the solver is
+     * inert: solve() returns InvalidProblem, mutators are no-ops, and
+     * machine()/program() must not be called.
+     */
+    const ValidationReport& validation() const { return validation_; }
+
     const ProblemCustomization& customization() const { return custom_; }
     const ArchConfig& config() const { return custom_.config; }
     const Machine& machine() const { return *machine_; }
@@ -99,6 +110,7 @@ class RsqpSolver
     QpProblem original_;
     QpProblem scaled_;
     Scaling scaling_;
+    ValidationReport validation_;  ///< setup diagnostics
     OsqpSettings settings_;
     ProblemCustomization custom_;
     std::unique_ptr<Machine> machine_;

@@ -88,6 +88,21 @@ CscMatrix::fromRaw(Index rows, Index cols, std::vector<Index> col_ptr,
 }
 
 CscMatrix
+CscMatrix::fromRawUnchecked(Index rows, Index cols,
+                            std::vector<Index> col_ptr,
+                            std::vector<Index> row_idx,
+                            std::vector<Real> values)
+{
+    CscMatrix result;
+    result.rows_ = rows;
+    result.cols_ = cols;
+    result.colPtr_ = std::move(col_ptr);
+    result.rowIdx_ = std::move(row_idx);
+    result.values_ = std::move(values);
+    return result;
+}
+
+CscMatrix
 CscMatrix::identity(Index n, Real value)
 {
     CscMatrix result(n, n);

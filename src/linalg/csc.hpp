@@ -41,6 +41,18 @@ class CscMatrix
                              std::vector<Index> row_idx,
                              std::vector<Real> values);
 
+    /**
+     * Build from raw arrays with NO validation — deliberately admits
+     * broken structure (ragged column pointers, out-of-range rows).
+     * Exists so tests and fuzz corpora can construct malformed inputs
+     * and prove validateProblem() rejects them; production loaders
+     * must use fromRaw.
+     */
+    static CscMatrix fromRawUnchecked(Index rows, Index cols,
+                                      std::vector<Index> col_ptr,
+                                      std::vector<Index> row_idx,
+                                      std::vector<Real> values);
+
     /** n x n identity scaled by value. */
     static CscMatrix identity(Index n, Real value = 1.0);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
@@ -273,10 +274,38 @@ ewSqrt(const Vector& x, Vector& out)
 bool
 allFinite(const Vector& x)
 {
+    return !hasNonFinite(x);
+}
+
+bool
+hasNonFinite(const Vector& x)
+{
+    if (chunkedReduction(x.size())) {
+        // 0/1 partials under max: commutative and idempotent, so the
+        // verdict cannot depend on chunk scheduling.
+        return ThreadPool::global().reduceMax(
+                   0, static_cast<Index>(x.size()), kParallelGrain, 0.0,
+                   [&](Index b, Index e) {
+                       for (Index i = b; i < e; ++i) {
+                           if (!std::isfinite(
+                                   x[static_cast<std::size_t>(i)]))
+                               return 1.0;
+                       }
+                       return 0.0;
+                   }) > 0.0;
+    }
     for (Real v : x)
         if (!std::isfinite(v))
-            return false;
-    return true;
+            return true;
+    return false;
+}
+
+Real
+normInfChecked(const Vector& x)
+{
+    if (hasNonFinite(x))
+        return std::numeric_limits<Real>::quiet_NaN();
+    return normInf(x);
 }
 
 Vector

@@ -65,6 +65,23 @@ void ewSqrt(const Vector& x, Vector& out);
 /** All elements finite? */
 bool allFinite(const Vector& x);
 
+/**
+ * Any NaN/Inf element? Chunked like the other reductions, so the
+ * answer (and the scan order behind it) is identical at every thread
+ * count. The watchdog's preferred screen: !allFinite with the same
+ * deterministic-parallel guarantees as the norms.
+ */
+bool hasNonFinite(const Vector& x);
+
+/**
+ * Infinity norm that propagates NaN deterministically: returns quiet
+ * NaN if any element is non-finite at every thread count (plain
+ * normInf's max-reduction silently drops NaN because
+ * max(NaN, x) == x). Use wherever a poisoned vector must poison the
+ * residual instead of vanishing.
+ */
+Real normInfChecked(const Vector& x);
+
 /** Constant vector helper. */
 Vector constantVector(Index n, Real value);
 

@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "linalg/vector_ops.hpp"
+#include "osqp/validate.hpp"
 
 namespace rsqp
 {
@@ -17,28 +18,13 @@ QpProblem::objective(const Vector& x) const
 void
 QpProblem::validate() const
 {
-    const Index n = pUpper.cols();
-    const Index m = a.rows();
-    if (pUpper.rows() != n)
-        RSQP_FATAL("P must be square, got ", pUpper.rows(), "x", n);
-    if (static_cast<Index>(q.size()) != n)
-        RSQP_FATAL("q length ", q.size(), " != n = ", n);
-    if (a.cols() != n)
-        RSQP_FATAL("A has ", a.cols(), " columns but n = ", n);
-    if (static_cast<Index>(l.size()) != m ||
-        static_cast<Index>(u.size()) != m)
-        RSQP_FATAL("bound lengths must equal m = ", m);
-    if (!pUpper.isValid() || !a.isValid())
-        RSQP_FATAL("invalid sparse structure in problem data");
-    for (Index c = 0; c < n; ++c)
-        for (Index p = pUpper.colPtr()[c]; p < pUpper.colPtr()[c + 1]; ++p)
-            if (pUpper.rowIdx()[p] > c)
-                RSQP_FATAL("P must be given as its upper triangle");
-    for (Index i = 0; i < m; ++i)
-        if (l[static_cast<std::size_t>(i)] > u[static_cast<std::size_t>(i)])
-            RSQP_FATAL("infeasible bounds at constraint ", i, ": l = ",
-                       l[static_cast<std::size_t>(i)], " > u = ",
-                       u[static_cast<std::size_t>(i)]);
+    // Throwing wrapper around the structured validator — kept for the
+    // problem generators and I/O loaders, where malformed data is a
+    // bug in *our* code. OsqpSolver/RsqpSolver instead consume
+    // validateProblem() directly and report a typed InvalidProblem.
+    const ValidationReport report = validateProblem(*this);
+    if (!report.ok())
+        RSQP_FATAL("invalid problem '", name, "':\n", report.describe());
 }
 
 } // namespace rsqp

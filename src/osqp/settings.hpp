@@ -7,7 +7,9 @@
 #ifndef RSQP_OSQP_SETTINGS_HPP
 #define RSQP_OSQP_SETTINGS_HPP
 
+#include "common/fault_injection.hpp"
 #include "common/types.hpp"
+#include "osqp/recovery.hpp"
 #include "solvers/ordering.hpp"
 #include "solvers/pcg.hpp"
 
@@ -68,6 +70,23 @@ struct OsqpSettings
     Index numThreads = 0;
 
     bool recordTrace = false;  ///< keep per-iteration residual history
+
+    /**
+     * Wall-clock budget for one solve() call in seconds (0 = no
+     * limit). Checked once per ADMM iteration; an expired budget
+     * terminates with SolveStatus::TimeLimitReached and the current
+     * (finite) iterates.
+     */
+    Real timeLimit = 0.0;
+
+    /** Divergence watchdog thresholds and recovery policy. */
+    FaultToleranceSettings faultTolerance;
+
+    /**
+     * Seeded soft-error injection into the software PCG operator
+     * stream (testing/bench only; disabled by default).
+     */
+    FaultInjectionConfig faultInjection;
 };
 
 } // namespace rsqp

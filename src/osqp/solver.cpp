@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
@@ -22,6 +23,8 @@ toString(SolveStatus status)
       case SolveStatus::PrimalInfeasible: return "primal_infeasible";
       case SolveStatus::DualInfeasible: return "dual_infeasible";
       case SolveStatus::NumericalError: return "numerical_error";
+      case SolveStatus::InvalidProblem: return "invalid_problem";
+      case SolveStatus::TimeLimitReached: return "time_limit_reached";
       case SolveStatus::Unsolved: return "unsolved";
     }
     return "unknown";
@@ -31,11 +34,26 @@ OsqpSolver::OsqpSolver(QpProblem problem, OsqpSettings settings)
     : settings_(std::move(settings)), original_(std::move(problem))
 {
     Timer setup_timer;
-    original_.validate();
     if (settings_.alpha <= 0.0 || settings_.alpha >= 2.0)
         RSQP_FATAL("alpha must be in (0, 2), got ", settings_.alpha);
     if (settings_.rho <= 0.0 || settings_.sigma <= 0.0)
         RSQP_FATAL("rho and sigma must be positive");
+
+    // Malformed problem data is a *caller* input, not a programming
+    // error: record the diagnostics and come up inert so solve()
+    // returns a typed InvalidProblem result instead of crashing.
+    validation_ = validateProblem(original_);
+    if (!validation_.ok()) {
+        RSQP_WARN("problem '", original_.name,
+                  "' failed validation:\n", validation_.describe());
+        lastInfo_.status = SolveStatus::InvalidProblem;
+        lastInfo_.setupTime = setup_timer.seconds();
+        return;
+    }
+
+    if (settings_.faultInjection.enabled)
+        faultInjector_ =
+            std::make_unique<FaultInjector>(settings_.faultInjection);
 
     n_ = original_.numVariables();
     m_ = original_.numConstraints();
@@ -44,6 +62,7 @@ OsqpSolver::OsqpSolver(QpProblem problem, OsqpSettings settings)
     scaling_ = ruizEquilibrate(scaled_, settings_.scalingIterations);
 
     rhoBar_ = settings_.rho;
+    sigmaEff_ = settings_.sigma;
     buildRhoVec(rhoBar_);
     rebuildKktSolver();
 
@@ -83,12 +102,12 @@ OsqpSolver::rebuildKktSolver()
     switch (settings_.backend) {
       case KktBackend::DirectLdl:
         kkt_ = std::make_unique<DirectKktSolver>(
-            scaled_.pUpper, scaled_.a, settings_.sigma, rhoVec_,
+            scaled_.pUpper, scaled_.a, sigmaEff_, rhoVec_,
             settings_.ordering);
         break;
       case KktBackend::IndirectPcg:
         kkt_ = std::make_unique<IndirectKktSolver>(
-            scaled_.pUpper, scaled_.a, settings_.sigma, rhoVec_,
+            scaled_.pUpper, scaled_.a, sigmaEff_, rhoVec_,
             settings_.pcg);
         break;
     }
@@ -97,6 +116,8 @@ OsqpSolver::rebuildKktSolver()
 void
 OsqpSolver::warmStart(const Vector& x, const Vector& y)
 {
+    if (!validation_.ok())
+        return;  // inert solver: solve() reports InvalidProblem
     RSQP_ASSERT(static_cast<Index>(x.size()) == n_, "warmStart x size");
     RSQP_ASSERT(static_cast<Index>(y.size()) == m_, "warmStart y size");
     // Map the unscaled guess into scaled space.
@@ -114,6 +135,8 @@ OsqpSolver::warmStart(const Vector& x, const Vector& y)
 void
 OsqpSolver::updateLinearCost(const Vector& q)
 {
+    if (!validation_.ok())
+        return;
     RSQP_ASSERT(static_cast<Index>(q.size()) == n_, "q size mismatch");
     original_.q = q;
     for (Index j = 0; j < n_; ++j)
@@ -125,6 +148,8 @@ OsqpSolver::updateLinearCost(const Vector& q)
 void
 OsqpSolver::updateBounds(const Vector& l, const Vector& u)
 {
+    if (!validation_.ok())
+        return;
     RSQP_ASSERT(static_cast<Index>(l.size()) == m_ &&
                 static_cast<Index>(u.size()) == m_, "bound size mismatch");
     for (Index i = 0; i < m_; ++i)
@@ -146,6 +171,8 @@ OsqpSolver::updateBounds(const Vector& l, const Vector& u)
 void
 OsqpSolver::updateRho(Real rho_bar)
 {
+    if (!validation_.ok())
+        return;
     if (rho_bar <= 0.0)
         RSQP_FATAL("rho must be positive, got ", rho_bar);
     rhoBar_ = clampReal(rho_bar, settings_.rhoMin, settings_.rhoMax);
@@ -157,6 +184,8 @@ void
 OsqpSolver::updateMatrixValues(const std::vector<Real>& p_values,
                                const std::vector<Real>& a_values)
 {
+    if (!validation_.ok())
+        return;
     if (!p_values.empty()) {
         RSQP_ASSERT(p_values.size() == original_.pUpper.values().size(),
                     "P value count mismatch");
@@ -303,6 +332,32 @@ OsqpSolver::solve()
     info.iterations = 0;
     info.rhoUpdates = 0;
     info.pcgIterationsTotal = 0;
+    info.recovery = RecoveryReport{};
+
+    if (!validation_.ok()) {
+        result.validation = validation_;
+        info.status = SolveStatus::InvalidProblem;
+        info.solveTime = solve_timer.seconds();
+        lastInfo_ = info;
+        return result;
+    }
+
+    // A sigma boost from a previous solve's recovery is not sticky.
+    if (sigmaEff_ != settings_.sigma) {
+        sigmaEff_ = settings_.sigma;
+        rebuildKktSolver();
+    }
+
+    // Soft-error source for the software PCG path (tests/bench only);
+    // each solve sees a fresh deterministic fault pattern.
+    FaultScope fault_scope(faultInjector_.get());
+    if (faultInjector_ != nullptr)
+        faultInjector_->advanceEpoch();
+
+    const FaultToleranceSettings& ft = settings_.faultTolerance;
+    DivergenceWatchdog watchdog(ft);
+    IterateCheckpoint checkpoint;
+    Index recovery_attempts = 0;
 
     Vector rhs_x(static_cast<std::size_t>(n_));
     Vector rhs_z(static_cast<std::size_t>(m_));
@@ -314,7 +369,54 @@ OsqpSolver::solve()
 
     const Real alpha = settings_.alpha;
 
+    // Roll the iterates back to the last-good checkpoint (or a cold
+    // start if none was taken yet).
+    const auto roll_back = [&]() {
+        if (checkpoint.valid()) {
+            checkpoint.restore(x_, y_, z_);
+        } else {
+            x_.assign(static_cast<std::size_t>(n_), 0.0);
+            y_.assign(static_cast<std::size_t>(m_), 0.0);
+            z_.assign(static_cast<std::size_t>(m_), 0.0);
+        }
+    };
+
+    // One checkpoint-restore + sigma-boost recovery attempt. Returns
+    // false when the watchdog is off or the attempt budget is spent —
+    // the caller then terminates with a typed failure.
+    const auto try_recover = [&](Index iter, const char* trigger) {
+        if (!ft.watchdog || recovery_attempts >= ft.maxRecoveryAttempts)
+            return false;
+        ++recovery_attempts;
+        roll_back();
+        sigmaEff_ *= ft.sigmaBoost;
+        rebuildKktSolver();
+        watchdog.reset();
+        info.recovery.record(RecoveryAction::CheckpointRestore, iter,
+                             std::string(trigger) + "; rolled back to " +
+                                 (checkpoint.valid()
+                                      ? "iteration " +
+                                            std::to_string(
+                                                checkpoint.iteration())
+                                      : std::string("a cold start")));
+        ++info.recovery.checkpointRestores;
+        info.recovery.record(RecoveryAction::SigmaBoost, iter,
+                             "sigma = " + std::to_string(sigmaEff_));
+        ++info.recovery.sigmaBoosts;
+        RSQP_WARN("admm recovery at iteration ", iter, ": ", trigger,
+                  "; sigma boosted to ", sigmaEff_);
+        return true;
+    };
+
     for (Index iter = 1; iter <= settings_.maxIter; ++iter) {
+        // A wall-clock budget turns a hung or flailing solve into a
+        // typed result instead of an unbounded stall.
+        if (settings_.timeLimit > 0.0 &&
+            solve_timer.seconds() >= settings_.timeLimit) {
+            info.status = SolveStatus::TimeLimitReached;
+            break;
+        }
+
         x_prev = x_;
         y_prev = y_;
 
@@ -322,7 +424,7 @@ OsqpSolver::solve()
         parallelForRange(n_, [&](Index jb, Index je) {
             for (Index j = jb; j < je; ++j)
                 rhs_x[static_cast<std::size_t>(j)] =
-                    settings_.sigma * x_[static_cast<std::size_t>(j)] -
+                    sigmaEff_ * x_[static_cast<std::size_t>(j)] -
                     scaled_.q[static_cast<std::size_t>(j)];
         });
         parallelForRange(m_, [&](Index ib, Index ie) {
@@ -337,6 +439,11 @@ OsqpSolver::solve()
             kkt_->solve(rhs_x, rhs_z, x_tilde, z_tilde);
         kkt_timer.stop();
         info.pcgIterationsTotal += kstats.pcgIterations;
+        if (kstats.usedFallback) {
+            info.recovery.record(RecoveryAction::PcgDirectFallback, iter,
+                                 toString(kstats.pcgBreakdown));
+            ++info.recovery.pcgFallbacks;
+        }
 
         // Steps 5-7: relaxation, projection, dual update.
         parallelForRange(n_, [&](Index jb, Index je) {
@@ -368,7 +475,10 @@ OsqpSolver::solve()
         if (!check_now && !adapt_now)
             continue;
 
-        if (!allFinite(x_) || !allFinite(y_) || !allFinite(z_)) {
+        if (hasNonFinite(x_) || hasNonFinite(y_) || hasNonFinite(z_)) {
+            if (try_recover(iter, "non-finite iterates"))
+                continue;
+            roll_back();  // never hand back a poisoned iterate
             info.status = SolveStatus::NumericalError;
             break;
         }
@@ -404,6 +514,26 @@ OsqpSolver::solve()
             result.trace.push_back(rec);
         }
 
+        if (ft.watchdog) {
+            const DivergenceWatchdog::Verdict verdict =
+                watchdog.observe(prim_res, dual_res);
+            if (verdict == DivergenceWatchdog::Verdict::Diverged) {
+                if (try_recover(iter, "residual divergence"))
+                    continue;
+                roll_back();
+                info.status = SolveStatus::NumericalError;
+                break;
+            }
+            if (verdict == DivergenceWatchdog::Verdict::Stalled) {
+                // One recovery shot; out of attempts the solve just
+                // runs to its iteration budget.
+                if (try_recover(iter, "residual stall"))
+                    continue;
+            } else {
+                checkpoint.capture(x_, y_, z_, iter);
+            }
+        }
+
         if (check_now) {
             if (prim_res <= eps_prim && dual_res <= eps_dual) {
                 info.status = SolveStatus::Solved;
@@ -432,6 +562,15 @@ OsqpSolver::solve()
 
         if (adapt_now && adaptRho(prim_res, dual_res, x_u, y_u, z_u))
             ++info.rhoUpdates;
+    }
+
+    // Exit paths that break out between termination checks (time
+    // limit, iteration cap) may carry iterates an injected fault
+    // poisoned after the last screen — never return them.
+    if (hasNonFinite(x_) || hasNonFinite(y_) || hasNonFinite(z_)) {
+        roll_back();
+        if (info.status != SolveStatus::TimeLimitReached)
+            info.status = SolveStatus::NumericalError;
     }
 
     // Final unscaled solution.

@@ -17,7 +17,9 @@
 
 #include <memory>
 
+#include "common/fault_injection.hpp"
 #include "osqp/problem.hpp"
+#include "osqp/recovery.hpp"
 #include "osqp/scaling.hpp"
 #include "osqp/settings.hpp"
 #include "osqp/status.hpp"
@@ -33,6 +35,11 @@ class OsqpSolver
     /**
      * Set up the solver: validate, scale, build rho vector and the KKT
      * backend. Corresponds to osqp_setup().
+     *
+     * Invalid *settings* still throw FatalError (a programming error),
+     * but malformed *problem data* no longer does: the solver comes up
+     * inert and every solve() returns SolveStatus::InvalidProblem with
+     * the ValidationReport attached (see validation()).
      */
     OsqpSolver(QpProblem problem, OsqpSettings settings);
 
@@ -71,6 +78,9 @@ class OsqpSolver
 
     const OsqpSettings& settings() const { return settings_; }
 
+    /** Problem diagnostics from setup (ok() unless InvalidProblem). */
+    const ValidationReport& validation() const { return validation_; }
+
     /** The scaled problem currently inside the solver (for the arch). */
     const QpProblem& scaledProblem() const { return scaled_; }
 
@@ -100,8 +110,18 @@ class OsqpSolver
     QpProblem original_;  ///< unscaled copy (residuals, objective)
     QpProblem scaled_;    ///< scaled in-place problem the iteration uses
     Scaling scaling_;
+    ValidationReport validation_;  ///< setup diagnostics
     Index n_ = 0;
     Index m_ = 0;
+
+    /**
+     * sigma actually inside the KKT system — settings_.sigma until a
+     * checkpoint-restore recovery boosts it; reset on the next solve.
+     */
+    Real sigmaEff_ = 1e-6;
+
+    /** Seeded soft-error source (only when settings enable it). */
+    std::unique_ptr<FaultInjector> faultInjector_;
 
     Real rhoBar_ = 0.1;  ///< current scalar rho before per-constraint map
     Vector rhoVec_;

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "osqp/recovery.hpp"
+#include "osqp/validate.hpp"
 
 namespace rsqp
 {
@@ -22,6 +24,8 @@ enum class SolveStatus
     PrimalInfeasible,
     DualInfeasible,
     NumericalError,
+    InvalidProblem,   ///< problem data failed validation (see report)
+    TimeLimitReached, ///< wall-clock budget expired mid-solve
     Unsolved,
 };
 
@@ -53,6 +57,8 @@ struct OsqpInfo
     double solveTime = 0.0;    ///< seconds spent in solve()
     double kktSolveTime = 0.0; ///< seconds inside the KKT backend
                                ///< (the Fig. 8 numerator)
+
+    RecoveryReport recovery;   ///< every recovery action of the solve
 };
 
 /** Outcome of a solution-polish attempt (see osqp/polish.hpp). */
@@ -77,6 +83,7 @@ struct OsqpResult
     OsqpInfo info;
     PolishReport polish;  ///< filled if settings.polish
     std::vector<IterationRecord> trace;  ///< filled if recordTrace
+    ValidationReport validation;  ///< diagnostics when InvalidProblem
 };
 
 } // namespace rsqp

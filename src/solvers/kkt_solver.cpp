@@ -89,11 +89,33 @@ IndirectKktSolver::IndirectKktSolver(const CscMatrix& p_upper,
                                      const CscMatrix& a, Real sigma,
                                      const Vector& rho_vec,
                                      PcgSettings pcg_settings)
-    : a_(&a), op_(p_upper, a, sigma, rho_vec),
+    : p_(&p_upper), a_(&a), sigma_(sigma), op_(p_upper, a, sigma, rho_vec),
       pcgSettings_(pcg_settings), rhoVec_(rho_vec)
 {
     precond_ = std::make_unique<JacobiPreconditioner>(op_.diagonal());
     warmX_.assign(static_cast<std::size_t>(p_upper.cols()), 0.0);
+}
+
+bool
+IndirectKktSolver::solveWithFallback(const Vector& rhs_x,
+                                     const Vector& rhs_z, Vector& x_tilde,
+                                     Vector& z_tilde)
+{
+    if (!pcgSettings_.directFallback)
+        return false;
+    if (fallback_ == nullptr) {
+        try {
+            fallback_ = std::make_unique<DirectKktSolver>(
+                *p_, *a_, sigma_, rhoVec_);
+        } catch (const FatalError& err) {
+            RSQP_WARN("pcg fallback: LDL factorization unavailable (",
+                      err.what(), ")");
+            return false;
+        }
+    }
+    fallback_->solve(rhs_x, rhs_z, x_tilde, z_tilde);
+    ++fallbackSolves_;
+    return true;
 }
 
 KktSolveStats
@@ -115,17 +137,41 @@ IndirectKktSolver::solve(const Vector& rhs_x, const Vector& rhs_z,
     effective.adaptiveTolerance = false;
     const PcgResult pcg =
         pcgSolve(op_, *precond_, reducedRhs_, x_tilde, effective);
+    lastPcgIters_ = pcg.iterations;
+    totalPcgIters_ += pcg.iterations;
+
+    KktSolveStats stats;
+    stats.pcgIterations = pcg.iterations;
+    stats.pcgBreakdown = pcg.breakdown;
+
+    if (pcg.breakdown != PcgBreakdown::None) {
+        RSQP_WARN("pcg breakdown (", toString(pcg.breakdown),
+                  ") after ", pcg.iterations, " iters; trying LDL' "
+                  "fallback");
+        if (solveWithFallback(rhs_x, rhs_z, x_tilde, z_tilde)) {
+            stats.usedFallback = true;
+            // Re-warm PCG from the trustworthy direct solution so the
+            // next step starts from a clean Krylov state.
+            warmX_ = x_tilde;
+            return stats;
+        }
+        // No fallback: surrender the poisoned warm start (a NaN here
+        // would contaminate every later solve) and hand the caller the
+        // tagged breakdown iterate for its own screens to judge.
+        if (hasNonFinite(x_tilde))
+            warmX_.assign(warmX_.size(), 0.0);
+        else
+            warmX_ = x_tilde;
+        a_->spmv(x_tilde, z_tilde);
+        return stats;
+    }
+
     if (!pcg.converged)
         RSQP_WARN("PCG hit the iteration cap (", pcg.iterations,
                   " iters, residual ", pcg.residualNorm, ")");
     warmX_ = x_tilde;
-    lastPcgIters_ = pcg.iterations;
-    totalPcgIters_ += pcg.iterations;
 
     a_->spmv(x_tilde, z_tilde);
-
-    KktSolveStats stats;
-    stats.pcgIterations = pcg.iterations;
     return stats;
 }
 
@@ -135,6 +181,8 @@ IndirectKktSolver::updateRho(const Vector& rho_vec)
     rhoVec_ = rho_vec;
     op_.setRho(rho_vec);
     precond_ = std::make_unique<JacobiPreconditioner>(op_.diagonal());
+    if (fallback_ != nullptr)
+        fallback_->updateRho(rho_vec);
 }
 
 } // namespace rsqp

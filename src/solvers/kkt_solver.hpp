@@ -30,6 +30,8 @@ struct KktSolveStats
 {
     Index pcgIterations = 0;   ///< 0 for the direct backend
     bool refactorized = false; ///< direct backend only
+    bool usedFallback = false; ///< PCG broke down; LDL' solved the step
+    PcgBreakdown pcgBreakdown = PcgBreakdown::None;
 };
 
 /**
@@ -112,8 +114,21 @@ class IndirectKktSolver : public KktSolver
     /** Iterations used by the most recent solve. */
     Index lastPcgIterations() const { return lastPcgIters_; }
 
+    /** Steps answered by the LDL' fallback after a PCG breakdown. */
+    Count fallbackSolves() const { return fallbackSolves_; }
+
   private:
+    /**
+     * Solve this step with a lazily constructed DirectKktSolver.
+     * Returns false if the fallback is disabled or its factorization
+     * fails (the caller keeps the PCG iterate and its breakdown tag).
+     */
+    bool solveWithFallback(const Vector& rhs_x, const Vector& rhs_z,
+                           Vector& x_tilde, Vector& z_tilde);
+
+    const CscMatrix* p_;  ///< Hessian upper triangle (fallback input)
     const CscMatrix* a_;
+    Real sigma_;
     ReducedKktOperator op_;
     std::unique_ptr<JacobiPreconditioner> precond_;
     PcgSettings pcgSettings_;
@@ -124,6 +139,8 @@ class IndirectKktSolver : public KktSolver
     Index lastPcgIters_ = 0;
     Count totalPcgIters_ = 0;
     Count solveCount_ = 0;  ///< drives the adaptive tolerance schedule
+    std::unique_ptr<DirectKktSolver> fallback_;  ///< built on first use
+    Count fallbackSolves_ = 0;
 };
 
 } // namespace rsqp

@@ -2,11 +2,28 @@
 
 #include <cmath>
 
+#include "common/fault_injection.hpp"
 #include "common/logging.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace rsqp
 {
+
+const char*
+toString(PcgBreakdown breakdown)
+{
+    switch (breakdown) {
+    case PcgBreakdown::None:
+        return "none";
+    case PcgBreakdown::IndefiniteDirection:
+        return "indefinite-direction";
+    case PcgBreakdown::NonFiniteResidual:
+        return "non-finite-residual";
+    case PcgBreakdown::Stagnation:
+        return "stagnation";
+    }
+    return "unknown";
+}
 
 JacobiPreconditioner::JacobiPreconditioner(const Vector& diagonal)
 {
@@ -42,12 +59,26 @@ pcgSolve(const std::function<void(const Vector&, Vector&)>& apply_k,
         std::max(settings.epsAbs, settings.epsRel * b_norm);
 
     Vector r(n), d(n), p(n), kp(n);
+    FaultInjector* injector = activeFaultInjector();
+    // Per-call offset: successive pcgSolve calls (one per ADMM
+    // iteration) must draw independent fault patterns, or one bad
+    // word would break down every KKT solve of the run identically.
+    const std::uint64_t call_offset =
+        injector != nullptr ? injector->acquireNonce() << 20 : 0;
 
     // r0 = K x0 - b
     apply_k(x, r);
+    if (injector != nullptr)
+        injector->corruptVector(r,
+                                fault_streams::kPcgOperator + call_offset);
     axpy(-1.0, b, r);
 
     Real r_norm = norm2(r);
+    if (!std::isfinite(r_norm)) {
+        result.breakdown = PcgBreakdown::NonFiniteResidual;
+        result.residualNorm = r_norm;
+        return result;
+    }
     if (r_norm < threshold) {
         result.converged = true;
         result.residualNorm = r_norm;
@@ -59,14 +90,25 @@ pcgSolve(const std::function<void(const Vector&, Vector&)>& apply_k,
     for (std::size_t i = 0; i < n; ++i)
         p[i] = -d[i];
 
+    Real best_r_norm = r_norm;
+    Index iters_without_progress = 0;
     Real rd = dot(r, d);
     for (Index iter = 0; iter < settings.maxIter; ++iter) {
         apply_k(p, kp);
+        // Soft-error hook on the operator output stream — the software
+        // twin of the MAC-tree injection in arch/machine.cpp. The
+        // per-iteration offset keeps one word position from being
+        // deterministically faulty on every application of K.
+        if (injector != nullptr)
+            injector->corruptVector(
+                kp, fault_streams::kPcgOperator + call_offset +
+                        static_cast<std::uint64_t>(iter) + 1);
         const Real pkp = dot(p, kp);
-        if (pkp <= 0.0) {
-            // Indefinite direction: K is not positive definite (should
-            // not happen for the reduced KKT operator); bail out.
+        if (!std::isfinite(pkp) || pkp <= 0.0) {
+            // Indefinite or corrupted direction: K stopped acting
+            // positive definite on this Krylov subspace.
             RSQP_WARN("pcg: non-positive curvature ", pkp, "; aborting");
+            result.breakdown = PcgBreakdown::IndefiniteDirection;
             break;
         }
         const Real lambda = rd / pkp;
@@ -81,8 +123,22 @@ pcgSolve(const std::function<void(const Vector&, Vector&)>& apply_k,
 
         ++result.iterations;
         r_norm = norm2(r);
+        if (!std::isfinite(r_norm)) {
+            result.breakdown = PcgBreakdown::NonFiniteResidual;
+            break;
+        }
         if (r_norm < threshold) {
             result.converged = true;
+            break;
+        }
+        if (r_norm < 0.999 * best_r_norm) {
+            best_r_norm = r_norm;
+            iters_without_progress = 0;
+        } else if (settings.stagnationWindow > 0 &&
+                   ++iters_without_progress >= settings.stagnationWindow) {
+            RSQP_WARN("pcg: residual stagnant at ", r_norm, " for ",
+                      iters_without_progress, " iterations; aborting");
+            result.breakdown = PcgBreakdown::Stagnation;
             break;
         }
     }

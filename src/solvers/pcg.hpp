@@ -55,7 +55,37 @@ struct PcgSettings
             eps *= epsRelDecay;
         return eps > epsRel ? eps : epsRel;
     }
+
+    /**
+     * Declare stagnation breakdown after this many consecutive
+     * iterations without the residual norm improving on its best by
+     * at least 0.1% (0 disables the check). Distinct from a clean
+     * maxIter cap-out: stagnation means the Krylov recurrence has
+     * stopped making progress (lost conjugacy, corrupted operator)
+     * and more iterations cannot help.
+     */
+    Index stagnationWindow = 250;
+
+    /**
+     * Let IndirectKktSolver answer a broken-down PCG solve with the
+     * DirectKktSolver LDL' path for that step (the PCG warm start is
+     * then re-seeded from the direct solution). A clean maxIter
+     * cap-out never triggers the fallback — only a breakdown does.
+     */
+    bool directFallback = true;
 };
+
+/** Why a PCG solve gave up before converging. */
+enum class PcgBreakdown
+{
+    None,                ///< converged, or a clean maxIter cap-out
+    IndefiniteDirection, ///< p'Kp <= 0 or non-finite curvature
+    NonFiniteResidual,   ///< NaN/Inf contaminated the recurrence
+    Stagnation,          ///< no residual progress for stagnationWindow
+};
+
+/** Printable breakdown name. */
+const char* toString(PcgBreakdown breakdown);
 
 /** Outcome of a PCG solve. */
 struct PcgResult
@@ -63,6 +93,7 @@ struct PcgResult
     Index iterations = 0;     ///< PCG iterations executed
     Real residualNorm = 0.0;  ///< final ||K x - b||_2
     bool converged = false;
+    PcgBreakdown breakdown = PcgBreakdown::None;
 };
 
 /**

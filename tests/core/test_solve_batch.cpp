@@ -75,16 +75,28 @@ TEST(SolveBatch, EmptyBatch)
     EXPECT_TRUE(solveBatch({}, settingsFor(), custom, 4).empty());
 }
 
-TEST(SolveBatch, ExceptionFromOneInstancePropagates)
+TEST(SolveBatch, InvalidInstanceIsolatedFromBatch)
 {
     std::vector<QpProblem> problems = smallSuite();
-    // Invalid bounds (l > u) make QpProblem::validate throw.
+    // Invalid bounds (l > u): the affected instance must report a
+    // typed failure with diagnostics while the rest of the batch
+    // solves normally — one bad QP no longer poisons the fleet.
     problems[2].l[0] = 2.0;
     problems[2].u[0] = -2.0;
     CustomizeSettings custom;
     custom.c = 16;
-    EXPECT_THROW(solveBatch(problems, settingsFor(), custom, 4),
-                 FatalError);
+    const std::vector<RsqpResult> results =
+        solveBatch(problems, settingsFor(), custom, 4);
+    ASSERT_EQ(results.size(), problems.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i == 2) {
+            EXPECT_EQ(results[i].status, SolveStatus::InvalidProblem);
+            EXPECT_TRUE(results[i].validation.has(
+                ValidationCode::InfeasibleBounds));
+        } else {
+            EXPECT_EQ(results[i].status, SolveStatus::Solved) << i;
+        }
+    }
 }
 
 TEST(ThreadedMachine, SolveDeterministicAcrossNumThreads)

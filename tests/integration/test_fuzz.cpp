@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/rsqp.hpp"
 #include "osqp/residuals.hpp"
 #include "linalg/vector_ops.hpp"
@@ -145,6 +147,151 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, SettingsFuzz,
     ::testing::Combine(::testing::Bool(), ::testing::Bool(),
                        ::testing::Values(1, 5, 25, 50)));
+
+// ---------------------------------------------------------------------
+// Malformed-problem corpora: every corruption must surface as a typed
+// InvalidProblem result (never a crash, throw, or garbage solve) on
+// both the CPU solver and the simulated accelerator.
+// ---------------------------------------------------------------------
+
+/** Solve with both OsqpSolver and RsqpSolver; assert typed rejection. */
+void
+expectRejected(const QpProblem& qp, ValidationCode code)
+{
+    OsqpSolver cpu(qp, OsqpSettings{});
+    EXPECT_FALSE(cpu.validation().ok());
+    const OsqpResult r = cpu.solve();
+    EXPECT_EQ(r.info.status, SolveStatus::InvalidProblem);
+    EXPECT_TRUE(r.validation.has(code)) << r.validation.describe();
+
+    CustomizeSettings custom;
+    custom.c = 16;
+    RsqpSolver device(qp, OsqpSettings{}, custom);
+    EXPECT_FALSE(device.validation().ok());
+    const RsqpResult ra = device.solve();
+    EXPECT_EQ(ra.status, SolveStatus::InvalidProblem);
+    EXPECT_TRUE(ra.validation.has(code)) << ra.validation.describe();
+}
+
+TEST(MalformedProblem, NanInLinearCost)
+{
+    Rng rng(101);
+    QpProblem qp = fuzzProblem(rng);
+    qp.q[qp.q.size() / 2] = std::numeric_limits<Real>::quiet_NaN();
+    expectRejected(qp, ValidationCode::NonFiniteData);
+}
+
+TEST(MalformedProblem, InfInMatrixValues)
+{
+    Rng rng(102);
+    QpProblem qp = fuzzProblem(rng);
+    std::vector<Real>& vals = qp.a.values();
+    ASSERT_FALSE(vals.empty());
+    vals[0] = std::numeric_limits<Real>::infinity();
+    expectRejected(qp, ValidationCode::NonFiniteData);
+}
+
+TEST(MalformedProblem, CrossedBounds)
+{
+    Rng rng(103);
+    QpProblem qp = fuzzProblem(rng);
+    qp.l[0] = 1.0;
+    qp.u[0] = -1.0;
+    expectRejected(qp, ValidationCode::InfeasibleBounds);
+}
+
+TEST(MalformedProblem, RaggedColumnPointers)
+{
+    Rng rng(104);
+    QpProblem qp = fuzzProblem(rng);
+    const Index n = qp.numVariables();
+    const Index m = qp.numConstraints();
+    // Decreasing colPtr (ragged) with in-range row indices.
+    std::vector<Index> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+    col_ptr[1] = 2;
+    col_ptr[2] = 1;  // decreasing: structurally broken
+    for (std::size_t j = 3; j < col_ptr.size(); ++j)
+        col_ptr[j] = 2;
+    qp.a = CscMatrix::fromRawUnchecked(m, n, col_ptr, {0, 0},
+                                       {1.0, 1.0});
+    expectRejected(qp, ValidationCode::InvalidSparseStructure);
+}
+
+TEST(MalformedProblem, NegativeAndOutOfRangeRowIndices)
+{
+    Rng rng(105);
+    QpProblem qp = fuzzProblem(rng);
+    const Index n = qp.numVariables();
+    const Index m = qp.numConstraints();
+    std::vector<Index> col_ptr(static_cast<std::size_t>(n) + 1, 2);
+    col_ptr[0] = 0;
+    col_ptr[1] = 2;
+    qp.a = CscMatrix::fromRawUnchecked(m, n, col_ptr, {-1, m + 7},
+                                       {1.0, 1.0});
+    expectRejected(qp, ValidationCode::InvalidSparseStructure);
+}
+
+TEST(MalformedProblem, DimensionMismatch)
+{
+    Rng rng(106);
+    QpProblem qp = fuzzProblem(rng);
+    qp.q.push_back(0.0);  // q longer than n
+    expectRejected(qp, ValidationCode::DimensionMismatch);
+}
+
+TEST(MalformedProblem, LowerTriangularEntryInP)
+{
+    Rng rng(107);
+    QpProblem qp = fuzzProblem(rng);
+    TripletList triplets(qp.numVariables(), qp.numVariables());
+    triplets.add(0, 0, 1.0);
+    if (qp.numVariables() > 1)
+        triplets.add(1, 0, 0.5);  // below the diagonal
+    qp.pUpper = CscMatrix::fromTriplets(triplets);
+    expectRejected(qp, ValidationCode::NotUpperTriangular);
+}
+
+/** Random single-element corruptions must never crash the pipeline. */
+class CorruptionFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CorruptionFuzz, AlwaysTypedOutcome)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+    QpProblem qp = fuzzProblem(rng);
+    const Real nan = std::numeric_limits<Real>::quiet_NaN();
+    switch (rng.uniformIndex(4)) {
+      case 0:
+        qp.q[static_cast<std::size_t>(
+            rng.uniformIndex(static_cast<Index>(qp.q.size())))] = nan;
+        break;
+      case 1:
+        qp.l[static_cast<std::size_t>(
+            rng.uniformIndex(qp.numConstraints()))] = nan;
+        break;
+      case 2: {
+        std::vector<Real>& vals = qp.pUpper.values();
+        if (vals.empty())
+            return;
+        vals[static_cast<std::size_t>(rng.uniformIndex(
+            static_cast<Index>(vals.size())))] = nan;
+        break;
+      }
+      default: {
+        const auto i = static_cast<std::size_t>(
+            rng.uniformIndex(qp.numConstraints()));
+        qp.l[i] = 1.0;
+        qp.u[i] = -1.0;
+      }
+    }
+    OsqpSolver solver(qp, OsqpSettings{});
+    const OsqpResult result = solver.solve();
+    EXPECT_EQ(result.info.status, SolveStatus::InvalidProblem);
+    EXPECT_FALSE(result.validation.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzz,
+                         ::testing::Range(1, 13));
 
 } // namespace
 } // namespace rsqp

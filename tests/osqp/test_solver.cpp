@@ -177,7 +177,13 @@ TEST(OsqpSolver, InvalidProblemRejected)
 {
     QpProblem problem = boxQp();
     problem.l[0] = 3.0;  // l > u
-    EXPECT_THROW(OsqpSolver(problem, OsqpSettings{}), FatalError);
+    // Malformed data no longer throws: the solver is constructed inert
+    // and solve() reports a typed failure with diagnostics attached.
+    OsqpSolver solver(problem, OsqpSettings{});
+    EXPECT_FALSE(solver.validation().ok());
+    const OsqpResult result = solver.solve();
+    EXPECT_EQ(result.info.status, SolveStatus::InvalidProblem);
+    EXPECT_TRUE(result.validation.has(ValidationCode::InfeasibleBounds));
 }
 
 /** Both backends must solve every benchmark domain to tolerance. */
