@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Hot-path profile of the indirect (PCG) backend: solve the largest
+ * generated suite problem at several thread counts and report wall
+ * clock, speedup over serial, and the per-phase profiler counters
+ * (SpMV passes, fused CG updates, preconditioner, reductions).
+ *
+ * The JSON output is the CI perf-smoke artifact: one object with the
+ * problem shape and a "runs" array carrying a "hot_path" sub-object
+ * per thread count.
+ *
+ * Flags:
+ *   --quick         smaller problem / fewer reps (CI smoke)
+ *   --json          JSON object on stdout (machine-readable artifact)
+ *   --seed=N        generator seed offset (default 0)
+ *   --sizes=N       suite sizes per domain to choose from (default 6)
+ *   --threads=LIST  comma-separated thread counts (default 1,2,4,8)
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/rsqp.hpp"
+
+namespace
+{
+
+using namespace rsqp;
+
+struct Options
+{
+    bool quick = false;
+    bool json = false;
+    std::uint64_t seed = 0;
+    Index sizesPerDomain = 6;
+    std::vector<Index> threads = {1, 2, 4, 8};
+};
+
+Options
+parseOptions(int argc, char** argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            options.quick = true;
+        } else if (arg == "--json") {
+            options.json = true;
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            options.seed =
+                static_cast<std::uint64_t>(std::stoull(arg.substr(7)));
+        } else if (arg.rfind("--sizes=", 0) == 0) {
+            options.sizesPerDomain =
+                static_cast<Index>(std::stoi(arg.substr(8)));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            options.threads.clear();
+            std::stringstream ss(arg.substr(10));
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                if (item.empty() ||
+                    item.find_first_not_of("0123456789") !=
+                        std::string::npos) {
+                    std::cerr << "--threads expects a comma-separated"
+                                 " list of positive integers, got: "
+                              << item << "\n";
+                    std::exit(2);
+                }
+                const Index count =
+                    static_cast<Index>(std::stoi(item));
+                if (count < 1) {
+                    std::cerr << "--threads values must be >= 1\n";
+                    std::exit(2);
+                }
+                options.threads.push_back(count);
+            }
+        } else {
+            std::cerr << "unknown flag: " << arg << "\n"
+                      << "flags: --quick --json --seed=N --sizes=N "
+                         "--threads=LIST\n";
+            std::exit(2);
+        }
+    }
+    if (options.threads.empty() || options.threads.front() != 1)
+        options.threads.insert(options.threads.begin(), 1);
+    return options;
+}
+
+/** One measured solve at a fixed thread count. */
+struct Run
+{
+    Index threads = 1;
+    double solveSeconds = 0.0;
+    double kktSeconds = 0.0;
+    Count pcgIterations = 0;
+    Real objective = 0.0;
+    double speedup = 1.0;
+    HotPathProfile hotPath;
+};
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed << value;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Options options = parseOptions(argc, argv);
+    const Index sizes = options.quick ? 3 : options.sizesPerDomain;
+    const int reps = options.quick ? 2 : 3;
+
+    // The largest problem (by total non-zeros) of the reduced suite —
+    // the instance where the parallel row-gather has the most rows to
+    // split and serial overheads matter least.
+    const std::vector<ProblemSpec> specs = benchmarkSuite(sizes);
+    const ProblemSpec* largest = nullptr;
+    QpProblem qp;
+    Count best_nnz = -1;
+    for (const ProblemSpec& spec : specs) {
+        QpProblem candidate = generateProblem(
+            spec.domain, spec.sizeParam, spec.seed + options.seed);
+        if (candidate.totalNnz() > best_nnz) {
+            best_nnz = candidate.totalNnz();
+            largest = &spec;
+            qp = std::move(candidate);
+        }
+    }
+    if (largest == nullptr) {
+        std::cerr << "empty benchmark suite\n";
+        return 1;
+    }
+
+    OsqpSettings settings;
+    settings.backend = KktBackend::IndirectPcg;
+
+    std::vector<Run> runs;
+    for (Index threads : options.threads) {
+        NumThreadsScope scope(threads);
+        Run run;
+        run.threads = threads;
+        run.solveSeconds = 1e100;
+        for (int rep = 0; rep < reps; ++rep) {
+            OsqpSolver solver(qp, settings);
+            Timer timer;
+            const OsqpResult result = solver.solve();
+            const double seconds = timer.seconds();
+            if (seconds < run.solveSeconds) {
+                run.solveSeconds = seconds;
+                run.kktSeconds = result.info.kktSolveTime;
+                run.pcgIterations = result.info.pcgIterationsTotal;
+                run.objective = result.info.objective;
+                run.hotPath = result.info.hotPath;
+            }
+        }
+        runs.push_back(run);
+    }
+    for (Run& run : runs)
+        if (run.solveSeconds > 0.0)
+            run.speedup = runs.front().solveSeconds / run.solveSeconds;
+
+    // The solver is bitwise-deterministic across thread counts; a
+    // drifting objective here means the deterministic reduction
+    // contract broke.
+    for (const Run& run : runs) {
+        if (run.objective != runs.front().objective) {
+            std::cerr << "objective drift at " << run.threads
+                      << " threads: " << run.objective << " vs "
+                      << runs.front().objective << "\n";
+            return 1;
+        }
+    }
+
+    if (options.json) {
+        std::cout << "{\n"
+                  << "  \"problem\": \"" << largest->name << "\",\n"
+                  << "  \"n\": " << qp.numVariables() << ",\n"
+                  << "  \"m\": " << qp.numConstraints() << ",\n"
+                  << "  \"nnz\": " << qp.totalNnz() << ",\n"
+                  << "  \"seed\": " << options.seed << ",\n"
+                  << "  \"runs\": [\n";
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const Run& run = runs[i];
+            std::cout << "    {\"threads\": " << run.threads
+                      << ", \"solve_seconds\": "
+                      << formatDouble(run.solveSeconds, 6)
+                      << ", \"kkt_seconds\": "
+                      << formatDouble(run.kktSeconds, 6)
+                      << ", \"pcg_iterations\": " << run.pcgIterations
+                      << ", \"speedup\": "
+                      << formatDouble(run.speedup, 3)
+                      << ", \"hot_path\": " << run.hotPath.toJson()
+                      << "}" << (i + 1 < runs.size() ? "," : "")
+                      << "\n";
+        }
+        std::cout << "  ]\n}\n";
+        return 0;
+    }
+
+    std::cout << "# hot-path profile: " << largest->name
+              << " (n=" << qp.numVariables()
+              << ", m=" << qp.numConstraints()
+              << ", nnz=" << qp.totalNnz()
+              << "; host threads: " << hardwareConcurrency()
+              << " hardware)\n";
+    TextTable table({"threads", "solve_s", "kkt_s", "pcg_iters",
+                     "speedup", "spmv_p_ms", "spmv_a_ms", "spmv_at_ms",
+                     "fused_ms", "precond_ms", "reduce_ms"});
+    for (const Run& run : runs) {
+        const HotPathProfile& hp = run.hotPath;
+        auto ms = [](const ProfilePhaseStats& stats) {
+            return formatDouble(
+                static_cast<double>(stats.nanoseconds) * 1e-6, 2);
+        };
+        table.addRow({std::to_string(run.threads),
+                      formatDouble(run.solveSeconds, 6),
+                      formatDouble(run.kktSeconds, 6),
+                      std::to_string(run.pcgIterations),
+                      formatDouble(run.speedup, 2),
+                      ms(hp[ProfilePhase::SpmvP]),
+                      ms(hp[ProfilePhase::SpmvA]),
+                      ms(hp[ProfilePhase::SpmvAt]),
+                      ms(hp[ProfilePhase::FusedVectorOps]),
+                      ms(hp[ProfilePhase::Precond]),
+                      ms(hp[ProfilePhase::Reduction])});
+    }
+    table.print(std::cout);
+    return 0;
+}

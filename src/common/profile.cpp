@@ -1,0 +1,112 @@
+#include "profile.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+thread_local HotPathProfiler* tActiveProfiler = nullptr;
+
+} // namespace
+
+const char*
+toString(ProfilePhase phase)
+{
+    switch (phase) {
+    case ProfilePhase::SpmvP:
+        return "spmv_p";
+    case ProfilePhase::SpmvA:
+        return "spmv_a";
+    case ProfilePhase::SpmvAt:
+        return "spmv_at";
+    case ProfilePhase::FusedVectorOps:
+        return "fused_vector_ops";
+    case ProfilePhase::Precond:
+        return "precond";
+    case ProfilePhase::Reduction:
+        return "reduction";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+HotPathProfile::totalNanoseconds() const
+{
+    std::uint64_t total = 0;
+    for (const ProfilePhaseStats& stats : phases)
+        total += stats.nanoseconds;
+    return total;
+}
+
+std::uint64_t
+HotPathProfile::totalCalls() const
+{
+    std::uint64_t total = 0;
+    for (const ProfilePhaseStats& stats : phases)
+        total += stats.calls;
+    return total;
+}
+
+std::string
+HotPathProfile::toJson() const
+{
+    std::string json = "{";
+    for (std::size_t i = 0; i < kNumProfilePhases; ++i) {
+        const ProfilePhaseStats& stats = phases[i];
+        json += '"';
+        json += toString(static_cast<ProfilePhase>(i));
+        json += "\":{\"ns\":";
+        json += std::to_string(stats.nanoseconds);
+        json += ",\"calls\":";
+        json += std::to_string(stats.calls);
+        json += "},";
+    }
+    json += "\"total_ns\":";
+    json += std::to_string(totalNanoseconds());
+    json += ",\"total_calls\":";
+    json += std::to_string(totalCalls());
+    json += '}';
+    return json;
+}
+
+void
+HotPathProfiler::reset()
+{
+    for (Cell& cell : cells_) {
+        cell.nanoseconds.store(0, std::memory_order_relaxed);
+        cell.calls.store(0, std::memory_order_relaxed);
+    }
+}
+
+HotPathProfile
+HotPathProfiler::snapshot() const
+{
+    HotPathProfile profile;
+    for (std::size_t i = 0; i < kNumProfilePhases; ++i) {
+        profile.phases[i].nanoseconds =
+            cells_[i].nanoseconds.load(std::memory_order_relaxed);
+        profile.phases[i].calls =
+            cells_[i].calls.load(std::memory_order_relaxed);
+    }
+    return profile;
+}
+
+HotPathProfiler*
+activeHotPathProfiler()
+{
+    return tActiveProfiler;
+}
+
+HotPathProfilerScope::HotPathProfilerScope(HotPathProfiler* profiler)
+    : prev_(tActiveProfiler)
+{
+    tActiveProfiler = profiler;
+}
+
+HotPathProfilerScope::~HotPathProfilerScope()
+{
+    tActiveProfiler = prev_;
+}
+
+} // namespace rsqp

@@ -155,10 +155,15 @@ inline constexpr Index kParallelThreshold = 8192;
 
 /**
  * Convenience wrapper over the global pool: chunk [0, n) with the
- * default grain when worthwhile, else run body(0, n) inline.
+ * default grain when worthwhile, else run body(0, n) inline. Templated
+ * on the body so the inline path never materializes a std::function —
+ * a serial caller (1 effective thread, small range, or nested inside a
+ * worker) performs zero heap allocations here, which the steady-state
+ * PCG loop relies on.
  */
+template <typename Body>
 inline void
-parallelForRange(Index n, const std::function<void(Index, Index)>& body)
+parallelForRange(Index n, Body&& body)
 {
     if (n <= 0)
         return;
@@ -167,7 +172,8 @@ parallelForRange(Index n, const std::function<void(Index, Index)>& body)
         body(0, n);
         return;
     }
-    ThreadPool::global().parallelFor(0, n, kParallelGrain, body);
+    ThreadPool::global().parallelFor(0, n, kParallelGrain,
+                                     std::forward<Body>(body));
 }
 
 } // namespace rsqp

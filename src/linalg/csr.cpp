@@ -1,6 +1,7 @@
 #include "csr.hpp"
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 
 namespace rsqp
 {
@@ -68,13 +69,18 @@ void
 CsrMatrix::spmv(const Vector& x, Vector& y) const
 {
     RSQP_ASSERT(static_cast<Index>(x.size()) == cols_, "spmv: x size");
-    y.assign(static_cast<std::size_t>(rows_), 0.0);
-    for (Index r = 0; r < rows_; ++r) {
-        Real acc = 0.0;
-        for (Index p = rowPtr_[r]; p < rowPtr_[r + 1]; ++p)
-            acc += values_[p] * x[static_cast<std::size_t>(colIdx_[p])];
-        y[static_cast<std::size_t>(r)] = acc;
-    }
+    y.resize(static_cast<std::size_t>(rows_));
+    // Row-gather: each output element is one private accumulation, so
+    // the result is bitwise-identical at any thread count.
+    parallelForRange(rows_, [&](Index rb, Index re) {
+        for (Index r = rb; r < re; ++r) {
+            Real acc = 0.0;
+            for (Index p = rowPtr_[r]; p < rowPtr_[r + 1]; ++p)
+                acc += values_[p] *
+                    x[static_cast<std::size_t>(colIdx_[p])];
+            y[static_cast<std::size_t>(r)] = acc;
+        }
+    });
 }
 
 CscMatrix

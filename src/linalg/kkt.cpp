@@ -3,7 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
-#include "linalg/vector_ops.hpp"
+#include "common/profile.hpp"
+#include "common/thread_pool.hpp"
 
 namespace rsqp
 {
@@ -139,47 +140,279 @@ ReducedKktOperator::ReducedKktOperator(const CscMatrix& p_upper,
     RSQP_ASSERT(a.cols() == p_upper.cols(), "A/P dimension mismatch");
     RSQP_ASSERT(static_cast<Index>(rhoVec_.size()) == a.rows(),
                 "rho vector length must be m");
+    buildPFull();
+    buildAMirror();
+    rebuildDiagonalBase();
+    rebuildDiagonal();
+}
+
+void
+ReducedKktOperator::buildPFull()
+{
+    const Index n = pUpper_->cols();
+    const auto& col_ptr = pUpper_->colPtr();
+    const auto& row_idx = pUpper_->rowIdx();
+    const auto& values = pUpper_->values();
+    const std::size_t nnz_upper = values.size();
+
+    pRowPtr_.assign(static_cast<std::size_t>(n) + 1, 0);
+    // Full-matrix row lengths: every upper entry (r, c) lands in row r
+    // and, off the diagonal, its transpose image lands in row c.
+    for (Index c = 0; c < n; ++c) {
+        for (Index p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+            const Index r = row_idx[p];
+            RSQP_ASSERT(r <= c, "P must be upper-triangular storage");
+            ++pRowPtr_[static_cast<std::size_t>(r) + 1];
+            if (r != c)
+                ++pRowPtr_[static_cast<std::size_t>(c) + 1];
+        }
+    }
+    for (Index r = 0; r < n; ++r)
+        pRowPtr_[static_cast<std::size_t>(r) + 1] +=
+            pRowPtr_[static_cast<std::size_t>(r)];
+
+    const auto nnz_full =
+        static_cast<std::size_t>(pRowPtr_[static_cast<std::size_t>(n)]);
+    pColIdx_.resize(nnz_full);
+    pVals_.resize(nnz_full);
+    pDirectSlot_.resize(nnz_upper);
+    pMirrorSlot_.resize(nnz_upper);
+
+    std::vector<Index> cursor(pRowPtr_.begin(), pRowPtr_.end() - 1);
+    // The ascending-column scan (rows ascending within each column)
+    // emits every full row already sorted: row i collects its
+    // transpose images (columns < i) while column i streams past,
+    // then its diagonal, then its direct entries (columns > i) from
+    // the later columns. This is also exactly the summand order of
+    // CscMatrix::spmvSymUpper, which keeps the row-gather apply
+    // bitwise-identical to the retired column-scatter path.
+    for (Index c = 0; c < n; ++c) {
+        for (Index p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+            const Index r = row_idx[p];
+            const Real v = values[p];
+            const Index slot = cursor[static_cast<std::size_t>(r)]++;
+            pColIdx_[static_cast<std::size_t>(slot)] = c;
+            pVals_[static_cast<std::size_t>(slot)] = v;
+            pDirectSlot_[static_cast<std::size_t>(p)] = slot;
+            if (r != c) {
+                const Index mirror =
+                    cursor[static_cast<std::size_t>(c)]++;
+                pColIdx_[static_cast<std::size_t>(mirror)] = r;
+                pVals_[static_cast<std::size_t>(mirror)] = v;
+                pMirrorSlot_[static_cast<std::size_t>(p)] = mirror;
+            } else {
+                pMirrorSlot_[static_cast<std::size_t>(p)] = -1;
+            }
+        }
+    }
+}
+
+void
+ReducedKktOperator::buildAMirror()
+{
+    const Index m = a_->rows();
+    const auto& col_ptr = a_->colPtr();
+    const auto& row_idx = a_->rowIdx();
+    const auto& values = a_->values();
+    const std::size_t nnz = values.size();
+
+    aRowPtr_.assign(static_cast<std::size_t>(m) + 1, 0);
+    for (Index r : row_idx)
+        ++aRowPtr_[static_cast<std::size_t>(r) + 1];
+    for (Index r = 0; r < m; ++r)
+        aRowPtr_[static_cast<std::size_t>(r) + 1] +=
+            aRowPtr_[static_cast<std::size_t>(r)];
+
+    aColIdx_.resize(nnz);
+    aVals_.resize(nnz);
+    aSlotFromCsc_.resize(nnz);
+    aSqCsr_.resize(nnz);
+
+    std::vector<Index> cursor(aRowPtr_.begin(), aRowPtr_.end() - 1);
+    for (Index c = 0; c < a_->cols(); ++c) {
+        for (Index p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+            const Index r = row_idx[p];
+            const Real v = values[static_cast<std::size_t>(p)];
+            const Index slot = cursor[static_cast<std::size_t>(r)]++;
+            aColIdx_[static_cast<std::size_t>(slot)] = c;
+            aVals_[static_cast<std::size_t>(slot)] = v;
+            aSqCsr_[static_cast<std::size_t>(slot)] = v * v;
+            aSlotFromCsc_[static_cast<std::size_t>(p)] = slot;
+        }
+    }
+}
+
+void
+ReducedKktOperator::rebuildDiagonalBase()
+{
+    const Index n = pUpper_->cols();
+    diagBase_ = pUpper_->diagonalVector();
+    for (Index j = 0; j < n; ++j)
+        diagBase_[static_cast<std::size_t>(j)] += sigma_;
+}
+
+void
+ReducedKktOperator::rebuildDiagonal()
+{
+    const Index m = a_->rows();
+    diag_ = diagBase_;
+    // diag(A' diag(rho) A)_j = sum_i rho_i * A_ij^2, scattered from the
+    // CSR mirror so rho is read once per row and no row indices are
+    // re-gathered: O(nnz(A)) on every rho change.
+    for (Index r = 0; r < m; ++r) {
+        const Real w = rhoVec_[static_cast<std::size_t>(r)];
+        for (Index p = aRowPtr_[static_cast<std::size_t>(r)];
+             p < aRowPtr_[static_cast<std::size_t>(r) + 1]; ++p)
+            diag_[static_cast<std::size_t>(
+                aColIdx_[static_cast<std::size_t>(p)])] +=
+                w * aSqCsr_[static_cast<std::size_t>(p)];
+    }
 }
 
 void
 ReducedKktOperator::apply(const Vector& x, Vector& y) const
 {
-    // y = P x  (symmetric upper storage)
-    pUpper_->spmvSymUpper(x, y);
-    // y += sigma x
-    axpy(sigma_, x, y);
-    // y += A' diag(rho) A x, computed incrementally.
-    a_->spmv(x, scratchM_);
-    for (std::size_t i = 0; i < scratchM_.size(); ++i)
-        scratchM_[i] *= rhoVec_[i];
-    a_->spmvTransposeAccumulate(scratchM_, y, 1.0);
-}
-
-Vector
-ReducedKktOperator::diagonal() const
-{
     const Index n = pUpper_->cols();
-    Vector diag = pUpper_->diagonalVector();
-    for (Index j = 0; j < n; ++j)
-        diag[static_cast<std::size_t>(j)] += sigma_;
-    // diag(A' diag(rho) A)_j = sum_i rho_i * A_ij^2, column-wise in CSC.
-    for (Index c = 0; c < a_->cols(); ++c) {
-        Real acc = 0.0;
-        for (Index p = a_->colPtr()[c]; p < a_->colPtr()[c + 1]; ++p) {
-            const Real v = a_->values()[p];
-            acc += rhoVec_[static_cast<std::size_t>(a_->rowIdx()[p])] * v *
-                v;
-        }
-        diag[static_cast<std::size_t>(c)] += acc;
+    const Index m = a_->rows();
+    RSQP_ASSERT(static_cast<Index>(x.size()) == n, "apply: x size");
+    y.resize(static_cast<std::size_t>(n));
+    scratchM_.resize(static_cast<std::size_t>(m));
+
+    {
+        // w = diag(rho) A x — rho folded into the row gather, no
+        // separate length-m sweep.
+        ProfileScope profile(ProfilePhase::SpmvA);
+        parallelForRange(m, [&](Index rb, Index re) {
+            for (Index r = rb; r < re; ++r) {
+                Real acc = 0.0;
+                for (Index p = aRowPtr_[static_cast<std::size_t>(r)];
+                     p < aRowPtr_[static_cast<std::size_t>(r) + 1]; ++p)
+                    acc += aVals_[static_cast<std::size_t>(p)] *
+                        x[static_cast<std::size_t>(
+                            aColIdx_[static_cast<std::size_t>(p)])];
+                scratchM_[static_cast<std::size_t>(r)] =
+                    rhoVec_[static_cast<std::size_t>(r)] * acc;
+            }
+        });
     }
-    return diag;
+    {
+        // y = (P + sigma I) x on the full symmetric CSR image.
+        ProfileScope profile(ProfilePhase::SpmvP);
+        parallelForRange(n, [&](Index rb, Index re) {
+            for (Index r = rb; r < re; ++r) {
+                Real acc = 0.0;
+                for (Index p = pRowPtr_[static_cast<std::size_t>(r)];
+                     p < pRowPtr_[static_cast<std::size_t>(r) + 1]; ++p)
+                    acc += pVals_[static_cast<std::size_t>(p)] *
+                        x[static_cast<std::size_t>(
+                            pColIdx_[static_cast<std::size_t>(p)])];
+                y[static_cast<std::size_t>(r)] =
+                    acc + sigma_ * x[static_cast<std::size_t>(r)];
+            }
+        });
+    }
+    {
+        // y += A' w. A CSR row of A' is a CSC column of A, so the
+        // gather reads A's original arrays — no transpose mirror.
+        ProfileScope profile(ProfilePhase::SpmvAt);
+        const auto& col_ptr = a_->colPtr();
+        const auto& row_idx = a_->rowIdx();
+        const auto& values = a_->values();
+        parallelForRange(n, [&](Index cb, Index ce) {
+            for (Index c = cb; c < ce; ++c) {
+                Real acc = 0.0;
+                for (Index p = col_ptr[c]; p < col_ptr[c + 1]; ++p)
+                    acc += values[static_cast<std::size_t>(p)] *
+                        scratchM_[static_cast<std::size_t>(
+                            row_idx[static_cast<std::size_t>(p)])];
+                y[static_cast<std::size_t>(c)] += acc;
+            }
+        });
+    }
 }
 
 void
-ReducedKktOperator::setRho(Vector rho_vec)
+ReducedKktOperator::applyA(const Vector& x, Vector& z) const
+{
+    const Index m = a_->rows();
+    RSQP_ASSERT(static_cast<Index>(x.size()) == a_->cols(),
+                "applyA: x size");
+    z.resize(static_cast<std::size_t>(m));
+    ProfileScope profile(ProfilePhase::SpmvA);
+    parallelForRange(m, [&](Index rb, Index re) {
+        for (Index r = rb; r < re; ++r) {
+            Real acc = 0.0;
+            for (Index p = aRowPtr_[static_cast<std::size_t>(r)];
+                 p < aRowPtr_[static_cast<std::size_t>(r) + 1]; ++p)
+                acc += aVals_[static_cast<std::size_t>(p)] *
+                    x[static_cast<std::size_t>(
+                        aColIdx_[static_cast<std::size_t>(p)])];
+            z[static_cast<std::size_t>(r)] = acc;
+        }
+    });
+}
+
+void
+ReducedKktOperator::accumulateAtRho(const Vector& x, Vector& y) const
+{
+    const Index n = a_->cols();
+    RSQP_ASSERT(static_cast<Index>(x.size()) == a_->rows(),
+                "accumulateAtRho: x size");
+    RSQP_ASSERT(static_cast<Index>(y.size()) == n,
+                "accumulateAtRho: y size");
+    ProfileScope profile(ProfilePhase::SpmvAt);
+    const auto& col_ptr = a_->colPtr();
+    const auto& row_idx = a_->rowIdx();
+    const auto& values = a_->values();
+    parallelForRange(n, [&](Index cb, Index ce) {
+        for (Index c = cb; c < ce; ++c) {
+            Real acc = 0.0;
+            for (Index p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+                const auto r = static_cast<std::size_t>(
+                    row_idx[static_cast<std::size_t>(p)]);
+                acc += values[static_cast<std::size_t>(p)] *
+                    (rhoVec_[r] * x[r]);
+            }
+            y[static_cast<std::size_t>(c)] += acc;
+        }
+    });
+}
+
+void
+ReducedKktOperator::setRho(const Vector& rho_vec)
 {
     RSQP_ASSERT(rho_vec.size() == rhoVec_.size(), "rho length change");
-    rhoVec_ = std::move(rho_vec);
+    rhoVec_ = rho_vec;  // copy-assign: reuses the existing capacity
+    rebuildDiagonal();
+}
+
+void
+ReducedKktOperator::refreshValues()
+{
+    const auto& p_values = pUpper_->values();
+    RSQP_ASSERT(p_values.size() == pDirectSlot_.size(),
+                "refreshValues: P sparsity changed");
+    for (std::size_t p = 0; p < p_values.size(); ++p) {
+        const Real v = p_values[p];
+        pVals_[static_cast<std::size_t>(pDirectSlot_[p])] = v;
+        const Index mirror = pMirrorSlot_[p];
+        if (mirror >= 0)
+            pVals_[static_cast<std::size_t>(mirror)] = v;
+    }
+
+    const auto& a_values = a_->values();
+    RSQP_ASSERT(a_values.size() == aSlotFromCsc_.size(),
+                "refreshValues: A sparsity changed");
+    for (std::size_t p = 0; p < a_values.size(); ++p) {
+        const Real v = a_values[p];
+        const auto slot =
+            static_cast<std::size_t>(aSlotFromCsc_[p]);
+        aVals_[slot] = v;
+        aSqCsr_[slot] = v * v;
+    }
+
+    rebuildDiagonalBase();
+    rebuildDiagonal();
 }
 
 } // namespace rsqp

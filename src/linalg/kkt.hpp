@@ -86,6 +86,22 @@ class KktAssembler
  * Matrix-free application of the reduced KKT operator
  * K = P + sigma*I + A' diag(rho) A (the paper stores P, A and A'
  * separately and applies K incrementally; so do we).
+ *
+ * Execution form: construction expands the upper-triangle P into a
+ * full symmetric CSR image and mirrors A into CSR; A' needs no mirror
+ * at all because a CSR row of A' is exactly a CSC column of A, read
+ * through the original arrays. Every apply() is therefore pure
+ * row-gather — one private accumulator per output element, fanned out
+ * over the shared ThreadPool with bitwise-identical results at any
+ * thread count — and the diag(rho) scaling is folded into the A pass
+ * (no separate length-m sweep). The full-row accumulation order
+ * matches the retired CSC column-scatter path summand for summand, so
+ * the rebuild is bitwise-invisible to callers.
+ *
+ * Slot maps recorded at construction let refreshValues() re-read
+ * updated P/A values in place (same sparsity pattern), and the
+ * rho-independent diagonal parts (P_jj + sigma, per-entry A_ij^2) are
+ * cached so setRho() recomputes diagonal() in O(nnz(A)).
  */
 class ReducedKktOperator
 {
@@ -102,23 +118,64 @@ class ReducedKktOperator
     /** y = K x. */
     void apply(const Vector& x, Vector& y) const;
 
-    /** Diagonal of K, used by the Jacobi preconditioner. */
-    Vector diagonal() const;
+    /** z = A x (row-gather on the CSR mirror of A). */
+    void applyA(const Vector& x, Vector& z) const;
 
-    /** Replace the rho vector (same length). */
-    void setRho(Vector rho_vec);
+    /** y += A' diag(rho) x — the reduced-rhs build, without temps. */
+    void accumulateAtRho(const Vector& x, Vector& y) const;
+
+    /** Cached diagonal of K, used by the Jacobi preconditioner. */
+    const Vector& diagonal() const { return diag_; }
+
+    /** Replace the rho vector (same length); costs O(nnz(A)) and
+     *  performs no heap allocation. */
+    void setRho(const Vector& rho_vec);
+
+    /**
+     * Re-read the P/A values through the construction-time slot maps
+     * after the caller rewrote them in place (same sparsity pattern),
+     * and refresh the cached diagonal.
+     */
+    void refreshValues();
 
     Real sigma() const { return sigma_; }
     const Vector& rhoVec() const { return rhoVec_; }
     Index dim() const { return pUpper_->cols(); }
 
   private:
+    void buildPFull();
+    void buildAMirror();
+    void rebuildDiagonalBase();
+    void rebuildDiagonal();
+
     const CscMatrix* pUpper_;
     const CscMatrix* a_;
     Real sigma_;
     Vector rhoVec_;
-    mutable Vector scratchM_;  ///< length-m scratch for A x
-    mutable Vector scratchN_;  ///< length-n scratch for P x
+    mutable Vector scratchM_;  ///< length-m scratch for diag(rho) A x
+
+    /// Full symmetric expansion of P in CSR (sorted columns per row).
+    std::vector<Index> pRowPtr_;
+    std::vector<Index> pColIdx_;
+    std::vector<Real> pVals_;
+    /// CSR slot of each upper-CSC P entry (direct image).
+    std::vector<Index> pDirectSlot_;
+    /// CSR slot of each entry's transpose image (-1 on the diagonal).
+    std::vector<Index> pMirrorSlot_;
+
+    /// CSR mirror of A.
+    std::vector<Index> aRowPtr_;
+    std::vector<Index> aColIdx_;
+    std::vector<Real> aVals_;
+    /// CSR slot of each CSC A entry.
+    std::vector<Index> aSlotFromCsc_;
+    /// Per-entry A_ij^2 aligned with the CSR mirror (rho-independent).
+    std::vector<Real> aSqCsr_;
+
+    /// Rho-independent diagonal part: P_jj + sigma.
+    Vector diagBase_;
+    /// Cached diagonal of K for the current rho.
+    Vector diag_;
 };
 
 } // namespace rsqp

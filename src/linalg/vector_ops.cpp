@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hpp"
+#include "common/profile.hpp"
 #include "common/thread_pool.hpp"
 
 namespace rsqp
@@ -40,6 +41,31 @@ inline bool
 chunkedReduction(std::size_t n)
 {
     return n >= static_cast<std::size_t>(kParallelThreshold);
+}
+
+/**
+ * Deterministic fixed-grain chunked sum shared by dot() and the fused
+ * kernels: partial(b, e) runs exactly once per kParallelGrain chunk
+ * and the partials combine in ascending chunk order — the same
+ * structure (including seeding the accumulator from the first chunk)
+ * as ThreadPool::reduceSum, so both paths are bitwise-identical. With
+ * one effective thread, or nested inside a pool worker, the chunks run
+ * as a plain serial loop with no heap allocation; the steady-state PCG
+ * loop depends on that.
+ */
+template <typename Partial>
+Real
+chunkedSum(Index n, Partial&& partial)
+{
+    if (n <= 0)
+        return 0.0;
+    if (effectiveNumThreads() <= 1 || ThreadPool::insideWorker()) {
+        Real total = partial(0, std::min(n, kParallelGrain));
+        for (Index b = kParallelGrain; b < n; b += kParallelGrain)
+            total += partial(b, std::min(n, b + kParallelGrain));
+        return total;
+    }
+    return ThreadPool::global().reduceSum(0, n, kParallelGrain, partial);
 }
 
 } // namespace
@@ -103,21 +129,110 @@ Real
 dot(const Vector& x, const Vector& y)
 {
     checkSameSize(x, y, "dot");
+    ProfileScope profile(ProfilePhase::Reduction);
     if (chunkedReduction(x.size())) {
-        return ThreadPool::global().reduceSum(
-            0, static_cast<Index>(x.size()), kParallelGrain,
-            [&](Index b, Index e) {
-                Real acc = 0.0;
-                for (Index i = b; i < e; ++i) {
-                    const auto s = static_cast<std::size_t>(i);
-                    acc += x[s] * y[s];
-                }
-                return acc;
-            });
+        return chunkedSum(static_cast<Index>(x.size()),
+                          [&](Index b, Index e) {
+                              Real acc = 0.0;
+                              for (Index i = b; i < e; ++i) {
+                                  const auto s =
+                                      static_cast<std::size_t>(i);
+                                  acc += x[s] * y[s];
+                              }
+                              return acc;
+                          });
     }
     Real acc = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i)
         acc += x[i] * y[i];
+    return acc;
+}
+
+Real
+axpyDot(Real alpha, const Vector& x, Vector& y, const Vector& z)
+{
+    checkSameSize(x, y, "axpyDot");
+    checkSameSize(y, z, "axpyDot");
+    ProfileScope profile(ProfilePhase::FusedVectorOps);
+    if (chunkedReduction(x.size())) {
+        // Each chunk updates its own slice of y before reducing over
+        // it, so the partials see exactly the values the composed
+        // axpy + dot pair would.
+        return chunkedSum(static_cast<Index>(x.size()),
+                          [&](Index b, Index e) {
+                              Real acc = 0.0;
+                              for (Index i = b; i < e; ++i) {
+                                  const auto s =
+                                      static_cast<std::size_t>(i);
+                                  y[s] += alpha * x[s];
+                                  acc += y[s] * z[s];
+                              }
+                              return acc;
+                          });
+    }
+    Real acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] += alpha * x[i];
+        acc += y[i] * z[i];
+    }
+    return acc;
+}
+
+Real
+xMinusAlphaPDot(Real alpha, const Vector& p, Vector& x, const Vector& kp,
+                Vector& r)
+{
+    checkSameSize(p, x, "xMinusAlphaPDot");
+    checkSameSize(p, kp, "xMinusAlphaPDot");
+    checkSameSize(p, r, "xMinusAlphaPDot");
+    ProfileScope profile(ProfilePhase::FusedVectorOps);
+    if (chunkedReduction(p.size())) {
+        return chunkedSum(static_cast<Index>(p.size()),
+                          [&](Index b, Index e) {
+                              Real acc = 0.0;
+                              for (Index i = b; i < e; ++i) {
+                                  const auto s =
+                                      static_cast<std::size_t>(i);
+                                  x[s] += alpha * p[s];
+                                  r[s] -= alpha * kp[s];
+                                  acc += r[s] * r[s];
+                              }
+                              return acc;
+                          });
+    }
+    Real acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        x[i] += alpha * p[i];
+        r[i] -= alpha * kp[i];
+        acc += r[i] * r[i];
+    }
+    return acc;
+}
+
+Real
+precondApplyDot(const Vector& inv_diag, const Vector& r, Vector& d)
+{
+    checkSameSize(inv_diag, r, "precondApplyDot");
+    checkSameSize(r, d, "precondApplyDot");
+    ProfileScope profile(ProfilePhase::Precond);
+    if (chunkedReduction(r.size())) {
+        return chunkedSum(static_cast<Index>(r.size()),
+                          [&](Index b, Index e) {
+                              Real acc = 0.0;
+                              for (Index i = b; i < e; ++i) {
+                                  const auto s =
+                                      static_cast<std::size_t>(i);
+                                  d[s] = inv_diag[s] * r[s];
+                                  acc += r[s] * d[s];
+                              }
+                              return acc;
+                          });
+    }
+    Real acc = 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+        d[i] = inv_diag[i] * r[i];
+        acc += r[i] * d[i];
+    }
     return acc;
 }
 

@@ -34,6 +34,32 @@ void scale(Vector& x, Real alpha);
 /** Dot product x' y. */
 Real dot(const Vector& x, const Vector& y);
 
+/**
+ * Fused CG kernel: y += alpha * x, then returns dot(y, z) — one memory
+ * pass instead of two. z may alias y (then the dot reads the updated
+ * y, exactly like composing axpy + dot). The reduction uses the same
+ * fixed-grain chunking as dot(), so the result is bitwise-identical to
+ * the composed ops at any thread count.
+ */
+Real axpyDot(Real alpha, const Vector& x, Vector& y, const Vector& z);
+
+/**
+ * Fused CG iterate update: x += alpha * p and r -= alpha * kp in one
+ * pass, returning dot(r, r) of the updated residual. Collapses the
+ * three separate sweeps (two axpy + one norm) of a textbook CG
+ * iteration into a single read of p/kp and write of x/r. Bitwise
+ * equal to the composed ops at any thread count.
+ */
+Real xMinusAlphaPDot(Real alpha, const Vector& p, Vector& x,
+                     const Vector& kp, Vector& r);
+
+/**
+ * Fused Jacobi preconditioner apply: d[i] = inv_diag[i] * r[i],
+ * returning dot(r, d). One pass instead of the apply + dot pair.
+ * Bitwise equal to the composed ops at any thread count.
+ */
+Real precondApplyDot(const Vector& inv_diag, const Vector& r, Vector& d);
+
 /** Euclidean norm. */
 Real norm2(const Vector& x);
 

@@ -215,8 +215,14 @@ OsqpSolver::updateMatrixValues(const std::vector<Real>& p_values,
                     scaling_.d[static_cast<std::size_t>(c)] *
                     a_values[static_cast<std::size_t>(p)];
     }
-    if (!p_values.empty() || !a_values.empty())
-        rebuildKktSolver();
+    if (!p_values.empty() || !a_values.empty()) {
+        // The backends reference the scaled matrices rewritten above;
+        // refresh their execution forms in place when they can (same
+        // sparsity pattern), rebuild from scratch otherwise.
+        if (!kkt_->updateMatrixValues(scaled_.pUpper.values(),
+                                      scaled_.a.values()))
+            rebuildKktSolver();
+    }
 }
 
 void
@@ -332,6 +338,7 @@ OsqpSolver::solve()
     info.iterations = 0;
     info.rhoUpdates = 0;
     info.pcgIterationsTotal = 0;
+    info.hotPath = HotPathProfile{};
     info.recovery = RecoveryReport{};
 
     if (!validation_.ok()) {
@@ -347,6 +354,9 @@ OsqpSolver::solve()
         sigmaEff_ = settings_.sigma;
         rebuildKktSolver();
     }
+    // Per-solve hot-path counters: zero the backend's profiler so
+    // info.hotPath reports this solve only.
+    kkt_->resetHotPathProfile();
 
     // Soft-error source for the software PCG path (tests/bench only);
     // each solve sees a fresh deterministic fault pattern.
@@ -593,6 +603,8 @@ OsqpSolver::solve()
 
     info.solveTime = solve_timer.seconds();
     info.kktSolveTime = kkt_timer.totalSeconds();
+    if (const HotPathProfiler* profiler = kkt_->hotPathProfiler())
+        info.hotPath = profiler->snapshot();
     lastInfo_ = info;
     return result;
 }

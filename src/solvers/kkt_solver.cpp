@@ -85,15 +85,25 @@ DirectKktSolver::updateRho(const Vector& rho_vec)
     needRefactor_ = true;
 }
 
+bool
+DirectKktSolver::updateMatrixValues(const std::vector<Real>& p_values,
+                                    const std::vector<Real>& a_values)
+{
+    assembler_.updateMatrices(p_values, a_values);
+    needRefactor_ = true;
+    return true;
+}
+
 IndirectKktSolver::IndirectKktSolver(const CscMatrix& p_upper,
                                      const CscMatrix& a, Real sigma,
                                      const Vector& rho_vec,
                                      PcgSettings pcg_settings)
     : p_(&p_upper), a_(&a), sigma_(sigma), op_(p_upper, a, sigma, rho_vec),
-      pcgSettings_(pcg_settings), rhoVec_(rho_vec)
+      precond_(op_.diagonal()), pcgSettings_(pcg_settings),
+      rhoVec_(rho_vec)
 {
-    precond_ = std::make_unique<JacobiPreconditioner>(op_.diagonal());
     warmX_.assign(static_cast<std::size_t>(p_upper.cols()), 0.0);
+    pcgWorkspace_.resize(static_cast<std::size_t>(p_upper.cols()));
 }
 
 bool
@@ -122,12 +132,15 @@ KktSolveStats
 IndirectKktSolver::solve(const Vector& rhs_x, const Vector& rhs_z,
                          Vector& x_tilde, Vector& z_tilde)
 {
-    // b = rhs_x + A' diag(rho) rhs_z.
+    // Record the hot-path phases of everything below (rhs build, PCG
+    // loop, final A x) into this solver's profiler.
+    HotPathProfilerScope profile_scope(
+        pcgSettings_.profile ? &profiler_ : nullptr);
+
+    // b = rhs_x + A' diag(rho) rhs_z — the rho scaling happens inside
+    // the gather, with no length-m temporary.
     reducedRhs_ = rhs_x;
-    scaledRhsZ_.resize(rhs_z.size());
-    for (std::size_t i = 0; i < rhs_z.size(); ++i)
-        scaledRhsZ_[i] = rhoVec_[i] * rhs_z[i];
-    a_->spmvTransposeAccumulate(scaledRhsZ_, reducedRhs_, 1.0);
+    op_.accumulateAtRho(rhs_z, reducedRhs_);
 
     // Warm-start from the previous solution (the iterates converge, so
     // consecutive systems have nearby solutions).
@@ -135,8 +148,8 @@ IndirectKktSolver::solve(const Vector& rhs_x, const Vector& rhs_z,
     PcgSettings effective = pcgSettings_;
     effective.epsRel = pcgSettings_.effectiveEpsRel(solveCount_++);
     effective.adaptiveTolerance = false;
-    const PcgResult pcg =
-        pcgSolve(op_, *precond_, reducedRhs_, x_tilde, effective);
+    const PcgResult pcg = pcgSolve(op_, precond_, reducedRhs_, x_tilde,
+                                   effective, pcgWorkspace_);
     lastPcgIters_ = pcg.iterations;
     totalPcgIters_ += pcg.iterations;
 
@@ -153,6 +166,8 @@ IndirectKktSolver::solve(const Vector& rhs_x, const Vector& rhs_z,
             // Re-warm PCG from the trustworthy direct solution so the
             // next step starts from a clean Krylov state.
             warmX_ = x_tilde;
+            if (pcgSettings_.profile)
+                stats.hotPath = profiler_.snapshot();
             return stats;
         }
         // No fallback: surrender the poisoned warm start (a NaN here
@@ -162,7 +177,9 @@ IndirectKktSolver::solve(const Vector& rhs_x, const Vector& rhs_z,
             warmX_.assign(warmX_.size(), 0.0);
         else
             warmX_ = x_tilde;
-        a_->spmv(x_tilde, z_tilde);
+        op_.applyA(x_tilde, z_tilde);
+        if (pcgSettings_.profile)
+            stats.hotPath = profiler_.snapshot();
         return stats;
     }
 
@@ -171,7 +188,9 @@ IndirectKktSolver::solve(const Vector& rhs_x, const Vector& rhs_z,
                   " iters, residual ", pcg.residualNorm, ")");
     warmX_ = x_tilde;
 
-    a_->spmv(x_tilde, z_tilde);
+    op_.applyA(x_tilde, z_tilde);
+    if (pcgSettings_.profile)
+        stats.hotPath = profiler_.snapshot();
     return stats;
 }
 
@@ -179,10 +198,26 @@ void
 IndirectKktSolver::updateRho(const Vector& rho_vec)
 {
     rhoVec_ = rho_vec;
+    // O(nnz(A)) diagonal refresh off the cached rho-independent parts;
+    // the preconditioner rebuilds in place from the cached diagonal —
+    // no full diagonal() re-scan, no reallocation.
     op_.setRho(rho_vec);
-    precond_ = std::make_unique<JacobiPreconditioner>(op_.diagonal());
+    precond_.rebuild(op_.diagonal());
     if (fallback_ != nullptr)
         fallback_->updateRho(rho_vec);
+}
+
+bool
+IndirectKktSolver::updateMatrixValues(const std::vector<Real>& p_values,
+                                      const std::vector<Real>& a_values)
+{
+    // The caller already rewrote the P/A matrices this operator
+    // references; re-read them through the construction-time slot maps.
+    op_.refreshValues();
+    precond_.rebuild(op_.diagonal());
+    if (fallback_ != nullptr)
+        fallback_->updateMatrixValues(p_values, a_values);
+    return true;
 }
 
 } // namespace rsqp

@@ -14,7 +14,9 @@
 #define RSQP_SOLVERS_KKT_SOLVER_HPP
 
 #include <memory>
+#include <vector>
 
+#include "common/profile.hpp"
 #include "common/types.hpp"
 #include "linalg/csc.hpp"
 #include "linalg/kkt.hpp"
@@ -32,6 +34,9 @@ struct KktSolveStats
     bool refactorized = false; ///< direct backend only
     bool usedFallback = false; ///< PCG broke down; LDL' solved the step
     PcgBreakdown pcgBreakdown = PcgBreakdown::None;
+    /// Cumulative hot-path counters through this solve (indirect
+    /// backend with PcgSettings::profile only; zeros otherwise).
+    HotPathProfile hotPath;
 };
 
 /**
@@ -52,11 +57,32 @@ class KktSolver
     /** Inform the backend of a rho change. */
     virtual void updateRho(const Vector& rho_vec) = 0;
 
+    /**
+     * Refresh P/A values in place after the problem data changed with
+     * an unchanged sparsity pattern (the caller already rewrote the
+     * matrices the backend references). Returns false when the backend
+     * cannot update incrementally — the caller must rebuild it.
+     */
+    virtual bool
+    updateMatrixValues(const std::vector<Real>&, const std::vector<Real>&)
+    {
+        return false;
+    }
+
     /** Human-readable backend name for reports. */
     virtual const char* name() const = 0;
 
     /** Cumulative PCG iterations (0 for direct). */
     virtual Count totalPcgIterations() const { return 0; }
+
+    /** Hot-path profiler, when the backend records one (else null). */
+    virtual const HotPathProfiler* hotPathProfiler() const
+    {
+        return nullptr;
+    }
+
+    /** Zero the hot-path counters (no-op without a profiler). */
+    virtual void resetHotPathProfile() {}
 };
 
 /** LDL'-based direct backend (OSQP's default "qdldl" backend). */
@@ -77,6 +103,8 @@ class DirectKktSolver : public KktSolver
     KktSolveStats solve(const Vector& rhs_x, const Vector& rhs_z,
                         Vector& x_tilde, Vector& z_tilde) override;
     void updateRho(const Vector& rho_vec) override;
+    bool updateMatrixValues(const std::vector<Real>& p_values,
+                            const std::vector<Real>& a_values) override;
     const char* name() const override { return "direct-ldl"; }
 
     /** Factor non-zero count (for reporting). */
@@ -108,8 +136,18 @@ class IndirectKktSolver : public KktSolver
     KktSolveStats solve(const Vector& rhs_x, const Vector& rhs_z,
                         Vector& x_tilde, Vector& z_tilde) override;
     void updateRho(const Vector& rho_vec) override;
+    bool updateMatrixValues(const std::vector<Real>& p_values,
+                            const std::vector<Real>& a_values) override;
     const char* name() const override { return "indirect-pcg"; }
     Count totalPcgIterations() const override { return totalPcgIters_; }
+
+    const HotPathProfiler*
+    hotPathProfiler() const override
+    {
+        return pcgSettings_.profile ? &profiler_ : nullptr;
+    }
+
+    void resetHotPathProfile() override { profiler_.reset(); }
 
     /** Iterations used by the most recent solve. */
     Index lastPcgIterations() const { return lastPcgIters_; }
@@ -130,12 +168,13 @@ class IndirectKktSolver : public KktSolver
     const CscMatrix* a_;
     Real sigma_;
     ReducedKktOperator op_;
-    std::unique_ptr<JacobiPreconditioner> precond_;
+    JacobiPreconditioner precond_;  ///< rebuilt in place on rho change
     PcgSettings pcgSettings_;
     Vector rhoVec_;
     Vector warmX_;     ///< previous solution for warm starting
     Vector reducedRhs_;
-    Vector scaledRhsZ_;
+    PcgWorkspace pcgWorkspace_;  ///< persistent CG vectors (no realloc)
+    HotPathProfiler profiler_;   ///< active while this solver solves
     Index lastPcgIters_ = 0;
     Count totalPcgIters_ = 0;
     Count solveCount_ = 0;  ///< drives the adaptive tolerance schedule

@@ -1,9 +1,11 @@
 #include "pcg.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/fault_injection.hpp"
 #include "common/logging.hpp"
+#include "common/profile.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace rsqp
@@ -27,6 +29,12 @@ toString(PcgBreakdown breakdown)
 
 JacobiPreconditioner::JacobiPreconditioner(const Vector& diagonal)
 {
+    rebuild(diagonal);
+}
+
+void
+JacobiPreconditioner::rebuild(const Vector& diagonal)
+{
     invDiag_.resize(diagonal.size());
     for (std::size_t i = 0; i < diagonal.size(); ++i) {
         RSQP_ASSERT(diagonal[i] > 0.0,
@@ -40,25 +48,46 @@ void
 JacobiPreconditioner::apply(const Vector& r, Vector& out) const
 {
     RSQP_ASSERT(r.size() == invDiag_.size(), "preconditioner size");
-    out.resize(r.size());
+    RSQP_ASSERT(out.size() == r.size(),
+                "preconditioner out vector not preallocated");
     for (std::size_t i = 0; i < r.size(); ++i)
         out[i] = r[i] * invDiag_[i];
 }
 
+namespace
+{
+
+/**
+ * The shared CG loop, templated on the operator so the hot
+ * ReducedKktOperator path never goes through a std::function.
+ *
+ * Textbook form (r = b - K x, p = d + mu p): every iteration is the
+ * operator apply plus three fused passes — dot(p, Kp), the combined
+ * x/r update with its residual norm (xMinusAlphaPDot), and the
+ * preconditioner apply with its dot (precondApplyDot) — instead of the
+ * 5-6 separate sweeps of the naive loop. All reductions use the
+ * fixed-grain deterministic chunking, so iterates and results are
+ * bitwise-identical at any thread count.
+ */
+template <typename ApplyK>
 PcgResult
-pcgSolve(const std::function<void(const Vector&, Vector&)>& apply_k,
-         const JacobiPreconditioner& precond, const Vector& b, Vector& x,
-         const PcgSettings& settings)
+pcgSolveImpl(ApplyK&& apply_k, const JacobiPreconditioner& precond,
+             const Vector& b, Vector& x, const PcgSettings& settings,
+             PcgWorkspace& ws)
 {
     const std::size_t n = b.size();
     RSQP_ASSERT(x.size() == n, "pcg: x size mismatch");
+    ws.resize(n);
+    Vector& r = ws.r;
+    Vector& d = ws.d;
+    Vector& p = ws.p;
+    Vector& kp = ws.kp;
 
     PcgResult result;
     const Real b_norm = norm2(b);
     const Real threshold =
         std::max(settings.epsAbs, settings.epsRel * b_norm);
 
-    Vector r(n), d(n), p(n), kp(n);
     FaultInjector* injector = activeFaultInjector();
     // Per-call offset: successive pcgSolve calls (one per ADMM
     // iteration) must draw independent fault patterns, or one bad
@@ -66,12 +95,13 @@ pcgSolve(const std::function<void(const Vector&, Vector&)>& apply_k,
     const std::uint64_t call_offset =
         injector != nullptr ? injector->acquireNonce() << 20 : 0;
 
-    // r0 = K x0 - b
+    // r0 = b - K x0 (the corruption hook sees the raw operator output,
+    // exactly as it did on the retired r = K x - b convention).
     apply_k(x, r);
     if (injector != nullptr)
         injector->corruptVector(r,
                                 fault_streams::kPcgOperator + call_offset);
-    axpy(-1.0, b, r);
+    axpby(1.0, b, -1.0, r, r);
 
     Real r_norm = norm2(r);
     if (!std::isfinite(r_norm)) {
@@ -85,14 +115,15 @@ pcgSolve(const std::function<void(const Vector&, Vector&)>& apply_k,
         return result;
     }
 
-    // d0 = M^-1 r0, p0 = -d0
-    precond.apply(r, d);
-    for (std::size_t i = 0; i < n; ++i)
-        p[i] = -d[i];
+    const Vector& inv_diag = precond.inverseDiagonal();
+    RSQP_ASSERT(inv_diag.size() == n, "preconditioner size");
+
+    // d0 = M^-1 r0 and rd = r'd in one pass; p0 = d0.
+    Real rd = precondApplyDot(inv_diag, r, d);
+    std::copy(d.begin(), d.end(), p.begin());
 
     Real best_r_norm = r_norm;
     Index iters_without_progress = 0;
-    Real rd = dot(r, d);
     for (Index iter = 0; iter < settings.maxIter; ++iter) {
         apply_k(p, kp);
         // Soft-error hook on the operator output stream — the software
@@ -112,17 +143,11 @@ pcgSolve(const std::function<void(const Vector&, Vector&)>& apply_k,
             break;
         }
         const Real lambda = rd / pkp;
-        axpy(lambda, p, x);
-        axpy(lambda, kp, r);
-        precond.apply(r, d);
-        const Real rd_next = dot(r, d);
-        const Real mu = rd_next / rd;
-        rd = rd_next;
-        for (std::size_t i = 0; i < n; ++i)
-            p[i] = -d[i] + mu * p[i];
+        // x += lambda p, r -= lambda kp and ||r||^2 in a single pass.
+        const Real rr = xMinusAlphaPDot(lambda, p, x, kp, r);
 
         ++result.iterations;
-        r_norm = norm2(r);
+        r_norm = std::sqrt(rr);
         if (!std::isfinite(r_norm)) {
             result.breakdown = PcgBreakdown::NonFiniteResidual;
             break;
@@ -141,18 +166,57 @@ pcgSolve(const std::function<void(const Vector&, Vector&)>& apply_k,
             result.breakdown = PcgBreakdown::Stagnation;
             break;
         }
+
+        // d = M^-1 r and rd' = r'd fused; then p = d + mu p.
+        const Real rd_next = precondApplyDot(inv_diag, r, d);
+        const Real mu = rd_next / rd;
+        rd = rd_next;
+        {
+            ProfileScope profile(ProfilePhase::FusedVectorOps);
+            axpby(1.0, d, mu, p, p);
+        }
     }
     result.residualNorm = r_norm;
     return result;
+}
+
+} // namespace
+
+PcgResult
+pcgSolve(const std::function<void(const Vector&, Vector&)>& apply_k,
+         const JacobiPreconditioner& precond, const Vector& b, Vector& x,
+         const PcgSettings& settings, PcgWorkspace& workspace)
+{
+    return pcgSolveImpl(apply_k, precond, b, x, settings, workspace);
+}
+
+PcgResult
+pcgSolve(const std::function<void(const Vector&, Vector&)>& apply_k,
+         const JacobiPreconditioner& precond, const Vector& b, Vector& x,
+         const PcgSettings& settings)
+{
+    PcgWorkspace workspace;
+    return pcgSolveImpl(apply_k, precond, b, x, settings, workspace);
+}
+
+PcgResult
+pcgSolve(const ReducedKktOperator& op, const JacobiPreconditioner& precond,
+         const Vector& b, Vector& x, const PcgSettings& settings,
+         PcgWorkspace& workspace)
+{
+    return pcgSolveImpl(
+        [&op](const Vector& in, Vector& out) { op.apply(in, out); },
+        precond, b, x, settings, workspace);
 }
 
 PcgResult
 pcgSolve(const ReducedKktOperator& op, const JacobiPreconditioner& precond,
          const Vector& b, Vector& x, const PcgSettings& settings)
 {
-    return pcgSolve(
+    PcgWorkspace workspace;
+    return pcgSolveImpl(
         [&op](const Vector& in, Vector& out) { op.apply(in, out); },
-        precond, b, x, settings);
+        precond, b, x, settings, workspace);
 }
 
 } // namespace rsqp

@@ -73,6 +73,14 @@ struct PcgSettings
      * cap-out never triggers the fallback — only a breakdown does.
      */
     bool directFallback = true;
+
+    /**
+     * Record per-phase hot-path counters (SpMV passes, fused kernels,
+     * reductions) during IndirectKktSolver solves; surfaced through
+     * KktSolveStats/OsqpInfo. Costs one thread-local read plus two
+     * clock reads per instrumented kernel call.
+     */
+    bool profile = true;
 };
 
 /** Why a PCG solve gave up before converging. */
@@ -105,7 +113,18 @@ class JacobiPreconditioner
     /** Build from the operator diagonal; all entries must be positive. */
     explicit JacobiPreconditioner(const Vector& diagonal);
 
-    /** out = M^-1 r (element-wise divide). */
+    /**
+     * Rebuild in place from a new diagonal of the same length,
+     * reusing the inverse-diagonal storage (no allocation). All
+     * entries must be positive.
+     */
+    void rebuild(const Vector& diagonal);
+
+    /**
+     * out = M^-1 r (element-wise divide). out must already have the
+     * preconditioner's size — callers own the storage (see
+     * PcgWorkspace); this hot-path kernel never resizes.
+     */
     void apply(const Vector& r, Vector& out) const;
 
     const Vector& inverseDiagonal() const { return invDiag_; }
@@ -115,9 +134,38 @@ class JacobiPreconditioner
 };
 
 /**
- * Run PCG on K x = b starting from x (warm start), overwriting x with
- * the solution.
+ * Persistent work vectors of a PCG solve. Owned by the caller (one per
+ * IndirectKktSolver) so the steady-state CG loop performs zero heap
+ * allocations: resize() is a no-op once the problem size is fixed.
  */
+struct PcgWorkspace
+{
+    Vector r;   ///< residual b - K x
+    Vector d;   ///< preconditioned residual M^-1 r
+    Vector p;   ///< search direction
+    Vector kp;  ///< operator image K p
+
+    /** Size every vector for an n-dimensional solve. */
+    void
+    resize(std::size_t n)
+    {
+        r.resize(n);
+        d.resize(n);
+        p.resize(n);
+        kp.resize(n);
+    }
+};
+
+/**
+ * Run PCG on K x = b starting from x (warm start), overwriting x with
+ * the solution. The workspace overloads reuse the caller's vectors;
+ * the workspace-free overloads allocate a transient one per call.
+ */
+PcgResult pcgSolve(const ReducedKktOperator& op,
+                   const JacobiPreconditioner& precond, const Vector& b,
+                   Vector& x, const PcgSettings& settings,
+                   PcgWorkspace& workspace);
+
 PcgResult pcgSolve(const ReducedKktOperator& op,
                    const JacobiPreconditioner& precond, const Vector& b,
                    Vector& x, const PcgSettings& settings);
@@ -126,6 +174,11 @@ PcgResult pcgSolve(const ReducedKktOperator& op,
  * Generic-operator overload used by the GPU model and tests: apply_k
  * computes y = K x.
  */
+PcgResult pcgSolve(
+    const std::function<void(const Vector&, Vector&)>& apply_k,
+    const JacobiPreconditioner& precond, const Vector& b, Vector& x,
+    const PcgSettings& settings, PcgWorkspace& workspace);
+
 PcgResult pcgSolve(
     const std::function<void(const Vector&, Vector&)>& apply_k,
     const JacobiPreconditioner& precond, const Vector& b, Vector& x,

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Hot-path profiler tests: recording, snapshots, scoped activation
+ * (including nesting and suspension), the inactive fast path, and the
+ * JSON emission consumed by the perf-smoke CI job.
+ */
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/profile.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(HotPathProfiler, StartsZeroedAndAccumulates)
+{
+    HotPathProfiler profiler;
+    HotPathProfile empty = profiler.snapshot();
+    EXPECT_EQ(empty.totalNanoseconds(), 0u);
+    EXPECT_EQ(empty.totalCalls(), 0u);
+
+    profiler.record(ProfilePhase::SpmvP, 100);
+    profiler.record(ProfilePhase::SpmvP, 50);
+    profiler.record(ProfilePhase::Reduction, 7);
+
+    const HotPathProfile snap = profiler.snapshot();
+    EXPECT_EQ(snap[ProfilePhase::SpmvP].nanoseconds, 150u);
+    EXPECT_EQ(snap[ProfilePhase::SpmvP].calls, 2u);
+    EXPECT_EQ(snap[ProfilePhase::Reduction].nanoseconds, 7u);
+    EXPECT_EQ(snap[ProfilePhase::Reduction].calls, 1u);
+    EXPECT_EQ(snap[ProfilePhase::SpmvA].calls, 0u);
+    EXPECT_EQ(snap.totalNanoseconds(), 157u);
+    EXPECT_EQ(snap.totalCalls(), 3u);
+}
+
+TEST(HotPathProfiler, ResetZeroesEveryCell)
+{
+    HotPathProfiler profiler;
+    for (std::size_t i = 0; i < kNumProfilePhases; ++i)
+        profiler.record(static_cast<ProfilePhase>(i), i + 1);
+    profiler.reset();
+    const HotPathProfile snap = profiler.snapshot();
+    EXPECT_EQ(snap.totalNanoseconds(), 0u);
+    EXPECT_EQ(snap.totalCalls(), 0u);
+}
+
+TEST(HotPathProfiler, PhaseNamesAreSnakeCaseJsonKeys)
+{
+    EXPECT_STREQ(toString(ProfilePhase::SpmvP), "spmv_p");
+    EXPECT_STREQ(toString(ProfilePhase::SpmvA), "spmv_a");
+    EXPECT_STREQ(toString(ProfilePhase::SpmvAt), "spmv_at");
+    EXPECT_STREQ(toString(ProfilePhase::FusedVectorOps),
+                 "fused_vector_ops");
+    EXPECT_STREQ(toString(ProfilePhase::Precond), "precond");
+    EXPECT_STREQ(toString(ProfilePhase::Reduction), "reduction");
+}
+
+TEST(HotPathProfiler, JsonCarriesEveryPhaseAndTotals)
+{
+    HotPathProfiler profiler;
+    profiler.record(ProfilePhase::SpmvA, 42);
+    const std::string json = profiler.snapshot().toJson();
+    for (std::size_t i = 0; i < kNumProfilePhases; ++i) {
+        const std::string key =
+            std::string("\"") + toString(static_cast<ProfilePhase>(i)) +
+            "\"";
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    EXPECT_NE(json.find("\"spmv_a\":{\"ns\":42,\"calls\":1}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"total_ns\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"total_calls\":1"), std::string::npos);
+}
+
+TEST(ProfileScope, NoActiveProfilerMeansNoRecording)
+{
+    ASSERT_EQ(activeHotPathProfiler(), nullptr);
+    {
+        ProfileScope scope(ProfilePhase::SpmvP);
+    }
+    // Nothing to assert beyond "did not crash": the scope must be a
+    // no-op without an installed profiler.
+    EXPECT_EQ(activeHotPathProfiler(), nullptr);
+}
+
+TEST(ProfileScope, RecordsIntoTheInstalledProfiler)
+{
+    HotPathProfiler profiler;
+    {
+        HotPathProfilerScope install(&profiler);
+        EXPECT_EQ(activeHotPathProfiler(), &profiler);
+        ProfileScope scope(ProfilePhase::Precond);
+    }
+    EXPECT_EQ(activeHotPathProfiler(), nullptr);
+    const HotPathProfile snap = profiler.snapshot();
+    EXPECT_EQ(snap[ProfilePhase::Precond].calls, 1u);
+}
+
+TEST(ProfileScope, ScopesNestAndRestore)
+{
+    HotPathProfiler outer, inner;
+    HotPathProfilerScope install_outer(&outer);
+    {
+        ProfileScope scope(ProfilePhase::SpmvP);
+    }
+    {
+        HotPathProfilerScope install_inner(&inner);
+        ProfileScope scope(ProfilePhase::SpmvP);
+    }
+    {
+        ProfileScope scope(ProfilePhase::SpmvP);
+    }
+    EXPECT_EQ(outer.snapshot()[ProfilePhase::SpmvP].calls, 2u);
+    EXPECT_EQ(inner.snapshot()[ProfilePhase::SpmvP].calls, 1u);
+}
+
+TEST(ProfileScope, NullScopeSuspendsProfiling)
+{
+    HotPathProfiler profiler;
+    HotPathProfilerScope install(&profiler);
+    {
+        HotPathProfilerScope suspend(nullptr);
+        EXPECT_EQ(activeHotPathProfiler(), nullptr);
+        ProfileScope scope(ProfilePhase::SpmvAt);
+    }
+    EXPECT_EQ(activeHotPathProfiler(), &profiler);
+    EXPECT_EQ(profiler.snapshot()[ProfilePhase::SpmvAt].calls, 0u);
+}
+
+TEST(ProfileScope, ActivationIsPerThread)
+{
+    HotPathProfiler profiler;
+    HotPathProfilerScope install(&profiler);
+    // Another thread sees no active profiler (and can install its own
+    // without disturbing this one).
+    std::thread worker([] {
+        EXPECT_EQ(activeHotPathProfiler(), nullptr);
+        ProfileScope scope(ProfilePhase::SpmvP);
+    });
+    worker.join();
+    EXPECT_EQ(profiler.snapshot()[ProfilePhase::SpmvP].calls, 0u);
+    EXPECT_EQ(activeHotPathProfiler(), &profiler);
+}
+
+TEST(ProfileScope, ConcurrentRecordingIsLossless)
+{
+    HotPathProfiler profiler;
+    constexpr int kThreads = 4;
+    constexpr int kCallsPerThread = 250;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&profiler] {
+            HotPathProfilerScope install(&profiler);
+            for (int i = 0; i < kCallsPerThread; ++i)
+                ProfileScope scope(ProfilePhase::Reduction);
+        });
+    for (std::thread& worker : workers)
+        worker.join();
+    const HotPathProfile snap = profiler.snapshot();
+    EXPECT_EQ(snap[ProfilePhase::Reduction].calls,
+              static_cast<std::uint64_t>(kThreads * kCallsPerThread));
+}
+
+} // namespace
+} // namespace rsqp

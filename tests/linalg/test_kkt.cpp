@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hpp"
 #include "linalg/kkt.hpp"
 #include "linalg/vector_ops.hpp"
+#include "problems/suite.hpp"
 #include "tests/test_util.hpp"
 
 namespace rsqp
@@ -161,6 +163,195 @@ TEST_F(KktFixture, ReducedOperatorSetRho)
     op.apply(x, y1);
     fresh.apply(x, y2);
     test::expectVectorsNear(y1, y2, 1e-13, "setRho");
+}
+
+/**
+ * The retired column-scatter application of K, kept as the reference
+ * the CSR row-gather path must reproduce exactly: spmvSymUpper for P,
+ * CSC spmv + rho scale for the A pass, spmvTransposeAccumulate for A'.
+ */
+Vector
+applyReferenceCsc(const CscMatrix& p, const CscMatrix& a, Real sigma,
+                  const Vector& rho, const Vector& x)
+{
+    Vector y;
+    p.spmvSymUpper(x, y);
+    axpy(sigma, x, y);
+    Vector ax;
+    a.spmv(x, ax);
+    for (std::size_t i = 0; i < ax.size(); ++i)
+        ax[i] *= rho[i];
+    a.spmvTransposeAccumulate(ax, y, 1.0);
+    return y;
+}
+
+TEST_F(KktFixture, CsrApplyMatchesRetiredCscPathExactly)
+{
+    ReducedKktOperator op(p, a, sigma, rho);
+    Rng rng(23);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Vector x = randomVector(6, rng);
+        Vector y;
+        op.apply(x, y);
+        // Exact equality, not an epsilon: the CSR mirrors replay the
+        // retired summation order term for term.
+        EXPECT_EQ(y, applyReferenceCsc(p, a, sigma, rho, x))
+            << "trial " << trial;
+    }
+}
+
+TEST(ReducedKktOperator, CsrApplyMatchesCscOnRandomShapes)
+{
+    Rng rng(29);
+    for (int trial = 0; trial < 12; ++trial) {
+        const Index n = 1 + rng.uniformIndex(40);
+        const Index m = rng.uniformIndex(30);
+        const CscMatrix p = randomSpdUpper(n, 0.35, rng);
+        const CscMatrix a = randomSparse(m, n, 0.3, rng);
+        Vector rho(static_cast<std::size_t>(m));
+        for (Real& v : rho)
+            v = 0.1 + std::abs(rng.normal());
+        const Real sigma = 1e-6;
+
+        ReducedKktOperator op(p, a, sigma, rho);
+        const Vector x = randomVector(n, rng);
+        Vector y;
+        op.apply(x, y);
+        EXPECT_EQ(y, applyReferenceCsc(p, a, sigma, rho, x))
+            << "trial " << trial << " n=" << n << " m=" << m;
+    }
+}
+
+TEST(ReducedKktOperator, CsrApplyMatchesCscOnSuiteProblems)
+{
+    // One problem per domain: realistic sparsity structure, still
+    // exact-equal to the retired CSC path.
+    for (Domain domain : allDomains()) {
+        const QpProblem qp = generateProblem(domain, 120, 77);
+        const Index n = qp.numVariables();
+        const Index m = qp.numConstraints();
+        Vector rho(static_cast<std::size_t>(m), 0.25);
+        const Real sigma = 1e-6;
+
+        ReducedKktOperator op(qp.pUpper, qp.a, sigma, rho);
+        Rng rng(31);
+        const Vector x = randomVector(n, rng);
+        Vector y;
+        op.apply(x, y);
+        EXPECT_EQ(y, applyReferenceCsc(qp.pUpper, qp.a, sigma, rho, x))
+            << toString(domain);
+    }
+}
+
+TEST(ReducedKktOperator, ApplyBitwiseIdenticalAcrossThreadCounts)
+{
+    // Big enough (n above kParallelThreshold) that the row-gathers fan
+    // out across the pool; the fixed-grain reduction contract makes
+    // the output thread-invariant.
+    const QpProblem qp = generateProblem(Domain::Lasso, 5000, 78);
+    Vector rho(static_cast<std::size_t>(qp.numConstraints()), 0.4);
+    ReducedKktOperator op(qp.pUpper, qp.a, 1e-6, rho);
+    Rng rng(37);
+    const Vector x = randomVector(qp.numVariables(), rng);
+
+    Vector y_ref;
+    {
+        NumThreadsScope scope(1);
+        op.apply(x, y_ref);
+    }
+    for (Index threads : {2, 4, 8}) {
+        NumThreadsScope scope(threads);
+        Vector y;
+        op.apply(x, y);
+        ASSERT_EQ(y, y_ref) << "threads " << threads;
+    }
+}
+
+TEST_F(KktFixture, ApplyAMatchesCscSpmv)
+{
+    ReducedKktOperator op(p, a, sigma, rho);
+    Rng rng(41);
+    const Vector x = randomVector(6, rng);
+    Vector z, z_ref;
+    op.applyA(x, z);
+    a.spmv(x, z_ref);
+    EXPECT_EQ(z, z_ref);
+}
+
+TEST_F(KktFixture, AccumulateAtRhoMatchesComposedReference)
+{
+    ReducedKktOperator op(p, a, sigma, rho);
+    Rng rng(43);
+    const Vector w = randomVector(4, rng);
+    Vector y = randomVector(6, rng);
+    Vector y_ref = y;
+
+    op.accumulateAtRho(w, y);
+    Vector scaled = w;
+    for (std::size_t i = 0; i < scaled.size(); ++i)
+        scaled[i] *= rho[i];
+    a.spmvTransposeAccumulate(scaled, y_ref, 1.0);
+    EXPECT_EQ(y, y_ref);
+}
+
+TEST_F(KktFixture, RefreshValuesTracksRewrittenMatrices)
+{
+    // The operator shares P/A storage with the caller; rewriting the
+    // values in place and calling refreshValues must be equivalent to
+    // constructing a fresh operator on the new values.
+    CscMatrix p2 = p;
+    CscMatrix a2 = a;
+    ReducedKktOperator op(p2, a2, sigma, rho);
+
+    for (Real& v : p2.values())
+        v *= 1.5;
+    for (Real& v : a2.values())
+        v *= -0.5;
+    op.refreshValues();
+
+    ReducedKktOperator fresh(p2, a2, sigma, rho);
+    Rng rng(47);
+    const Vector x = randomVector(6, rng);
+    Vector y, y_fresh;
+    op.apply(x, y);
+    fresh.apply(x, y_fresh);
+    EXPECT_EQ(y, y_fresh);
+    EXPECT_EQ(op.diagonal(), fresh.diagonal());
+}
+
+TEST(ReducedKktOperator, SetRhoMatchesFreshDiagonalExactly)
+{
+    // setRho refreshes the cached diagonal from the rho-independent
+    // parts in O(nnz(A)); the result must equal a fresh construction.
+    Rng rng(53);
+    const CscMatrix p = randomSpdUpper(15, 0.3, rng);
+    const CscMatrix a = randomSparse(10, 15, 0.3, rng);
+    Vector rho1(10, 0.5);
+    Vector rho2(10);
+    for (Real& v : rho2)
+        v = 0.1 + std::abs(rng.normal());
+
+    ReducedKktOperator op(p, a, 1e-6, rho1);
+    op.setRho(rho2);
+    ReducedKktOperator fresh(p, a, 1e-6, rho2);
+    EXPECT_EQ(op.diagonal(), fresh.diagonal());
+}
+
+TEST(ReducedKktOperator, HandlesUnconstrainedProblems)
+{
+    // m = 0 (the ExactInNSteps setup): K = P + sigma I, every A pass a
+    // no-op on empty arrays.
+    Rng rng(59);
+    const CscMatrix p = randomSpdUpper(7, 0.5, rng);
+    const CscMatrix a(0, 7);
+    ReducedKktOperator op(p, a, 1e-6, Vector{});
+    const Vector x = randomVector(7, rng);
+    Vector y;
+    op.apply(x, y);
+    EXPECT_EQ(y, applyReferenceCsc(p, a, 1e-6, Vector{}, x));
+    Vector z;
+    op.applyA(x, z);
+    EXPECT_TRUE(z.empty());
 }
 
 TEST_F(KktFixture, OperatorIsPositiveDefinite)

@@ -196,6 +196,159 @@ TEST(ThreadedVectorOps, ElementwiseKernelsMatchSerialBitwise)
     EXPECT_EQ(axpy_s, axpy_p);
 }
 
+/**
+ * The fused CG kernels must match the composed reference ops bit for
+ * bit — the PCG loop's determinism contract rests on it. Sizes cover
+ * the plain-serial gate (below kParallelThreshold), the chunked path,
+ * and an odd length that leaves a ragged final chunk.
+ */
+class FusedKernels : public ::testing::TestWithParam<Index>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FusedKernels,
+                         ::testing::Values(Index{0}, Index{1}, Index{7},
+                                           kParallelThreshold - 1,
+                                           kParallelThreshold,
+                                           2 * kParallelThreshold + 4095,
+                                           3 * kParallelThreshold + 137));
+
+TEST_P(FusedKernels, AxpyDotMatchesComposedBitwise)
+{
+    const Index n = GetParam();
+    const Vector x = bigRandomVector(n, 21);
+    const Vector z = bigRandomVector(n, 22);
+    Vector y_fused = bigRandomVector(n, 23);
+    Vector y_ref = y_fused;
+
+    const Real fused = axpyDot(0.375, x, y_fused, z);
+    axpy(0.375, x, y_ref);
+    const Real ref = dot(y_ref, z);
+
+    EXPECT_EQ(y_fused, y_ref);
+    EXPECT_EQ(std::memcmp(&fused, &ref, sizeof(Real)), 0);
+}
+
+TEST_P(FusedKernels, AxpyDotAllowsZAliasingY)
+{
+    const Index n = GetParam();
+    const Vector x = bigRandomVector(n, 24);
+    Vector y = bigRandomVector(n, 25);
+    Vector y_ref = y;
+
+    const Real fused = axpyDot(-1.25, x, y, y);  // returns ||y_new||^2
+    axpy(-1.25, x, y_ref);
+    const Real ref = dot(y_ref, y_ref);
+
+    EXPECT_EQ(y, y_ref);
+    EXPECT_EQ(std::memcmp(&fused, &ref, sizeof(Real)), 0);
+}
+
+TEST_P(FusedKernels, XMinusAlphaPDotMatchesComposedBitwise)
+{
+    const Index n = GetParam();
+    const Vector p = bigRandomVector(n, 26);
+    const Vector kp = bigRandomVector(n, 27);
+    Vector x_fused = bigRandomVector(n, 28);
+    Vector r_fused = bigRandomVector(n, 29);
+    Vector x_ref = x_fused;
+    Vector r_ref = r_fused;
+
+    const Real fused = xMinusAlphaPDot(0.625, p, x_fused, kp, r_fused);
+    axpy(0.625, p, x_ref);
+    axpy(-0.625, kp, r_ref);
+    const Real ref = dot(r_ref, r_ref);
+
+    EXPECT_EQ(x_fused, x_ref);
+    EXPECT_EQ(r_fused, r_ref);
+    EXPECT_EQ(std::memcmp(&fused, &ref, sizeof(Real)), 0);
+}
+
+TEST_P(FusedKernels, PrecondApplyDotMatchesComposedBitwise)
+{
+    const Index n = GetParam();
+    const Vector r = bigRandomVector(n, 30);
+    Vector inv_diag = bigRandomVector(n, 31);
+    for (Real& v : inv_diag)
+        v = 0.5 + std::abs(v);
+    Vector d_fused(static_cast<std::size_t>(n), 0.0);
+    Vector d_ref;
+
+    const Real fused = precondApplyDot(inv_diag, r, d_fused);
+    ewProduct(inv_diag, r, d_ref);
+    const Real ref = dot(r, d_ref);
+
+    EXPECT_EQ(d_fused, d_ref);
+    EXPECT_EQ(std::memcmp(&fused, &ref, sizeof(Real)), 0);
+}
+
+TEST_P(FusedKernels, BitwiseIdenticalAcrossThreadCounts)
+{
+    const Index n = GetParam();
+    const Vector x = bigRandomVector(n, 32);
+    const Vector z = bigRandomVector(n, 33);
+    const Vector y0 = bigRandomVector(n, 34);
+
+    Vector y_ref = y0;
+    Real sum_ref;
+    {
+        NumThreadsScope scope(1);
+        sum_ref = axpyDot(0.875, x, y_ref, z);
+    }
+    for (Index threads : {2, 4, 8}) {
+        NumThreadsScope scope(threads);
+        Vector y = y0;
+        const Real sum = axpyDot(0.875, x, y, z);
+        ASSERT_EQ(y, y_ref) << "threads " << threads;
+        ASSERT_EQ(std::memcmp(&sum, &sum_ref, sizeof(Real)), 0)
+            << "threads " << threads;
+    }
+}
+
+TEST(FusedKernelEdgeCases, EmptyVectorsReturnZero)
+{
+    Vector empty;
+    const Vector cempty;
+    EXPECT_EQ(axpyDot(2.0, cempty, empty, cempty), 0.0);
+    EXPECT_EQ(xMinusAlphaPDot(2.0, cempty, empty, cempty, empty), 0.0);
+    EXPECT_EQ(precondApplyDot(cempty, cempty, empty), 0.0);
+}
+
+TEST(FusedKernelEdgeCases, NonFiniteInputsPropagate)
+{
+    // The PCG loop detects breakdowns by testing the returned scalar
+    // with std::isfinite; the fused kernels must let NaN/inf through
+    // rather than mask them.
+    const Real nan = std::numeric_limits<Real>::quiet_NaN();
+    const Real inf = std::numeric_limits<Real>::infinity();
+
+    Vector y = {1.0, 2.0, 3.0};
+    EXPECT_TRUE(std::isnan(axpyDot(1.0, {0.0, nan, 0.0}, y, y)));
+
+    Vector x = {1.0, 1.0};
+    Vector r = {1.0, 1.0};
+    EXPECT_TRUE(std::isinf(
+        xMinusAlphaPDot(1.0, {0.0, 0.0}, x, {0.0, -inf}, r)));
+
+    Vector d(3, 0.0);
+    EXPECT_TRUE(
+        std::isnan(precondApplyDot({1.0, 1.0, 1.0}, {nan, 0.0, 1.0}, d)));
+}
+
+TEST(FusedKernelEdgeCases, OutputsAreNeverResized)
+{
+    // The fused kernels write into preallocated workspace; a silent
+    // resize would defeat the allocation-free steady state. Matching
+    // sizes must work; mismatches abort via RSQP_ASSERT (documented
+    // contract, exercised by the death-test API).
+    Vector d = {0.0};
+    EXPECT_DOUBLE_EQ(precondApplyDot({2.0}, {3.0}, d), 18.0);
+    EXPECT_EQ(d.size(), 1u);
+    Vector d_wrong(2, 0.0);
+    EXPECT_DEATH(precondApplyDot({2.0}, {3.0}, d_wrong),
+                 "precondApplyDot");
+}
+
 TEST(ThreadedVectorOps, SmallVectorsKeepTheLegacySerialPath)
 {
     // Below the threshold the kernels must not touch the pool: the

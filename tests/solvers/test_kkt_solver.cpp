@@ -152,5 +152,115 @@ TEST_F(KktSolverFixture, BackendNamesStable)
     EXPECT_STREQ(indirect.name(), "indirect-pcg");
 }
 
+TEST_F(KktSolverFixture, DirectUpdateMatrixValuesMatchesFreshSolver)
+{
+    DirectKktSolver solver(p, a, sigma, rho);
+    Vector x0, z0;
+    solver.solve(rhs_x, rhs_z, x0, z0);
+
+    std::vector<Real> p_values = p.values();
+    for (Real& v : p_values)
+        v *= 2.0;
+    std::vector<Real> a_values = a.values();
+    for (Real& v : a_values)
+        v *= 0.5;
+    EXPECT_TRUE(solver.updateMatrixValues(p_values, a_values));
+    Vector x1, z1;
+    const KktSolveStats stats = solver.solve(rhs_x, rhs_z, x1, z1);
+    EXPECT_TRUE(stats.refactorized);
+
+    CscMatrix p2 = p;
+    p2.values() = p_values;
+    CscMatrix a2 = a;
+    a2.values() = a_values;
+    DirectKktSolver fresh(p2, a2, sigma, rho);
+    Vector x2, z2;
+    fresh.solve(rhs_x, rhs_z, x2, z2);
+    EXPECT_LT(test::maxAbsDiff(x1, x2), 1e-9);
+    EXPECT_LT(test::maxAbsDiff(z1, z2), 1e-9);
+    EXPECT_GT(test::maxAbsDiff(x0, x1), 1e-9);  // values really changed
+}
+
+TEST_F(KktSolverFixture, IndirectUpdateMatrixValuesMatchesFreshSolver)
+{
+    // The indirect backend reads P/A through pointers: the caller
+    // rewrites those matrices in place, then updateMatrixValues
+    // re-reads them through the construction-time slot maps.
+    CscMatrix p2 = p;
+    CscMatrix a2 = a;
+    IndirectKktSolver solver(p2, a2, sigma, rho, tightPcg());
+    Vector x0, z0;
+    solver.solve(rhs_x, rhs_z, x0, z0);
+
+    for (Real& v : p2.values())
+        v *= 2.0;
+    for (Real& v : a2.values())
+        v *= 0.5;
+    EXPECT_TRUE(solver.updateMatrixValues(p2.values(), a2.values()));
+    Vector x1, z1;
+    solver.solve(rhs_x, rhs_z, x1, z1);
+
+    IndirectKktSolver fresh(p2, a2, sigma, rho, tightPcg());
+    Vector x2, z2;
+    fresh.solve(rhs_x, rhs_z, x2, z2);
+    EXPECT_LT(test::maxAbsDiff(x1, x2), 1e-7);
+    EXPECT_LT(test::maxAbsDiff(z1, z2), 1e-7);
+}
+
+TEST_F(KktSolverFixture, IndirectReportsHotPathProfile)
+{
+    IndirectKktSolver indirect(p, a, sigma, rho, tightPcg());
+    ASSERT_NE(indirect.hotPathProfiler(), nullptr);
+    Vector x, z;
+    const KktSolveStats stats = indirect.solve(rhs_x, rhs_z, x, z);
+    // Every phase family runs at least once per solve: the three SpMV
+    // passes per operator apply, the fused updates and preconditioner
+    // applies in the CG loop, and the p'Kp reduction.
+    EXPECT_GT(stats.hotPath[ProfilePhase::SpmvP].calls, 0u);
+    EXPECT_GT(stats.hotPath[ProfilePhase::SpmvA].calls, 0u);
+    EXPECT_GT(stats.hotPath[ProfilePhase::SpmvAt].calls, 0u);
+    EXPECT_GT(stats.hotPath[ProfilePhase::FusedVectorOps].calls, 0u);
+    EXPECT_GT(stats.hotPath[ProfilePhase::Precond].calls, 0u);
+    EXPECT_GT(stats.hotPath[ProfilePhase::Reduction].calls, 0u);
+
+    // Counters accumulate across solves and reset on demand.
+    Vector x2, z2;
+    const KktSolveStats stats2 = indirect.solve(rhs_x, rhs_z, x2, z2);
+    EXPECT_GE(stats2.hotPath.totalCalls(), stats.hotPath.totalCalls());
+    indirect.resetHotPathProfile();
+    EXPECT_EQ(indirect.hotPathProfiler()->snapshot().totalCalls(), 0u);
+}
+
+TEST_F(KktSolverFixture, ProfilingCanBeDisabled)
+{
+    PcgSettings settings = tightPcg();
+    settings.profile = false;
+    IndirectKktSolver indirect(p, a, sigma, rho, settings);
+    EXPECT_EQ(indirect.hotPathProfiler(), nullptr);
+    Vector x, z;
+    const KktSolveStats stats = indirect.solve(rhs_x, rhs_z, x, z);
+    EXPECT_EQ(stats.hotPath.totalCalls(), 0u);
+    EXPECT_GT(stats.pcgIterations, 0);
+}
+
+TEST_F(KktSolverFixture, BaseClassDeclinesMatrixValueUpdates)
+{
+    // A backend that does not override updateMatrixValues reports
+    // false so the caller knows to rebuild it.
+    class MinimalSolver : public KktSolver
+    {
+      public:
+        KktSolveStats
+        solve(const Vector&, const Vector&, Vector&, Vector&) override
+        {
+            return {};
+        }
+        void updateRho(const Vector&) override {}
+        const char* name() const override { return "minimal"; }
+    };
+    MinimalSolver minimal;
+    EXPECT_FALSE(minimal.updateMatrixValues({}, {}));
+}
+
 } // namespace
 } // namespace rsqp

@@ -203,7 +203,7 @@ TEST(ThreadedPcg, SolveBitwiseIdenticalAcrossThreadCounts)
     ASSERT_TRUE(ref.converged);
     ASSERT_GT(ref.iterations, 2);
 
-    for (Index threads : {2, 8}) {
+    for (Index threads : {2, 4, 8}) {
         NumThreadsScope scope(threads);
         Vector x(static_cast<std::size_t>(n), 0.0);
         const PcgResult result =
@@ -214,6 +214,66 @@ TEST(ThreadedPcg, SolveBitwiseIdenticalAcrossThreadCounts)
         // epsilon: reductions are chunked independently of threads.
         ASSERT_EQ(x, x_ref) << "threads " << threads;
     }
+}
+
+TEST_F(PcgFixture, ReusedWorkspaceGivesIdenticalResults)
+{
+    PcgSettings settings;
+    settings.epsRel = 1e-10;
+    settings.adaptiveTolerance = false;
+
+    Vector x1(12, 0.0);
+    const PcgResult r1 = pcgSolve(*op, *precond, b, x1, settings);
+
+    // A workspace carried across calls (dirty from the first solve)
+    // must not change anything: every vector is fully rewritten.
+    PcgWorkspace workspace;
+    Vector x2(12, 0.0);
+    const PcgResult r2 =
+        pcgSolve(*op, *precond, b, x2, settings, workspace);
+    Vector x3(12, 0.0);
+    const PcgResult r3 =
+        pcgSolve(*op, *precond, b, x3, settings, workspace);
+
+    EXPECT_TRUE(r1.converged);
+    EXPECT_EQ(r1.iterations, r2.iterations);
+    EXPECT_EQ(r2.iterations, r3.iterations);
+    EXPECT_EQ(x1, x2);
+    EXPECT_EQ(x2, x3);
+}
+
+TEST(PcgWorkspace, ResizeAllocatesAllFourVectors)
+{
+    PcgWorkspace workspace;
+    workspace.resize(5);
+    EXPECT_EQ(workspace.r.size(), 5u);
+    EXPECT_EQ(workspace.d.size(), 5u);
+    EXPECT_EQ(workspace.p.size(), 5u);
+    EXPECT_EQ(workspace.kp.size(), 5u);
+    // Shrinking reuses capacity; growing again is still correct.
+    workspace.resize(2);
+    workspace.resize(5);
+    EXPECT_EQ(workspace.r.size(), 5u);
+}
+
+TEST(JacobiPreconditioner, RebuildReplacesDiagonalInPlace)
+{
+    JacobiPreconditioner precond({2.0, 4.0});
+    precond.rebuild({8.0, 10.0});
+    Vector out(2, 0.0);
+    precond.apply({16.0, 20.0}, out);
+    EXPECT_DOUBLE_EQ(out[0], 2.0);
+    EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+TEST(JacobiPreconditioner, ApplyRequiresPreallocatedOutput)
+{
+    const JacobiPreconditioner precond({2.0, 4.0});
+    Vector out(2, 0.0);
+    precond.apply({1.0, 1.0}, out);  // correct size: fine
+    EXPECT_DOUBLE_EQ(out[0], 0.5);
+    Vector wrong;
+    EXPECT_DEATH(precond.apply({1.0, 1.0}, wrong), "preallocated");
 }
 
 } // namespace
