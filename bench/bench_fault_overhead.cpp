@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/rsqp.hpp"
 #include "linalg/vector_ops.hpp"
@@ -189,7 +190,8 @@ main(int argc, char** argv)
         std::cout << "{\n  \"problems\": [\n";
         for (std::size_t i = 0; i < rows.size(); ++i) {
             const Row& row = rows[i];
-            std::cout << "    {\"name\": \"" << row.name
+            std::cout << "    {\"name\": \""
+                      << bench::jsonEscape(row.name)
                       << "\", \"legacy_seconds\": "
                       << formatDouble(row.legacySeconds, 6)
                       << ", \"guarded_seconds\": "
@@ -197,7 +199,7 @@ main(int argc, char** argv)
                       << ", \"overhead_percent\": "
                       << formatDouble(row.overheadPercent, 2)
                       << ", \"injected_status\": \""
-                      << row.injectedStatus
+                      << bench::jsonEscape(row.injectedStatus)
                       << "\", \"recovery_events\": "
                       << row.recoveryEvents << "}"
                       << (i + 1 < rows.size() ? "," : "") << "\n";

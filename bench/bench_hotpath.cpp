@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/rsqp.hpp"
@@ -183,7 +184,8 @@ main(int argc, char** argv)
 
     if (options.json) {
         std::cout << "{\n"
-                  << "  \"problem\": \"" << largest->name << "\",\n"
+                  << "  \"problem\": \""
+                  << bench::jsonEscape(largest->name) << "\",\n"
                   << "  \"n\": " << qp.numVariables() << ",\n"
                   << "  \"m\": " << qp.numConstraints() << ",\n"
                   << "  \"nnz\": " << qp.totalNnz() << ",\n"

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "arch/program_builder.hpp"
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/rsqp.hpp"
@@ -268,7 +269,8 @@ main(int argc, char** argv)
         std::cout << "[\n";
         for (std::size_t i = 0; i < rows.size(); ++i) {
             const Row& row = rows[i];
-            std::cout << "  {\"kernel\": \"" << row.kernel
+            std::cout << "  {\"kernel\": \""
+                      << bench::jsonEscape(row.kernel)
                       << "\", \"threads\": " << row.threads
                       << ", \"seconds\": "
                       << formatDouble(row.seconds, 6)

@@ -15,6 +15,7 @@
 #ifndef RSQP_BENCH_BENCH_UTIL_HPP
 #define RSQP_BENCH_BENCH_UTIL_HPP
 
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -24,6 +25,41 @@
 
 namespace rsqp::bench
 {
+
+/**
+ * Escape a string for embedding inside a JSON string literal: quotes,
+ * backslashes and control characters become their escape sequences.
+ * Every harness that prints a string field into a --json artifact must
+ * route it through here — problem names come from generator specs
+ * today, but schema checkers downstream parse the output strictly.
+ */
+inline std::string
+jsonEscape(const std::string& raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char ch : raw) {
+        const unsigned char byte = static_cast<unsigned char>(ch);
+        switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (byte < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
 
 struct BenchOptions
 {

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bounded least-recently-used cache with hit/miss/eviction counters.
+ *
+ * Generic building block of the service layer's customization cache:
+ * an intrusive recency list over an unordered map, O(1) find/insert,
+ * strict capacity bound (the least recently *touched* entry is evicted
+ * on overflow). Not thread-safe by itself — owners that share a cache
+ * across threads wrap it in their own lock (see
+ * service/customization_cache.hpp).
+ */
+
+#ifndef RSQP_COMMON_LRU_CACHE_HPP
+#define RSQP_COMMON_LRU_CACHE_HPP
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace rsqp
+{
+
+/** Counter snapshot of one LruCache. */
+struct LruCacheStats
+{
+    Count hits = 0;
+    Count misses = 0;
+    Count evictions = 0;
+    Count insertions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache
+{
+  public:
+    /** Capacity 0 disables the cache: every find misses. */
+    explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+    std::size_t size() const { return order_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Look up a key; a hit moves the entry to most-recently-used and
+     * returns a pointer into the cache (valid until the next mutation),
+     * a miss returns nullptr. Both bump the stats counters.
+     */
+    Value*
+    find(const Key& key)
+    {
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            ++stats_.misses;
+            return nullptr;
+        }
+        ++stats_.hits;
+        order_.splice(order_.begin(), order_, it->second);
+        return &it->second->second;
+    }
+
+    /**
+     * Insert (or overwrite) a key as most-recently-used; returns the
+     * displaced value, if any — the previous value of an overwritten
+     * key, or the LRU entry evicted to respect the capacity bound.
+     * With capacity 0 the value itself is returned unstored.
+     */
+    std::optional<Value>
+    insert(const Key& key, Value value)
+    {
+        if (capacity_ == 0)
+            return std::optional<Value>(std::move(value));
+        ++stats_.insertions;
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            order_.splice(order_.begin(), order_, it->second);
+            std::optional<Value> displaced(
+                std::move(it->second->second));
+            it->second->second = std::move(value);
+            return displaced;
+        }
+        order_.emplace_front(key, std::move(value));
+        map_.emplace(key, order_.begin());
+        if (order_.size() <= capacity_)
+            return std::nullopt;
+        ++stats_.evictions;
+        std::optional<Value> evicted(std::move(order_.back().second));
+        map_.erase(order_.back().first);
+        order_.pop_back();
+        return evicted;
+    }
+
+    void
+    clear()
+    {
+        map_.clear();
+        order_.clear();
+    }
+
+    LruCacheStats
+    stats() const
+    {
+        LruCacheStats snapshot = stats_;
+        snapshot.size = order_.size();
+        snapshot.capacity = capacity_;
+        return snapshot;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::list<std::pair<Key, Value>> order_;  ///< front = most recent
+    std::unordered_map<Key,
+                       typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        map_;
+    LruCacheStats stats_;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_COMMON_LRU_CACHE_HPP

@@ -171,6 +171,137 @@ customizeProblem(const QpProblem& scaled, const CustomizeSettings& settings)
     return customization;
 }
 
+namespace
+{
+
+/** Frozen half of one MatrixArtifacts (drops CSR values + stream). */
+FrozenMatrixArtifact
+freezeArtifacts(const MatrixArtifacts& artifacts)
+{
+    FrozenMatrixArtifact frozen;
+    frozen.name = artifacts.name;
+    frozen.str = artifacts.str;
+    frozen.schedule = artifacts.schedule;
+    frozen.plan = artifacts.plan;
+    return frozen;
+}
+
+/**
+ * Rebuild full MatrixArtifacts from a frozen artifact and fresh CSR
+ * values: identical to buildArtifacts() except that the string, the
+ * schedule and the CVB plan are taken as given instead of recomputed.
+ */
+MatrixArtifacts
+thawArtifacts(CsrMatrix csr, const FrozenMatrixArtifact& frozen,
+              const StructureSet& set)
+{
+    MatrixArtifacts artifacts;
+    artifacts.name = frozen.name;
+    artifacts.csr = std::move(csr);
+    artifacts.str = frozen.str;
+    artifacts.schedule = frozen.schedule;
+    artifacts.packed = packMatrix(artifacts.csr, artifacts.str,
+                                  artifacts.schedule, set);
+    artifacts.plan = frozen.plan;
+    return artifacts;
+}
+
+Count
+frozenBytes(const FrozenMatrixArtifact& frozen)
+{
+    Count bytes = static_cast<Count>(frozen.str.encoded.size()) +
+        static_cast<Count>(frozen.str.rowOfPos.size() +
+                           frozen.str.nnzOfPos.size() +
+                           frozen.plan.address.size()) *
+            static_cast<Count>(sizeof(Index));
+    for (const SlotAssignment& slot : frozen.schedule.slots)
+        bytes += static_cast<Count>(sizeof(SlotAssignment)) +
+            static_cast<Count>(slot.positions.size()) *
+                static_cast<Count>(sizeof(Index));
+    for (const IndexVector& bank : frozen.plan.bankContents)
+        bytes += static_cast<Count>(bank.size()) *
+            static_cast<Count>(sizeof(Index));
+    return bytes;
+}
+
+} // namespace
+
+Count
+CustomizationArtifact::footprintBytes() const
+{
+    return static_cast<Count>(sizeof(CustomizationArtifact)) +
+        frozenBytes(p) + frozenBytes(a) + frozenBytes(at) +
+        frozenBytes(atSq);
+}
+
+bool
+CustomizationArtifact::compatibleWith(
+    const QpProblem& scaled, const CustomizeSettings& settings) const
+{
+    if (config.c != settings.c ||
+        config.compressedCvb != settings.compressCvb ||
+        config.fp32Datapath != settings.fp32Datapath)
+        return false;
+    const Index n = scaled.numVariables();
+    const Index m = scaled.numConstraints();
+    // The CVB plan length is the multiplicand-vector length of each
+    // scheduled matrix: x for P and A, the m-vector for A'.
+    if (p.plan.length != n || a.plan.length != n ||
+        at.plan.length != m || atSq.plan.length != m)
+        return false;
+    // nnz of the full symmetric expansion of P: every off-diagonal
+    // upper entry mirrors once.
+    Count p_offdiag = 0;
+    const auto& col_ptr = scaled.pUpper.colPtr();
+    const auto& row_idx = scaled.pUpper.rowIdx();
+    for (Index c = 0; c < n; ++c)
+        for (Index k = col_ptr[static_cast<std::size_t>(c)];
+             k < col_ptr[static_cast<std::size_t>(c) + 1]; ++k)
+            if (row_idx[static_cast<std::size_t>(k)] != c)
+                ++p_offdiag;
+    const Count p_full_nnz = scaled.pUpper.nnz() + p_offdiag;
+    return p.schedule.nnz == p_full_nnz &&
+        a.schedule.nnz == scaled.a.nnz() &&
+        at.schedule.nnz == scaled.a.nnz();
+}
+
+CustomizationArtifact
+freezeCustomization(const ProblemCustomization& custom)
+{
+    CustomizationArtifact artifact;
+    artifact.config = custom.config;
+    artifact.p = freezeArtifacts(custom.p);
+    artifact.a = freezeArtifacts(custom.a);
+    artifact.at = freezeArtifacts(custom.at);
+    artifact.atSq = freezeArtifacts(custom.atSq);
+    return artifact;
+}
+
+ProblemCustomization
+thawCustomization(const QpProblem& scaled,
+                  const CustomizationArtifact& artifact,
+                  const CustomizeSettings& settings)
+{
+    RSQP_ASSERT(artifact.compatibleWith(scaled, settings),
+                "thawCustomization: artifact/problem mismatch");
+    ProblemCustomization customization;
+    customization.config = artifact.config;
+    customization.config.numThreads = settings.numThreads;
+    customization.config.faultInjection = settings.faultInjection;
+
+    const StructureSet& set = customization.config.structures;
+    const CsrMatrix at_csr = CsrMatrix::fromCsc(scaled.a.transpose());
+    customization.p = thawArtifacts(
+        CsrMatrix::fromCsc(scaled.pUpper.symUpperToFull()), artifact.p,
+        set);
+    customization.a =
+        thawArtifacts(CsrMatrix::fromCsc(scaled.a), artifact.a, set);
+    customization.at = thawArtifacts(at_csr, artifact.at, set);
+    customization.atSq =
+        thawArtifacts(squaredValues(at_csr), artifact.atSq, set);
+    return customization;
+}
+
 ProblemCustomization
 baselineCustomization(const QpProblem& scaled, Index c)
 {

@@ -16,6 +16,7 @@
 #ifndef RSQP_CORE_CUSTOMIZATION_HPP
 #define RSQP_CORE_CUSTOMIZATION_HPP
 
+#include <memory>
 #include <string>
 
 #include "arch/config.hpp"
@@ -83,6 +84,70 @@ struct ProblemCustomization
  */
 ProblemCustomization customizeProblem(const QpProblem& scaled,
                                       const CustomizeSettings& settings);
+
+/**
+ * The value-blind half of one matrix customization: the encoded
+ * sparsity string, its MAC-tree schedule and the CVB compression map —
+ * everything except the CSR values and the packed HBM stream, all of
+ * which are pure functions of the sparsity structure.
+ */
+struct FrozenMatrixArtifact
+{
+    std::string name;
+    SparsityString str;
+    Schedule schedule;
+    CvbPlan plan;
+};
+
+/**
+ * A frozen, reusable customization: the expensive per-structure work
+ * (E_p structure search, scheduling, E_c CVB packing) detached from
+ * any particular numeric values. Thawing against a value-distinct but
+ * structurally identical problem reproduces customizeProblem() bitwise
+ * while skipping the whole pipeline — the amortization unit of the
+ * service layer's customization cache.
+ */
+struct CustomizationArtifact
+{
+    /**
+     * The generated architecture. numThreads and faultInjection are
+     * per-instance host knobs, overwritten at thaw time from the
+     * caller's settings; everything else is part of the frozen design.
+     */
+    ArchConfig config;
+    FrozenMatrixArtifact p;
+    FrozenMatrixArtifact a;
+    FrozenMatrixArtifact at;
+    FrozenMatrixArtifact atSq;
+
+    /** Approximate host-memory footprint (cache accounting). */
+    Count footprintBytes() const;
+
+    /** Structural compatibility with a (scaled) problem + settings. */
+    bool compatibleWith(const QpProblem& scaled,
+                        const CustomizeSettings& settings) const;
+};
+
+/** Detach the value-blind artifact from a finished customization. */
+CustomizationArtifact
+freezeCustomization(const ProblemCustomization& custom);
+
+/**
+ * Re-instantiate a customization from a frozen artifact and a (scaled)
+ * problem with the same sparsity structure: rebuild the CSR mirrors
+ * from the problem values and re-pack the HBM streams on the frozen
+ * schedules. For a structure-identical problem the result is
+ * bitwise-identical to customizeProblem(scaled, settings) — asserted
+ * by the service tests — at O(nnz) cost instead of the full search.
+ *
+ * @param settings Supplies the per-instance host knobs (numThreads,
+ *        faultInjection); its structural knobs (c, optimization flags)
+ *        must match the artifact (see compatibleWith).
+ */
+ProblemCustomization
+thawCustomization(const QpProblem& scaled,
+                  const CustomizationArtifact& artifact,
+                  const CustomizeSettings& settings);
 
 /** Convenience: the paper's generic baseline at width c. */
 ProblemCustomization baselineCustomization(const QpProblem& scaled,

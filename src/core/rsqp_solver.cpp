@@ -15,6 +15,13 @@ namespace rsqp
 
 RsqpSolver::RsqpSolver(QpProblem problem, OsqpSettings settings,
                        CustomizeSettings custom)
+    : RsqpSolver(std::move(problem), std::move(settings),
+                 std::move(custom), nullptr)
+{}
+
+RsqpSolver::RsqpSolver(
+    QpProblem problem, OsqpSettings settings, CustomizeSettings custom,
+    std::shared_ptr<const CustomizationArtifact> artifact)
     : original_(std::move(problem)), settings_(std::move(settings))
 {
     // Malformed problem data leaves the solver inert (machine_ stays
@@ -39,7 +46,19 @@ RsqpSolver::RsqpSolver(QpProblem problem, OsqpSettings settings,
     scaled_ = original_;
     scaling_ = ruizEquilibrate(scaled_, settings_.scalingIterations);
 
-    custom_ = customizeProblem(scaled_, custom);
+    if (artifact != nullptr &&
+        artifact->compatibleWith(scaled_, custom)) {
+        // Cache hit: the frozen structures/schedules/CVB plans apply
+        // verbatim; only the value-dependent packing runs.
+        custom_ = thawCustomization(scaled_, *artifact, custom);
+        customizationReused_ = true;
+    } else {
+        if (artifact != nullptr)
+            RSQP_WARN("customization artifact incompatible with "
+                      "problem '", original_.name,
+                      "'; running the full pipeline");
+        custom_ = customizeProblem(scaled_, custom);
+    }
 
     ArchConfig config = custom_.config;
     machine_ = std::make_unique<Machine>(config);
@@ -53,16 +72,21 @@ RsqpSolver::RsqpSolver(QpProblem problem, OsqpSettings settings,
                              settings_);
 }
 
-void
+bool
 RsqpSolver::warmStart(const Vector& x, const Vector& y)
 {
     if (machine_ == nullptr)
-        return;  // inert solver: solve() reports InvalidProblem
+        return false;  // inert solver: solve() reports InvalidProblem
     const Index n = original_.numVariables();
     const Index m = original_.numConstraints();
-    RSQP_ASSERT(static_cast<Index>(x.size()) == n &&
-                static_cast<Index>(y.size()) == m,
-                "warmStart size mismatch");
+    if (static_cast<Index>(x.size()) != n ||
+        static_cast<Index>(y.size()) != m) {
+        // A malformed client guess must not take the solver down; the
+        // next solve simply starts cold.
+        RSQP_WARN("warmStart ignored: got sizes (", x.size(), ", ",
+                  y.size(), "), expected (", n, ", ", m, ")");
+        return false;
+    }
     Vector xs(static_cast<std::size_t>(n));
     Vector ys(static_cast<std::size_t>(m));
     for (Index j = 0; j < n; ++j)
@@ -78,6 +102,7 @@ RsqpSolver::warmStart(const Vector& x, const Vector& y)
     machine_->setHbmVector(prog_.hbmX0, std::move(xs));
     machine_->setHbmVector(prog_.hbmY0, std::move(ys));
     machine_->setHbmVector(prog_.hbmZ0, std::move(zs));
+    return true;
 }
 
 void

@@ -72,11 +72,31 @@ class RsqpSolver
     RsqpSolver(QpProblem problem, OsqpSettings settings,
                CustomizeSettings custom);
 
+    /**
+     * Set up the accelerated solver from a frozen customization
+     * artifact (see core/customization.hpp): when the artifact is
+     * non-null and structurally compatible with the problem, the whole
+     * E_p/E_c pipeline is skipped and only the value-dependent packing
+     * runs — the cache-hit fast path of the service layer. An
+     * incompatible or null artifact falls back to the full pipeline.
+     */
+    RsqpSolver(QpProblem problem, OsqpSettings settings,
+               CustomizeSettings custom,
+               std::shared_ptr<const CustomizationArtifact> artifact);
+
     /** Run the accelerator program and return the solution. */
     RsqpResult solve();
 
-    /** Warm start the next solve() (unscaled guesses). */
-    void warmStart(const Vector& x, const Vector& y);
+    /**
+     * Warm start the next solve() (unscaled guesses). A size mismatch
+     * is a recoverable client error: the guess is ignored with a
+     * warning and false is returned (the solve proceeds cold), in the
+     * same spirit as the non-throwing InvalidProblem path.
+     */
+    bool warmStart(const Vector& x, const Vector& y);
+
+    /** True if setup reused a frozen artifact (skipped the pipeline). */
+    bool customizationReused() const { return customizationReused_; }
 
     /** Replace q; the architecture and program are reused. */
     void updateLinearCost(const Vector& q);
@@ -113,6 +133,7 @@ class RsqpSolver
     ValidationReport validation_;  ///< setup diagnostics
     OsqpSettings settings_;
     ProblemCustomization custom_;
+    bool customizationReused_ = false;
     std::unique_ptr<Machine> machine_;
     OsqpMatrixIds mats_;
     OsqpDeviceProgram prog_;

@@ -25,6 +25,7 @@ toString(SolveStatus status)
       case SolveStatus::NumericalError: return "numerical_error";
       case SolveStatus::InvalidProblem: return "invalid_problem";
       case SolveStatus::TimeLimitReached: return "time_limit_reached";
+      case SolveStatus::Rejected: return "rejected";
       case SolveStatus::Unsolved: return "unsolved";
     }
     return "unknown";
@@ -113,13 +114,19 @@ OsqpSolver::rebuildKktSolver()
     }
 }
 
-void
+bool
 OsqpSolver::warmStart(const Vector& x, const Vector& y)
 {
     if (!validation_.ok())
-        return;  // inert solver: solve() reports InvalidProblem
-    RSQP_ASSERT(static_cast<Index>(x.size()) == n_, "warmStart x size");
-    RSQP_ASSERT(static_cast<Index>(y.size()) == m_, "warmStart y size");
+        return false;  // inert solver: solve() reports InvalidProblem
+    if (static_cast<Index>(x.size()) != n_ ||
+        static_cast<Index>(y.size()) != m_) {
+        // A malformed client guess must not take the solver down; the
+        // next solve simply starts from the current iterates.
+        RSQP_WARN("warmStart ignored: got sizes (", x.size(), ", ",
+                  y.size(), "), expected (", n_, ", ", m_, ")");
+        return false;
+    }
     // Map the unscaled guess into scaled space.
     for (Index j = 0; j < n_; ++j)
         x_[static_cast<std::size_t>(j)] =
@@ -130,6 +137,7 @@ OsqpSolver::warmStart(const Vector& x, const Vector& y)
             scaling_.eInv[static_cast<std::size_t>(i)] *
             y[static_cast<std::size_t>(i)];
     scaled_.a.spmv(x_, z_);
+    return true;
 }
 
 void

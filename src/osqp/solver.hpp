@@ -50,8 +50,14 @@ class OsqpSolver
     /** Run Algorithm 1 from the current warm-start state. */
     OsqpResult solve();
 
-    /** Warm start the next solve() from a primal/dual guess (unscaled). */
-    void warmStart(const Vector& x, const Vector& y);
+    /**
+     * Warm start the next solve() from a primal/dual guess (unscaled).
+     * A size mismatch is a recoverable client error: the guess is
+     * ignored with a warning and false is returned (the solve proceeds
+     * from the current iterates), in the same spirit as the
+     * non-throwing InvalidProblem path.
+     */
+    bool warmStart(const Vector& x, const Vector& y);
 
     /** Replace q (same length); rescales internally. */
     void updateLinearCost(const Vector& q);
@@ -67,6 +73,14 @@ class OsqpSolver
 
     /** Current scalar rho (after any adaptation). */
     Real currentRho() const { return rhoBar_; }
+
+    /**
+     * Replace the wall-clock budget of subsequent solve() calls
+     * (seconds; 0 = no limit). The service layer uses this to apply a
+     * per-request deadline — the remaining budget after queue wait —
+     * without rebuilding the solver.
+     */
+    void setTimeLimit(Real seconds) { settings_.timeLimit = seconds; }
 
     /**
      * Replace the numeric values of P and/or A keeping the sparsity

@@ -26,7 +26,9 @@ enum class SolveStatus
     DualInfeasible,
     NumericalError,
     InvalidProblem,   ///< problem data failed validation (see report)
-    TimeLimitReached, ///< wall-clock budget expired mid-solve
+    TimeLimitReached, ///< wall-clock budget expired (mid-solve, or in
+                      ///< the service queue before the solve started)
+    Rejected,         ///< service admission queue full or bad request
     Unsolved,
 };
 

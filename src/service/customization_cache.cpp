@@ -1,0 +1,58 @@
+#include "customization_cache.hpp"
+
+namespace rsqp
+{
+
+CustomizationCache::CustomizationCache(std::size_t capacity)
+    : cache_(capacity)
+{}
+
+std::shared_ptr<const CustomizationArtifact>
+CustomizationCache::find(const StructureFingerprint& fp)
+{
+    if (!fp.cacheable)
+        return nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry* entry = cache_.find(fp);
+    return entry != nullptr ? *entry : nullptr;
+}
+
+void
+CustomizationCache::insert(
+    const StructureFingerprint& fp,
+    std::shared_ptr<const CustomizationArtifact> artifact)
+{
+    if (!fp.cacheable || artifact == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    footprintBytes_ += artifact->footprintBytes();
+    const auto evicted = cache_.insert(fp, std::move(artifact));
+    if (evicted.has_value() && *evicted != nullptr)
+        footprintBytes_ -= (*evicted)->footprintBytes();
+}
+
+CustomizationCacheStats
+CustomizationCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const LruCacheStats raw = cache_.stats();
+    CustomizationCacheStats stats;
+    stats.hits = raw.hits;
+    stats.misses = raw.misses;
+    stats.evictions = raw.evictions;
+    stats.insertions = raw.insertions;
+    stats.size = raw.size;
+    stats.capacity = raw.capacity;
+    stats.footprintBytes = footprintBytes_;
+    return stats;
+}
+
+void
+CustomizationCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+    footprintBytes_ = 0;
+}
+
+} // namespace rsqp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bounded, thread-safe cache of frozen customization artifacts keyed
+ * by structure fingerprint.
+ *
+ * This is where the paper's amortization argument becomes a serving
+ * primitive: the expensive per-structure work (E_p MAC-structure
+ * search, scheduling, E_c CVB packing) runs at most once per sparsity
+ * structure; every later solver construction against the same
+ * structure thaws the artifact in O(nnz). Entries are shared_ptr<const>
+ * so an artifact evicted under a live solver setup stays valid until
+ * that setup finishes.
+ */
+
+#ifndef RSQP_SERVICE_CUSTOMIZATION_CACHE_HPP
+#define RSQP_SERVICE_CUSTOMIZATION_CACHE_HPP
+
+#include <memory>
+#include <mutex>
+
+#include "common/lru_cache.hpp"
+#include "core/customization.hpp"
+#include "service/fingerprint.hpp"
+
+namespace rsqp
+{
+
+/** Counter snapshot of one CustomizationCache. */
+struct CustomizationCacheStats
+{
+    Count hits = 0;
+    Count misses = 0;
+    Count evictions = 0;
+    Count insertions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+    /** Approximate host bytes held by the cached artifacts. */
+    Count footprintBytes = 0;
+};
+
+/** Fingerprint-keyed LRU of frozen customization artifacts. */
+class CustomizationCache
+{
+  public:
+    /** Capacity in artifacts (0 disables caching). */
+    explicit CustomizationCache(std::size_t capacity = 16);
+
+    /**
+     * Look up an artifact; a hit refreshes its recency. Non-cacheable
+     * fingerprints (user-objective customizations) always miss without
+     * touching the counters.
+     */
+    std::shared_ptr<const CustomizationArtifact>
+    find(const StructureFingerprint& fp);
+
+    /** Insert an artifact; non-cacheable fingerprints are dropped. */
+    void insert(const StructureFingerprint& fp,
+                std::shared_ptr<const CustomizationArtifact> artifact);
+
+    CustomizationCacheStats stats() const;
+
+    void clear();
+
+  private:
+    using Entry = std::shared_ptr<const CustomizationArtifact>;
+
+    mutable std::mutex mutex_;
+    LruCache<StructureFingerprint, Entry, StructureFingerprintHash>
+        cache_;
+    Count footprintBytes_ = 0;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_SERVICE_CUSTOMIZATION_CACHE_HPP

@@ -1,0 +1,245 @@
+#include "service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Resolve an admitted request without running it. */
+void
+resolveWith(std::promise<SessionResult>& promise, SolveStatus status)
+{
+    SessionResult result;
+    result.status = status;
+    promise.set_value(std::move(result));
+}
+
+} // namespace
+
+SolverService::SolverService(ServiceConfig config)
+    : config_(config),
+      maxConcurrency_(config.maxConcurrency != 0
+                          ? config.maxConcurrency
+                          : static_cast<unsigned>(effectiveNumThreads())),
+      cache_(std::make_shared<CustomizationCache>(config.cacheCapacity))
+{}
+
+SolverService::~SolverService()
+{
+    // Graceful drain: everything admitted before destruction runs to a
+    // real status; nothing new can be admitted because the owner is
+    // destroying the only handle.
+    waitIdle();
+}
+
+SessionId
+SolverService::openSession(SessionConfig config)
+{
+    auto state = std::make_unique<SessionState>();
+    state->session = std::make_unique<SolverSession>(std::move(config),
+                                                     cache_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const SessionId id = nextId_++;
+    sessions_.emplace(id, std::move(state));
+    return id;
+}
+
+void
+SolverService::closeSession(SessionId id)
+{
+    std::vector<std::shared_ptr<Job>> dropped;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = sessions_.find(id);
+        if (it == sessions_.end())
+            return;
+        SessionState& state = *it->second;
+        state.open = false;
+        queuedJobs_ -= state.pending.size();
+        rejected_ += static_cast<Count>(state.pending.size());
+        dropped.assign(state.pending.begin(), state.pending.end());
+        state.pending.clear();
+        // A running job still owns the session; its completion handler
+        // erases the closed state.
+        if (!state.running)
+            sessions_.erase(it);
+    }
+    for (const std::shared_ptr<Job>& job : dropped)
+        resolveWith(job->promise, SolveStatus::Rejected);
+}
+
+std::future<SessionResult>
+SolverService::submit(SessionId id, QpProblem problem,
+                      Real deadline_seconds)
+{
+    auto job = std::make_shared<Job>();
+    job->problem = std::move(problem);
+    job->deadline = deadline_seconds > 0.0 ? deadline_seconds
+                                           : config_.defaultDeadlineSeconds;
+    job->enqueued = std::chrono::steady_clock::now();
+    std::future<SessionResult> future = job->promise.get_future();
+
+    bool admitted = false;
+    std::vector<Launch> launches;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++submitted_;
+        auto it = sessions_.find(id);
+        if (it != sessions_.end() && it->second->open &&
+            queuedJobs_ < config_.maxQueueDepth) {
+            SessionState& state = *it->second;
+            const bool wasIdle = !state.running && state.pending.empty();
+            state.pending.push_back(job);
+            ++queuedJobs_;
+            if (queuedJobs_ > peakQueueDepth_)
+                peakQueueDepth_ = queuedJobs_;
+            if (wasIdle)
+                ready_.push_back(id);
+            admitted = true;
+            pumpLocked(launches);
+        } else {
+            ++rejected_;
+        }
+    }
+    if (!admitted) {
+        resolveWith(job->promise, SolveStatus::Rejected);
+        return future;
+    }
+    launch(launches);
+    return future;
+}
+
+SessionResult
+SolverService::solve(SessionId id, QpProblem problem,
+                     Real deadline_seconds)
+{
+    return submit(id, std::move(problem), deadline_seconds).get();
+}
+
+void
+SolverService::pumpLocked(std::vector<Launch>& launches)
+{
+    while (activeRuns_ < maxConcurrency_ && !ready_.empty()) {
+        const SessionId id = ready_.front();
+        ready_.pop_front();
+        auto it = sessions_.find(id);
+        if (it == sessions_.end() || it->second->running ||
+            it->second->pending.empty())
+            continue;
+        SessionState& state = *it->second;
+        state.running = true;
+        ++activeRuns_;
+        launches.push_back({id, &state, state.pending.front()});
+        state.pending.pop_front();
+        --queuedJobs_;
+    }
+}
+
+void
+SolverService::launch(std::vector<Launch>& launches)
+{
+    // Submitted outside the service lock: with a degenerate zero-worker
+    // pool submit() runs the task inline, which would deadlock under
+    // the lock.
+    for (Launch& item : launches) {
+        SessionId id = item.id;
+        SessionState* state = item.state;
+        std::shared_ptr<Job> job = std::move(item.job);
+        ThreadPool::global().submit(
+            [this, id, state, job] { runJob(id, state, job); });
+    }
+}
+
+void
+SolverService::runJob(SessionId id, SessionState* state,
+                      const std::shared_ptr<Job>& job)
+{
+    SessionResult result;
+    const double waited = secondsSince(job->enqueued);
+    const bool expired = job->deadline > 0.0 && waited >= job->deadline;
+    if (expired) {
+        // Too late to start: report the deadline without touching the
+        // session (its warm state and diff base stay intact).
+        result.status = SolveStatus::TimeLimitReached;
+    } else {
+        const Real budget = job->deadline > 0.0
+                                ? job->deadline - static_cast<Real>(waited)
+                                : 0.0;
+        result = state->session->solve(job->problem, budget);
+    }
+
+    std::vector<Launch> launches;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        state->statsSnapshot = state->session->stats();
+        if (expired)
+            ++expired_;
+        else
+            ++completed_;
+        state->running = false;
+        --activeRuns_;
+        if (!state->open && state->pending.empty())
+            sessions_.erase(id);  // deferred from closeSession
+        else if (!state->pending.empty())
+            ready_.push_back(id);
+        pumpLocked(launches);
+        // The idle check runs after pumpLocked so follow-on work keeps
+        // activeRuns_ nonzero: once a drain observes idle, no code path
+        // of this job touches the service again, making destruction
+        // race-free.
+        if (activeRuns_ == 0 && queuedJobs_ == 0)
+            idleCv_.notify_all();
+    }
+    if (!launches.empty())  // non-empty implies the drain is still held
+        launch(launches);
+    job->promise.set_value(std::move(result));
+}
+
+void
+SolverService::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock,
+                 [this] { return activeRuns_ == 0 && queuedJobs_ == 0; });
+}
+
+ServiceStats
+SolverService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServiceStats stats;
+    stats.submitted = submitted_;
+    stats.completed = completed_;
+    stats.rejected = rejected_;
+    stats.expired = expired_;
+    stats.queueDepth = queuedJobs_;
+    stats.peakQueueDepth = peakQueueDepth_;
+    stats.openSessions = sessions_.size();
+    stats.cache = cache_->stats();
+    return stats;
+}
+
+SessionStats
+SolverService::sessionStats(SessionId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    return it != sessions_.end() ? it->second->statsSnapshot
+                                 : SessionStats();
+}
+
+} // namespace rsqp

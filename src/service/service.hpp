@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Multi-client QP solving service: session registry + bounded
+ * admission queue over the shared thread pool.
+ *
+ * The service owns one SolverSession per client and one shared
+ * CustomizationCache, and turns concurrent submit() calls into a
+ * deterministic execution: requests of the *same* session run strictly
+ * in submission order (a session is never on two workers at once),
+ * while different sessions run in parallel up to a concurrency cap.
+ * Combined with the pool's deterministic kernels this makes every
+ * session's result stream independent of load and scheduling.
+ *
+ * Admission control is explicit and non-blocking: a full queue yields
+ * SolveStatus::Rejected immediately, and a request whose deadline
+ * expires while waiting yields SolveStatus::TimeLimitReached without
+ * ever touching the session's solver state.
+ */
+
+#ifndef RSQP_SERVICE_SERVICE_HPP
+#define RSQP_SERVICE_SERVICE_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "service/session.hpp"
+
+namespace rsqp
+{
+
+/** Handle of one open session (never reused within a service). */
+using SessionId = Count;
+
+/** Service-wide configuration, fixed at construction. */
+struct ServiceConfig
+{
+    /** Max requests waiting across all sessions; overflow is Rejected. */
+    std::size_t maxQueueDepth = 64;
+    /** Max sessions solving at once (0 = effectiveNumThreads()). */
+    unsigned maxConcurrency = 0;
+    /** Customization-cache capacity in artifacts (0 disables). */
+    std::size_t cacheCapacity = 16;
+    /** Deadline applied when submit() passes none (0 = unlimited). */
+    Real defaultDeadlineSeconds = 0.0;
+};
+
+/** Service-wide counter snapshot. */
+struct ServiceStats
+{
+    Count submitted = 0;
+    Count completed = 0;  ///< ran to a solver status
+    Count rejected = 0;   ///< queue overflow / unknown or closed session
+    Count expired = 0;    ///< deadline passed while queued
+    std::size_t queueDepth = 0;      ///< requests waiting right now
+    std::size_t peakQueueDepth = 0;  ///< high-water mark
+    std::size_t openSessions = 0;
+    CustomizationCacheStats cache;
+};
+
+/** The multi-client front-end (see file comment). */
+class SolverService
+{
+  public:
+    explicit SolverService(ServiceConfig config = ServiceConfig());
+
+    /** Drains gracefully: blocks until every admitted request finished. */
+    ~SolverService();
+
+    SolverService(const SolverService&) = delete;
+    SolverService& operator=(const SolverService&) = delete;
+
+    /** Register a client; its solver state lives until closeSession. */
+    SessionId openSession(SessionConfig config = SessionConfig());
+
+    /**
+     * Close a session: queued requests complete as Rejected, a running
+     * request finishes normally, and the solver state is dropped.
+     */
+    void closeSession(SessionId id);
+
+    /**
+     * Enqueue one request. Never blocks: overflow and unknown/closed
+     * sessions resolve the future immediately with Rejected. A
+     * positive deadline (seconds, queue wait included) expires queued
+     * requests to TimeLimitReached and hands the remaining budget to
+     * the session as the solve's time budget; 0 uses the config
+     * default.
+     */
+    std::future<SessionResult> submit(SessionId id, QpProblem problem,
+                                      Real deadline_seconds = 0.0);
+
+    /** submit() + get(): the synchronous convenience path. */
+    SessionResult solve(SessionId id, QpProblem problem,
+                        Real deadline_seconds = 0.0);
+
+    /** Block until no request is queued or running. */
+    void waitIdle();
+
+    ServiceStats stats() const;
+
+    /** Per-session counters (zeros for unknown sessions). */
+    SessionStats sessionStats(SessionId id) const;
+
+    /** The shared customization cache (never null). */
+    const std::shared_ptr<CustomizationCache>& cache() const
+    {
+        return cache_;
+    }
+
+  private:
+    struct Job
+    {
+        QpProblem problem;
+        Real deadline = 0.0;  ///< seconds, 0 = unlimited
+        std::chrono::steady_clock::time_point enqueued;
+        std::promise<SessionResult> promise;
+    };
+
+    struct SessionState
+    {
+        std::unique_ptr<SolverSession> session;
+        std::deque<std::shared_ptr<Job>> pending;
+        bool running = false;
+        bool open = true;
+        /** Copied under the service lock after every finished job, so
+         *  sessionStats() never races with a worker mid-solve. */
+        SessionStats statsSnapshot;
+    };
+
+    /** One dispatch decision taken under the lock, launched outside. */
+    struct Launch
+    {
+        SessionId id;
+        SessionState* state;
+        std::shared_ptr<Job> job;
+    };
+
+    /** Move ready sessions into launches up to the concurrency cap. */
+    void pumpLocked(std::vector<Launch>& launches);
+
+    /** Hand collected launches to the thread pool (lock released). */
+    void launch(std::vector<Launch>& launches);
+
+    /** Worker-side execution of one admitted request. */
+    void runJob(SessionId id, SessionState* state,
+                const std::shared_ptr<Job>& job);
+
+    ServiceConfig config_;
+    unsigned maxConcurrency_;
+    std::shared_ptr<CustomizationCache> cache_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable idleCv_;
+    std::unordered_map<SessionId, std::unique_ptr<SessionState>>
+        sessions_;
+    std::deque<SessionId> ready_;  ///< sessions with work, not running
+    unsigned activeRuns_ = 0;
+    std::size_t queuedJobs_ = 0;
+    SessionId nextId_ = 1;
+
+    Count submitted_ = 0;
+    Count completed_ = 0;
+    Count rejected_ = 0;
+    Count expired_ = 0;
+    std::size_t peakQueueDepth_ = 0;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_SERVICE_SERVICE_HPP

@@ -1,0 +1,204 @@
+#include "session.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "osqp/validate.hpp"
+
+namespace rsqp
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+SolverSession::SolverSession(SessionConfig config,
+                             std::shared_ptr<CustomizationCache> cache)
+    : config_(std::move(config)), cache_(std::move(cache))
+{}
+
+SolverSession::~SolverSession() = default;
+
+bool
+SolverSession::sameStructure(const QpProblem& problem) const
+{
+    // Exact index comparison, not the fingerprint: the parametric path
+    // feeds values straight into the live solver's CSC slots, so a
+    // hash collision here would silently corrupt the solve.
+    return problem.numVariables() == current_.numVariables() &&
+           problem.numConstraints() == current_.numConstraints() &&
+           problem.pUpper.colPtr() == current_.pUpper.colPtr() &&
+           problem.pUpper.rowIdx() == current_.pUpper.rowIdx() &&
+           problem.a.colPtr() == current_.a.colPtr() &&
+           problem.a.rowIdx() == current_.a.rowIdx();
+}
+
+void
+SolverSession::rebuild(const QpProblem& problem, SessionResult& result)
+{
+    if (config_.engine == SessionEngine::Host) {
+        host_ = std::make_unique<OsqpSolver>(problem, config_.osqp);
+        haveSolver_ = true;
+        return;
+    }
+
+    StructureFingerprint fp;
+    std::shared_ptr<const CustomizationArtifact> artifact;
+    if (cache_ != nullptr) {
+        fp = fingerprintCustomization(problem, config_.custom);
+        artifact = cache_->find(fp);
+    }
+    device_ = std::make_unique<RsqpSolver>(problem, config_.osqp,
+                                           config_.custom,
+                                           std::move(artifact));
+    if (device_->customizationReused()) {
+        result.cacheHit = true;
+        ++stats_.cacheHits;
+    } else if (cache_ != nullptr) {
+        ++stats_.cacheMisses;
+        cache_->insert(fp,
+                       std::make_shared<CustomizationArtifact>(
+                           freezeCustomization(device_->customization())));
+    }
+    haveSolver_ = true;
+}
+
+void
+SolverSession::applyParametricUpdates(const QpProblem& problem)
+{
+    const bool qChanged = problem.q != current_.q;
+    const bool boundsChanged =
+        problem.l != current_.l || problem.u != current_.u;
+    const bool pChanged =
+        problem.pUpper.values() != current_.pUpper.values();
+    const bool aChanged = problem.a.values() != current_.a.values();
+
+    if (config_.engine == SessionEngine::Device) {
+        if (qChanged)
+            device_->updateLinearCost(problem.q);
+        if (boundsChanged)
+            device_->updateBounds(problem.l, problem.u);
+        if (pChanged || aChanged)
+            device_->updateMatrixValues(
+                pChanged ? problem.pUpper.values() : Vector(),
+                aChanged ? problem.a.values() : Vector());
+    } else {
+        if (qChanged)
+            host_->updateLinearCost(problem.q);
+        if (boundsChanged)
+            host_->updateBounds(problem.l, problem.u);
+        if (pChanged || aChanged)
+            host_->updateMatrixValues(
+                pChanged ? problem.pUpper.values() : Vector(),
+                aChanged ? problem.a.values() : Vector());
+    }
+}
+
+SessionResult
+SolverSession::solve(const QpProblem& problem, Real time_budget)
+{
+    SessionResult result;
+
+    // Gate malformed requests before they can touch the live solver:
+    // a bad request must not cost the client its warm state or its
+    // parametric diff base.
+    result.validation = validateProblem(problem);
+    if (!result.validation.ok()) {
+        ++stats_.solves;
+        ++stats_.invalidRequests;
+        result.status = SolveStatus::InvalidProblem;
+        return result;
+    }
+    ++stats_.solves;
+
+    const auto setupStart = std::chrono::steady_clock::now();
+    if (haveSolver_ && sameStructure(problem)) {
+        applyParametricUpdates(problem);
+        result.parametricReuse = true;
+        ++stats_.parametricSolves;
+    } else {
+        rebuild(problem, result);
+        ++stats_.rebuilds;
+        haveWarm_ = false;  // a fresh solver means a fresh structure
+    }
+    current_ = problem;
+    result.setupSeconds = secondsSince(setupStart);
+    stats_.setupSecondsTotal += result.setupSeconds;
+
+    const Index n = problem.numVariables();
+    const Index m = problem.numConstraints();
+    if (config_.autoWarmStart && haveWarm_ &&
+        lastX_.size() == static_cast<std::size_t>(n) &&
+        lastY_.size() == static_cast<std::size_t>(m)) {
+        const bool applied =
+            config_.engine == SessionEngine::Device
+                ? device_->warmStart(lastX_, lastY_)
+                : host_->warmStart(lastX_, lastY_);
+        if (applied) {
+            result.warmStarted = true;
+            ++stats_.warmStarts;
+        }
+    }
+
+    const auto solveStart = std::chrono::steady_clock::now();
+    if (config_.engine == SessionEngine::Device) {
+        RsqpResult run = device_->solve();
+        result.status = run.status;
+        result.x = std::move(run.x);
+        result.y = std::move(run.y);
+        result.z = std::move(run.z);
+        result.iterations = run.iterations;
+        result.objective = run.objective;
+        result.primRes = run.primRes;
+        result.dualRes = run.dualRes;
+        result.deviceSeconds = run.deviceSeconds;
+    } else {
+        // The host engine enforces the deadline in-loop; each request
+        // re-arms the limit so budgets never leak across requests.
+        host_->setTimeLimit(time_budget > 0.0 ? time_budget
+                                              : config_.osqp.timeLimit);
+        OsqpResult run = host_->solve();
+        result.status = run.info.status;
+        result.x = std::move(run.x);
+        result.y = std::move(run.y);
+        result.z = std::move(run.z);
+        result.iterations = run.info.iterations;
+        result.objective = run.info.objective;
+        result.primRes = run.info.primRes;
+        result.dualRes = run.info.dualRes;
+        result.hotPath = run.info.hotPath;
+    }
+    result.solveSeconds = secondsSince(solveStart);
+    stats_.solveSecondsTotal += result.solveSeconds;
+
+    if (!result.x.empty() && !result.y.empty()) {
+        lastX_ = result.x;
+        lastY_ = result.y;
+        haveWarm_ = true;
+    }
+    return result;
+}
+
+void
+SolverSession::reset()
+{
+    device_.reset();
+    host_.reset();
+    haveSolver_ = false;
+    haveWarm_ = false;
+    lastX_.clear();
+    lastY_.clear();
+    current_ = QpProblem();
+}
+
+} // namespace rsqp

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Per-client solver session: the stateful object that turns a stream
+ * of QP requests from one client into the cheapest possible solves.
+ *
+ * A session routes each request down the fastest applicable path:
+ *
+ *  1. same sparsity structure as the previous request -> parametric
+ *     update (updateLinearCost / updateBounds / updateMatrixValues) on
+ *     the live solver — no setup work at all;
+ *  2. new structure, artifact cached -> thaw the frozen customization
+ *     (skip the E_p/E_c pipeline), re-pack values only;
+ *  3. new structure, cache miss -> full customization, then freeze and
+ *     publish the artifact for every other session.
+ *
+ * Warm-start state (the previous solution) is carried across requests
+ * and applied automatically when shapes match. Sessions are not
+ * thread-safe: the service front-end serializes requests per session.
+ */
+
+#ifndef RSQP_SERVICE_SESSION_HPP
+#define RSQP_SERVICE_SESSION_HPP
+
+#include <memory>
+
+#include "core/rsqp_solver.hpp"
+#include "osqp/solver.hpp"
+#include "service/customization_cache.hpp"
+
+namespace rsqp
+{
+
+/** Which solver backs a session. */
+enum class SessionEngine
+{
+    Device,  ///< RsqpSolver (simulated accelerator, customization cache)
+    Host,    ///< OsqpSolver (CPU; parametric reuse + warm start only)
+};
+
+/** Per-session configuration, fixed at session creation. */
+struct SessionConfig
+{
+    OsqpSettings osqp;
+    /** Customization pipeline knobs (Device engine only). */
+    CustomizeSettings custom;
+    SessionEngine engine = SessionEngine::Device;
+    /** Re-apply the previous solution as a warm start when it fits. */
+    bool autoWarmStart = true;
+};
+
+/** Outcome of one session solve, engine-agnostic. */
+struct SessionResult
+{
+    SolveStatus status = SolveStatus::Unsolved;
+    Vector x;  ///< primal solution (unscaled)
+    Vector y;  ///< dual solution (unscaled)
+    Vector z;  ///< A x (unscaled)
+    Index iterations = 0;
+    Real objective = 0.0;
+    Real primRes = 0.0;
+    Real dualRes = 0.0;
+
+    /** Request solved through the parametric-update fast path. */
+    bool parametricReuse = false;
+    /** Solver rebuilt from a cached (thawed) artifact. */
+    bool cacheHit = false;
+    /** Previous solution applied as the starting iterate. */
+    bool warmStarted = false;
+
+    double setupSeconds = 0.0;  ///< solver (re)build incl. customization
+    double solveSeconds = 0.0;  ///< wall clock of the solve itself
+    Real deviceSeconds = 0.0;   ///< Device engine: simulated wall clock
+    HotPathProfile hotPath;     ///< Host/PCG per-phase counters
+    ValidationReport validation;  ///< filled when InvalidProblem
+};
+
+/** Monotonic per-session counters. */
+struct SessionStats
+{
+    Count solves = 0;
+    Count parametricSolves = 0;  ///< requests on path 1
+    Count rebuilds = 0;          ///< requests on paths 2 + 3
+    Count cacheHits = 0;         ///< path-2 requests
+    Count cacheMisses = 0;       ///< path-3 requests (cache attached)
+    Count warmStarts = 0;
+    Count invalidRequests = 0;
+    double setupSecondsTotal = 0.0;
+    double solveSecondsTotal = 0.0;
+};
+
+/** One client's solver state (see file comment for the three paths). */
+class SolverSession
+{
+  public:
+    /**
+     * @param cache Shared customization cache (may be null: Device
+     *        sessions then customize per structure with no reuse
+     *        across sessions).
+     */
+    explicit SolverSession(
+        SessionConfig config,
+        std::shared_ptr<CustomizationCache> cache = nullptr);
+
+    ~SolverSession();
+    SolverSession(const SolverSession&) = delete;
+    SolverSession& operator=(const SolverSession&) = delete;
+
+    /**
+     * Solve one request, choosing the cheapest path (see file
+     * comment). Malformed problems return SolveStatus::InvalidProblem
+     * with diagnostics and leave the current solver state untouched.
+     *
+     * @param time_budget Wall-clock budget in seconds for this solve
+     *        (0 = the config's timeLimit). Enforced in-loop by the
+     *        Host engine; the Device engine's simulated run is not
+     *        interruptible, so its deadline is enforced by the service
+     *        queue at admission time.
+     */
+    SessionResult solve(const QpProblem& problem,
+                        Real time_budget = 0.0);
+
+    /** Drop the live solver and warm-start state (structure forgotten). */
+    void reset();
+
+    const SessionStats& stats() const { return stats_; }
+    const SessionConfig& config() const { return config_; }
+
+  private:
+    /** Structure-exact equality against the live problem. */
+    bool sameStructure(const QpProblem& problem) const;
+
+    /** Paths 2/3: build a fresh solver, consulting the cache. */
+    void rebuild(const QpProblem& problem, SessionResult& result);
+
+    /** Path 1: diff against the live problem and push updates. */
+    void applyParametricUpdates(const QpProblem& problem);
+
+    SessionConfig config_;
+    std::shared_ptr<CustomizationCache> cache_;
+
+    QpProblem current_;  ///< the live problem (diff base), unscaled
+    bool haveSolver_ = false;
+    std::unique_ptr<RsqpSolver> device_;
+    std::unique_ptr<OsqpSolver> host_;
+
+    Vector lastX_, lastY_;  ///< warm-start state (unscaled)
+    bool haveWarm_ = false;
+
+    SessionStats stats_;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_SERVICE_SESSION_HPP

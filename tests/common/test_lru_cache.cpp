@@ -1,0 +1,101 @@
+/**
+ * @file
+ * LruCache unit tests: recency order, eviction, displaced-value
+ * return, counters, and the disabled (capacity 0) mode.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/lru_cache.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(LruCache, FindMissesThenHits)
+{
+    LruCache<int, std::string> cache(2);
+    EXPECT_EQ(cache.find(1), nullptr);
+    EXPECT_FALSE(cache.insert(1, "one").has_value());
+    std::string* hit = cache.find(1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, "one");
+
+    const LruCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.size, 1u);
+    EXPECT_EQ(stats.capacity, 2u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyTouched)
+{
+    LruCache<int, int> cache(2);
+    cache.insert(1, 10);
+    cache.insert(2, 20);
+    // Touch 1 so 2 becomes the LRU entry.
+    ASSERT_NE(cache.find(1), nullptr);
+    const auto evicted = cache.insert(3, 30);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 20);
+    EXPECT_EQ(cache.find(2), nullptr);
+    EXPECT_NE(cache.find(1), nullptr);
+    EXPECT_NE(cache.find(3), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(LruCache, OverwriteReturnsDisplacedValue)
+{
+    LruCache<int, int> cache(2);
+    cache.insert(1, 10);
+    const auto displaced = cache.insert(1, 11);
+    ASSERT_TRUE(displaced.has_value());
+    EXPECT_EQ(*displaced, 10);
+    EXPECT_EQ(cache.size(), 1u);
+    int* hit = cache.find(1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, 11);
+    // An in-place overwrite is not an eviction.
+    EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+TEST(LruCache, OverwriteRefreshesRecency)
+{
+    LruCache<int, int> cache(2);
+    cache.insert(1, 10);
+    cache.insert(2, 20);
+    cache.insert(1, 11);  // 1 becomes most recent; 2 is now LRU
+    const auto evicted = cache.insert(3, 30);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 20);
+}
+
+TEST(LruCache, CapacityZeroStoresNothing)
+{
+    LruCache<int, int> cache(0);
+    const auto bounced = cache.insert(1, 10);
+    ASSERT_TRUE(bounced.has_value());
+    EXPECT_EQ(*bounced, 10);
+    EXPECT_EQ(cache.find(1), nullptr);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCache, ClearEmptiesButKeepsCounters)
+{
+    LruCache<int, int> cache(4);
+    cache.insert(1, 10);
+    cache.insert(2, 20);
+    ASSERT_NE(cache.find(1), nullptr);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.find(1), nullptr);
+    const LruCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.insertions, 2);
+    EXPECT_EQ(stats.hits, 1);
+}
+
+} // namespace
+} // namespace rsqp

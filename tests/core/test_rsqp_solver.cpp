@@ -251,6 +251,23 @@ TEST(RsqpSolverFaults, InjectionIsDeterministicAcrossNumThreads)
     }
 }
 
+TEST(RsqpSolver, WarmStartSizeMismatchIsNonFatal)
+{
+    const QpProblem qp = generateProblem(Domain::Control, 25, 31);
+    CustomizeSettings custom;
+    custom.c = 16;
+    RsqpSolver solver(qp, settingsFor(), custom);
+
+    Vector wrongX(static_cast<std::size_t>(qp.numVariables() + 1), 0.0);
+    Vector y(static_cast<std::size_t>(qp.numConstraints()), 0.0);
+    EXPECT_FALSE(solver.warmStart(wrongX, y));
+    Vector x(static_cast<std::size_t>(qp.numVariables()), 0.0);
+    EXPECT_TRUE(solver.warmStart(x, y));
+
+    const RsqpResult result = solver.solve();
+    EXPECT_EQ(result.status, SolveStatus::Solved);
+}
+
 TEST(RsqpSolverFaults, DisabledInjectionMatchesBaselineBitwise)
 {
     const QpProblem qp = generateProblem(Domain::Portfolio, 35, 61);

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Property test: writeQpProblem -> readQpProblem is a *bitwise* exact
+ * round trip — every structural array identical and every double
+ * recovering its exact bit pattern — across the whole generator suite
+ * and the degenerate shapes (no constraints, single variable).
+ */
+
+#include <cstring>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "osqp/problem_io.hpp"
+#include "osqp/validate.hpp"
+#include "problems/suite.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+/** memcmp equality: distinguishes -0.0 from 0.0, exact bit patterns. */
+bool
+bitwiseEqual(const Vector& a, const Vector& b)
+{
+    if (a.size() != b.size())
+        return false;
+    return a.empty() ||
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(Real)) == 0;
+}
+
+void
+expectBitwiseRoundTrip(const QpProblem& qp, const std::string& what)
+{
+    std::stringstream ss;
+    writeQpProblem(ss, qp);
+    const QpProblem back = readQpProblem(ss);
+
+    EXPECT_EQ(back.pUpper.rows(), qp.pUpper.rows()) << what;
+    EXPECT_EQ(back.pUpper.cols(), qp.pUpper.cols()) << what;
+    EXPECT_EQ(back.pUpper.colPtr(), qp.pUpper.colPtr()) << what;
+    EXPECT_EQ(back.pUpper.rowIdx(), qp.pUpper.rowIdx()) << what;
+    EXPECT_TRUE(bitwiseEqual(back.pUpper.values(), qp.pUpper.values()))
+        << what << ": P values";
+
+    EXPECT_EQ(back.a.rows(), qp.a.rows()) << what;
+    EXPECT_EQ(back.a.cols(), qp.a.cols()) << what;
+    EXPECT_EQ(back.a.colPtr(), qp.a.colPtr()) << what;
+    EXPECT_EQ(back.a.rowIdx(), qp.a.rowIdx()) << what;
+    EXPECT_TRUE(bitwiseEqual(back.a.values(), qp.a.values()))
+        << what << ": A values";
+
+    EXPECT_TRUE(bitwiseEqual(back.q, qp.q)) << what << ": q";
+    EXPECT_TRUE(bitwiseEqual(back.l, qp.l)) << what << ": l";
+    EXPECT_TRUE(bitwiseEqual(back.u, qp.u)) << what << ": u";
+}
+
+TEST(ProblemIoProperty, BitwiseRoundTripAcrossGeneratorSuite)
+{
+    // Two sizes per domain keeps the sweep fast while covering every
+    // generator's structural idioms (diagonal P, tall A, eq-only...).
+    for (const ProblemSpec& spec : benchmarkSuite(2)) {
+        const QpProblem qp = spec.generate();
+        ASSERT_TRUE(validateProblem(qp).ok()) << spec.name;
+        expectBitwiseRoundTrip(qp, spec.name);
+    }
+}
+
+TEST(ProblemIoProperty, EmptyConstraintMatrixRoundTrips)
+{
+    // m = 0: an unconstrained QP. A is 0 x n with no entries.
+    QpProblem qp;
+    qp.pUpper = CscMatrix::identity(3, 2.0);
+    qp.q = {1.0, -2.0, 0.5};
+    qp.a = CscMatrix(0, 3);
+    qp.name = "empty-a";
+    ASSERT_TRUE(validateProblem(qp).ok());
+    expectBitwiseRoundTrip(qp, "empty-a");
+}
+
+TEST(ProblemIoProperty, SingleVariableRoundTrips)
+{
+    // n = 1, m = 1: the smallest legal problem.
+    QpProblem qp;
+    qp.pUpper = CscMatrix::identity(1, 4.0);
+    qp.q = {-1.0 / 3.0};  // not exactly representable in decimal
+    qp.a = CscMatrix::identity(1, 1.0);
+    qp.l = {-kInf};
+    qp.u = {2.0};
+    qp.name = "scalar";
+    ASSERT_TRUE(validateProblem(qp).ok());
+    expectBitwiseRoundTrip(qp, "scalar");
+}
+
+TEST(ProblemIoProperty, AwkwardDoublesSurviveExactly)
+{
+    // Values chosen to break naive formatting: denormal-adjacent,
+    // negative zero, long decimal expansions, huge finite bounds.
+    QpProblem qp;
+    qp.pUpper = CscMatrix::diagonal({1e-300, 0.1 + 0.2});
+    qp.q = {-0.0, 6.02214076e23};
+    qp.a = CscMatrix::identity(2, 1.0 / 7.0);
+    qp.l = {-kInf, -9.999999999999999e29};
+    qp.u = {1e-17, kInf};
+    qp.name = "awkward";
+    ASSERT_TRUE(validateProblem(qp).ok());
+    expectBitwiseRoundTrip(qp, "awkward");
+}
+
+} // namespace
+} // namespace rsqp

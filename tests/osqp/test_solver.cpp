@@ -163,6 +163,27 @@ TEST(OsqpSolver, WarmStartReducesIterations)
     EXPECT_LT(second.info.iterations, first.info.iterations);
 }
 
+TEST(OsqpSolver, WarmStartSizeMismatchIsNonFatal)
+{
+    const QpProblem problem = generateProblem(Domain::Svm, 30, 11);
+    OsqpSolver solver(problem, defaultSettings(KktBackend::DirectLdl));
+
+    // A wrong-shaped guess is a recoverable client error: ignored with
+    // a warning, no abort, and the solve proceeds normally.
+    Vector shortX(static_cast<std::size_t>(problem.numVariables() - 1),
+                  0.0);
+    Vector y(static_cast<std::size_t>(problem.numConstraints()), 0.0);
+    EXPECT_FALSE(solver.warmStart(shortX, y));
+    Vector x(static_cast<std::size_t>(problem.numVariables()), 0.0);
+    Vector longY(static_cast<std::size_t>(problem.numConstraints() + 3),
+                 0.0);
+    EXPECT_FALSE(solver.warmStart(x, longY));
+    EXPECT_TRUE(solver.warmStart(x, y));
+
+    const OsqpResult result = solver.solve();
+    EXPECT_EQ(result.info.status, SolveStatus::Solved);
+}
+
 TEST(OsqpSolver, InvalidSettingsRejected)
 {
     OsqpSettings settings;
