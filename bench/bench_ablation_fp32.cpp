@@ -53,7 +53,7 @@ main(int argc, char** argv)
         table.addRow({spec.name, toString(spec.domain),
                       std::to_string(r64.iterations),
                       std::to_string(r32.iterations),
-                      toString(r64.status), toString(r32.status),
+                      statusToString(r64.status), statusToString(r32.status),
                       formatSci(rel_err, 1)});
     }
     emitTable(table, options,

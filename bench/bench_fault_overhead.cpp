@@ -170,7 +170,7 @@ main(int argc, char** argv)
         injected.faultInjection.ratePerWord = options.rate;
         OsqpSolver solver(qp, injected);
         const OsqpResult result = solver.solve();
-        row.injectedStatus = toString(result.info.status);
+        row.injectedStatus = statusToString(result.info.status);
         row.recoveryEvents =
             static_cast<Index>(result.info.recovery.events.size());
         if (result.info.status == SolveStatus::Unsolved)

@@ -283,7 +283,7 @@ BM_ThreadedMachineSpmv(benchmark::State& state)
     ArchConfig config;
     config.c = 64;
     config.structures = StructureSet::baseline(64);
-    config.numThreads = static_cast<Index>(state.range(0));
+    config.execution.numThreads = static_cast<Index>(state.range(0));
     Machine machine(config);
     const SparsityString str = encodeMatrix(csr, config.c);
     const Schedule schedule = scheduleString(str, config.structures);

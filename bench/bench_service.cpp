@@ -30,10 +30,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "common/table.hpp"
-#include "common/timer.hpp"
-#include "core/rsqp.hpp"
-#include "service/service.hpp"
+#include "rsqp_api.hpp"
 
 namespace
 {
@@ -153,7 +150,7 @@ main(int argc, char** argv)
         const SessionId first = service.openSession(sessionConfig);
         const SessionResult cold = service.solve(first, qp);
         row.coldSetupSeconds = cold.setupSeconds;
-        row.coldStatus = toString(cold.status);
+        row.coldStatus = statusToString(cold.status);
 
         // Warm: a brand-new session, structurally identical problem
         // with different values — must hit the cache and reproduce a

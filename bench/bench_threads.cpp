@@ -121,7 +121,7 @@ benchSpmv(const Options& options)
         ArchConfig config;
         config.c = 64;
         config.structures = StructureSet::baseline(64);
-        config.numThreads = threads;
+        config.execution.numThreads = threads;
         Machine machine(config);
 
         const SparsityString str = encodeMatrix(csr, config.c);

@@ -13,7 +13,7 @@
 #include <cstring>
 #include <iostream>
 
-#include "core/rsqp.hpp"
+#include "rsqp_api.hpp"
 
 using namespace rsqp;
 

@@ -13,7 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/rsqp.hpp"
+#include "rsqp_api.hpp"
 
 using namespace rsqp;
 
@@ -68,7 +68,7 @@ main()
             if (std::abs(result.x[static_cast<std::size_t>(j)]) > 1e-4)
                 ++selected;
         std::printf("%-10.4f %-9s %6d %12.1f %10d %9.3f\n", lambda,
-                    toString(result.status), result.iterations,
+                    statusToString(result.status), result.iterations,
                     result.deviceSeconds * 1e6, selected,
                     result.objective);
     }

@@ -12,7 +12,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/rsqp.hpp"
+#include "rsqp_api.hpp"
 
 using namespace rsqp;
 
@@ -59,7 +59,7 @@ main()
         total_iters += result.iterations;
         std::printf("step %2d: %-9s iters=%3d  device=%7.1f us  "
                     "u0=%+.4f\n",
-                    step, toString(result.status), result.iterations,
+                    step, statusToString(result.status), result.iterations,
                     result.deviceSeconds * 1e6,
                     result.x[static_cast<std::size_t>(
                         10 * nx)]);  // first input variable

@@ -16,8 +16,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/rsqp.hpp"
-#include "service/service.hpp"
+#include "rsqp_api.hpp"
 
 using namespace rsqp;
 
@@ -59,7 +58,7 @@ main()
             service.solve(controller, stepProblem(qp, step));
         if (result.status != SolveStatus::Solved) {
             std::printf("step %d failed: %s\n", step,
-                        toString(result.status));
+                        statusToString(result.status));
             return 1;
         }
         std::printf("step %2d: iters=%3d  setup=%7.2f us  "

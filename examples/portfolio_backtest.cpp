@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "core/rsqp.hpp"
+#include "rsqp_api.hpp"
 
 using namespace rsqp;
 
@@ -73,7 +73,7 @@ main()
         if (t % 5 == 0 || t == periods - 1)
             std::printf("period %2d: %-9s iters=%3d  device=%7.1f us  "
                         "top asset #%d (%.1f %%)\n",
-                        t, toString(result.status), result.iterations,
+                        t, statusToString(result.status), result.iterations,
                         result.deviceSeconds * 1e6, top_asset,
                         100.0 * top);
         prev_top_weight = top;

@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "core/rsqp.hpp"
+#include "rsqp_api.hpp"
 
 using namespace rsqp;
 
@@ -45,7 +45,7 @@ main()
     OsqpSolver cpu(qp, settings);
     const OsqpResult ref = cpu.solve();
     std::printf("CPU   : status=%s x=(%.4f, %.4f) obj=%.6f iters=%d\n",
-                toString(ref.info.status), ref.x[0], ref.x[1],
+                statusToString(ref.info.status), ref.x[0], ref.x[1],
                 ref.info.objective, ref.info.iterations);
 
     // --- 3. Accelerated solve on a customized architecture --------------
@@ -55,7 +55,7 @@ main()
     RsqpSolver fpga(qp, settings, custom);
     const RsqpResult acc = fpga.solve();
     std::printf("RSQP  : status=%s x=(%.4f, %.4f) obj=%.6f iters=%d\n",
-                toString(acc.status), acc.x[0], acc.x[1], acc.objective,
+                statusToString(acc.status), acc.x[0], acc.x[1], acc.objective,
                 acc.iterations);
     std::printf("arch  : %s  eta=%.3f  fmax=%.0f MHz\n",
                 acc.archName.c_str(), acc.eta, acc.fmaxMhz);

@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "core/rsqp.hpp"
+#include "rsqp_api.hpp"
 
 using namespace rsqp;
 
@@ -80,7 +80,7 @@ main(int argc, char** argv)
                         "device time %.3f ms (%lld cycles @ %.0f MHz), "
                         "eta=%.3f, host wall %.1f ms\n",
                         result.archName.c_str(),
-                        toString(result.status), result.iterations,
+                        statusToString(result.status), result.iterations,
                         result.objective, result.deviceSeconds * 1e3,
                         static_cast<long long>(
                             result.machineStats.totalCycles),
@@ -95,7 +95,7 @@ main(int argc, char** argv)
         const OsqpResult result = solver.solve();
         std::printf("%s: %s in %d iters, obj=%.8g, prim=%.2e, "
                     "dual=%.2e, %.1f ms%s\n",
-                    backend, toString(result.info.status),
+                    backend, statusToString(result.info.status),
                     result.info.iterations, result.info.objective,
                     result.info.primRes, result.info.dualRes,
                     result.info.solveTime * 1e3,

@@ -18,7 +18,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/rsqp.hpp"
+#include "rsqp_api.hpp"
 
 using namespace rsqp;
 
@@ -145,7 +145,7 @@ main()
         const RsqpResult step = solver.solve();
         if (step.status != SolveStatus::Solved) {
             std::printf("subproblem failed: %s\n",
-                        toString(step.status));
+                        statusToString(step.status));
             return 1;
         }
         total_cycles += step.machineStats.totalCycles;

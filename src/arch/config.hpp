@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/execution.hpp"
 #include "common/fault_injection.hpp"
 #include "common/types.hpp"
 #include "encoding/mac_structure.hpp"
@@ -31,6 +32,11 @@ struct ArchTimings
 };
 
 /** One generated accelerator configuration. */
+// The pragma silences GCC's warnings for the *synthesized* special
+// members touching the deprecated forwarding field below; uses outside
+// this header still warn as intended.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct ArchConfig
 {
     /** Datapath width C (power of two, <= 64 in this implementation). */
@@ -42,8 +48,8 @@ struct ArchConfig
     /** Evaluate the datapath in FP32 like the physical MAC trees. */
     bool fp32Datapath = false;
     /**
-     * Host threads simulating the C-wide datapath (0 = library
-     * default, i.e. hardware concurrency; 1 = serial execution).
+     * Execution resources of the simulation host (threads simulating
+     * the C-wide datapath; 0 = hardware concurrency, 1 = serial).
      * The cycle model and the numeric results are identical at every
      * setting: SpMV partitions on carry-chain boundaries (exact), and
      * the machine's vector reductions pick their summation order by
@@ -51,7 +57,17 @@ struct ArchConfig
      * order even at numThreads = 1, which differs in rounding from
      * the retired pre-threading left-to-right loop.
      */
-    Index numThreads = 0;
+    ExecutionConfig execution;
+    /** @deprecated Use execution.numThreads; non-zero values win. */
+    [[deprecated("use execution.numThreads")]] Index numThreads = 0;
+
+    /** Effective thread count (legacy numThreads forwards here). */
+    Index
+    resolvedNumThreads() const
+    {
+        return resolveNumThreads(execution, numThreads);
+    }
+
     /** Cycle-model constants. */
     ArchTimings timings;
     /**
@@ -80,6 +96,7 @@ struct ArchConfig
         return config;
     }
 };
+#pragma GCC diagnostic pop
 
 } // namespace rsqp
 

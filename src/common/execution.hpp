@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ExecutionConfig: the one place execution-resource knobs live.
+ *
+ * PR 1 grew three independent `numThreads` fields (OsqpSettings,
+ * CustomizeSettings, ArchConfig) that all meant the same thing and
+ * had to be kept in sync by hand. They are now deprecated aliases;
+ * each consumer carries an ExecutionConfig and resolves the effective
+ * thread count through resolveNumThreads(), which honors a non-zero
+ * legacy field so old call sites keep working for one release.
+ */
+
+#ifndef RSQP_COMMON_EXECUTION_HPP
+#define RSQP_COMMON_EXECUTION_HPP
+
+#include "common/types.hpp"
+
+namespace rsqp
+{
+
+/** Execution-resource configuration shared by all solve paths. */
+struct ExecutionConfig
+{
+    /**
+     * Worker threads for the parallel hot path. 0 means "use the
+     * hardware concurrency"; 1 forces fully serial execution. The
+     * result is bitwise-identical at every setting — threading only
+     * changes wall clock, never the deterministic reduction order.
+     */
+    Index numThreads = 0;
+};
+
+/**
+ * Effective thread count given a config and the value of a deprecated
+ * legacy `numThreads` alias: the legacy field wins when it was set
+ * (non-zero), so pre-ExecutionConfig call sites keep their behavior.
+ */
+inline Index
+resolveNumThreads(const ExecutionConfig& execution, Index legacy)
+{
+    return legacy != 0 ? legacy : execution.numThreads;
+}
+
+} // namespace rsqp
+
+#endif // RSQP_COMMON_EXECUTION_HPP

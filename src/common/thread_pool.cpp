@@ -6,12 +6,44 @@
 #include <memory>
 
 #include "common/logging.hpp"
+#if RSQP_TELEMETRY_ENABLED
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#endif
 
 namespace rsqp
 {
 
 namespace
 {
+
+#if RSQP_TELEMETRY_ENABLED
+/** Process-wide pool metrics (shared by every ThreadPool instance). */
+struct PoolMetrics
+{
+    telemetry::Counter& tasks;
+    telemetry::Gauge& queueDepth;
+    telemetry::Histogram& waitNs;
+};
+
+PoolMetrics&
+poolMetrics()
+{
+    static PoolMetrics metrics{
+        telemetry::MetricsRegistry::global().counter(
+            "rsqp_threadpool_tasks_total",
+            "Tasks submitted to the worker-pool queue"),
+        telemetry::MetricsRegistry::global().gauge(
+            "rsqp_threadpool_queue_depth",
+            "Tasks currently waiting in the worker-pool queue"),
+        telemetry::MetricsRegistry::global().histogram(
+            "rsqp_threadpool_queue_wait_ns",
+            "Nanoseconds a task waited in the queue before a worker "
+            "picked it up"),
+    };
+    return metrics;
+}
+#endif
 
 /** Innermost NumThreadsScope override of this thread (0 = none). */
 thread_local Index tlsNumThreads = 0;
@@ -90,7 +122,7 @@ ThreadPool::workerLoop()
 {
     InsideWorkerScope inside;
     while (true) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -98,8 +130,16 @@ ThreadPool::workerLoop()
                 return; // stop requested and queue drained
             task = std::move(queue_.front());
             queue_.pop_front();
+#if RSQP_TELEMETRY_ENABLED
+            poolMetrics().queueDepth.set(
+                static_cast<std::int64_t>(queue_.size()));
+#endif
         }
-        task();
+#if RSQP_TELEMETRY_ENABLED
+        poolMetrics().waitNs.observe(telemetry::traceNowNs() -
+                                     task.enqueuedNs);
+#endif
+        task.fn();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --inFlight_;
@@ -118,11 +158,21 @@ ThreadPool::submit(std::function<void()> task)
         task();
         return;
     }
+    QueuedTask queued;
+    queued.fn = std::move(task);
+#if RSQP_TELEMETRY_ENABLED
+    queued.enqueuedNs = telemetry::traceNowNs();
+#endif
     {
         std::lock_guard<std::mutex> lock(mutex_);
         RSQP_ASSERT(!stop_, "submit on a stopping ThreadPool");
-        queue_.push_back(std::move(task));
+        queue_.push_back(std::move(queued));
         ++inFlight_;
+#if RSQP_TELEMETRY_ENABLED
+        poolMetrics().tasks.increment();
+        poolMetrics().queueDepth.set(
+            static_cast<std::int64_t>(queue_.size()));
+#endif
     }
     wake_.notify_one();
 }

@@ -31,6 +31,7 @@
 #define RSQP_COMMON_THREAD_POOL_HPP
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "telemetry/config.hpp"
 
 namespace rsqp
 {
@@ -136,10 +138,23 @@ class ThreadPool
     static bool insideWorker();
 
   private:
+    /**
+     * Queue element: the task plus its enqueue timestamp, so workers
+     * can report queue-wait time to the metrics registry. The stamp
+     * compiles out with the rest of the timed telemetry.
+     */
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+#if RSQP_TELEMETRY_ENABLED
+        std::uint64_t enqueuedNs = 0;
+#endif
+    };
+
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     mutable std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable idle_;

@@ -155,7 +155,8 @@ customizeProblem(const QpProblem& scaled, const CustomizeSettings& settings)
     customization.config.structures = set;
     customization.config.compressedCvb = settings.compressCvb;
     customization.config.fp32Datapath = settings.fp32Datapath;
-    customization.config.numThreads = settings.numThreads;
+    customization.config.execution.numThreads =
+        settings.resolvedNumThreads();
     customization.config.faultInjection = settings.faultInjection;
 
     customization.p =
@@ -286,7 +287,8 @@ thawCustomization(const QpProblem& scaled,
                 "thawCustomization: artifact/problem mismatch");
     ProblemCustomization customization;
     customization.config = artifact.config;
-    customization.config.numThreads = settings.numThreads;
+    customization.config.execution.numThreads =
+        settings.resolvedNumThreads();
     customization.config.faultInjection = settings.faultInjection;
 
     const StructureSet& set = customization.config.structures;

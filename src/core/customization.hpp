@@ -44,20 +44,36 @@ struct MatrixArtifacts
 };
 
 /** Customization settings. */
+// The pragma silences GCC's warnings for the *synthesized* special
+// members touching the deprecated forwarding field below; uses outside
+// this header still warn as intended.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct CustomizeSettings
 {
     Index c = 64;                     ///< datapath width
     bool customizeStructures = true;  ///< run the E_p optimization
     bool compressCvb = true;          ///< run the E_c optimization
     bool fp32Datapath = false;        ///< FP32 MAC trees (the silicon)
-    /** Simulation-host threads (0 = library default, 1 = serial). */
-    Index numThreads = 0;
+    /** Execution resources for the simulation host. */
+    ExecutionConfig execution;
+    /** @deprecated Use execution.numThreads; non-zero values win. */
+    [[deprecated("use execution.numThreads")]] Index numThreads = 0;
+
+    /** Effective thread count (legacy numThreads forwards here). */
+    Index
+    resolvedNumThreads() const
+    {
+        return resolveNumThreads(execution, numThreads);
+    }
+
     /** Seeded HBM/MAC soft-error injection (testing only). */
     FaultInjectionConfig faultInjection;
     StructureSearchSettings search;   ///< E_p search knobs
     /** Explicit structure set (bypasses the search when non-empty). */
     std::vector<std::string> forcedPatterns;
 };
+#pragma GCC diagnostic pop
 
 /** Result of customizing one problem. */
 struct ProblemCustomization

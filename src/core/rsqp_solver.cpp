@@ -9,6 +9,8 @@
 #include "linalg/vector_ops.hpp"
 #include "osqp/residuals.hpp"
 #include "osqp/validate.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rsqp
 {
@@ -229,7 +231,11 @@ RsqpSolver::updateMatrixValues(const std::vector<Real>& p_values,
 RsqpResult
 RsqpSolver::solve()
 {
+    TELEMETRY_SPAN("device.run");
     RsqpResult result;
+    result.telemetry.route = customizationReused_
+        ? SolveRoute::CacheThaw
+        : SolveRoute::FullCustomize;
     if (!validation_.ok()) {
         result.validation = validation_;
         result.status = SolveStatus::InvalidProblem;
@@ -333,6 +339,40 @@ RsqpSolver::solve()
         (result.fmaxMhz * 1e6);
     result.eta = custom_.eta();
     result.archName = custom_.config.name();
+
+    result.telemetry.iterations = result.iterations;
+    result.telemetry.kktSolves = static_cast<Count>(result.iterations);
+    result.telemetry.pcgIterationsTotal = result.pcgIterationsTotal;
+    if (result.iterations > 0)
+        result.telemetry.pcgItersPerSolve =
+            static_cast<Real>(result.pcgIterationsTotal) /
+            static_cast<Real>(result.iterations);
+    result.telemetry.pushResidual(result.iterations, result.primRes,
+                                  result.dualRes);
+    result.telemetry.recoveryEvents =
+        static_cast<Count>(result.recovery.events.size());
+    result.telemetry.faultsInjected = result.faultsInjected;
+    result.telemetry.solveSeconds = result.deviceSeconds;
+
+    {
+        static telemetry::Counter& solves =
+            telemetry::MetricsRegistry::global().counter(
+                "rsqp_device_solves_total",
+                "Accelerated (simulated-device) solves completed");
+        static telemetry::Counter& iters =
+            telemetry::MetricsRegistry::global().counter(
+                "rsqp_device_iterations_total",
+                "ADMM iterations executed on the simulated device");
+        static telemetry::Counter& retries =
+            telemetry::MetricsRegistry::global().counter(
+                "rsqp_device_fault_retries_total",
+                "Device runs retried after corrupted results");
+        solves.increment();
+        iters.add(static_cast<std::uint64_t>(
+            std::max<Index>(result.iterations, 0)));
+        retries.add(static_cast<std::uint64_t>(
+            std::max<Count>(result.recovery.faultRetries, 0)));
+    }
     return result;
 }
 

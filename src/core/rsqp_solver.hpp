@@ -54,6 +54,7 @@ struct RsqpResult
     RecoveryReport recovery;       ///< device-run retries on record
     Count faultsInjected = 0;      ///< soft errors injected (testing)
     ValidationReport validation;   ///< diagnostics when InvalidProblem
+    SolveTelemetry telemetry;      ///< per-solve observability record
 };
 
 /** OSQP on the simulated RSQP accelerator. */

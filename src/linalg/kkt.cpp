@@ -5,6 +5,7 @@
 #include "common/logging.hpp"
 #include "common/profile.hpp"
 #include "common/thread_pool.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rsqp
 {
@@ -272,6 +273,7 @@ ReducedKktOperator::rebuildDiagonal()
 void
 ReducedKktOperator::apply(const Vector& x, Vector& y) const
 {
+    TELEMETRY_SPAN("kkt.apply");
     const Index n = pUpper_->cols();
     const Index m = a_->rows();
     RSQP_ASSERT(static_cast<Index>(x.size()) == n, "apply: x size");

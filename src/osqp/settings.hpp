@@ -7,6 +7,7 @@
 #ifndef RSQP_OSQP_SETTINGS_HPP
 #define RSQP_OSQP_SETTINGS_HPP
 
+#include "common/execution.hpp"
 #include "common/fault_injection.hpp"
 #include "common/types.hpp"
 #include "osqp/recovery.hpp"
@@ -24,6 +25,11 @@ enum class KktBackend
 };
 
 /** OSQP algorithm settings. */
+// The pragma silences GCC's warnings for the *synthesized* special
+// members touching the deprecated forwarding field below; uses outside
+// this header still warn as intended.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct OsqpSettings
 {
     Real rho = 0.1;           ///< initial ADMM step size
@@ -57,17 +63,26 @@ struct OsqpSettings
     PcgSettings pcg;                            ///< indirect backend only
 
     /**
-     * Host threads for the hot-path vector kernels and PCG (0 =
-     * library default, i.e. hardware concurrency; 1 = fully serial
-     * execution on the calling thread). Results never depend on this
-     * knob: the serial-vs-chunked summation order of a reduction is
-     * picked by vector length alone (kParallelThreshold), so vectors
-     * at or above the threshold use the fixed-grain chunked order
-     * even at numThreads = 1 — bitwise-identical across settings,
-     * but not to a plain left-to-right accumulation. Below the
-     * threshold every kernel is the exact legacy serial loop.
+     * Execution-resource knobs (host threads for the hot-path vector
+     * kernels and PCG). Results never depend on the thread count:
+     * the serial-vs-chunked summation order of a reduction is picked
+     * by vector length alone (kParallelThreshold), so vectors at or
+     * above the threshold use the fixed-grain chunked order even at
+     * numThreads = 1 — bitwise-identical across settings, but not to
+     * a plain left-to-right accumulation. Below the threshold every
+     * kernel is the exact legacy serial loop.
      */
-    Index numThreads = 0;
+    ExecutionConfig execution;
+
+    /** @deprecated Use execution.numThreads; non-zero values win. */
+    [[deprecated("use execution.numThreads")]] Index numThreads = 0;
+
+    /** Effective thread count (legacy numThreads forwards here). */
+    Index
+    resolvedNumThreads() const
+    {
+        return resolveNumThreads(execution, numThreads);
+    }
 
     bool recordTrace = false;  ///< keep per-iteration residual history
 
@@ -88,6 +103,7 @@ struct OsqpSettings
      */
     FaultInjectionConfig faultInjection;
 };
+#pragma GCC diagnostic pop
 
 } // namespace rsqp
 

@@ -10,40 +10,28 @@
 #include "linalg/vector_ops.hpp"
 #include "osqp/polish.hpp"
 #include "osqp/residuals.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rsqp
 {
-
-const char*
-toString(SolveStatus status)
-{
-    switch (status) {
-      case SolveStatus::Solved: return "solved";
-      case SolveStatus::MaxIterReached: return "max_iter_reached";
-      case SolveStatus::PrimalInfeasible: return "primal_infeasible";
-      case SolveStatus::DualInfeasible: return "dual_infeasible";
-      case SolveStatus::NumericalError: return "numerical_error";
-      case SolveStatus::InvalidProblem: return "invalid_problem";
-      case SolveStatus::TimeLimitReached: return "time_limit_reached";
-      case SolveStatus::Rejected: return "rejected";
-      case SolveStatus::Unsolved: return "unsolved";
-    }
-    return "unknown";
-}
 
 OsqpSolver::OsqpSolver(QpProblem problem, OsqpSettings settings)
     : settings_(std::move(settings)), original_(std::move(problem))
 {
     Timer setup_timer;
-    if (settings_.alpha <= 0.0 || settings_.alpha >= 2.0)
-        RSQP_FATAL("alpha must be in (0, 2), got ", settings_.alpha);
-    if (settings_.rho <= 0.0 || settings_.sigma <= 0.0)
-        RSQP_FATAL("rho and sigma must be positive");
 
-    // Malformed problem data is a *caller* input, not a programming
-    // error: record the diagnostics and come up inert so solve()
-    // returns a typed InvalidProblem result instead of crashing.
-    validation_ = validateProblem(original_);
+    // Malformed settings and malformed problem data are both *caller*
+    // input, not programming errors: record the diagnostics and come
+    // up inert so solve() returns a typed InvalidProblem result
+    // instead of crashing. (The constructor threw RSQP_FATAL for bad
+    // settings before PR 5; requireValid() keeps that behavior alive
+    // for one release.)
+    validation_ = validateSettings(settings_);
+    ValidationReport problem_report = validateProblem(original_);
+    validation_.issues.insert(validation_.issues.end(),
+                              problem_report.issues.begin(),
+                              problem_report.issues.end());
     if (!validation_.ok()) {
         RSQP_WARN("problem '", original_.name,
                   "' failed validation:\n", validation_.describe());
@@ -334,10 +322,11 @@ OsqpSolver::adaptRho(Real prim_res, Real dual_res, const Vector& x,
 OsqpResult
 OsqpSolver::solve()
 {
+    TELEMETRY_SPAN("admm.solve");
     Timer solve_timer;
     AccumulatingTimer kkt_timer;
     // Route the settings knob to the vector kernels and PCG below.
-    NumThreadsScope threads_scope(settings_.numThreads);
+    NumThreadsScope threads_scope(settings_.resolvedNumThreads());
 
     OsqpResult result;
     OsqpInfo& info = result.info;
@@ -348,6 +337,7 @@ OsqpSolver::solve()
     info.pcgIterationsTotal = 0;
     info.hotPath = HotPathProfile{};
     info.recovery = RecoveryReport{};
+    info.telemetry = SolveTelemetry{};
 
     if (!validation_.ok()) {
         result.validation = validation_;
@@ -376,6 +366,9 @@ OsqpSolver::solve()
     DivergenceWatchdog watchdog(ft);
     IterateCheckpoint checkpoint;
     Index recovery_attempts = 0;
+    const Count faults_before = faultInjector_ != nullptr
+                                    ? faultInjector_->faultsInjected()
+                                    : 0;
 
     Vector rhs_x(static_cast<std::size_t>(n_));
     Vector rhs_z(static_cast<std::size_t>(m_));
@@ -427,6 +420,7 @@ OsqpSolver::solve()
     };
 
     for (Index iter = 1; iter <= settings_.maxIter; ++iter) {
+        TELEMETRY_SPAN("admm.iter");
         // A wall-clock budget turns a hung or flailing solve into a
         // typed result instead of an unbounded stall.
         if (settings_.timeLimit > 0.0 &&
@@ -456,6 +450,7 @@ OsqpSolver::solve()
         const KktSolveStats kstats =
             kkt_->solve(rhs_x, rhs_z, x_tilde, z_tilde);
         kkt_timer.stop();
+        ++info.telemetry.kktSolves;
         info.pcgIterationsTotal += kstats.pcgIterations;
         if (kstats.usedFallback) {
             info.recovery.record(RecoveryAction::PcgDirectFallback, iter,
@@ -521,6 +516,7 @@ OsqpSolver::solve()
                          eps_dual);
         info.primRes = prim_res;
         info.dualRes = dual_res;
+        info.telemetry.pushResidual(iter, prim_res, dual_res);
 
         if (settings_.recordTrace) {
             IterationRecord rec;
@@ -613,8 +609,65 @@ OsqpSolver::solve()
     info.kktSolveTime = kkt_timer.totalSeconds();
     if (const HotPathProfiler* profiler = kkt_->hotPathProfiler())
         info.hotPath = profiler->snapshot();
+
+    // Per-solve telemetry record + process-wide aggregates. The
+    // registry adds happen once per solve (never per iteration), so
+    // their cost is invisible next to even one KKT step.
+    SolveTelemetry& tele = info.telemetry;
+    tele.iterations = info.iterations;
+    tele.pcgIterationsTotal = info.pcgIterationsTotal;
+    tele.pcgItersPerSolve = tele.kktSolves > 0
+        ? static_cast<Real>(tele.pcgIterationsTotal) /
+            static_cast<Real>(tele.kktSolves)
+        : 0.0;
+    tele.recoveryEvents =
+        static_cast<Count>(info.recovery.events.size());
+    tele.faultsInjected = faultInjector_ != nullptr
+        ? faultInjector_->faultsInjected() - faults_before
+        : 0;
+    tele.solveSeconds = info.solveTime;
+    {
+        using telemetry::MetricsRegistry;
+        MetricsRegistry& registry = MetricsRegistry::global();
+        static telemetry::Counter& solves = registry.counter(
+            "rsqp_admm_solves_total", "Completed OsqpSolver::solve "
+            "calls");
+        static telemetry::Counter& iterations = registry.counter(
+            "rsqp_admm_iterations_total", "ADMM iterations executed");
+        static telemetry::Counter& pcg_iterations = registry.counter(
+            "rsqp_admm_pcg_iterations_total",
+            "Inner PCG iterations executed");
+        static telemetry::Counter& rho_updates = registry.counter(
+            "rsqp_admm_rho_updates_total", "Adaptive-rho refactors");
+        static telemetry::Counter& recoveries = registry.counter(
+            "rsqp_admm_recovery_events_total",
+            "Watchdog/fallback recovery actions");
+        static telemetry::Histogram& solve_ns = registry.histogram(
+            "rsqp_admm_solve_ns", "Wall-clock nanoseconds per solve");
+        solves.increment();
+        iterations.add(static_cast<std::uint64_t>(info.iterations));
+        pcg_iterations.add(
+            static_cast<std::uint64_t>(info.pcgIterationsTotal));
+        rho_updates.add(static_cast<std::uint64_t>(info.rhoUpdates));
+        recoveries.add(
+            static_cast<std::uint64_t>(tele.recoveryEvents));
+        solve_ns.observe(
+            static_cast<std::uint64_t>(info.solveTime * 1e9));
+    }
+
     lastInfo_ = info;
     return result;
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+void
+OsqpSolver::requireValid() const
+{
+    if (!validation_.ok())
+        RSQP_FATAL("solver setup failed validation:\n",
+                   validation_.describe());
+}
+#pragma GCC diagnostic pop
 
 } // namespace rsqp

@@ -1,0 +1,29 @@
+#include "osqp/status.hpp"
+
+namespace rsqp
+{
+
+const char*
+statusToString(SolveStatus status)
+{
+    switch (status) {
+      case SolveStatus::Solved: return "solved";
+      case SolveStatus::MaxIterReached: return "max_iter_reached";
+      case SolveStatus::PrimalInfeasible: return "primal_infeasible";
+      case SolveStatus::DualInfeasible: return "dual_infeasible";
+      case SolveStatus::NumericalError: return "numerical_error";
+      case SolveStatus::InvalidProblem: return "invalid_problem";
+      case SolveStatus::TimeLimitReached: return "time_limit_reached";
+      case SolveStatus::Rejected: return "rejected";
+      case SolveStatus::Unsolved: return "unsolved";
+    }
+    return "unknown";
+}
+
+const char*
+toString(SolveStatus status)
+{
+    return statusToString(status);
+}
+
+} // namespace rsqp

@@ -13,6 +13,7 @@
 #include "common/types.hpp"
 #include "osqp/recovery.hpp"
 #include "osqp/validate.hpp"
+#include "telemetry/solve_telemetry.hpp"
 
 namespace rsqp
 {
@@ -32,7 +33,13 @@ enum class SolveStatus
     Unsolved,
 };
 
-/** Printable name of a status code. */
+/**
+ * Printable name of a status code — the one canonical stringifier;
+ * bench/report code must not roll its own.
+ */
+const char* statusToString(SolveStatus status);
+
+/** Printable name of a status code (alias of statusToString). */
 const char* toString(SolveStatus status);
 
 /** One row of the optional per-iteration trace. */
@@ -66,6 +73,9 @@ struct OsqpInfo
     HotPathProfile hotPath;
 
     RecoveryReport recovery;   ///< every recovery action of the solve
+
+    /** Structured per-solve summary (residual tail, PCG effort). */
+    SolveTelemetry telemetry;
 };
 
 /** Outcome of a solution-polish attempt (see osqp/polish.hpp). */

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "osqp/problem.hpp"
+#include "osqp/settings.hpp"
 
 namespace rsqp
 {
@@ -74,6 +75,8 @@ toString(ValidationCode code)
         return "infeasible-bounds";
     case ValidationCode::IndefiniteDiagonal:
         return "indefinite-diagonal";
+    case ValidationCode::InvalidSetting:
+        return "invalid-setting";
     }
     return "unknown";
 }
@@ -230,6 +233,39 @@ validateProblem(const QpProblem& problem)
         }
     }
 
+    return report;
+}
+
+ValidationReport
+validateSettings(const OsqpSettings& settings)
+{
+    ValidationReport report;
+    if (!(settings.alpha > 0.0 && settings.alpha < 2.0)) {
+        std::ostringstream msg;
+        msg << "alpha must be in (0, 2), got " << settings.alpha;
+        addIssue(report, ValidationCode::InvalidSetting, msg.str());
+    }
+    if (!(settings.rho > 0.0)) {
+        std::ostringstream msg;
+        msg << "rho must be positive, got " << settings.rho;
+        addIssue(report, ValidationCode::InvalidSetting, msg.str());
+    }
+    if (!(settings.sigma > 0.0)) {
+        std::ostringstream msg;
+        msg << "sigma must be positive, got " << settings.sigma;
+        addIssue(report, ValidationCode::InvalidSetting, msg.str());
+    }
+    if (settings.maxIter < 1) {
+        std::ostringstream msg;
+        msg << "maxIter must be >= 1, got " << settings.maxIter;
+        addIssue(report, ValidationCode::InvalidSetting, msg.str());
+    }
+    if (settings.checkInterval < 1) {
+        std::ostringstream msg;
+        msg << "checkInterval must be >= 1, got "
+            << settings.checkInterval;
+        addIssue(report, ValidationCode::InvalidSetting, msg.str());
+    }
     return report;
 }
 

@@ -33,6 +33,7 @@ enum class ValidationCode
     NonFiniteData,          ///< NaN/Inf in matrix values or q/l/u
     InfeasibleBounds,       ///< l[i] > u[i] for some constraint
     IndefiniteDiagonal,     ///< diag(P) has a negative entry
+    InvalidSetting,         ///< solver settings out of range
 };
 
 /** Printable name of a validation category. */
@@ -71,6 +72,16 @@ struct ValidationReport
  * element scans that would otherwise read past broken arrays.
  */
 ValidationReport validateProblem(const QpProblem& problem);
+
+struct OsqpSettings;
+
+/**
+ * Validate algorithm settings (alpha in (0, 2), positive rho/sigma,
+ * positive iteration caps). Like validateProblem this never throws:
+ * a failing report turns the solve into a typed InvalidProblem result
+ * — the successor of the constructor's retired RSQP_FATAL path.
+ */
+ValidationReport validateSettings(const OsqpSettings& settings);
 
 } // namespace rsqp
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/thread_pool.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rsqp
 {
@@ -30,13 +31,57 @@ resolveWith(std::promise<SessionResult>& promise, SolveStatus status)
 
 } // namespace
 
+namespace
+{
+
+unsigned
+resolveMaxConcurrency(const ServiceConfig& config)
+{
+    if (config.maxConcurrency != 0)
+        return config.maxConcurrency;
+    if (config.execution.numThreads > 0)
+        return static_cast<unsigned>(config.execution.numThreads);
+    return static_cast<unsigned>(effectiveNumThreads());
+}
+
+} // namespace
+
 SolverService::SolverService(ServiceConfig config)
     : config_(config),
-      maxConcurrency_(config.maxConcurrency != 0
-                          ? config.maxConcurrency
-                          : static_cast<unsigned>(effectiveNumThreads())),
-      cache_(std::make_shared<CustomizationCache>(config.cacheCapacity))
-{}
+      maxConcurrency_(resolveMaxConcurrency(config)),
+      cache_(std::make_shared<CustomizationCache>(config.cacheCapacity)),
+      submitted_(registry_.counter("rsqp_service_submitted_total",
+                                   "Requests handed to submit()")),
+      completed_(registry_.counter("rsqp_service_completed_total",
+                                   "Requests that ran to a status")),
+      rejected_(registry_.counter("rsqp_service_rejected_total",
+                                  "Queue overflow or closed session")),
+      expired_(registry_.counter("rsqp_service_expired_total",
+                                 "Deadline passed while queued")),
+      queueDepth_(registry_.gauge("rsqp_service_queue_depth",
+                                  "Requests waiting right now")),
+      peakQueueDepth_(registry_.gauge("rsqp_service_queue_depth_peak",
+                                      "Queue-depth high-water mark")),
+      openSessions_(registry_.gauge("rsqp_service_open_sessions",
+                                    "Sessions currently open")),
+      cacheHits_(registry_.gauge("rsqp_service_cache_hits",
+                                 "Customization-cache hits")),
+      cacheMisses_(registry_.gauge("rsqp_service_cache_misses",
+                                   "Customization-cache misses")),
+      cacheEvictions_(registry_.gauge("rsqp_service_cache_evictions",
+                                      "Customization-cache evictions")),
+      cacheSize_(registry_.gauge("rsqp_service_cache_size",
+                                 "Artifacts resident in the cache")),
+      queueWaitNs_(registry_.histogram(
+          "rsqp_service_queue_wait_ns",
+          "Nanoseconds between admission and execution")),
+      executeNs_(registry_.histogram(
+          "rsqp_service_execute_ns",
+          "Nanoseconds a request held a worker"))
+{
+    if (config_.tracing)
+        telemetry::TraceRecorder::global().enable();
+}
 
 SolverService::~SolverService()
 {
@@ -54,7 +99,12 @@ SolverService::openSession(SessionConfig config)
                                                      cache_);
     std::lock_guard<std::mutex> lock(mutex_);
     const SessionId id = nextId_++;
+    state->solvesCounter = &registry_.counter(
+        "rsqp_service_session_solves_total{session=\"" +
+            std::to_string(id) + "\"}",
+        "Solves executed on behalf of one session");
     sessions_.emplace(id, std::move(state));
+    openSessions_.set(static_cast<std::int64_t>(sessions_.size()));
     return id;
 }
 
@@ -70,13 +120,15 @@ SolverService::closeSession(SessionId id)
         SessionState& state = *it->second;
         state.open = false;
         queuedJobs_ -= state.pending.size();
-        rejected_ += static_cast<Count>(state.pending.size());
+        queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
+        rejected_.add(state.pending.size());
         dropped.assign(state.pending.begin(), state.pending.end());
         state.pending.clear();
         // A running job still owns the session; its completion handler
         // erases the closed state.
         if (!state.running)
             sessions_.erase(it);
+        openSessions_.set(static_cast<std::int64_t>(sessions_.size()));
     }
     for (const std::shared_ptr<Job>& job : dropped)
         resolveWith(job->promise, SolveStatus::Rejected);
@@ -97,7 +149,7 @@ SolverService::submit(SessionId id, QpProblem problem,
     std::vector<Launch> launches;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++submitted_;
+        submitted_.increment();
         auto it = sessions_.find(id);
         if (it != sessions_.end() && it->second->open &&
             queuedJobs_ < config_.maxQueueDepth) {
@@ -105,14 +157,15 @@ SolverService::submit(SessionId id, QpProblem problem,
             const bool wasIdle = !state.running && state.pending.empty();
             state.pending.push_back(job);
             ++queuedJobs_;
-            if (queuedJobs_ > peakQueueDepth_)
-                peakQueueDepth_ = queuedJobs_;
+            queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
+            peakQueueDepth_.updateMax(
+                static_cast<std::int64_t>(queuedJobs_));
             if (wasIdle)
                 ready_.push_back(id);
             admitted = true;
             pumpLocked(launches);
         } else {
-            ++rejected_;
+            rejected_.increment();
         }
     }
     if (!admitted) {
@@ -146,6 +199,7 @@ SolverService::pumpLocked(std::vector<Launch>& launches)
         launches.push_back({id, &state, state.pending.front()});
         state.pending.pop_front();
         --queuedJobs_;
+        queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
     }
 }
 
@@ -169,43 +223,61 @@ SolverService::runJob(SessionId id, SessionState* state,
                       const std::shared_ptr<Job>& job)
 {
     SessionResult result;
-    const double waited = secondsSince(job->enqueued);
-    const bool expired = job->deadline > 0.0 && waited >= job->deadline;
-    if (expired) {
-        // Too late to start: report the deadline without touching the
-        // session (its warm state and diff base stay intact).
-        result.status = SolveStatus::TimeLimitReached;
-    } else {
-        const Real budget = job->deadline > 0.0
-                                ? job->deadline - static_cast<Real>(waited)
-                                : 0.0;
-        result = state->session->solve(job->problem, budget);
-    }
-
-    std::vector<Launch> launches;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        state->statsSnapshot = state->session->stats();
-        if (expired)
-            ++expired_;
-        else
-            ++completed_;
-        state->running = false;
-        --activeRuns_;
-        if (!state->open && state->pending.empty())
-            sessions_.erase(id);  // deferred from closeSession
-        else if (!state->pending.empty())
-            ready_.push_back(id);
-        pumpLocked(launches);
-        // The idle check runs after pumpLocked so follow-on work keeps
-        // activeRuns_ nonzero: once a drain observes idle, no code path
-        // of this job touches the service again, making destruction
-        // race-free.
-        if (activeRuns_ == 0 && queuedJobs_ == 0)
-            idleCv_.notify_all();
+        // Scoped so the span is recorded *before* the promise is
+        // fulfilled: a client that solves then immediately drains the
+        // trace always sees its own request's span.
+        TELEMETRY_SPAN("service.run_job");
+        const double waited = secondsSince(job->enqueued);
+        const bool expired =
+            job->deadline > 0.0 && waited >= job->deadline;
+        const auto executeStart = std::chrono::steady_clock::now();
+        if (expired) {
+            // Too late to start: report the deadline without touching
+            // the session (its warm state and diff base stay intact).
+            result.status = SolveStatus::TimeLimitReached;
+        } else {
+            const Real budget =
+                job->deadline > 0.0
+                    ? job->deadline - static_cast<Real>(waited)
+                    : 0.0;
+            result = state->session->solve(job->problem, budget);
+        }
+        result.telemetry.queueWaitSeconds = waited;
+        queueWaitNs_.observe(static_cast<std::uint64_t>(waited * 1e9));
+        executeNs_.observe(static_cast<std::uint64_t>(
+            secondsSince(executeStart) * 1e9));
+
+        std::vector<Launch> launches;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            state->statsSnapshot = state->session->stats();
+            if (expired) {
+                expired_.increment();
+            } else {
+                completed_.increment();
+                state->solvesCounter->increment();
+            }
+            state->running = false;
+            --activeRuns_;
+            if (!state->open && state->pending.empty()) {
+                sessions_.erase(id);  // deferred from closeSession
+                openSessions_.set(
+                    static_cast<std::int64_t>(sessions_.size()));
+            } else if (!state->pending.empty()) {
+                ready_.push_back(id);
+            }
+            pumpLocked(launches);
+            // The idle check runs after pumpLocked so follow-on work
+            // keeps activeRuns_ nonzero: once a drain observes idle, no
+            // code path of this job touches the service again, making
+            // destruction race-free.
+            if (activeRuns_ == 0 && queuedJobs_ == 0)
+                idleCv_.notify_all();
+        }
+        if (!launches.empty())  // non-empty: the drain is still held
+            launch(launches);
     }
-    if (!launches.empty())  // non-empty implies the drain is still held
-        launch(launches);
     job->promise.set_value(std::move(result));
 }
 
@@ -222,15 +294,47 @@ SolverService::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     ServiceStats stats;
-    stats.submitted = submitted_;
-    stats.completed = completed_;
-    stats.rejected = rejected_;
-    stats.expired = expired_;
+    stats.submitted = static_cast<Count>(submitted_.value());
+    stats.completed = static_cast<Count>(completed_.value());
+    stats.rejected = static_cast<Count>(rejected_.value());
+    stats.expired = static_cast<Count>(expired_.value());
     stats.queueDepth = queuedJobs_;
-    stats.peakQueueDepth = peakQueueDepth_;
+    stats.peakQueueDepth =
+        static_cast<std::size_t>(peakQueueDepth_.value());
     stats.openSessions = sessions_.size();
     stats.cache = cache_->stats();
     return stats;
+}
+
+void
+SolverService::syncGaugesLocked() const
+{
+    const CustomizationCacheStats cache = cache_->stats();
+    cacheHits_.set(cache.hits);
+    cacheMisses_.set(cache.misses);
+    cacheEvictions_.set(cache.evictions);
+    cacheSize_.set(static_cast<std::int64_t>(cache.size));
+    openSessions_.set(static_cast<std::int64_t>(sessions_.size()));
+}
+
+telemetry::MetricsSnapshot
+SolverService::metricsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    syncGaugesLocked();
+    return registry_.snapshot();
+}
+
+std::string
+SolverService::metricsText() const
+{
+    return metricsSnapshot().toPrometheusText();
+}
+
+std::string
+SolverService::dumpTrace() const
+{
+    return telemetry::TraceRecorder::global().drainJson();
 }
 
 SessionStats

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "service/session.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace rsqp
 {
@@ -42,12 +43,17 @@ struct ServiceConfig
 {
     /** Max requests waiting across all sessions; overflow is Rejected. */
     std::size_t maxQueueDepth = 64;
-    /** Max sessions solving at once (0 = effectiveNumThreads()). */
+    /** Max sessions solving at once (0 = execution.numThreads, then
+     *  effectiveNumThreads() when that is 0 too). */
     unsigned maxConcurrency = 0;
     /** Customization-cache capacity in artifacts (0 disables). */
     std::size_t cacheCapacity = 16;
     /** Deadline applied when submit() passes none (0 = unlimited). */
     Real defaultDeadlineSeconds = 0.0;
+    /** Execution resources: default concurrency cap of the service. */
+    ExecutionConfig execution;
+    /** Enable the global trace recorder for the service's lifetime. */
+    bool tracing = false;
 };
 
 /** Service-wide counter snapshot. */
@@ -107,6 +113,26 @@ class SolverService
     /** Per-session counters (zeros for unknown sessions). */
     SessionStats sessionStats(SessionId id) const;
 
+    /**
+     * Point-in-time snapshot of the service registry (queue depth,
+     * admission counters, cache effectiveness, per-session solve
+     * counts, wait/execute histograms).
+     */
+    telemetry::MetricsSnapshot metricsSnapshot() const;
+
+    /** metricsSnapshot() in Prometheus text exposition format. */
+    std::string metricsText() const;
+
+    /**
+     * Drain the global trace recorder as Chrome trace_event JSON
+     * (spans recorded by every solve that ran while tracing was
+     * enabled; empty under -DRSQP_TELEMETRY=OFF).
+     */
+    std::string dumpTrace() const;
+
+    /** The registry backing stats()/metricsText() (test access). */
+    telemetry::MetricsRegistry& registry() { return registry_; }
+
     /** The shared customization cache (never null). */
     const std::shared_ptr<CustomizationCache>& cache() const
     {
@@ -131,6 +157,8 @@ class SolverService
         /** Copied under the service lock after every finished job, so
          *  sessionStats() never races with a worker mid-solve. */
         SessionStats statsSnapshot;
+        /** Registry counter "...session_solves_total{session=...}". */
+        telemetry::Counter* solvesCounter = nullptr;
     };
 
     /** One dispatch decision taken under the lock, launched outside. */
@@ -151,9 +179,32 @@ class SolverService
     void runJob(SessionId id, SessionState* state,
                 const std::shared_ptr<Job>& job);
 
+    /** Refresh cache/session gauges from their sources (locked). */
+    void syncGaugesLocked() const;
+
     ServiceConfig config_;
     unsigned maxConcurrency_;
     std::shared_ptr<CustomizationCache> cache_;
+
+    /**
+     * Registry backing every service counter; PR 4's bespoke counter
+     * members are gone, ServiceStats is assembled from these. The
+     * registry outlives every handle the members below cache.
+     */
+    mutable telemetry::MetricsRegistry registry_;
+    telemetry::Counter& submitted_;
+    telemetry::Counter& completed_;
+    telemetry::Counter& rejected_;
+    telemetry::Counter& expired_;
+    telemetry::Gauge& queueDepth_;
+    telemetry::Gauge& peakQueueDepth_;
+    telemetry::Gauge& openSessions_;
+    telemetry::Gauge& cacheHits_;
+    telemetry::Gauge& cacheMisses_;
+    telemetry::Gauge& cacheEvictions_;
+    telemetry::Gauge& cacheSize_;
+    telemetry::Histogram& queueWaitNs_;
+    telemetry::Histogram& executeNs_;
 
     mutable std::mutex mutex_;
     std::condition_variable idleCv_;
@@ -163,12 +214,6 @@ class SolverService
     unsigned activeRuns_ = 0;
     std::size_t queuedJobs_ = 0;
     SessionId nextId_ = 1;
-
-    Count submitted_ = 0;
-    Count completed_ = 0;
-    Count rejected_ = 0;
-    Count expired_ = 0;
-    std::size_t peakQueueDepth_ = 0;
 };
 
 } // namespace rsqp

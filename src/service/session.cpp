@@ -134,6 +134,11 @@ SolverSession::solve(const QpProblem& problem, Real time_budget)
     current_ = problem;
     result.setupSeconds = secondsSince(setupStart);
     stats_.setupSecondsTotal += result.setupSeconds;
+    const SolveRoute route =
+        result.parametricReuse
+            ? SolveRoute::Parametric
+            : (result.cacheHit ? SolveRoute::CacheThaw
+                               : SolveRoute::FullCustomize);
 
     const Index n = problem.numVariables();
     const Index m = problem.numConstraints();
@@ -162,6 +167,7 @@ SolverSession::solve(const QpProblem& problem, Real time_budget)
         result.primRes = run.primRes;
         result.dualRes = run.dualRes;
         result.deviceSeconds = run.deviceSeconds;
+        result.telemetry = run.telemetry;
     } else {
         // The host engine enforces the deadline in-loop; each request
         // re-arms the limit so budgets never leak across requests.
@@ -177,9 +183,13 @@ SolverSession::solve(const QpProblem& problem, Real time_budget)
         result.primRes = run.info.primRes;
         result.dualRes = run.info.dualRes;
         result.hotPath = run.info.hotPath;
+        result.telemetry = run.info.telemetry;
     }
     result.solveSeconds = secondsSince(solveStart);
     stats_.solveSecondsTotal += result.solveSeconds;
+    result.telemetry.route = route;
+    result.telemetry.setupSeconds = result.setupSeconds;
+    result.telemetry.solveSeconds = result.solveSeconds;
 
     if (!result.x.empty() && !result.y.empty()) {
         lastX_ = result.x;

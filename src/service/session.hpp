@@ -26,6 +26,7 @@
 #include "core/rsqp_solver.hpp"
 #include "osqp/solver.hpp"
 #include "service/customization_cache.hpp"
+#include "telemetry/solve_telemetry.hpp"
 
 namespace rsqp
 {
@@ -72,6 +73,9 @@ struct SessionResult
     Real deviceSeconds = 0.0;   ///< Device engine: simulated wall clock
     HotPathProfile hotPath;     ///< Host/PCG per-phase counters
     ValidationReport validation;  ///< filled when InvalidProblem
+
+    /** Structured per-solve summary (route, queue wait, residuals). */
+    SolveTelemetry telemetry;
 };
 
 /** Monotonic per-session counters. */

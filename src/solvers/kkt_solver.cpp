@@ -2,6 +2,24 @@
 
 #include "common/logging.hpp"
 #include "linalg/vector_ops.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace
+{
+
+/** Count LDL'-fallback rescues of PCG breakdowns process-wide. */
+void
+countFallback()
+{
+    static rsqp::telemetry::Counter& fallbacks =
+        rsqp::telemetry::MetricsRegistry::global().counter(
+            "rsqp_kkt_pcg_fallbacks_total",
+            "KKT steps rescued by the direct LDL' fallback");
+    fallbacks.increment();
+}
+
+} // namespace
 
 namespace rsqp
 {
@@ -37,6 +55,7 @@ KktSolveStats
 DirectKktSolver::solve(const Vector& rhs_x, const Vector& rhs_z,
                        Vector& x_tilde, Vector& z_tilde)
 {
+    TELEMETRY_SPAN("kkt.ldl");
     RSQP_ASSERT(static_cast<Index>(rhs_x.size()) == n_, "rhs_x size");
     RSQP_ASSERT(static_cast<Index>(rhs_z.size()) == m_, "rhs_z size");
 
@@ -132,6 +151,7 @@ KktSolveStats
 IndirectKktSolver::solve(const Vector& rhs_x, const Vector& rhs_z,
                          Vector& x_tilde, Vector& z_tilde)
 {
+    TELEMETRY_SPAN("kkt.pcg");
     // Record the hot-path phases of everything below (rhs build, PCG
     // loop, final A x) into this solver's profiler.
     HotPathProfilerScope profile_scope(
@@ -163,6 +183,7 @@ IndirectKktSolver::solve(const Vector& rhs_x, const Vector& rhs_z,
                   "fallback");
         if (solveWithFallback(rhs_x, rhs_z, x_tilde, z_tilde)) {
             stats.usedFallback = true;
+            countFallback();
             // Re-warm PCG from the trustworthy direct solution so the
             // next step starts from a clean Krylov state.
             warmX_ = x_tilde;

@@ -1,0 +1,298 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace rsqp::telemetry
+{
+
+namespace
+{
+
+/** Round-robin shard assignment, stable for the thread's lifetime. */
+std::atomic<std::size_t> next_shard{0};
+
+/** Strip a "{label=...}" suffix for the HELP/TYPE family name. */
+std::string_view
+familyName(std::string_view name)
+{
+    const std::size_t brace = name.find('{');
+    return brace == std::string_view::npos ? name
+                                           : name.substr(0, brace);
+}
+
+void
+appendJsonKey(std::ostringstream& os, const std::string& name)
+{
+    os << '"';
+    for (char ch : name) {
+        if (ch == '"' || ch == '\\')
+            os << '\\';
+        os << ch;
+    }
+    os << "\":";
+}
+
+} // namespace
+
+std::size_t
+threadShardIndex()
+{
+    thread_local const std::size_t slot =
+        next_shard.fetch_add(1, std::memory_order_relaxed) %
+        kCounterShards;
+    return slot;
+}
+
+Counter::Counter(std::string name, std::string help)
+    : name_(std::move(name)), help_(std::move(help))
+{
+}
+
+std::uint64_t
+Counter::value() const noexcept
+{
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_)
+        total += shard.value.load(std::memory_order_relaxed);
+    return total;
+}
+
+Gauge::Gauge(std::string name, std::string help)
+    : name_(std::move(name)), help_(std::move(help))
+{
+}
+
+void
+Gauge::updateMax(std::int64_t candidate) noexcept
+{
+    std::int64_t seen = value_.load(std::memory_order_relaxed);
+    while (seen < candidate &&
+           !value_.compare_exchange_weak(seen, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+Histogram::Histogram(std::string name, std::string help)
+    : name_(std::move(name)), help_(std::move(help))
+{
+    for (auto& bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(std::uint64_t value) noexcept
+{
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::bit_width(value));
+    buckets_[std::min(bucket, kHistogramBuckets - 1)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::count() const noexcept
+{
+    std::uint64_t total = 0;
+    for (const auto& bucket : buckets_)
+        total += bucket.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+Histogram::sum() const noexcept
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+std::array<std::uint64_t, kHistogramBuckets>
+Histogram::bucketCounts() const
+{
+    std::array<std::uint64_t, kHistogramBuckets> counts{};
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    return counts;
+}
+
+const CounterSample*
+MetricsSnapshot::findCounter(std::string_view name) const
+{
+    for (const CounterSample& sample : counters)
+        if (sample.name == name)
+            return &sample;
+    return nullptr;
+}
+
+const GaugeSample*
+MetricsSnapshot::findGauge(std::string_view name) const
+{
+    for (const GaugeSample& sample : gauges)
+        if (sample.name == name)
+            return &sample;
+    return nullptr;
+}
+
+const HistogramSample*
+MetricsSnapshot::findHistogram(std::string_view name) const
+{
+    for (const HistogramSample& sample : histograms)
+        if (sample.name == name)
+            return &sample;
+    return nullptr;
+}
+
+std::uint64_t
+MetricsSnapshot::counterValue(std::string_view name,
+                              std::uint64_t fallback) const
+{
+    const CounterSample* sample = findCounter(name);
+    return sample != nullptr ? sample->value : fallback;
+}
+
+std::string
+MetricsSnapshot::toPrometheusText() const
+{
+    std::ostringstream os;
+    for (const CounterSample& sample : counters) {
+        const std::string_view family = familyName(sample.name);
+        if (!sample.help.empty())
+            os << "# HELP " << family << ' ' << sample.help << '\n';
+        os << "# TYPE " << family << " counter\n";
+        os << sample.name << ' ' << sample.value << '\n';
+    }
+    for (const GaugeSample& sample : gauges) {
+        const std::string_view family = familyName(sample.name);
+        if (!sample.help.empty())
+            os << "# HELP " << family << ' ' << sample.help << '\n';
+        os << "# TYPE " << family << " gauge\n";
+        os << sample.name << ' ' << sample.value << '\n';
+    }
+    for (const HistogramSample& sample : histograms) {
+        const std::string_view family = familyName(sample.name);
+        if (!sample.help.empty())
+            os << "# HELP " << family << ' ' << sample.help << '\n';
+        os << "# TYPE " << family << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+            if (sample.buckets[i] == 0)
+                continue;
+            cumulative += sample.buckets[i];
+            // Upper bound of bucket i (bit_width == i) is 2^i - 1.
+            const long double upper =
+                i >= 64 ? 0.0L
+                        : static_cast<long double>(
+                              (i == 0) ? 0ULL
+                                       : ((~0ULL) >> (64 - i)));
+            os << family << "_bucket{le=\""
+               << static_cast<double>(upper) << "\"} " << cumulative
+               << '\n';
+        }
+        os << family << "_bucket{le=\"+Inf\"} " << sample.count
+           << '\n';
+        os << family << "_sum " << sample.sum << '\n';
+        os << family << "_count " << sample.count << '\n';
+    }
+    return os.str();
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        if (i)
+            os << ',';
+        appendJsonKey(os, counters[i].name);
+        os << counters[i].value;
+    }
+    os << "},\"gauges\":{";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        if (i)
+            os << ',';
+        appendJsonKey(os, gauges[i].name);
+        os << gauges[i].value;
+    }
+    os << "},\"histograms\":{";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        if (i)
+            os << ',';
+        appendJsonKey(os, histograms[i].name);
+        os << "{\"count\":" << histograms[i].count
+           << ",\"sum\":" << histograms[i].sum << '}';
+    }
+    os << "}}";
+    return os.str();
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name,
+                         const std::string& help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& existing : counters_)
+        if (existing->name() == name)
+            return *existing;
+    counters_.push_back(std::make_unique<Counter>(name, help));
+    return *counters_.back();
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name, const std::string& help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& existing : gauges_)
+        if (existing->name() == name)
+            return *existing;
+    gauges_.push_back(std::make_unique<Gauge>(name, help));
+    return *gauges_.back();
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name,
+                           const std::string& help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& existing : histograms_)
+        if (existing->name() == name)
+            return *existing;
+    histograms_.push_back(std::make_unique<Histogram>(name, help));
+    return *histograms_.back();
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& counter : counters_)
+        snap.counters.push_back(
+            {counter->name(), counter->help(), counter->value()});
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& gauge : gauges_)
+        snap.gauges.push_back(
+            {gauge->name(), gauge->help(), gauge->value()});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& histogram : histograms_) {
+        HistogramSample sample;
+        sample.name = histogram->name();
+        sample.help = histogram->help();
+        sample.buckets = histogram->bucketCounts();
+        sample.sum = histogram->sum();
+        for (std::uint64_t bucket : sample.buckets)
+            sample.count += bucket;
+        snap.histograms.push_back(std::move(sample));
+    }
+    return snap;
+}
+
+MetricsRegistry&
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace rsqp::telemetry

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Lock-cheap metrics registry: monotonic counters, gauges, and
+ * fixed-bucket log2 histograms.
+ *
+ * Hot-path cost model: a Counter::add is one relaxed fetch_add into a
+ * cache-line-aligned per-thread shard (threads hash onto shards, so
+ * unrelated threads never bounce the same line); Histogram::observe is
+ * two relaxed adds plus a bit_width; Gauge operations are single
+ * atomics on a dedicated line. All aggregation cost (folding shards,
+ * name lookups, string formatting) is paid by snapshot() — never by
+ * the instrumented code.
+ *
+ * Metric handles returned by MetricsRegistry::counter()/gauge()/
+ * histogram() are stable references valid for the registry's lifetime;
+ * instrumented code resolves them once and caches the reference.
+ *
+ * Names follow the Prometheus convention ("rsqp_service_submitted_
+ * total"); an optional "{label=\"value\"}" suffix is carried through
+ * verbatim to the text exposition so per-session families ("rsqp_
+ * service_session_solves_total{session=\"3\"}") work without a
+ * separate label API.
+ */
+
+#ifndef RSQP_TELEMETRY_METRICS_HPP
+#define RSQP_TELEMETRY_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/config.hpp"
+
+namespace rsqp::telemetry
+{
+
+/** Number of per-thread counter shards (power of two). */
+inline constexpr std::size_t kCounterShards = 16;
+
+/** Number of log2 histogram buckets; bucket i covers bit_width == i. */
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/** Stable per-thread shard slot in [0, kCounterShards). */
+std::size_t threadShardIndex();
+
+/**
+ * Monotonic counter. add() is a single relaxed fetch_add on the
+ * calling thread's shard; value() folds all shards and is exact once
+ * the writers have quiesced (and never under-counts a completed add).
+ */
+class Counter
+{
+  public:
+    Counter(std::string name, std::string help);
+
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+    void
+    add(std::uint64_t delta) noexcept
+    {
+        shards_[threadShardIndex()].value.fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    void
+    increment() noexcept
+    {
+        add(1);
+    }
+
+    /** Fold all shards into the current total. */
+    std::uint64_t value() const noexcept;
+
+    const std::string& name() const { return name_; }
+    const std::string& help() const { return help_; }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> value{0};
+    };
+
+    std::array<Shard, kCounterShards> shards_;
+    std::string name_;
+    std::string help_;
+};
+
+/** Last-written-value gauge with an atomic-max variant for peaks. */
+class Gauge
+{
+  public:
+    Gauge(std::string name, std::string help);
+
+    Gauge(const Gauge&) = delete;
+    Gauge& operator=(const Gauge&) = delete;
+
+    void
+    set(std::int64_t value) noexcept
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta) noexcept
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    void
+    sub(std::int64_t delta) noexcept
+    {
+        value_.fetch_sub(delta, std::memory_order_relaxed);
+    }
+
+    /** Raise the gauge to at least `candidate` (CAS loop; rarely hot). */
+    void updateMax(std::int64_t candidate) noexcept;
+
+    std::int64_t
+    value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    const std::string& name() const { return name_; }
+    const std::string& help() const { return help_; }
+
+  private:
+    alignas(64) std::atomic<std::int64_t> value_{0};
+    std::string name_;
+    std::string help_;
+};
+
+/**
+ * Histogram over fixed log2 buckets: an observation v lands in bucket
+ * bit_width(v) (bucket 0 holds v == 0, bucket i holds 2^(i-1)..2^i-1).
+ * observe() is two relaxed adds; no locks, no allocation.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::string name, std::string help);
+
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    void observe(std::uint64_t value) noexcept;
+
+    std::uint64_t count() const noexcept;
+    std::uint64_t sum() const noexcept;
+
+    const std::string& name() const { return name_; }
+    const std::string& help() const { return help_; }
+
+    /** Non-cumulative per-bucket counts (index = bit_width). */
+    std::array<std::uint64_t, kHistogramBuckets> bucketCounts() const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_;
+    alignas(64) std::atomic<std::uint64_t> sum_{0};
+    std::string name_;
+    std::string help_;
+};
+
+/** Point-in-time copy of one counter. */
+struct CounterSample
+{
+    std::string name;
+    std::string help;
+    std::uint64_t value = 0;
+};
+
+/** Point-in-time copy of one gauge. */
+struct GaugeSample
+{
+    std::string name;
+    std::string help;
+    std::int64_t value = 0;
+};
+
+/** Point-in-time copy of one histogram. */
+struct HistogramSample
+{
+    std::string name;
+    std::string help;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/**
+ * Stable snapshot of a registry. Samples keep registration order, so
+ * diffing two snapshots lines up by index as well as by name.
+ */
+struct MetricsSnapshot
+{
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+
+    const CounterSample* findCounter(std::string_view name) const;
+    const GaugeSample* findGauge(std::string_view name) const;
+    const HistogramSample* findHistogram(std::string_view name) const;
+
+    /** Counter value by name, or `fallback` when absent. */
+    std::uint64_t counterValue(std::string_view name,
+                               std::uint64_t fallback = 0) const;
+
+    /** Prometheus text exposition (HELP/TYPE + samples). */
+    std::string toPrometheusText() const;
+
+    /** Single JSON object {"counters":{...},...} for bench artifacts. */
+    std::string toJson() const;
+};
+
+/**
+ * Owner of metric instances. Registration takes a mutex and is meant
+ * for startup/first-use; the returned references stay valid until the
+ * registry dies and are safe to use from any thread. Registering the
+ * same name twice returns the same instance.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    Counter& counter(const std::string& name,
+                     const std::string& help = "");
+    Gauge& gauge(const std::string& name, const std::string& help = "");
+    Histogram& histogram(const std::string& name,
+                         const std::string& help = "");
+
+    MetricsSnapshot snapshot() const;
+
+    /** Process-wide registry used by solver/thread-pool internals. */
+    static MetricsRegistry& global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Counter>> counters_;
+    std::vector<std::unique_ptr<Gauge>> gauges_;
+    std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace rsqp::telemetry
+
+#endif // RSQP_TELEMETRY_METRICS_HPP

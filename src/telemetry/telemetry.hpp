@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Convenience umbrella for the telemetry subsystem: metrics registry,
+ * trace spans, and the per-solve telemetry record.
+ */
+
+#ifndef RSQP_TELEMETRY_TELEMETRY_HPP
+#define RSQP_TELEMETRY_TELEMETRY_HPP
+
+#include "telemetry/config.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/solve_telemetry.hpp"
+#include "telemetry/trace.hpp"
+
+#endif // RSQP_TELEMETRY_TELEMETRY_HPP

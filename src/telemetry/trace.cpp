@@ -1,0 +1,127 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace rsqp::telemetry
+{
+
+std::uint64_t
+traceNowNs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point anchor = Clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - anchor)
+            .count());
+}
+
+TraceRecorder&
+TraceRecorder::global()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+void
+TraceRecorder::setRingCapacity(std::size_t events)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ringCapacity_ = std::max<std::size_t>(1, events);
+}
+
+TraceRecorder::Ring&
+TraceRecorder::threadRing()
+{
+    thread_local Ring* ring = nullptr;
+    thread_local const TraceRecorder* owner = nullptr;
+    if (ring == nullptr || owner != this) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        rings_.push_back(std::make_unique<Ring>());
+        ring = rings_.back().get();
+        ring->capacity = ringCapacity_;
+        ring->events.reserve(ring->capacity);
+        ring->tid = nextTid_++;
+        owner = this;
+    }
+    return *ring;
+}
+
+void
+TraceRecorder::record(const char* name, std::uint64_t startNs,
+                      std::uint64_t durationNs)
+{
+    Ring& ring = threadRing();
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    TraceEvent event{name, startNs, durationNs, ring.tid};
+    if (ring.events.size() < ring.capacity) {
+        ring.events.push_back(event);
+    } else {
+        // Full: overwrite the oldest entry and count it as dropped.
+        ring.events[ring.next] = event;
+        ring.next = (ring.next + 1) % ring.capacity;
+        ++ring.dropped;
+    }
+}
+
+TraceRecorder::DrainResult
+TraceRecorder::drain()
+{
+    DrainResult result;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& ring_ptr : rings_) {
+        Ring& ring = *ring_ptr;
+        std::lock_guard<std::mutex> ring_lock(ring.mutex);
+        // Chronological order: the oldest surviving event sits at the
+        // overwrite cursor once the ring has wrapped.
+        for (std::size_t i = 0; i < ring.events.size(); ++i) {
+            const std::size_t slot =
+                (ring.next + i) % ring.events.size();
+            result.events.push_back(ring.events[slot]);
+        }
+        result.dropped += ring.dropped;
+        ring.events.clear();
+        ring.next = 0;
+        ring.dropped = 0;
+    }
+    std::sort(result.events.begin(), result.events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  return a.startNs < b.startNs;
+              });
+    return result;
+}
+
+std::string
+TraceRecorder::drainJson()
+{
+    const DrainResult drained = drain();
+    std::ostringstream os;
+    // trace_event timestamps are microseconds; emit ns as micro.nano.
+    auto micros = [&os](std::uint64_t ns) {
+        os << ns / 1000 << '.';
+        const std::uint64_t frac = ns % 1000;
+        os << static_cast<char>('0' + frac / 100)
+           << static_cast<char>('0' + (frac / 10) % 10)
+           << static_cast<char>('0' + frac % 10);
+    };
+    os << "{\"displayTimeUnit\":\"ms\",\"droppedEvents\":"
+       << drained.dropped << ",\"traceEvents\":[";
+    for (std::size_t i = 0; i < drained.events.size(); ++i) {
+        const TraceEvent& event = drained.events[i];
+        if (i)
+            os << ',';
+        os << "{\"name\":\"" << event.name
+           << "\",\"cat\":\"rsqp\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << event.tid << ",\"ts\":";
+        micros(event.startNs);
+        os << ",\"dur\":";
+        micros(event.durationNs);
+        os << '}';
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace rsqp::telemetry

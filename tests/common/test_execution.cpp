@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ExecutionConfig tests: the single numThreads knob shared by
+ * OsqpSettings / CustomizeSettings / ArchConfig, and the deprecated
+ * per-struct fields that forward into it for one release.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hpp"
+#include "common/execution.hpp"
+#include "core/customization.hpp"
+#include "osqp/settings.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(ExecutionConfig, ResolvePrefersLegacyWhenSet)
+{
+    ExecutionConfig execution;
+    execution.numThreads = 4;
+    EXPECT_EQ(resolveNumThreads(execution, 0), 4);
+    EXPECT_EQ(resolveNumThreads(execution, 2), 2);
+    EXPECT_EQ(resolveNumThreads(ExecutionConfig{}, 0), 0);
+}
+
+TEST(ExecutionConfig, OsqpSettingsForwarding)
+{
+    OsqpSettings settings;
+    EXPECT_EQ(settings.resolvedNumThreads(), 0);
+    settings.execution.numThreads = 3;
+    EXPECT_EQ(settings.resolvedNumThreads(), 3);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    settings.numThreads = 5;  // legacy field wins while it exists
+#pragma GCC diagnostic pop
+    EXPECT_EQ(settings.resolvedNumThreads(), 5);
+}
+
+TEST(ExecutionConfig, CustomizeSettingsForwarding)
+{
+    CustomizeSettings custom;
+    EXPECT_EQ(custom.resolvedNumThreads(), 0);
+    custom.execution.numThreads = 2;
+    EXPECT_EQ(custom.resolvedNumThreads(), 2);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    custom.numThreads = 7;
+#pragma GCC diagnostic pop
+    EXPECT_EQ(custom.resolvedNumThreads(), 7);
+}
+
+TEST(ExecutionConfig, ArchConfigForwarding)
+{
+    ArchConfig config;
+    EXPECT_EQ(config.resolvedNumThreads(), 0);
+    config.execution.numThreads = 6;
+    EXPECT_EQ(config.resolvedNumThreads(), 6);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    config.numThreads = 1;
+#pragma GCC diagnostic pop
+    EXPECT_EQ(config.resolvedNumThreads(), 1);
+}
+
+} // namespace
+} // namespace rsqp

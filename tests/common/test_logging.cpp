@@ -44,5 +44,26 @@ TEST(Logging, VerboseToggle)
     EXPECT_FALSE(logVerbose());
 }
 
+TEST(Logging, ComposeMessageStreamsAllArguments)
+{
+    EXPECT_EQ(detail::composeMessage("a=", 1, " b=", 2.5, " c"),
+              "a=1 b=2.5 c");
+    EXPECT_EQ(detail::composeMessage(), "");
+}
+
+TEST(Logging, FatalErrorIsARuntimeError)
+{
+    // Library users catch std::runtime_error; FatalError must stay in
+    // that hierarchy.
+    EXPECT_THROW(RSQP_FATAL("typed failure"), std::runtime_error);
+}
+
+TEST(Logging, WarnDoesNotThrow)
+{
+    setLogVerbose(false);
+    EXPECT_NO_THROW(RSQP_WARN("survivable condition ", 7));
+    EXPECT_NO_THROW(RSQP_INFORM("status line"));
+}
+
 } // namespace
 } // namespace rsqp

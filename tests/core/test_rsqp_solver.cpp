@@ -236,7 +236,7 @@ TEST(RsqpSolverFaults, InjectionIsDeterministicAcrossNumThreads)
     const QpProblem qp = generateProblem(Domain::Svm, 30, 55);
     auto run = [&](Index threads) {
         CustomizeSettings custom = injectionCustom(11, 5e-4);
-        custom.numThreads = threads;
+        custom.execution.numThreads = threads;
         RsqpSolver solver(qp, settingsFor(), custom);
         return solver.solve();
     };

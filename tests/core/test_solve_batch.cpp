@@ -106,7 +106,7 @@ TEST(ThreadedMachine, SolveDeterministicAcrossNumThreads)
     auto run = [&](Index threads) {
         CustomizeSettings custom;
         custom.c = 32;
-        custom.numThreads = threads;
+        custom.execution.numThreads = threads;
         RsqpSolver solver(qp, settingsFor(), custom);
         return solver.solve();
     };

@@ -186,12 +186,39 @@ TEST(OsqpSolver, WarmStartSizeMismatchIsNonFatal)
 
 TEST(OsqpSolver, InvalidSettingsRejected)
 {
+    // Malformed settings no longer throw: the solver is inert and
+    // every solve() reports a typed InvalidProblem with diagnostics.
     OsqpSettings settings;
     settings.alpha = 2.5;
-    EXPECT_THROW(OsqpSolver(boxQp(), settings), FatalError);
+    {
+        OsqpSolver solver(boxQp(), settings);
+        EXPECT_FALSE(solver.validation().ok());
+        const OsqpResult result = solver.solve();
+        EXPECT_EQ(result.info.status, SolveStatus::InvalidProblem);
+    }
     settings = OsqpSettings{};
     settings.rho = -1.0;
-    EXPECT_THROW(OsqpSolver(boxQp(), settings), FatalError);
+    {
+        OsqpSolver solver(boxQp(), settings);
+        EXPECT_FALSE(solver.validation().ok());
+        EXPECT_EQ(solver.solve().info.status,
+                  SolveStatus::InvalidProblem);
+    }
+}
+
+TEST(OsqpSolver, RequireValidShimThrows)
+{
+    // The deprecated requireValid() shim preserves the old throwing
+    // setup contract for one release.
+    OsqpSettings bad;
+    bad.sigma = 0.0;
+    OsqpSolver invalid(boxQp(), bad);
+    OsqpSolver valid(boxQp(), OsqpSettings{});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    EXPECT_THROW(invalid.requireValid(), FatalError);
+    EXPECT_NO_THROW(valid.requireValid());
+#pragma GCC diagnostic pop
 }
 
 TEST(OsqpSolver, InvalidProblemRejected)

@@ -76,7 +76,7 @@ TEST(Fingerprint, HostOnlyKnobsStayOutOfTheKey)
     CustomizeSettings base;
     base.c = 16;
     CustomizeSettings threaded = base;
-    threaded.numThreads = 4;
+    threaded.execution.numThreads = 4;
 
     EXPECT_EQ(fingerprintCustomization(qp, base),
               fingerprintCustomization(qp, threaded));

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Metrics registry tests. The TelemetryRegistry suite runs under TSan
+ * in CI: concurrent writers hammer the sharded counters while a reader
+ * snapshots, proving the fold is exact after quiescence and never
+ * moves backwards while writers run.
+ */
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.hpp"
+
+namespace rsqp::telemetry
+{
+namespace
+{
+
+TEST(TelemetryRegistry, ConcurrentCounterFoldIsExact)
+{
+    MetricsRegistry registry;
+    Counter& counter = registry.counter("test_total", "concurrent adds");
+
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kAddsPerThread = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&counter] {
+            for (std::uint64_t i = 0; i < kAddsPerThread; ++i)
+                counter.increment();
+        });
+    for (std::thread& thread : threads)
+        thread.join();
+
+    EXPECT_EQ(counter.value(), kThreads * kAddsPerThread);
+    EXPECT_EQ(registry.snapshot().counterValue("test_total"),
+              kThreads * kAddsPerThread);
+}
+
+TEST(TelemetryRegistry, SnapshotMonotonicUnderWriters)
+{
+    MetricsRegistry registry;
+    Counter& counter = registry.counter("mono_total");
+
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        while (!stop.load(std::memory_order_relaxed))
+            counter.add(3);
+    });
+
+    std::uint64_t previous = 0;
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t now =
+            registry.snapshot().counterValue("mono_total");
+        EXPECT_GE(now, previous);
+        previous = now;
+    }
+    stop.store(true);
+    writer.join();
+    EXPECT_EQ(counter.value() % 3, 0u);
+}
+
+TEST(TelemetryRegistry, SameNameReturnsSameInstance)
+{
+    MetricsRegistry registry;
+    Counter& a = registry.counter("dup_total", "first");
+    Counter& b = registry.counter("dup_total", "second ignored");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.help(), "first");
+
+    Gauge& g1 = registry.gauge("dup_gauge");
+    Gauge& g2 = registry.gauge("dup_gauge");
+    EXPECT_EQ(&g1, &g2);
+
+    Histogram& h1 = registry.histogram("dup_hist");
+    Histogram& h2 = registry.histogram("dup_hist");
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(TelemetryRegistry, GaugeUpdateMaxConcurrent)
+{
+    MetricsRegistry registry;
+    Gauge& gauge = registry.gauge("peak");
+
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    for (int t = 1; t <= kThreads; ++t)
+        threads.emplace_back([&gauge, t] {
+            for (int i = 0; i < 5000; ++i)
+                gauge.updateMax(static_cast<std::int64_t>(t) * 1000 + i);
+        });
+    for (std::thread& thread : threads)
+        thread.join();
+    EXPECT_EQ(gauge.value(), kThreads * 1000 + 4999);
+}
+
+TEST(TelemetryRegistry, GaugeSetAddSub)
+{
+    MetricsRegistry registry;
+    Gauge& gauge = registry.gauge("level");
+    gauge.set(10);
+    gauge.add(5);
+    gauge.sub(3);
+    EXPECT_EQ(gauge.value(), 12);
+    gauge.updateMax(7);  // lower than current: no-op
+    EXPECT_EQ(gauge.value(), 12);
+}
+
+TEST(TelemetryRegistry, HistogramBucketsFollowBitWidth)
+{
+    MetricsRegistry registry;
+    Histogram& hist = registry.histogram("lat_ns");
+
+    hist.observe(0);  // bucket 0
+    hist.observe(1);  // bucket 1 (bit_width 1)
+    hist.observe(2);  // bucket 2
+    hist.observe(3);  // bucket 2
+    hist.observe(4);  // bucket 3
+    hist.observe(7);  // bucket 3
+    hist.observe(1024);  // bucket 11
+
+    const auto buckets = hist.bucketCounts();
+    EXPECT_EQ(buckets[0], 1u);
+    EXPECT_EQ(buckets[1], 1u);
+    EXPECT_EQ(buckets[2], 2u);
+    EXPECT_EQ(buckets[3], 2u);
+    EXPECT_EQ(buckets[11], 1u);
+    EXPECT_EQ(hist.count(), 7u);
+    EXPECT_EQ(hist.sum(), 0u + 1 + 2 + 3 + 4 + 7 + 1024);
+}
+
+TEST(TelemetryRegistry, PrometheusTextExposition)
+{
+    MetricsRegistry registry;
+    registry.counter("rsqp_test_total", "a test counter").add(42);
+    registry.gauge("rsqp_test_depth", "a test gauge").set(-3);
+    registry.histogram("rsqp_test_ns", "a test histogram").observe(5);
+    registry
+        .counter("rsqp_test_sessions_total{session=\"7\"}",
+                 "per-session solves")
+        .increment();
+
+    const std::string text = registry.snapshot().toPrometheusText();
+    EXPECT_NE(text.find("# HELP rsqp_test_total a test counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE rsqp_test_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("rsqp_test_total 42"), std::string::npos);
+    EXPECT_NE(text.find("rsqp_test_depth -3"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE rsqp_test_ns histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("rsqp_test_ns_count 1"), std::string::npos);
+    // The labeled family's TYPE line must use the bare family name.
+    EXPECT_NE(text.find("# TYPE rsqp_test_sessions_total counter"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("rsqp_test_sessions_total{session=\"7\"} 1"),
+        std::string::npos);
+}
+
+TEST(TelemetryRegistry, JsonHasAllSections)
+{
+    MetricsRegistry registry;
+    registry.counter("c_total").add(2);
+    registry.gauge("g").set(9);
+    registry.histogram("h").observe(16);
+
+    const std::string json = registry.snapshot().toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"c_total\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"g\":9"), std::string::npos);
+}
+
+TEST(TelemetryRegistry, SnapshotKeepsRegistrationOrder)
+{
+    MetricsRegistry registry;
+    registry.counter("first_total");
+    registry.counter("second_total");
+    registry.counter("third_total");
+    const MetricsSnapshot snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.counters.size(), 3u);
+    EXPECT_EQ(snapshot.counters[0].name, "first_total");
+    EXPECT_EQ(snapshot.counters[1].name, "second_total");
+    EXPECT_EQ(snapshot.counters[2].name, "third_total");
+    EXPECT_EQ(snapshot.findCounter("missing_total"), nullptr);
+    EXPECT_EQ(snapshot.counterValue("missing_total", 123u), 123u);
+}
+
+} // namespace
+} // namespace rsqp::telemetry

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Trace recorder tests: span recording, per-thread ring wraparound
+ * with dropped-event accounting, runtime disable, and the Chrome
+ * trace_event JSON shape. The TraceRecorder suite runs under TSan in
+ * CI (spans recorded from multiple threads while draining).
+ */
+
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/trace.hpp"
+
+namespace rsqp::telemetry
+{
+namespace
+{
+
+/** Drain-and-discard so each test starts from empty rings. */
+void
+resetRecorder()
+{
+    TraceRecorder::global().disable();
+    (void)TraceRecorder::global().drain();
+}
+
+TEST(TraceRecorder, SpanRecordsWhenEnabled)
+{
+    resetRecorder();
+    TraceRecorder::global().enable();
+    {
+        TraceSpan span("test.outer");
+        TraceSpan inner("test.inner");
+    }
+    TraceRecorder::global().disable();
+
+    const TraceRecorder::DrainResult result =
+        TraceRecorder::global().drain();
+    ASSERT_EQ(result.events.size(), 2u);
+    EXPECT_EQ(result.dropped, 0u);
+    // Sorted by start time: outer opened first.
+    EXPECT_STREQ(result.events[0].name, "test.outer");
+    EXPECT_STREQ(result.events[1].name, "test.inner");
+    EXPECT_LE(result.events[0].startNs, result.events[1].startNs);
+    EXPECT_GT(result.events[0].tid, 0u);
+}
+
+TEST(TraceRecorder, DisabledRecordsNothing)
+{
+    resetRecorder();
+    {
+        TraceSpan span("test.ignored");
+    }
+    EXPECT_TRUE(TraceRecorder::global().drain().events.empty());
+}
+
+TEST(TraceRecorder, RingWraparoundDropsOldest)
+{
+    resetRecorder();
+    TraceRecorder::global().setRingCapacity(4);
+    TraceRecorder::global().enable();
+
+    // A fresh thread gets a fresh ring at the new capacity; recording
+    // 10 spans through a 4-slot ring keeps the newest 4 and counts the
+    // 6 overwritten ones as dropped.
+    std::thread worker([] {
+        for (int i = 0; i < 10; ++i)
+            TraceSpan span("test.wrap");
+    });
+    worker.join();
+    TraceRecorder::global().disable();
+
+    const TraceRecorder::DrainResult result =
+        TraceRecorder::global().drain();
+    TraceRecorder::global().setRingCapacity(kDefaultTraceRingCapacity);
+    ASSERT_EQ(result.events.size(), 4u);
+    EXPECT_EQ(result.dropped, 6u);
+    for (std::size_t i = 1; i < result.events.size(); ++i)
+        EXPECT_LE(result.events[i - 1].startNs,
+                  result.events[i].startNs);
+
+    // Drain resets the dropped accounting as well as the rings.
+    EXPECT_EQ(TraceRecorder::global().drain().dropped, 0u);
+}
+
+TEST(TraceRecorder, MultiThreadedSpansCarryDistinctTids)
+{
+    resetRecorder();
+    TraceRecorder::global().enable();
+    std::thread a([] { TraceSpan span("test.a"); });
+    std::thread b([] { TraceSpan span("test.b"); });
+    a.join();
+    b.join();
+    TraceRecorder::global().disable();
+
+    const TraceRecorder::DrainResult result =
+        TraceRecorder::global().drain();
+    ASSERT_EQ(result.events.size(), 2u);
+    EXPECT_NE(result.events[0].tid, result.events[1].tid);
+}
+
+TEST(TraceRecorder, DrainJsonIsChromeTraceShaped)
+{
+    resetRecorder();
+    TraceRecorder::global().enable();
+    {
+        TraceSpan span("test.json");
+    }
+    TraceRecorder::global().disable();
+
+    const std::string json = TraceRecorder::global().drainJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"test.json\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"rsqp\""), std::string::npos);
+    // Draining again yields an empty document body.
+    EXPECT_EQ(TraceRecorder::global().drainJson().find("test.json"),
+              std::string::npos);
+}
+
+#if RSQP_TELEMETRY_ENABLED
+TEST(TraceRecorder, SpanMacroRecords)
+{
+    resetRecorder();
+    TraceRecorder::global().enable();
+    {
+        TELEMETRY_SPAN("test.macro");
+    }
+    TraceRecorder::global().disable();
+    const TraceRecorder::DrainResult result =
+        TraceRecorder::global().drain();
+    ASSERT_EQ(result.events.size(), 1u);
+    EXPECT_STREQ(result.events[0].name, "test.macro");
+}
+#else
+TEST(TraceRecorder, SpanMacroCompiledOut)
+{
+    resetRecorder();
+    TraceRecorder::global().enable();
+    {
+        TELEMETRY_SPAN("test.macro");
+    }
+    TraceRecorder::global().disable();
+    EXPECT_TRUE(TraceRecorder::global().drain().events.empty());
+}
+#endif
+
+} // namespace
+} // namespace rsqp::telemetry
