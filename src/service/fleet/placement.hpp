@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Placement scheduler of the multi-core device fleet: which solver
+ * core gets the next ready session.
+ *
+ * The real deployment packs 16-56 solver cores per FPGA; which core a
+ * job lands on decides whether the per-structure customization
+ * artifact is already resident. The Affinity policy therefore maps a
+ * structure fingerprint to a *stable* preferred core — a pure function
+ * of the fingerprint, so identical structures route identically across
+ * service restarts — and falls back to the least-loaded core only
+ * when the preferred core's queue exceeds its bound (hot structure,
+ * saturated core: better a cold customization than an idle fleet).
+ */
+
+#ifndef RSQP_SERVICE_FLEET_PLACEMENT_HPP
+#define RSQP_SERVICE_FLEET_PLACEMENT_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "service/fingerprint.hpp"
+
+namespace rsqp
+{
+
+/** How the fleet routes ready sessions onto solver cores. */
+enum class PlacementPolicy
+{
+    Affinity,    ///< fingerprint-stable core, least-loaded overflow
+    LeastLoaded, ///< always the core with the fewest waiting jobs
+    RoundRobin,  ///< rotate, ignoring structure and load
+};
+
+/** Printable policy name ("affinity", "least_loaded", "round_robin"). */
+const char* toString(PlacementPolicy policy);
+
+/** Load summary of one core, as seen by the placement decision. */
+struct CoreLoad
+{
+    std::size_t queuedSessions = 0; ///< ready sessions waiting
+    unsigned runningStreams = 0;    ///< instruction streams in flight
+};
+
+/**
+ * The placement decision. Pure apart from the round-robin cursor: the
+ * same (policy, fingerprint, loads) always yields the same core, which
+ * the determinism tests — and restart-stable affinity — rely on.
+ */
+class PlacementScheduler
+{
+  public:
+    PlacementScheduler(PlacementPolicy policy, std::size_t core_count,
+                       std::size_t affinity_queue_bound);
+
+    /** Pick the core for a session whose head job has fingerprint
+     *  `fp`, given the current per-core loads (size == coreCount). */
+    std::size_t place(const StructureFingerprint& fp,
+                      const std::vector<CoreLoad>& loads);
+
+    /**
+     * The affinity target: a pure function of the fingerprint digest,
+     * identical across processes and restarts. Non-cacheable
+     * fingerprints have no artifact to be hot and get no preference.
+     */
+    static std::size_t preferredCore(const StructureFingerprint& fp,
+                                     std::size_t core_count);
+
+    PlacementPolicy policy() const { return policy_; }
+    std::size_t coreCount() const { return coreCount_; }
+    std::size_t affinityQueueBound() const { return bound_; }
+
+  private:
+    /** Lowest-index core among those with minimal total load. */
+    std::size_t leastLoaded(const std::vector<CoreLoad>& loads) const;
+
+    PlacementPolicy policy_;
+    std::size_t coreCount_;
+    std::size_t bound_;
+    std::size_t nextRoundRobin_ = 0;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_SERVICE_FLEET_PLACEMENT_HPP

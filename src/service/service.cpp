@@ -1,6 +1,7 @@
 #include "service.hpp"
 
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/thread_pool.hpp"
@@ -29,11 +30,6 @@ resolveWith(std::promise<SessionResult>& promise, SolveStatus status)
     promise.set_value(std::move(result));
 }
 
-} // namespace
-
-namespace
-{
-
 unsigned
 resolveMaxConcurrency(const ServiceConfig& config)
 {
@@ -44,12 +40,22 @@ resolveMaxConcurrency(const ServiceConfig& config)
     return static_cast<unsigned>(effectiveNumThreads());
 }
 
+/** The per-session label series name ("...{session=\"7\"}"). */
+std::string
+sessionSeriesName(SessionId id)
+{
+    return "rsqp_service_session_solves_total{session=\"" +
+           std::to_string(id) + "\"}";
+}
+
 } // namespace
 
 SolverService::SolverService(ServiceConfig config)
     : config_(config),
       maxConcurrency_(resolveMaxConcurrency(config)),
-      cache_(std::make_shared<CustomizationCache>(config.cacheCapacity)),
+      fleet_(config.fleet, config.cacheCapacity, maxConcurrency_,
+             registry_),
+      cache_(fleet_.coreCache(0)),
       submitted_(registry_.counter("rsqp_service_submitted_total",
                                    "Requests handed to submit()")),
       completed_(registry_.counter("rsqp_service_completed_total",
@@ -58,6 +64,9 @@ SolverService::SolverService(ServiceConfig config)
                                   "Queue overflow or closed session")),
       expired_(registry_.counter("rsqp_service_expired_total",
                                  "Deadline passed while queued")),
+      retiredSessionSolves_(registry_.counter(
+          "rsqp_service_session_solves_retired_total",
+          "Solves of sessions whose label series was retired")),
       queueDepth_(registry_.gauge("rsqp_service_queue_depth",
                                   "Requests waiting right now")),
       peakQueueDepth_(registry_.gauge("rsqp_service_queue_depth_peak",
@@ -95,17 +104,29 @@ SessionId
 SolverService::openSession(SessionConfig config)
 {
     auto state = std::make_unique<SessionState>();
-    state->session = std::make_unique<SolverSession>(std::move(config),
-                                                     cache_);
+    state->session = std::make_unique<SolverSession>(
+        std::move(config), fleet_.coreCache(0));
     std::lock_guard<std::mutex> lock(mutex_);
     const SessionId id = nextId_++;
     state->solvesCounter = &registry_.counter(
-        "rsqp_service_session_solves_total{session=\"" +
-            std::to_string(id) + "\"}",
+        sessionSeriesName(id),
         "Solves executed on behalf of one session");
     sessions_.emplace(id, std::move(state));
     openSessions_.set(static_cast<std::int64_t>(sessions_.size()));
     return id;
+}
+
+void
+SolverService::retireSessionSeriesLocked(SessionId id,
+                                         SessionState& state)
+{
+    if (state.solvesCounter == nullptr)
+        return;
+    // The per-session series would otherwise accumulate forever as
+    // sessions churn; its total survives in the aggregate counter.
+    retiredSessionSolves_.add(state.solvesCounter->value());
+    state.solvesCounter = nullptr;
+    registry_.removeCounter(sessionSeriesName(id));
 }
 
 void
@@ -126,8 +147,10 @@ SolverService::closeSession(SessionId id)
         state.pending.clear();
         // A running job still owns the session; its completion handler
         // erases the closed state.
-        if (!state.running)
+        if (!state.running) {
+            retireSessionSeriesLocked(id, state);
             sessions_.erase(it);
+        }
         openSessions_.set(static_cast<std::int64_t>(sessions_.size()));
     }
     for (const std::shared_ptr<Job>& job : dropped)
@@ -143,6 +166,12 @@ SolverService::submit(SessionId id, QpProblem problem,
     job->deadline = deadline_seconds > 0.0 ? deadline_seconds
                                            : config_.defaultDeadlineSeconds;
     job->enqueued = std::chrono::steady_clock::now();
+    // Placement key, computed on the caller's thread: value-blind, so
+    // every job of one structure carries the identical fingerprint.
+    job->fp = fingerprintStructure(job->problem);
+    job->small = job->problem.numVariables() +
+                     job->problem.numConstraints() <=
+                 config_.fleet.smallJobThreshold;
     std::future<SessionResult> future = job->promise.get_future();
 
     bool admitted = false;
@@ -161,7 +190,7 @@ SolverService::submit(SessionId id, QpProblem problem,
             peakQueueDepth_.updateMax(
                 static_cast<std::int64_t>(queuedJobs_));
             if (wasIdle)
-                ready_.push_back(id);
+                placeReadyLocked(id, state);
             admitted = true;
             pumpLocked(launches);
         } else {
@@ -184,22 +213,41 @@ SolverService::solve(SessionId id, QpProblem problem,
 }
 
 void
+SolverService::placeReadyLocked(SessionId id, SessionState& state)
+{
+    const std::shared_ptr<Job>& head = state.pending.front();
+    const std::size_t core = fleet_.placeSession(head->fp);
+    fleet_.enqueueReady(core, id, head->small);
+}
+
+void
 SolverService::pumpLocked(std::vector<Launch>& launches)
 {
-    while (activeRuns_ < maxConcurrency_ && !ready_.empty()) {
-        const SessionId id = ready_.front();
-        ready_.pop_front();
-        auto it = sessions_.find(id);
-        if (it == sessions_.end() || it->second->running ||
-            it->second->pending.empty())
-            continue;
-        SessionState& state = *it->second;
-        state.running = true;
-        ++activeRuns_;
-        launches.push_back({id, &state, state.pending.front()});
-        state.pending.pop_front();
-        --queuedJobs_;
-        queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
+    for (std::size_t core = 0; core < fleet_.coreCount(); ++core) {
+        while (fleet_.hasCapacity(core) && fleet_.readyDepth(core) > 0) {
+            Launch stream;
+            stream.core = core;
+            for (SessionId id : fleet_.popStream(core)) {
+                auto it = sessions_.find(id);
+                // Stale entries (session closed or drained while
+                // queued) are dropped; they hold no job.
+                if (it == sessions_.end() || it->second->running ||
+                    it->second->pending.empty())
+                    continue;
+                SessionState& state = *it->second;
+                state.running = true;
+                stream.entries.push_back(
+                    {id, &state, state.pending.front()});
+                state.pending.pop_front();
+                --queuedJobs_;
+            }
+            if (stream.entries.empty())
+                continue;
+            fleet_.onStreamLaunched(core, stream.entries.size());
+            ++activeRuns_;
+            queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
+            launches.push_back(std::move(stream));
+        }
     }
 }
 
@@ -210,75 +258,103 @@ SolverService::launch(std::vector<Launch>& launches)
     // pool submit() runs the task inline, which would deadlock under
     // the lock.
     for (Launch& item : launches) {
-        SessionId id = item.id;
-        SessionState* state = item.state;
-        std::shared_ptr<Job> job = std::move(item.job);
+        Launch stream = std::move(item);
         ThreadPool::global().submit(
-            [this, id, state, job] { runJob(id, state, job); });
+            [this, stream] { runStream(stream); });
     }
 }
 
 void
-SolverService::runJob(SessionId id, SessionState* state,
-                      const std::shared_ptr<Job>& job)
+SolverService::runStream(Launch stream)
 {
-    SessionResult result;
-    {
-        // Scoped so the span is recorded *before* the promise is
-        // fulfilled: a client that solves then immediately drains the
-        // trace always sees its own request's span.
-        TELEMETRY_SPAN("service.run_job");
-        const double waited = secondsSince(job->enqueued);
-        const bool expired =
-            job->deadline > 0.0 && waited >= job->deadline;
-        const auto executeStart = std::chrono::steady_clock::now();
-        if (expired) {
-            // Too late to start: report the deadline without touching
-            // the session (its warm state and diff base stay intact).
-            result.status = SolveStatus::TimeLimitReached;
-        } else {
-            const Real budget =
-                job->deadline > 0.0
-                    ? job->deadline - static_cast<Real>(waited)
-                    : 0.0;
-            result = state->session->solve(job->problem, budget);
-        }
-        result.telemetry.queueWaitSeconds = waited;
-        queueWaitNs_.observe(static_cast<std::uint64_t>(waited * 1e9));
-        executeNs_.observe(static_cast<std::uint64_t>(
-            secondsSince(executeStart) * 1e9));
-
+    Timer busy;
+    const bool interleaved = stream.entries.size() > 1;
+    for (Launch::Entry& entry : stream.entries) {
+        SessionResult result;
         std::vector<Launch> launches;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
-            state->statsSnapshot = state->session->stats();
+            // Scoped so the span is recorded *before* the promise is
+            // fulfilled: a client that solves then immediately drains
+            // the trace always sees its own request's span.
+            TELEMETRY_SPAN("service.run_job");
+            const double waited = secondsSince(entry.job->enqueued);
+            const bool expired = entry.job->deadline > 0.0 &&
+                                 waited >= entry.job->deadline;
+            const auto executeStart = std::chrono::steady_clock::now();
             if (expired) {
-                expired_.increment();
+                // Too late to start: report the deadline without
+                // touching the session (its warm state and diff base
+                // stay intact).
+                result.status = SolveStatus::TimeLimitReached;
             } else {
-                completed_.increment();
-                state->solvesCounter->increment();
+                const Real budget =
+                    entry.job->deadline > 0.0
+                        ? entry.job->deadline - static_cast<Real>(waited)
+                        : 0.0;
+                // The session consults the placed core's cache
+                // partition, so affinity-routed structures find their
+                // artifact hot.
+                entry.state->session->bindCache(
+                    fleet_.coreCache(stream.core));
+                result = entry.state->session->solve(entry.job->problem,
+                                                     budget);
             }
-            state->running = false;
-            --activeRuns_;
-            if (!state->open && state->pending.empty()) {
-                sessions_.erase(id);  // deferred from closeSession
-                openSessions_.set(
-                    static_cast<std::int64_t>(sessions_.size()));
-            } else if (!state->pending.empty()) {
-                ready_.push_back(id);
+            result.telemetry.queueWaitSeconds = waited;
+            queueWaitNs_.observe(
+                static_cast<std::uint64_t>(waited * 1e9));
+            executeNs_.observe(static_cast<std::uint64_t>(
+                secondsSince(executeStart) * 1e9));
+
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                entry.state->statsSnapshot =
+                    entry.state->session->stats();
+                if (expired) {
+                    expired_.increment();
+                } else {
+                    completed_.increment();
+                    entry.state->solvesCounter->increment();
+                }
+                fleet_.onJobExecuted(
+                    stream.core, interleaved,
+                    static_cast<double>(result.deviceSeconds));
+                entry.state->running = false;
+                if (!entry.state->open &&
+                    entry.state->pending.empty()) {
+                    // Deferred from closeSession.
+                    retireSessionSeriesLocked(entry.id, *entry.state);
+                    sessions_.erase(entry.id);
+                    openSessions_.set(
+                        static_cast<std::int64_t>(sessions_.size()));
+                } else if (!entry.state->pending.empty()) {
+                    placeReadyLocked(entry.id, *entry.state);
+                }
+                // Other cores may have gained work (the session was
+                // re-placed); this core's slot stays held until the
+                // stream ends.
+                pumpLocked(launches);
             }
-            pumpLocked(launches);
-            // The idle check runs after pumpLocked so follow-on work
-            // keeps activeRuns_ nonzero: once a drain observes idle, no
-            // code path of this job touches the service again, making
-            // destruction race-free.
-            if (activeRuns_ == 0 && queuedJobs_ == 0)
-                idleCv_.notify_all();
         }
-        if (!launches.empty())  // non-empty: the drain is still held
+        if (!launches.empty())
             launch(launches);
+        entry.job->promise.set_value(std::move(result));
     }
-    job->promise.set_value(std::move(result));
+
+    std::vector<Launch> launches;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fleet_.onStreamFinished(stream.core, busy.seconds());
+        --activeRuns_;
+        pumpLocked(launches);
+        // The idle check runs after pumpLocked so follow-on work keeps
+        // activeRuns_ nonzero: once a drain observes idle, no code
+        // path of this stream touches the service again, making
+        // destruction race-free.
+        if (activeRuns_ == 0 && queuedJobs_ == 0)
+            idleCv_.notify_all();
+    }
+    if (!launches.empty())  // non-empty: the drain is still held
+        launch(launches);
 }
 
 void
@@ -302,19 +378,27 @@ SolverService::stats() const
     stats.peakQueueDepth =
         static_cast<std::size_t>(peakQueueDepth_.value());
     stats.openSessions = sessions_.size();
-    stats.cache = cache_->stats();
+    stats.cache = fleet_.aggregateCacheStats();
     return stats;
+}
+
+FleetStats
+SolverService::fleetStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fleet_.stats();
 }
 
 void
 SolverService::syncGaugesLocked() const
 {
-    const CustomizationCacheStats cache = cache_->stats();
+    const CustomizationCacheStats cache = fleet_.aggregateCacheStats();
     cacheHits_.set(cache.hits);
     cacheMisses_.set(cache.misses);
     cacheEvictions_.set(cache.evictions);
     cacheSize_.set(static_cast<std::int64_t>(cache.size));
     openSessions_.set(static_cast<std::int64_t>(sessions_.size()));
+    fleet_.syncGauges();
 }
 
 telemetry::MetricsSnapshot

@@ -1,15 +1,21 @@
 /**
  * @file
  * Multi-client QP solving service: session registry + bounded
- * admission queue over the shared thread pool.
+ * admission queue over the shared thread pool, executing on a
+ * multi-core device fleet.
  *
- * The service owns one SolverSession per client and one shared
- * CustomizationCache, and turns concurrent submit() calls into a
- * deterministic execution: requests of the *same* session run strictly
- * in submission order (a session is never on two workers at once),
- * while different sessions run in parallel up to a concurrency cap.
- * Combined with the pool's deterministic kernels this makes every
- * session's result stream independent of load and scheduling.
+ * The service owns one SolverSession per client and a SolverFleet of
+ * N simulated solver cores (each with its own customization-cache
+ * partition, run slots, and metrics), and turns concurrent submit()
+ * calls into a deterministic execution: requests of the *same*
+ * session run strictly in submission order (a session is never on two
+ * workers at once), while different sessions run in parallel up to
+ * the fleet's slot capacity. Ready sessions are routed onto cores by
+ * the placement scheduler — by default structure-fingerprint
+ * affinity, so same-structure jobs land where the customization
+ * artifact is already hot. Combined with the pool's deterministic
+ * kernels this makes every session's result stream independent of
+ * load, scheduling, and core count.
  *
  * Admission control is explicit and non-blocking: a full queue yields
  * SolveStatus::Rejected immediately, and a request whose deadline
@@ -29,24 +35,25 @@
 #include <unordered_map>
 #include <vector>
 
+#include "service/fleet/fleet.hpp"
 #include "service/session.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace rsqp
 {
 
-/** Handle of one open session (never reused within a service). */
-using SessionId = Count;
-
 /** Service-wide configuration, fixed at construction. */
 struct ServiceConfig
 {
     /** Max requests waiting across all sessions; overflow is Rejected. */
     std::size_t maxQueueDepth = 64;
-    /** Max sessions solving at once (0 = execution.numThreads, then
-     *  effectiveNumThreads() when that is 0 too). */
+    /** Max sessions solving at once on a single-core fleet (0 =
+     *  execution.numThreads, then effectiveNumThreads() when that is 0
+     *  too). With coreCount > 1 concurrency is the fleet's slot
+     *  capacity instead (see FleetConfig::slotsPerCore). */
     unsigned maxConcurrency = 0;
-    /** Customization-cache capacity in artifacts (0 disables). */
+    /** Customization-cache capacity in artifacts per core partition
+     *  (0 disables). */
     std::size_t cacheCapacity = 16;
     /** Deadline applied when submit() passes none (0 = unlimited). */
     Real defaultDeadlineSeconds = 0.0;
@@ -54,6 +61,8 @@ struct ServiceConfig
     ExecutionConfig execution;
     /** Enable the global trace recorder for the service's lifetime. */
     bool tracing = false;
+    /** Device-fleet shape: core count, placement policy, interleaving. */
+    FleetConfig fleet;
 };
 
 /** Service-wide counter snapshot. */
@@ -66,6 +75,7 @@ struct ServiceStats
     std::size_t queueDepth = 0;      ///< requests waiting right now
     std::size_t peakQueueDepth = 0;  ///< high-water mark
     std::size_t openSessions = 0;
+    /** Aggregated over every core's cache partition. */
     CustomizationCacheStats cache;
 };
 
@@ -113,10 +123,13 @@ class SolverService
     /** Per-session counters (zeros for unknown sessions). */
     SessionStats sessionStats(SessionId id) const;
 
+    /** Per-core fleet snapshot: jobs, streams, utilization, caches. */
+    FleetStats fleetStats() const;
+
     /**
      * Point-in-time snapshot of the service registry (queue depth,
      * admission counters, cache effectiveness, per-session solve
-     * counts, wait/execute histograms).
+     * counts, per-core fleet gauges, wait/execute histograms).
      */
     telemetry::MetricsSnapshot metricsSnapshot() const;
 
@@ -133,7 +146,8 @@ class SolverService
     /** The registry backing stats()/metricsText() (test access). */
     telemetry::MetricsRegistry& registry() { return registry_; }
 
-    /** The shared customization cache (never null). */
+    /** Core 0's customization-cache partition (never null; the whole
+     *  cache of a default single-core fleet). */
     const std::shared_ptr<CustomizationCache>& cache() const
     {
         return cache_;
@@ -146,6 +160,10 @@ class SolverService
         Real deadline = 0.0;  ///< seconds, 0 = unlimited
         std::chrono::steady_clock::time_point enqueued;
         std::promise<SessionResult> promise;
+        /** Placement key (structure-only, value-blind). */
+        StructureFingerprint fp;
+        /** n + m under the fleet's interleaving threshold. */
+        bool small = false;
     };
 
     struct SessionState
@@ -161,30 +179,41 @@ class SolverService
         telemetry::Counter* solvesCounter = nullptr;
     };
 
-    /** One dispatch decision taken under the lock, launched outside. */
+    /** One dispatch decision taken under the lock, launched outside:
+     *  an instruction stream of one or more jobs bound to one core. */
     struct Launch
     {
-        SessionId id;
-        SessionState* state;
-        std::shared_ptr<Job> job;
+        struct Entry
+        {
+            SessionId id;
+            SessionState* state;
+            std::shared_ptr<Job> job;
+        };
+        std::size_t core = 0;
+        std::vector<Entry> entries;
     };
 
-    /** Move ready sessions into launches up to the concurrency cap. */
+    /** Route a newly ready session onto a fleet core (locked). */
+    void placeReadyLocked(SessionId id, SessionState& state);
+
+    /** Move ready sessions into streams up to the fleet's capacity. */
     void pumpLocked(std::vector<Launch>& launches);
 
-    /** Hand collected launches to the thread pool (lock released). */
+    /** Hand collected streams to the thread pool (lock released). */
     void launch(std::vector<Launch>& launches);
 
-    /** Worker-side execution of one admitted request. */
-    void runJob(SessionId id, SessionState* state,
-                const std::shared_ptr<Job>& job);
+    /** Worker-side execution of one instruction stream. */
+    void runStream(Launch stream);
 
-    /** Refresh cache/session gauges from their sources (locked). */
+    /** Fold a dying session's label series into the retired counter
+     *  and drop it from the registry (locked). */
+    void retireSessionSeriesLocked(SessionId id, SessionState& state);
+
+    /** Refresh cache/session/fleet gauges from their sources (locked). */
     void syncGaugesLocked() const;
 
     ServiceConfig config_;
     unsigned maxConcurrency_;
-    std::shared_ptr<CustomizationCache> cache_;
 
     /**
      * Registry backing every service counter; PR 4's bespoke counter
@@ -192,10 +221,14 @@ class SolverService
      * registry outlives every handle the members below cache.
      */
     mutable telemetry::MetricsRegistry registry_;
+    /** Core array + placement state; mutated under mutex_ only. */
+    SolverFleet fleet_;
+    std::shared_ptr<CustomizationCache> cache_;  ///< core 0 partition
     telemetry::Counter& submitted_;
     telemetry::Counter& completed_;
     telemetry::Counter& rejected_;
     telemetry::Counter& expired_;
+    telemetry::Counter& retiredSessionSolves_;
     telemetry::Gauge& queueDepth_;
     telemetry::Gauge& peakQueueDepth_;
     telemetry::Gauge& openSessions_;
@@ -210,8 +243,7 @@ class SolverService
     std::condition_variable idleCv_;
     std::unordered_map<SessionId, std::unique_ptr<SessionState>>
         sessions_;
-    std::deque<SessionId> ready_;  ///< sessions with work, not running
-    unsigned activeRuns_ = 0;
+    unsigned activeRuns_ = 0;  ///< streams in flight, fleet-wide
     std::size_t queuedJobs_ = 0;
     SessionId nextId_ = 1;
 };

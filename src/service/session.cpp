@@ -200,6 +200,12 @@ SolverSession::solve(const QpProblem& problem, Real time_budget)
 }
 
 void
+SolverSession::bindCache(std::shared_ptr<CustomizationCache> cache)
+{
+    cache_ = std::move(cache);
+}
+
+void
 SolverSession::reset()
 {
     device_.reset();

@@ -126,6 +126,15 @@ class SolverSession
     /** Drop the live solver and warm-start state (structure forgotten). */
     void reset();
 
+    /**
+     * Swap the customization cache consulted by the rebuild paths —
+     * the fleet binds a session to its placed core's cache partition
+     * before each job. Takes effect on the next structure change; the
+     * live solver and parametric state are untouched. Not thread-safe
+     * (like solve(); the service serializes per-session calls).
+     */
+    void bindCache(std::shared_ptr<CustomizationCache> cache);
+
     const SessionStats& stats() const { return stats_; }
     const SessionConfig& config() const { return config_; }
 

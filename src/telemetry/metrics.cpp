@@ -238,6 +238,19 @@ MetricsRegistry::counter(const std::string& name,
     return *counters_.back();
 }
 
+bool
+MetricsRegistry::removeCounter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = counters_.begin(); it != counters_.end(); ++it) {
+        if ((*it)->name() == name) {
+            counters_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 Gauge&
 MetricsRegistry::gauge(const std::string& name, const std::string& help)
 {

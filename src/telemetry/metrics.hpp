@@ -239,6 +239,20 @@ class MetricsRegistry
     Histogram& histogram(const std::string& name,
                          const std::string& help = "");
 
+    /**
+     * Retire a counter series by exact name (including any label
+     * suffix) so per-instance families — per-session solve counters —
+     * stop growing the registry as instances churn. Returns whether
+     * the series existed. This is the one exception to handle
+     * stability: the reference counter() returned for that name
+     * dangles afterwards, so only the owner that registered the
+     * series may remove it, after dropping every cached handle (the
+     * service folds the value into an aggregate "retired" counter
+     * first). A later counter() call with the same name starts a
+     * fresh series from zero.
+     */
+    bool removeCounter(const std::string& name);
+
     MetricsSnapshot snapshot() const;
 
     /** Process-wide registry used by solver/thread-pool internals. */

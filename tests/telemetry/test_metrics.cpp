@@ -192,5 +192,29 @@ TEST(TelemetryRegistry, SnapshotKeepsRegistrationOrder)
     EXPECT_EQ(snapshot.counterValue("missing_total", 123u), 123u);
 }
 
+TEST(TelemetryRegistry, RemoveCounterRetiresSeries)
+{
+    MetricsRegistry registry;
+    registry.counter("keep_total").add(1);
+    registry.counter("churn_total{session=\"1\"}").add(5);
+
+    EXPECT_TRUE(registry.removeCounter("churn_total{session=\"1\"}"));
+    EXPECT_FALSE(registry.removeCounter("churn_total{session=\"1\"}"));
+    EXPECT_FALSE(registry.removeCounter("never_registered_total"));
+
+    const MetricsSnapshot snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.counters.size(), 1u);
+    EXPECT_EQ(snapshot.counters[0].name, "keep_total");
+}
+
+TEST(TelemetryRegistry, ReRegisteringRemovedNameStartsFresh)
+{
+    MetricsRegistry registry;
+    registry.counter("churn_total{session=\"2\"}").add(7);
+    ASSERT_TRUE(registry.removeCounter("churn_total{session=\"2\"}"));
+    Counter& reborn = registry.counter("churn_total{session=\"2\"}");
+    EXPECT_EQ(reborn.value(), 0u);
+}
+
 } // namespace
 } // namespace rsqp::telemetry

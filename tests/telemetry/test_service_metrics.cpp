@@ -186,5 +186,59 @@ TEST(ServiceMetrics, DumpTraceDrainsSpans)
     telemetry::TraceRecorder::global().disable();
 }
 
+TEST(ServiceMetrics, SessionSeriesRetiredOnChurn)
+{
+    // Regression: per-session label series used to accumulate in the
+    // registry forever as sessions churned. Closing a session must
+    // retire its series, folding the count into the aggregate.
+    SolverService service;
+    const QpProblem qp = generateProblem(Domain::Control, 25, 3);
+
+    const std::size_t baseline =
+        service.metricsSnapshot().counters.size();
+    for (int i = 0; i < 8; ++i) {
+        const SessionId id = service.openSession(smallConfig());
+        EXPECT_EQ(service.solve(id, qp).status, SolveStatus::Solved);
+        service.closeSession(id);
+    }
+    service.waitIdle();
+
+    const telemetry::MetricsSnapshot snapshot =
+        service.metricsSnapshot();
+    EXPECT_EQ(snapshot.counters.size(), baseline);
+    for (const telemetry::CounterSample& sample : snapshot.counters)
+        EXPECT_EQ(sample.name.find("{session="), std::string::npos)
+            << sample.name;
+    EXPECT_EQ(snapshot.counterValue(
+                  "rsqp_service_session_solves_retired_total"),
+              8u);
+
+    // An open session's series is live until it closes.
+    const SessionId live = service.openSession(smallConfig());
+    EXPECT_EQ(service.solve(live, qp).status, SolveStatus::Solved);
+    EXPECT_EQ(service.metricsSnapshot().counters.size(), baseline + 1);
+}
+
+TEST(ServiceMetrics, SessionSeriesRetiredWhenCloseRacesRunningJob)
+{
+    // closeSession while the job is in flight defers the erase to the
+    // worker; the series must still be retired on that path.
+    SolverService service;
+    const QpProblem qp = generateProblem(Domain::Control, 30, 7);
+    const std::size_t baseline =
+        service.metricsSnapshot().counters.size();
+
+    const SessionId id = service.openSession(smallConfig());
+    std::future<SessionResult> future = service.submit(id, qp);
+    service.closeSession(id);  // may race the running solve
+    future.get();
+    service.waitIdle();
+
+    const telemetry::MetricsSnapshot snapshot =
+        service.metricsSnapshot();
+    EXPECT_EQ(snapshot.counters.size(), baseline);
+    EXPECT_EQ(service.stats().openSessions, 0u);
+}
+
 } // namespace
 } // namespace rsqp
