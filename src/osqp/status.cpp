@@ -15,6 +15,7 @@ statusToString(SolveStatus status)
       case SolveStatus::InvalidProblem: return "invalid_problem";
       case SolveStatus::TimeLimitReached: return "time_limit_reached";
       case SolveStatus::Rejected: return "rejected";
+      case SolveStatus::ShuttingDown: return "shutting_down";
       case SolveStatus::Unsolved: return "unsolved";
     }
     return "unknown";

@@ -30,6 +30,9 @@ enum class SolveStatus
     TimeLimitReached, ///< wall-clock budget expired (mid-solve, or in
                       ///< the service queue before the solve started)
     Rejected,         ///< service admission queue full or bad request
+    ShuttingDown,     ///< service destroyed with the request still
+                      ///< queued; it was never started (shed load, not
+                      ///< a client error — distinct from Rejected)
     Unsolved,
 };
 

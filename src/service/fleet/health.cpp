@@ -1,0 +1,96 @@
+#include "service/fleet/health.hpp"
+
+#include <algorithm>
+
+namespace rsqp
+{
+
+const char*
+toString(CoreHealth health)
+{
+    switch (health) {
+      case CoreHealth::Healthy: return "healthy";
+      case CoreHealth::Degraded: return "degraded";
+      case CoreHealth::Quarantined: return "quarantined";
+      case CoreHealth::Recovering: return "recovering";
+    }
+    return "unknown";
+}
+
+CoreHealthMachine::CoreHealthMachine(FaultDomainConfig config)
+    : config_(config)
+{
+}
+
+Real
+CoreHealthMachine::backoffDelay() const
+{
+    Real delay = config_.backoffBaseSeconds;
+    for (Count i = 0; i < probeIndex_; ++i) {
+        delay *= config_.backoffFactor;
+        if (delay >= config_.backoffMaxSeconds)
+            return config_.backoffMaxSeconds;
+    }
+    return std::min(delay, config_.backoffMaxSeconds);
+}
+
+void
+CoreHealthMachine::quarantineAt(Real now)
+{
+    health_ = CoreHealth::Quarantined;
+    ++quarantines_;
+    consecutiveFaults_ = 0;
+    cleanJobs_ = 0;
+    probeIndex_ = 0;
+    nextProbeAt_ = now + backoffDelay();
+}
+
+void
+CoreHealthMachine::onFatalFault(Real now)
+{
+    quarantineAt(now);
+}
+
+bool
+CoreHealthMachine::onDegradeFault(Real now)
+{
+    cleanJobs_ = 0;
+    ++consecutiveFaults_;
+    if (consecutiveFaults_ >= config_.circuitBreakerFaults) {
+        quarantineAt(now);
+        return true;
+    }
+    health_ = CoreHealth::Degraded;
+    return false;
+}
+
+void
+CoreHealthMachine::onCleanJob()
+{
+    consecutiveFaults_ = 0;
+    if (health_ != CoreHealth::Degraded &&
+        health_ != CoreHealth::Recovering)
+        return;
+    if (++cleanJobs_ >= config_.recoveryJobs) {
+        health_ = CoreHealth::Healthy;
+        cleanJobs_ = 0;
+    }
+}
+
+void
+CoreHealthMachine::onProbeFailed(Real now)
+{
+    ++probeIndex_;
+    nextProbeAt_ = now + backoffDelay();
+}
+
+void
+CoreHealthMachine::onProbeSucceeded()
+{
+    health_ = CoreHealth::Recovering;
+    ++readmissions_;
+    cleanJobs_ = 0;
+    probeIndex_ = 0;
+}
+
+} // namespace rsqp

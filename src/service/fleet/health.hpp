@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Per-core health model of the solver fleet — the fault-domain state
+ * machine behind failover and quarantine:
+ *
+ *     Healthy -> Degraded    (degrade fault delivered)
+ *     Healthy/Degraded -> Quarantined
+ *                            (kill or hang fault, or the circuit
+ *                             breaker trips on consecutive faults)
+ *     Quarantined -> Recovering
+ *                            (a readmission probe succeeds)
+ *     Recovering/Degraded -> Healthy
+ *                            (enough consecutive clean jobs)
+ *
+ * Quarantined cores accept no work; their readmission probes run on
+ * an exponential-backoff ladder over the fleet's *virtual clock*
+ * (accumulated modeled device-seconds plus stall-watchdog charges),
+ * so the whole schedule is deterministic and restart-stable: the same
+ * workload and fault schedule quarantine and readmit at the same
+ * virtual instants on any host, at any load.
+ */
+
+#ifndef RSQP_SERVICE_FLEET_HEALTH_HPP
+#define RSQP_SERVICE_FLEET_HEALTH_HPP
+
+#include "common/types.hpp"
+
+namespace rsqp
+{
+
+/** Health of one solver core (gauge values are the enum order). */
+enum class CoreHealth
+{
+    Healthy = 0,
+    Degraded = 1,    ///< answering, but slowed; still dispatchable
+    Quarantined = 2, ///< fenced off; waiting on readmission probes
+    Recovering = 3,  ///< readmitted; proving itself with clean jobs
+};
+
+/** Printable health name ("healthy", "degraded", ...). */
+const char* toString(CoreHealth health);
+
+/** Fault-domain knobs, fixed at fleet construction. */
+struct FaultDomainConfig
+{
+    /**
+     * Virtual seconds a hung core stalls its stream before the
+     * watchdog fires. Charged against the deadline budget of every
+     * failed-over job in the stream and advanced on the virtual
+     * clock.
+     */
+    Real stallWatchdogSeconds = 0.05;
+    /** Consecutive non-fatal faults before the breaker quarantines. */
+    unsigned circuitBreakerFaults = 3;
+    /** Virtual delay before a quarantined core's first probe. */
+    Real backoffBaseSeconds = 0.01;
+    /** Backoff multiplier per failed probe. */
+    Real backoffFactor = 2.0;
+    /** Backoff ceiling (virtual seconds). */
+    Real backoffMaxSeconds = 10.0;
+    /** Clean jobs a Recovering/Degraded core needs to be Healthy. */
+    Count recoveryJobs = 2;
+};
+
+/**
+ * The per-core state machine (see file comment). Pure bookkeeping —
+ * no clocks, no threads; the fleet feeds it virtual timestamps and
+ * fault/probe outcomes under the service lock.
+ */
+class CoreHealthMachine
+{
+  public:
+    explicit CoreHealthMachine(FaultDomainConfig config =
+                                   FaultDomainConfig());
+
+    CoreHealth health() const { return health_; }
+
+    /** Quarantined cores must not receive streams. */
+    bool dispatchable() const
+    {
+        return health_ != CoreHealth::Quarantined;
+    }
+
+    /** A kill/hang fault landed at virtual time `now`: quarantine and
+     *  arm the first readmission probe. */
+    void onFatalFault(Real now);
+
+    /**
+     * A degrade fault landed at virtual time `now`. Returns true when
+     * the circuit breaker trips (consecutive faults reached the
+     * configured bound) — the core is then Quarantined exactly as for
+     * a fatal fault; otherwise it is Degraded.
+     */
+    bool onDegradeFault(Real now);
+
+    /** A job ran to completion unslowed and unfaulted. */
+    void onCleanJob();
+
+    /** Whether the next readmission probe is due at virtual `now`. */
+    bool probeDue(Real now) const
+    {
+        return health_ == CoreHealth::Quarantined && now >= nextProbeAt_;
+    }
+
+    /** The probe failed: push the next one out exponentially. */
+    void onProbeFailed(Real now);
+
+    /** The probe succeeded: readmit into Recovering. */
+    void onProbeSucceeded();
+
+    /** Virtual deadline of the next probe (Quarantined only). */
+    Real nextProbeAt() const { return nextProbeAt_; }
+
+    /** 0-based index of the next probe within this quarantine. */
+    Count probeIndex() const { return probeIndex_; }
+
+    Count quarantines() const { return quarantines_; }
+    Count readmissions() const { return readmissions_; }
+    Count probesAttempted() const { return probes_; }
+
+    /** Count one attempted probe (fleet calls before the oracle). */
+    void recordProbe() { ++probes_; }
+
+  private:
+    void quarantineAt(Real now);
+
+    /** Current backoff delay: base * factor^probeIndex, capped. */
+    Real backoffDelay() const;
+
+    FaultDomainConfig config_;
+    CoreHealth health_ = CoreHealth::Healthy;
+    unsigned consecutiveFaults_ = 0;
+    Count cleanJobs_ = 0;    ///< consecutive, since last fault/readmit
+    Real nextProbeAt_ = 0.0;
+    Count probeIndex_ = 0;   ///< within the current quarantine
+    Count quarantines_ = 0;
+    Count readmissions_ = 0;
+    Count probes_ = 0;
+};
+
+} // namespace rsqp
+
+#endif // RSQP_SERVICE_FLEET_HEALTH_HPP

@@ -40,6 +40,11 @@ struct CoreLoad
 {
     std::size_t queuedSessions = 0; ///< ready sessions waiting
     unsigned runningStreams = 0;    ///< instruction streams in flight
+    /** Quarantined cores are unavailable: no policy may pick them.
+     *  (When *no* core is available the caller must hold the work
+     *  back; place() then falls back to the affinity target so its
+     *  return value stays total.) */
+    bool available = true;
 };
 
 /**
@@ -65,6 +70,19 @@ class PlacementScheduler
      */
     static std::size_t preferredCore(const StructureFingerprint& fp,
                                      std::size_t core_count);
+
+    /**
+     * The affinity target restricted to an explicit candidate set —
+     * the deterministic *re-spill* used when the preferred core is
+     * quarantined: the same fingerprint maps to the same failover
+     * core for as long as the survivor set is the same, so a hot
+     * structure's traffic re-warms one partition instead of smearing
+     * across the fleet. `candidates` must be non-empty and sorted
+     * ascending (the order the fleet naturally produces).
+     */
+    static std::size_t
+    preferredAmong(const StructureFingerprint& fp,
+                   const std::vector<std::size_t>& candidates);
 
     PlacementPolicy policy() const { return policy_; }
     std::size_t coreCount() const { return coreCount_; }

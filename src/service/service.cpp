@@ -1,5 +1,6 @@
 #include "service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 #include <utility>
@@ -62,8 +63,14 @@ SolverService::SolverService(ServiceConfig config)
                                    "Requests that ran to a status")),
       rejected_(registry_.counter("rsqp_service_rejected_total",
                                   "Queue overflow or closed session")),
-      expired_(registry_.counter("rsqp_service_expired_total",
+      expired_(registry_.counter("rsqp_service_deadline_expired_total",
                                  "Deadline passed while queued")),
+      shutdownDrained_(registry_.counter(
+          "rsqp_service_shutdown_drained_total",
+          "Queued requests resolved ShuttingDown by the destructor")),
+      retryAfterHints_(registry_.counter(
+          "rsqp_service_retry_after_hints_total",
+          "Overflow rejections that carried a retry-after hint")),
       retiredSessionSolves_(registry_.counter(
           "rsqp_service_session_solves_retired_total",
           "Solves of sessions whose label series was retired")),
@@ -86,7 +93,10 @@ SolverService::SolverService(ServiceConfig config)
           "Nanoseconds between admission and execution")),
       executeNs_(registry_.histogram(
           "rsqp_service_execute_ns",
-          "Nanoseconds a request held a worker"))
+          "Nanoseconds a request held a worker")),
+      retryAfterUs_(registry_.histogram(
+          "rsqp_service_retry_after_us",
+          "Microseconds of back-off suggested to rejected clients"))
 {
     if (config_.tracing)
         telemetry::TraceRecorder::global().enable();
@@ -94,9 +104,29 @@ SolverService::SolverService(ServiceConfig config)
 
 SolverService::~SolverService()
 {
-    // Graceful drain: everything admitted before destruction runs to a
-    // real status; nothing new can be admitted because the owner is
-    // destroying the only handle.
+    // Shed, then drain (contract documented on the declaration):
+    // queued-but-unstarted requests resolve ShuttingDown immediately;
+    // launched streams run to their real status. Nothing new can be
+    // admitted because the owner is destroying the only handle.
+    std::vector<std::shared_ptr<Job>> shed;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shuttingDown_ = true;
+        for (auto& item : sessions_) {
+            SessionState& state = *item.second;
+            for (const std::shared_ptr<Job>& job : state.pending)
+                shed.push_back(job);
+            queuedJobs_ -= state.pending.size();
+            state.pending.clear();
+        }
+        unplaced_.clear();
+        shutdownDrained_.add(shed.size());
+        queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
+        if (activeRuns_ == 0 && queuedJobs_ == 0)
+            idleCv_.notify_all();
+    }
+    for (const std::shared_ptr<Job>& job : shed)
+        resolveWith(job->promise, SolveStatus::ShuttingDown);
     waitIdle();
 }
 
@@ -175,6 +205,7 @@ SolverService::submit(SessionId id, QpProblem problem,
     std::future<SessionResult> future = job->promise.get_future();
 
     bool admitted = false;
+    Real retryAfter = 0.0;
     std::vector<Launch> launches;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -195,14 +226,47 @@ SolverService::submit(SessionId id, QpProblem problem,
             pumpLocked(launches);
         } else {
             rejected_.increment();
+            if (it != sessions_.end() && it->second->open) {
+                // Overflow (not a client error): tell the client how
+                // long the backlog is expected to take to clear.
+                retryAfter = retryAfterEstimateLocked();
+                lastRetryAfterSeconds_ =
+                    static_cast<double>(retryAfter);
+                retryAfterHints_.increment();
+                retryAfterUs_.observe(static_cast<std::uint64_t>(
+                    static_cast<double>(retryAfter) * 1e6));
+            }
         }
     }
     if (!admitted) {
-        resolveWith(job->promise, SolveStatus::Rejected);
+        SessionResult result;
+        result.status = SolveStatus::Rejected;
+        result.retryAfterSeconds = retryAfter;
+        job->promise.set_value(std::move(result));
         return future;
     }
     launch(launches);
     return future;
+}
+
+Real
+SolverService::retryAfterEstimateLocked() const
+{
+    // Expected time for the backlog plus this request to drain
+    // through the slots still taking work; with every core fenced,
+    // nothing drains until the next readmission probe can land.
+    const double average = fleet_.averageJobDeviceSeconds();
+    const std::size_t available = fleet_.availableCoreCount();
+    const double slotCapacity = static_cast<double>(
+        std::max<std::size_t>(std::size_t{1}, available) *
+        fleet_.slotsPerCore());
+    double estimate = average *
+                      static_cast<double>(queuedJobs_ + 1) /
+                      slotCapacity;
+    if (available == 0)
+        estimate += fleet_.secondsToNextProbe();
+    return std::max(config_.retryAfterFloorSeconds,
+                    static_cast<Real>(estimate));
 }
 
 SessionResult
@@ -215,16 +279,62 @@ SolverService::solve(SessionId id, QpProblem problem,
 void
 SolverService::placeReadyLocked(SessionId id, SessionState& state)
 {
+    if (fleet_.availableCoreCount() == 0) {
+        // Never park work on a fenced core: it could sit out the
+        // whole quarantine. The pump re-places it after readmission.
+        unplaced_.push_back(id);
+        return;
+    }
     const std::shared_ptr<Job>& head = state.pending.front();
     const std::size_t core = fleet_.placeSession(head->fp);
     fleet_.enqueueReady(core, id, head->small);
 }
 
 void
+SolverService::drainUnplacedLocked()
+{
+    if (fleet_.availableCoreCount() == 0)
+        return;
+    std::deque<SessionId> parked;
+    parked.swap(unplaced_);
+    for (SessionId id : parked) {
+        auto it = sessions_.find(id);
+        // Sessions closed or drained while parked hold no job.
+        if (it == sessions_.end() || it->second->running ||
+            it->second->pending.empty())
+            continue;
+        placeReadyLocked(id, *it->second);
+    }
+}
+
+void
 SolverService::pumpLocked(std::vector<Launch>& launches)
 {
+    fleet_.runReadmissionProbes();
+    // Bounded retry: each pass either dispatches, or fast-forwards
+    // the virtual clock to the next probe of an all-quarantined
+    // fleet (probe backoff grows exponentially, so a core with
+    // finitely many failing probes readmits within few passes).
+    for (int pass = 0; pass < 64; ++pass) {
+        drainUnplacedLocked();
+        dispatchLocked(launches);
+        const bool stuck = launches.empty() && activeRuns_ == 0 &&
+                           queuedJobs_ > 0 &&
+                           fleet_.availableCoreCount() == 0;
+        if (!stuck)
+            return;
+        if (!fleet_.advanceVirtualToNextProbe())
+            return;
+        fleet_.runReadmissionProbes();
+    }
+}
+
+void
+SolverService::dispatchLocked(std::vector<Launch>& launches)
+{
     for (std::size_t core = 0; core < fleet_.coreCount(); ++core) {
-        while (fleet_.hasCapacity(core) && fleet_.readyDepth(core) > 0) {
+        while (fleet_.canDispatch(core) &&
+               fleet_.readyDepth(core) > 0) {
             Launch stream;
             stream.core = core;
             for (SessionId id : fleet_.popStream(core)) {
@@ -265,19 +375,93 @@ SolverService::launch(std::vector<Launch>& launches)
 }
 
 void
+SolverService::failOverStreamLocked(
+    Launch& stream, std::size_t from_index, bool hang,
+    std::vector<Launch>& launches,
+    std::vector<std::pair<std::shared_ptr<Job>, SolveStatus>>& shed)
+{
+    const double stall =
+        hang ? fleet_.stallWatchdogSeconds() : 0.0;
+    Count failedOver = 0;
+    for (std::size_t i = from_index; i < stream.entries.size(); ++i) {
+        Launch::Entry& entry = stream.entries[i];
+        // None of these jobs started solving: session state is
+        // untouched, so the re-run is bitwise identical to an
+        // undisturbed one.
+        entry.state->running = false;
+        entry.job->stallSeconds += stall;
+        ++entry.job->failovers;
+        ++failedOver;
+        if (shuttingDown_ || !entry.state->open) {
+            shed.emplace_back(entry.job,
+                              shuttingDown_ ? SolveStatus::ShuttingDown
+                                            : SolveStatus::Rejected);
+            if (!entry.state->open && entry.state->pending.empty()) {
+                retireSessionSeriesLocked(entry.id, *entry.state);
+                sessions_.erase(entry.id);
+                openSessions_.set(
+                    static_cast<std::int64_t>(sessions_.size()));
+            }
+            continue;
+        }
+        entry.state->pending.push_front(entry.job);
+        ++queuedJobs_;
+        placeReadyLocked(entry.id, *entry.state);
+    }
+    fleet_.recordFailover(stream.core, failedOver);
+    queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
+    // Sessions still waiting on the now-fenced core follow the jobs
+    // back to the scheduler.
+    for (const auto& ready : fleet_.drainReady(stream.core)) {
+        auto it = sessions_.find(ready.first);
+        if (it == sessions_.end() || it->second->running ||
+            it->second->pending.empty())
+            continue;
+        placeReadyLocked(ready.first, *it->second);
+    }
+    pumpLocked(launches);
+}
+
+void
 SolverService::runStream(Launch stream)
 {
     Timer busy;
     const bool interleaved = stream.entries.size() > 1;
-    for (Launch::Entry& entry : stream.entries) {
+    for (std::size_t index = 0; index < stream.entries.size();
+         ++index) {
+        Launch::Entry& entry = stream.entries[index];
         SessionResult result;
         std::vector<Launch> launches;
+        std::vector<std::pair<std::shared_ptr<Job>, SolveStatus>>
+            shed;
+        bool failedOver = false;
+        FleetFaultAction action;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            action = fleet_.onJobStarting(stream.core);
+            if (action.kind == FleetFaultAction::Kind::FailStream) {
+                failOverStreamLocked(stream, index, action.hang,
+                                     launches, shed);
+                failedOver = true;
+            }
+        }
+        if (failedOver) {
+            for (auto& item : shed)
+                resolveWith(item.first->promise, item.second);
+            if (!launches.empty())
+                launch(launches);
+            break; // the stream tail still releases this core's slot
+        }
         {
             // Scoped so the span is recorded *before* the promise is
             // fulfilled: a client that solves then immediately drains
             // the trace always sees its own request's span.
             TELEMETRY_SPAN("service.run_job");
-            const double waited = secondsSince(entry.job->enqueued);
+            // Stall-watchdog charges from earlier failovers count
+            // against the budget as if the client had really waited
+            // them out on the hung core.
+            const double waited = secondsSince(entry.job->enqueued) +
+                                  entry.job->stallSeconds;
             const bool expired = entry.job->deadline > 0.0 &&
                                  waited >= entry.job->deadline;
             const auto executeStart = std::chrono::steady_clock::now();
@@ -299,6 +483,13 @@ SolverService::runStream(Launch stream)
                 result = entry.state->session->solve(entry.job->problem,
                                                      budget);
             }
+            const bool degraded =
+                action.kind == FleetFaultAction::Kind::Degrade;
+            if (degraded)
+                // Modeled slowdown: the device held the job longer.
+                result.deviceSeconds *=
+                    static_cast<Real>(action.slowdown);
+            result.failovers = entry.job->failovers;
             result.telemetry.queueWaitSeconds = waited;
             queueWaitNs_.observe(
                 static_cast<std::uint64_t>(waited * 1e9));
@@ -317,7 +508,8 @@ SolverService::runStream(Launch stream)
                 }
                 fleet_.onJobExecuted(
                     stream.core, interleaved,
-                    static_cast<double>(result.deviceSeconds));
+                    static_cast<double>(result.deviceSeconds),
+                    degraded);
                 entry.state->running = false;
                 if (!entry.state->open &&
                     entry.state->pending.empty()) {
@@ -374,6 +566,15 @@ SolverService::stats() const
     stats.completed = static_cast<Count>(completed_.value());
     stats.rejected = static_cast<Count>(rejected_.value());
     stats.expired = static_cast<Count>(expired_.value());
+    stats.shutdownDrained =
+        static_cast<Count>(shutdownDrained_.value());
+    stats.retryAfterHints =
+        static_cast<Count>(retryAfterHints_.value());
+    stats.lastRetryAfterSeconds = lastRetryAfterSeconds_;
+    const FleetStats fleet = fleet_.stats();
+    stats.failovers = fleet.failovers;
+    stats.quarantines = fleet.quarantines;
+    stats.readmissions = fleet.readmissions;
     stats.queueDepth = queuedJobs_;
     stats.peakQueueDepth =
         static_cast<std::size_t>(peakQueueDepth_.value());

@@ -18,9 +18,20 @@
  * load, scheduling, and core count.
  *
  * Admission control is explicit and non-blocking: a full queue yields
- * SolveStatus::Rejected immediately, and a request whose deadline
- * expires while waiting yields SolveStatus::TimeLimitReached without
- * ever touching the session's solver state.
+ * SolveStatus::Rejected immediately — carrying a retryAfterSeconds
+ * back-off hint sized to the backlog and surviving capacity — and a
+ * request whose deadline expires while waiting yields
+ * SolveStatus::TimeLimitReached without ever touching the session's
+ * solver state.
+ *
+ * The fleet is also a fault domain: a core that a fault kills or
+ * hangs is quarantined (its cache partition invalidated), the jobs it
+ * held return to the placement scheduler with their deadline budget
+ * decremented by any stall-watchdog charge and re-execute on a
+ * healthy core — bitwise identical to an undisturbed run, because a
+ * fault only ever fires *before* a job touches its session.
+ * Quarantined cores earn readmission through exponential-backoff
+ * probes on the fleet's deterministic virtual clock.
  */
 
 #ifndef RSQP_SERVICE_SERVICE_HPP
@@ -57,6 +68,9 @@ struct ServiceConfig
     std::size_t cacheCapacity = 16;
     /** Deadline applied when submit() passes none (0 = unlimited). */
     Real defaultDeadlineSeconds = 0.0;
+    /** Smallest retry-after hint attached to an overflow rejection
+     *  (seconds); the estimate never reports "retry immediately". */
+    Real retryAfterFloorSeconds = 0.001;
     /** Execution resources: default concurrency cap of the service. */
     ExecutionConfig execution;
     /** Enable the global trace recorder for the service's lifetime. */
@@ -72,6 +86,13 @@ struct ServiceStats
     Count completed = 0;  ///< ran to a solver status
     Count rejected = 0;   ///< queue overflow / unknown or closed session
     Count expired = 0;    ///< deadline passed while queued
+    Count shutdownDrained = 0; ///< resolved ShuttingDown by the dtor
+    Count failovers = 0;       ///< jobs re-placed off failed cores
+    Count quarantines = 0;     ///< cores fenced off so far
+    Count readmissions = 0;    ///< quarantines lifted by a probe
+    Count retryAfterHints = 0; ///< rejections that carried a hint
+    /** Hint attached to the most recent overflow rejection (s). */
+    double lastRetryAfterSeconds = 0.0;
     std::size_t queueDepth = 0;      ///< requests waiting right now
     std::size_t peakQueueDepth = 0;  ///< high-water mark
     std::size_t openSessions = 0;
@@ -85,7 +106,15 @@ class SolverService
   public:
     explicit SolverService(ServiceConfig config = ServiceConfig());
 
-    /** Drains gracefully: blocks until every admitted request finished. */
+    /**
+     * Shutdown contract: requests that are already executing (or
+     * fused into a launched stream) run to their real status; requests
+     * still waiting in a queue resolve immediately with
+     * SolveStatus::ShuttingDown — shed load, deliberately distinct
+     * from Rejected so clients can tell "service went away" from "I
+     * sent something bad". Blocks until every admitted request has
+     * resolved; no future is ever abandoned.
+     */
     ~SolverService();
 
     SolverService(const SolverService&) = delete;
@@ -164,6 +193,11 @@ class SolverService
         StructureFingerprint fp;
         /** n + m under the fleet's interleaving threshold. */
         bool small = false;
+        /** Virtual stall-watchdog charges accumulated by failovers
+         *  off hung cores; counts against the deadline budget. */
+        double stallSeconds = 0.0;
+        /** Times this job was pulled off a failed core. */
+        Count failovers = 0;
     };
 
     struct SessionState
@@ -193,11 +227,44 @@ class SolverService
         std::vector<Entry> entries;
     };
 
-    /** Route a newly ready session onto a fleet core (locked). */
+    /** Route a newly ready session onto a fleet core (locked); with
+     *  every core fenced it parks the session in unplaced_ instead. */
     void placeReadyLocked(SessionId id, SessionState& state);
 
-    /** Move ready sessions into streams up to the fleet's capacity. */
+    /** Re-place parked sessions once a core is available (locked). */
+    void drainUnplacedLocked();
+
+    /** Pop streams off ready cores into `launches` (locked). */
+    void dispatchLocked(std::vector<Launch>& launches);
+
+    /**
+     * Run readmission probes, re-place parked sessions, and move
+     * ready sessions into streams up to the fleet's capacity. When
+     * every core is quarantined with work queued and nothing running,
+     * force the virtual clock forward to the next probe so the fleet
+     * cannot deadlock waiting for device time that will never accrue.
+     */
     void pumpLocked(std::vector<Launch>& launches);
+
+    /**
+     * A fault killed `stream`'s core before entry `from_index`
+     * started. Return entries [from_index, end) to their sessions'
+     * pending queues (front, preserving order), charge the stall
+     * watchdog on a hang, re-place the sessions and the core's drained
+     * ready queue, and count the failovers. Jobs whose session is
+     * closed — or the whole service shutting down — are appended to
+     * `shed` with the status to resolve outside the lock.
+     */
+    void failOverStreamLocked(
+        Launch& stream, std::size_t from_index, bool hang,
+        std::vector<Launch>& launches,
+        std::vector<std::pair<std::shared_ptr<Job>, SolveStatus>>&
+            shed);
+
+    /** Back-off hint for an overflow rejection: backlog over
+     *  surviving slot capacity, plus the wait for the next
+     *  readmission probe when no core is available (locked). */
+    Real retryAfterEstimateLocked() const;
 
     /** Hand collected streams to the thread pool (lock released). */
     void launch(std::vector<Launch>& launches);
@@ -228,6 +295,8 @@ class SolverService
     telemetry::Counter& completed_;
     telemetry::Counter& rejected_;
     telemetry::Counter& expired_;
+    telemetry::Counter& shutdownDrained_;
+    telemetry::Counter& retryAfterHints_;
     telemetry::Counter& retiredSessionSolves_;
     telemetry::Gauge& queueDepth_;
     telemetry::Gauge& peakQueueDepth_;
@@ -238,14 +307,20 @@ class SolverService
     telemetry::Gauge& cacheSize_;
     telemetry::Histogram& queueWaitNs_;
     telemetry::Histogram& executeNs_;
+    telemetry::Histogram& retryAfterUs_;
 
     mutable std::mutex mutex_;
     std::condition_variable idleCv_;
     std::unordered_map<SessionId, std::unique_ptr<SessionState>>
         sessions_;
+    /** Ready sessions with no available core to park on (every core
+     *  quarantined); re-placed when a probe readmits one. */
+    std::deque<SessionId> unplaced_;
     unsigned activeRuns_ = 0;  ///< streams in flight, fleet-wide
     std::size_t queuedJobs_ = 0;
     SessionId nextId_ = 1;
+    bool shuttingDown_ = false;
+    double lastRetryAfterSeconds_ = 0.0;
 };
 
 } // namespace rsqp

@@ -74,6 +74,13 @@ struct SessionResult
     HotPathProfile hotPath;     ///< Host/PCG per-phase counters
     ValidationReport validation;  ///< filled when InvalidProblem
 
+    /** Times this job was re-placed off a failed core before running
+     *  (fleet failover; the solve itself is bitwise-unaffected). */
+    Count failovers = 0;
+    /** Rejected with load shed: suggested client back-off before
+     *  resubmitting (seconds; 0 on any other status). */
+    Real retryAfterSeconds = 0.0;
+
     /** Structured per-solve summary (route, queue wait, residuals). */
     SolveTelemetry telemetry;
 };

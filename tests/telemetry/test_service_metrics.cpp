@@ -54,7 +54,8 @@ TEST(ServiceMetrics, ScrapeMatchesServiceStats)
               static_cast<std::uint64_t>(stats.completed));
     EXPECT_EQ(snapshot.counterValue("rsqp_service_rejected_total"),
               static_cast<std::uint64_t>(stats.rejected));
-    EXPECT_EQ(snapshot.counterValue("rsqp_service_expired_total"),
+    EXPECT_EQ(snapshot.counterValue(
+                  "rsqp_service_deadline_expired_total"),
               static_cast<std::uint64_t>(stats.expired));
     ASSERT_NE(snapshot.findGauge("rsqp_service_queue_depth"), nullptr);
     EXPECT_EQ(snapshot.findGauge("rsqp_service_queue_depth")->value,
