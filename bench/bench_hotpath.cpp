@@ -1,13 +1,22 @@
 /**
  * @file
- * Hot-path profile of the indirect (PCG) backend: solve the largest
- * generated suite problem at several thread counts and report wall
- * clock, speedup over serial, and the per-phase profiler counters
- * (SpMV passes, fused CG updates, preconditioner, reductions).
+ * Hot-path profile of the indirect (PCG) backend, three sweeps over
+ * the largest generated suite problem:
  *
- * The JSON output is the CI perf-smoke artifact: one object with the
- * problem shape and a "runs" array carrying a "hot_path" sub-object
- * per thread count.
+ *  1. threads  — wall clock and per-phase profiler counters at each
+ *     thread count (SpMV passes, fused CG updates, preconditioner,
+ *     reductions), with the bitwise-determinism cross-check;
+ *  2. ISA      — single-thread solve at every supported kernel level
+ *     (scalar → AVX2 → AVX-512) via simd::forceIsaLevel, with the
+ *     per-phase scalar-vs-SIMD speedups derived from the counters;
+ *  3. precision — fp64 vs mixed-fp32 (fp32-storage / fp64-accumulate
+ *     PCG inside iterative refinement) at the default ISA level.
+ *
+ * The JSON output is the CI perf-smoke artifact (committed snapshot:
+ * results/BENCH_hotpath.json). The legacy top-level keys (problem, n,
+ * m, nnz, seed, runs) are stable; the header also carries the
+ * detected/compiled/active ISA levels and the precision mode, and the
+ * new sweeps land in "isa_runs" / "simd_speedup" / "precision_runs".
  *
  * Flags:
  *   --quick         smaller problem / fewer reps (CI smoke)
@@ -23,10 +32,12 @@
 #include <string>
 #include <vector>
 
+#include "arch/cpu_features.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/rsqp.hpp"
+#include "linalg/simd_kernels.hpp"
 
 namespace
 {
@@ -91,13 +102,16 @@ parseOptions(int argc, char** argv)
     return options;
 }
 
-/** One measured solve at a fixed thread count. */
+/** One measured solve (fixed thread count, ISA level or precision). */
 struct Run
 {
     Index threads = 1;
     double solveSeconds = 0.0;
     double kktSeconds = 0.0;
     Count pcgIterations = 0;
+    Index admmIterations = 0;
+    Count refinementSweeps = 0;
+    Count fp64Rescues = 0;
     Real objective = 0.0;
     double speedup = 1.0;
     HotPathProfile hotPath;
@@ -110,6 +124,52 @@ formatDouble(double value, int precision)
     os.precision(precision);
     os << std::fixed << value;
     return os.str();
+}
+
+/** Best-of-`reps` solve of `qp` under the current global kernels. */
+Run
+measureSolve(const QpProblem& qp, const OsqpSettings& settings,
+             int reps)
+{
+    Run run;
+    run.solveSeconds = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+        OsqpSolver solver(qp, settings);
+        Timer timer;
+        const OsqpResult result = solver.solve();
+        const double seconds = timer.seconds();
+        if (seconds < run.solveSeconds) {
+            run.solveSeconds = seconds;
+            run.kktSeconds = result.info.kktSolveTime;
+            run.pcgIterations = result.info.pcgIterationsTotal;
+            run.admmIterations = result.info.iterations;
+            run.refinementSweeps = result.info.refinementSweepsTotal;
+            run.fp64Rescues = result.info.fp64Rescues;
+            run.objective = result.info.objective;
+            run.hotPath = result.info.hotPath;
+        }
+    }
+    return run;
+}
+
+double
+phaseMs(const HotPathProfile& hp, ProfilePhase phase)
+{
+    return static_cast<double>(hp[phase].nanoseconds) * 1e-6;
+}
+
+double
+spmvMs(const HotPathProfile& hp)
+{
+    return phaseMs(hp, ProfilePhase::SpmvP) +
+           phaseMs(hp, ProfilePhase::SpmvA) +
+           phaseMs(hp, ProfilePhase::SpmvAt);
+}
+
+double
+ratio(double reference, double value)
+{
+    return value > 0.0 ? reference / value : 0.0;
 }
 
 } // namespace
@@ -145,25 +205,12 @@ main(int argc, char** argv)
     OsqpSettings settings;
     settings.backend = KktBackend::IndirectPcg;
 
+    // Sweep 1: thread counts at the active ISA level.
     std::vector<Run> runs;
     for (Index threads : options.threads) {
         NumThreadsScope scope(threads);
-        Run run;
+        Run run = measureSolve(qp, settings, reps);
         run.threads = threads;
-        run.solveSeconds = 1e100;
-        for (int rep = 0; rep < reps; ++rep) {
-            OsqpSolver solver(qp, settings);
-            Timer timer;
-            const OsqpResult result = solver.solve();
-            const double seconds = timer.seconds();
-            if (seconds < run.solveSeconds) {
-                run.solveSeconds = seconds;
-                run.kktSeconds = result.info.kktSolveTime;
-                run.pcgIterations = result.info.pcgIterationsTotal;
-                run.objective = result.info.objective;
-                run.hotPath = result.info.hotPath;
-            }
-        }
         runs.push_back(run);
     }
     for (Run& run : runs)
@@ -182,6 +229,35 @@ main(int argc, char** argv)
         }
     }
 
+    // Sweep 2: single-thread solve at every supported ISA level.
+    const std::vector<IsaLevel> levels = supportedIsaLevels();
+    std::vector<Run> isa_runs;
+    {
+        NumThreadsScope scope(1);
+        for (IsaLevel level : levels) {
+            simd::forceIsaLevel(level);
+            isa_runs.push_back(measureSolve(qp, settings, reps));
+        }
+        simd::resetIsaLevel();
+    }
+    const Run& isa_scalar = isa_runs.front();
+    const Run& isa_best = isa_runs.back();
+
+    // Sweep 3: fp64 vs mixed-fp32 at the default ISA level, 1 thread.
+    std::vector<Run> precision_runs;
+    {
+        NumThreadsScope scope(1);
+        precision_runs.push_back(measureSolve(qp, settings, reps));
+        OsqpSettings mixed = settings;
+        mixed.execution.precision = PrecisionMode::MixedFp32;
+        precision_runs.push_back(measureSolve(qp, mixed, reps));
+    }
+
+    const std::string isa_detected = isaLevelName(detectedIsaLevel());
+    const std::string isa_compiled = isaLevelName(compiledIsaLevel());
+    const std::string isa_active =
+        isaLevelName(simd::activeIsaLevel());
+
     if (options.json) {
         std::cout << "{\n"
                   << "  \"problem\": \""
@@ -190,6 +266,13 @@ main(int argc, char** argv)
                   << "  \"m\": " << qp.numConstraints() << ",\n"
                   << "  \"nnz\": " << qp.totalNnz() << ",\n"
                   << "  \"seed\": " << options.seed << ",\n"
+                  << "  \"isa_detected\": \"" << isa_detected
+                  << "\",\n"
+                  << "  \"isa_compiled\": \"" << isa_compiled
+                  << "\",\n"
+                  << "  \"isa_active\": \"" << isa_active << "\",\n"
+                  << "  \"precision\": \""
+                  << precisionModeName(PrecisionMode::Fp64) << "\",\n"
                   << "  \"runs\": [\n";
         for (std::size_t i = 0; i < runs.size(); ++i) {
             const Run& run = runs[i];
@@ -205,6 +288,74 @@ main(int argc, char** argv)
                       << "}" << (i + 1 < runs.size() ? "," : "")
                       << "\n";
         }
+        std::cout << "  ],\n"
+                  << "  \"isa_runs\": [\n";
+        for (std::size_t i = 0; i < isa_runs.size(); ++i) {
+            const Run& run = isa_runs[i];
+            std::cout << "    {\"isa\": \"" << isaLevelName(levels[i])
+                      << "\", \"solve_seconds\": "
+                      << formatDouble(run.solveSeconds, 6)
+                      << ", \"kkt_seconds\": "
+                      << formatDouble(run.kktSeconds, 6)
+                      << ", \"pcg_iterations\": " << run.pcgIterations
+                      << ", \"hot_path\": " << run.hotPath.toJson()
+                      << "}" << (i + 1 < isa_runs.size() ? "," : "")
+                      << "\n";
+        }
+        std::cout
+            << "  ],\n"
+            << "  \"simd_speedup\": {\"isa\": \""
+            << isaLevelName(levels.back()) << "\", \"solve\": "
+            << formatDouble(ratio(isa_scalar.solveSeconds,
+                                  isa_best.solveSeconds),
+                            3)
+            << ", \"spmv\": "
+            << formatDouble(ratio(spmvMs(isa_scalar.hotPath),
+                                  spmvMs(isa_best.hotPath)),
+                            3)
+            << ", \"fused\": "
+            << formatDouble(
+                   ratio(phaseMs(isa_scalar.hotPath,
+                                 ProfilePhase::FusedVectorOps),
+                         phaseMs(isa_best.hotPath,
+                                 ProfilePhase::FusedVectorOps)),
+                   3)
+            << ", \"precond\": "
+            << formatDouble(
+                   ratio(phaseMs(isa_scalar.hotPath,
+                                 ProfilePhase::Precond),
+                         phaseMs(isa_best.hotPath,
+                                 ProfilePhase::Precond)),
+                   3)
+            << ", \"reduce\": "
+            << formatDouble(
+                   ratio(phaseMs(isa_scalar.hotPath,
+                                 ProfilePhase::Reduction),
+                         phaseMs(isa_best.hotPath,
+                                 ProfilePhase::Reduction)),
+                   3)
+            << "},\n"
+            << "  \"precision_runs\": [\n";
+        for (std::size_t i = 0; i < precision_runs.size(); ++i) {
+            const Run& run = precision_runs[i];
+            const PrecisionMode mode = i == 0
+                                           ? PrecisionMode::Fp64
+                                           : PrecisionMode::MixedFp32;
+            std::cout << "    {\"precision\": \""
+                      << precisionModeName(mode)
+                      << "\", \"solve_seconds\": "
+                      << formatDouble(run.solveSeconds, 6)
+                      << ", \"admm_iterations\": "
+                      << run.admmIterations
+                      << ", \"pcg_iterations\": " << run.pcgIterations
+                      << ", \"refinement_sweeps\": "
+                      << run.refinementSweeps
+                      << ", \"fp64_rescues\": " << run.fp64Rescues
+                      << ", \"objective\": "
+                      << formatDouble(run.objective, 9) << "}"
+                      << (i + 1 < precision_runs.size() ? "," : "")
+                      << "\n";
+        }
         std::cout << "  ]\n}\n";
         return 0;
     }
@@ -214,28 +365,72 @@ main(int argc, char** argv)
               << ", m=" << qp.numConstraints()
               << ", nnz=" << qp.totalNnz()
               << "; host threads: " << hardwareConcurrency()
-              << " hardware)\n";
+              << " hardware; isa " << isa_active << " of "
+              << isa_detected << " detected)\n";
+    const auto ms = [](double value) {
+        return formatDouble(value, 2);
+    };
     TextTable table({"threads", "solve_s", "kkt_s", "pcg_iters",
                      "speedup", "spmv_p_ms", "spmv_a_ms", "spmv_at_ms",
                      "fused_ms", "precond_ms", "reduce_ms"});
     for (const Run& run : runs) {
         const HotPathProfile& hp = run.hotPath;
-        auto ms = [](const ProfilePhaseStats& stats) {
-            return formatDouble(
-                static_cast<double>(stats.nanoseconds) * 1e-6, 2);
-        };
         table.addRow({std::to_string(run.threads),
                       formatDouble(run.solveSeconds, 6),
                       formatDouble(run.kktSeconds, 6),
                       std::to_string(run.pcgIterations),
                       formatDouble(run.speedup, 2),
-                      ms(hp[ProfilePhase::SpmvP]),
-                      ms(hp[ProfilePhase::SpmvA]),
-                      ms(hp[ProfilePhase::SpmvAt]),
-                      ms(hp[ProfilePhase::FusedVectorOps]),
-                      ms(hp[ProfilePhase::Precond]),
-                      ms(hp[ProfilePhase::Reduction])});
+                      ms(phaseMs(hp, ProfilePhase::SpmvP)),
+                      ms(phaseMs(hp, ProfilePhase::SpmvA)),
+                      ms(phaseMs(hp, ProfilePhase::SpmvAt)),
+                      ms(phaseMs(hp, ProfilePhase::FusedVectorOps)),
+                      ms(phaseMs(hp, ProfilePhase::Precond)),
+                      ms(phaseMs(hp, ProfilePhase::Reduction))});
     }
     table.print(std::cout);
+
+    std::cout << "\n# ISA sweep (1 thread): per-phase speedup vs "
+                 "forced-scalar kernels\n";
+    TextTable isa_table({"isa", "solve_s", "kkt_s", "spmv_ms",
+                         "fused_ms", "precond_ms", "reduce_ms",
+                         "solve_x", "fused_x"});
+    for (std::size_t i = 0; i < isa_runs.size(); ++i) {
+        const Run& run = isa_runs[i];
+        isa_table.addRow(
+            {isaLevelName(levels[i]),
+             formatDouble(run.solveSeconds, 6),
+             formatDouble(run.kktSeconds, 6),
+             ms(spmvMs(run.hotPath)),
+             ms(phaseMs(run.hotPath, ProfilePhase::FusedVectorOps)),
+             ms(phaseMs(run.hotPath, ProfilePhase::Precond)),
+             ms(phaseMs(run.hotPath, ProfilePhase::Reduction)),
+             formatDouble(
+                 ratio(isa_scalar.solveSeconds, run.solveSeconds), 2),
+             formatDouble(
+                 ratio(phaseMs(isa_scalar.hotPath,
+                               ProfilePhase::FusedVectorOps),
+                       phaseMs(run.hotPath,
+                               ProfilePhase::FusedVectorOps)),
+                 2)});
+    }
+    isa_table.print(std::cout);
+
+    std::cout << "\n# precision sweep (1 thread, default ISA)\n";
+    TextTable prec_table({"precision", "solve_s", "admm_iters",
+                          "pcg_iters", "refine_sweeps", "fp64_rescues",
+                          "objective"});
+    for (std::size_t i = 0; i < precision_runs.size(); ++i) {
+        const Run& run = precision_runs[i];
+        prec_table.addRow(
+            {precisionModeName(i == 0 ? PrecisionMode::Fp64
+                                      : PrecisionMode::MixedFp32),
+             formatDouble(run.solveSeconds, 6),
+             std::to_string(run.admmIterations),
+             std::to_string(run.pcgIterations),
+             std::to_string(run.refinementSweeps),
+             std::to_string(run.fp64Rescues),
+             formatDouble(run.objective, 9)});
+    }
+    prec_table.print(std::cout);
     return 0;
 }

@@ -2,14 +2,21 @@
  * @file
  * google-benchmark microbenchmarks of the customization-flow kernels:
  * sparsity encoding, LZW dictionary, scheduler, First-Fit CVB
- * compression, CSR SpMV and the simulated SpMV engine.
+ * compression, CSR SpMV and the simulated SpMV engine — plus a
+ * forced-ISA sweep of the vectorized PCG kernels (dot, fused CG
+ * updates, preconditioner apply, CSR SpMV) registered once per
+ * supported kernel level so one invocation yields the scalar-vs-SIMD
+ * comparison. The benchmark context records the detected, compiled
+ * and active ISA levels for the JSON artifact.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "arch/cpu_features.hpp"
 #include "arch/program_builder.hpp"
 #include "common/thread_pool.hpp"
 #include "core/rsqp.hpp"
+#include "linalg/simd_kernels.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace
@@ -349,6 +356,120 @@ BM_SolutionPolish(benchmark::State& state)
 }
 BENCHMARK(BM_SolutionPolish)->Arg(60)->Arg(200);
 
+/**
+ * Forced-ISA sweep of the vectorized PCG kernels. Registered from
+ * main() once per level in supportedIsaLevels(), so the benchmark
+ * names carry the level ("ForcedIsaDot/scalar", ".../avx2", ...) and
+ * one run compares every level on this host. Single-threaded: the
+ * sweep isolates lane-level speedup from thread scaling.
+ */
+void
+registerForcedIsaBenchmarks(IsaLevel level)
+{
+    const std::string suffix = isaLevelName(level);
+    constexpr Index kLen = 1 << 20;
+
+    benchmark::RegisterBenchmark(
+        ("ForcedIsaDot/" + suffix).c_str(),
+        [level](benchmark::State& state) {
+            NumThreadsScope scope(1);
+            simd::forceIsaLevel(level);
+            Rng rng(3);
+            Vector x(kLen), y(kLen);
+            for (Real& v : x)
+                v = rng.normal();
+            for (Real& v : y)
+                v = rng.normal();
+            for (auto _ : state) {
+                const Real value = dot(x, y);
+                benchmark::DoNotOptimize(value);
+            }
+            simd::resetIsaLevel();
+            state.SetItemsProcessed(state.iterations() *
+                                    static_cast<long>(x.size()));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("ForcedIsaFusedUpdate/" + suffix).c_str(),
+        [level](benchmark::State& state) {
+            // x -= alpha p fused with r·Kp — the CG descent update.
+            NumThreadsScope scope(1);
+            simd::forceIsaLevel(level);
+            Rng rng(5);
+            Vector p(kLen), x(kLen), kp(kLen), r(kLen);
+            for (Vector* vec : {&p, &x, &kp, &r})
+                for (Real& v : *vec)
+                    v = rng.normal();
+            for (auto _ : state) {
+                const Real value =
+                    xMinusAlphaPDot(1e-9, p, x, kp, r);
+                benchmark::DoNotOptimize(value);
+            }
+            simd::resetIsaLevel();
+            state.SetItemsProcessed(state.iterations() *
+                                    static_cast<long>(p.size()));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("ForcedIsaPrecondApply/" + suffix).c_str(),
+        [level](benchmark::State& state) {
+            NumThreadsScope scope(1);
+            simd::forceIsaLevel(level);
+            Rng rng(7);
+            Vector inv_diag(kLen), r(kLen), d(kLen);
+            for (Real& v : inv_diag)
+                v = 1.0 + std::abs(rng.normal());
+            for (Real& v : r)
+                v = rng.normal();
+            for (auto _ : state) {
+                const Real value = precondApplyDot(inv_diag, r, d);
+                benchmark::DoNotOptimize(value);
+            }
+            simd::resetIsaLevel();
+            state.SetItemsProcessed(state.iterations() *
+                                    static_cast<long>(r.size()));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("ForcedIsaCsrSpmv/" + suffix).c_str(),
+        [level](benchmark::State& state) {
+            NumThreadsScope scope(1);
+            simd::forceIsaLevel(level);
+            const CsrMatrix csr = benchMatrix(200);
+            Rng rng(9);
+            Vector x(static_cast<std::size_t>(csr.cols()));
+            for (Real& v : x)
+                v = rng.normal();
+            Vector y;
+            for (auto _ : state) {
+                csr.spmv(x, y);
+                benchmark::DoNotOptimize(y.data());
+            }
+            simd::resetIsaLevel();
+            state.SetItemsProcessed(state.iterations() * csr.nnz());
+        });
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    benchmark::AddCustomContext("rsqp_isa_detected",
+                                isaLevelName(detectedIsaLevel()));
+    benchmark::AddCustomContext("rsqp_isa_compiled",
+                                isaLevelName(compiledIsaLevel()));
+    benchmark::AddCustomContext("rsqp_isa_active",
+                                isaLevelName(simd::activeIsaLevel()));
+    benchmark::AddCustomContext(
+        "rsqp_precision_default",
+        precisionModeName(PrecisionMode::Fp64));
+    for (IsaLevel level : supportedIsaLevels())
+        registerForcedIsaBenchmarks(level);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

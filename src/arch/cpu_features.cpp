@@ -1,0 +1,119 @@
+#include "cpu_features.hpp"
+
+#include <algorithm>
+
+namespace rsqp
+{
+
+namespace
+{
+
+/** x86 on a compiler with __builtin_cpu_supports (GCC/Clang)? */
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define RSQP_CPU_FEATURES_X86 1
+#else
+#define RSQP_CPU_FEATURES_X86 0
+#endif
+
+IsaLevel
+probeIsaLevel()
+{
+#if RSQP_CPU_FEATURES_X86
+    // The AVX-512 kernels use F (64-bit lanes), DQ (double/quad int
+    // ops), VL (256/128-bit forms) and BW; require the full set the
+    // way mainstream dispatchers (OpenBLAS, oneDNN) gate their
+    // skylake-avx512 paths.
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512bw"))
+        return IsaLevel::Avx512;
+    if (__builtin_cpu_supports("avx2"))
+        return IsaLevel::Avx2;
+#endif
+    return IsaLevel::Scalar;
+}
+
+char
+lowerAscii(char c)
+{
+    return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool
+equalsIgnoreCase(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (lowerAscii(a[i]) != lowerAscii(b[i]))
+            return false;
+    return true;
+}
+
+} // namespace
+
+const char*
+isaLevelName(IsaLevel level)
+{
+    switch (level) {
+    case IsaLevel::Scalar:
+        return "scalar";
+    case IsaLevel::Avx2:
+        return "avx2";
+    case IsaLevel::Avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+bool
+parseIsaLevel(std::string_view text, IsaLevel& out)
+{
+    if (equalsIgnoreCase(text, "scalar")) {
+        out = IsaLevel::Scalar;
+        return true;
+    }
+    if (equalsIgnoreCase(text, "avx2")) {
+        out = IsaLevel::Avx2;
+        return true;
+    }
+    if (equalsIgnoreCase(text, "avx512")) {
+        out = IsaLevel::Avx512;
+        return true;
+    }
+    return false;
+}
+
+IsaLevel
+detectedIsaLevel()
+{
+    static const IsaLevel level = probeIsaLevel();
+    return level;
+}
+
+IsaLevel
+compiledIsaLevel()
+{
+#if defined(RSQP_SIMD_BUILD_AVX512)
+    return IsaLevel::Avx512;
+#elif defined(RSQP_SIMD_BUILD_AVX2)
+    return IsaLevel::Avx2;
+#else
+    return IsaLevel::Scalar;
+#endif
+}
+
+std::vector<IsaLevel>
+supportedIsaLevels()
+{
+    const int best = std::min(static_cast<int>(detectedIsaLevel()),
+                              static_cast<int>(compiledIsaLevel()));
+    std::vector<IsaLevel> levels;
+    for (int l = 0; l <= best; ++l)
+        levels.push_back(static_cast<IsaLevel>(l));
+    return levels;
+}
+
+} // namespace rsqp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Runtime CPU-feature detection for the SIMD kernel dispatcher.
+ *
+ * The native hot path ships three implementations of every vector
+ * kernel (portable scalar, AVX2, AVX-512); this module answers the one
+ * question the dispatcher needs at startup: which ISA level may this
+ * process execute? Detection is a cached CPUID probe; the result can
+ * be narrowed (never widened) by the RSQP_FORCE_ISA environment
+ * variable or programmatically per test. See linalg/simd_kernels.hpp
+ * for the kernel table keyed on the level.
+ */
+
+#ifndef RSQP_ARCH_CPU_FEATURES_HPP
+#define RSQP_ARCH_CPU_FEATURES_HPP
+
+#include <string_view>
+#include <vector>
+
+namespace rsqp
+{
+
+/**
+ * SIMD instruction-set level of the vector kernels. Levels are ordered:
+ * a machine that supports a level supports every smaller one, and the
+ * numeric values are stable (exported through the
+ * rsqp_build_isa_level telemetry gauge).
+ */
+enum class IsaLevel : int
+{
+    Scalar = 0, ///< portable 8-lane-striped scalar code, runs anywhere
+    Avx2 = 1,   ///< 256-bit: AVX2 + FMA-free mul/add lanes
+    Avx512 = 2, ///< 512-bit: AVX-512 F/DQ/VL/BW
+};
+
+/** Printable level name ("scalar" / "avx2" / "avx512"). */
+const char* isaLevelName(IsaLevel level);
+
+/**
+ * Parse a level name as accepted by RSQP_FORCE_ISA
+ * (case-insensitive "scalar" | "avx2" | "avx512"). Returns false and
+ * leaves `out` untouched on unknown input.
+ */
+bool parseIsaLevel(std::string_view text, IsaLevel& out);
+
+/**
+ * Highest ISA level this CPU can execute. Cached after the first call;
+ * AVX-512 requires the F+DQ+VL+BW subsets the kernels use. Always
+ * at least Scalar; on non-x86 builds, exactly Scalar.
+ */
+IsaLevel detectedIsaLevel();
+
+/**
+ * Highest ISA level the *binary* carries kernels for (a compiler
+ * without -mavx512f support produces a binary without the AVX-512
+ * table even on capable hardware).
+ */
+IsaLevel compiledIsaLevel();
+
+/**
+ * Every level this process can actually run, ascending — the
+ * intersection of detected hardware support and compiled-in kernels.
+ * Test suites iterate this to cover each dispatchable table.
+ */
+std::vector<IsaLevel> supportedIsaLevels();
+
+} // namespace rsqp
+
+#endif // RSQP_ARCH_CPU_FEATURES_HPP

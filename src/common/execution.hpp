@@ -18,6 +18,28 @@
 namespace rsqp
 {
 
+/**
+ * Numeric precision of the PCG hot path.
+ *
+ * Fp64 runs the inner linear solves entirely in double. MixedFp32
+ * stores the operator and iterate vectors in fp32 (the precision of
+ * the paper's FPGA MAC trees) and accumulates reductions in fp64,
+ * wrapped in an fp64 iterative-refinement loop so the returned
+ * solution meets the same fp64 tolerance as the pure-double path.
+ */
+enum class PrecisionMode : int
+{
+    Fp64 = 0,
+    MixedFp32 = 1,
+};
+
+/** Printable precision-mode name ("fp64" / "mixed-fp32"). */
+inline const char*
+precisionModeName(PrecisionMode mode)
+{
+    return mode == PrecisionMode::MixedFp32 ? "mixed-fp32" : "fp64";
+}
+
 /** Execution-resource configuration shared by all solve paths. */
 struct ExecutionConfig
 {
@@ -28,6 +50,9 @@ struct ExecutionConfig
      * changes wall clock, never the deterministic reduction order.
      */
     Index numThreads = 0;
+
+    /** Numeric precision of the PCG inner solves. */
+    PrecisionMode precision = PrecisionMode::Fp64;
 };
 
 /**

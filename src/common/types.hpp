@@ -33,6 +33,9 @@ using ArchReal = float;
 /** Dense vector of solver scalars. */
 using Vector = std::vector<Real>;
 
+/** Dense fp32 vector for the mixed-precision PCG storage mirrors. */
+using FloatVector = std::vector<ArchReal>;
+
 /** Dense vector of indices. */
 using IndexVector = std::vector<Index>;
 

@@ -5,6 +5,7 @@
 #include "common/logging.hpp"
 #include "common/profile.hpp"
 #include "common/thread_pool.hpp"
+#include "linalg/simd_kernels.hpp"
 #include "telemetry/trace.hpp"
 
 namespace rsqp
@@ -184,9 +185,9 @@ ReducedKktOperator::buildPFull()
     // emits every full row already sorted: row i collects its
     // transpose images (columns < i) while column i streams past,
     // then its diagonal, then its direct entries (columns > i) from
-    // the later columns. This is also exactly the summand order of
-    // CscMatrix::spmvSymUpper, which keeps the row-gather apply
-    // bitwise-identical to the retired column-scatter path.
+    // the later columns. The sorted row order is what the striped
+    // row-gather kernel reduces over — fixed per row, so the apply is
+    // bitwise-deterministic at any thread count and ISA level.
     for (Index c = 0; c < n; ++c) {
         for (Index p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
             const Index r = row_idx[p];
@@ -280,20 +281,20 @@ ReducedKktOperator::apply(const Vector& x, Vector& y) const
     y.resize(static_cast<std::size_t>(n));
     scratchM_.resize(static_cast<std::size_t>(m));
 
+    const simd::VectorKernels& k = simd::activeKernels();
     {
         // w = diag(rho) A x — rho folded into the row gather, no
         // separate length-m sweep.
         ProfileScope profile(ProfilePhase::SpmvA);
         parallelForRange(m, [&](Index rb, Index re) {
             for (Index r = rb; r < re; ++r) {
-                Real acc = 0.0;
-                for (Index p = aRowPtr_[static_cast<std::size_t>(r)];
-                     p < aRowPtr_[static_cast<std::size_t>(r) + 1]; ++p)
-                    acc += aVals_[static_cast<std::size_t>(p)] *
-                        x[static_cast<std::size_t>(
-                            aColIdx_[static_cast<std::size_t>(p)])];
+                const Index begin = aRowPtr_[static_cast<std::size_t>(r)];
+                const Index nnz =
+                    aRowPtr_[static_cast<std::size_t>(r) + 1] - begin;
                 scratchM_[static_cast<std::size_t>(r)] =
-                    rhoVec_[static_cast<std::size_t>(r)] * acc;
+                    rhoVec_[static_cast<std::size_t>(r)] *
+                    k.csrRowGather(aVals_.data() + begin,
+                                   aColIdx_.data() + begin, nnz, x.data());
             }
         });
     }
@@ -302,14 +303,14 @@ ReducedKktOperator::apply(const Vector& x, Vector& y) const
         ProfileScope profile(ProfilePhase::SpmvP);
         parallelForRange(n, [&](Index rb, Index re) {
             for (Index r = rb; r < re; ++r) {
-                Real acc = 0.0;
-                for (Index p = pRowPtr_[static_cast<std::size_t>(r)];
-                     p < pRowPtr_[static_cast<std::size_t>(r) + 1]; ++p)
-                    acc += pVals_[static_cast<std::size_t>(p)] *
-                        x[static_cast<std::size_t>(
-                            pColIdx_[static_cast<std::size_t>(p)])];
+                const Index begin = pRowPtr_[static_cast<std::size_t>(r)];
+                const Index nnz =
+                    pRowPtr_[static_cast<std::size_t>(r) + 1] - begin;
                 y[static_cast<std::size_t>(r)] =
-                    acc + sigma_ * x[static_cast<std::size_t>(r)];
+                    k.csrRowGather(pVals_.data() + begin,
+                                   pColIdx_.data() + begin, nnz,
+                                   x.data()) +
+                    sigma_ * x[static_cast<std::size_t>(r)];
             }
         });
     }
@@ -322,12 +323,12 @@ ReducedKktOperator::apply(const Vector& x, Vector& y) const
         const auto& values = a_->values();
         parallelForRange(n, [&](Index cb, Index ce) {
             for (Index c = cb; c < ce; ++c) {
-                Real acc = 0.0;
-                for (Index p = col_ptr[c]; p < col_ptr[c + 1]; ++p)
-                    acc += values[static_cast<std::size_t>(p)] *
-                        scratchM_[static_cast<std::size_t>(
-                            row_idx[static_cast<std::size_t>(p)])];
-                y[static_cast<std::size_t>(c)] += acc;
+                const Index begin = col_ptr[c];
+                y[static_cast<std::size_t>(c)] +=
+                    k.csrRowGather(values.data() + begin,
+                                   row_idx.data() + begin,
+                                   col_ptr[c + 1] - begin,
+                                   scratchM_.data());
             }
         });
     }
@@ -341,15 +342,16 @@ ReducedKktOperator::applyA(const Vector& x, Vector& z) const
                 "applyA: x size");
     z.resize(static_cast<std::size_t>(m));
     ProfileScope profile(ProfilePhase::SpmvA);
+    const simd::VectorKernels& k = simd::activeKernels();
     parallelForRange(m, [&](Index rb, Index re) {
         for (Index r = rb; r < re; ++r) {
-            Real acc = 0.0;
-            for (Index p = aRowPtr_[static_cast<std::size_t>(r)];
-                 p < aRowPtr_[static_cast<std::size_t>(r) + 1]; ++p)
-                acc += aVals_[static_cast<std::size_t>(p)] *
-                    x[static_cast<std::size_t>(
-                        aColIdx_[static_cast<std::size_t>(p)])];
-            z[static_cast<std::size_t>(r)] = acc;
+            const Index begin = aRowPtr_[static_cast<std::size_t>(r)];
+            z[static_cast<std::size_t>(r)] =
+                k.csrRowGather(aVals_.data() + begin,
+                               aColIdx_.data() + begin,
+                               aRowPtr_[static_cast<std::size_t>(r) + 1] -
+                                   begin,
+                               x.data());
         }
     });
 }
@@ -366,16 +368,22 @@ ReducedKktOperator::accumulateAtRho(const Vector& x, Vector& y) const
     const auto& col_ptr = a_->colPtr();
     const auto& row_idx = a_->rowIdx();
     const auto& values = a_->values();
+    // Precompute w = rho .* x so each column reduces to a pure gather;
+    // the products values[p] * w[r] match the former fused form exactly.
+    const Index m = a_->rows();
+    scratchM_.resize(static_cast<std::size_t>(m));
+    for (Index r = 0; r < m; ++r)
+        scratchM_[static_cast<std::size_t>(r)] =
+            rhoVec_[static_cast<std::size_t>(r)] *
+            x[static_cast<std::size_t>(r)];
+    const simd::VectorKernels& k = simd::activeKernels();
     parallelForRange(n, [&](Index cb, Index ce) {
         for (Index c = cb; c < ce; ++c) {
-            Real acc = 0.0;
-            for (Index p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
-                const auto r = static_cast<std::size_t>(
-                    row_idx[static_cast<std::size_t>(p)]);
-                acc += values[static_cast<std::size_t>(p)] *
-                    (rhoVec_[r] * x[r]);
-            }
-            y[static_cast<std::size_t>(c)] += acc;
+            const Index begin = col_ptr[c];
+            y[static_cast<std::size_t>(c)] +=
+                k.csrRowGather(values.data() + begin,
+                               row_idx.data() + begin,
+                               col_ptr[c + 1] - begin, scratchM_.data());
         }
     });
 }
@@ -386,6 +394,8 @@ ReducedKktOperator::setRho(const Vector& rho_vec)
     RSQP_ASSERT(rho_vec.size() == rhoVec_.size(), "rho length change");
     rhoVec_ = rho_vec;  // copy-assign: reuses the existing capacity
     rebuildDiagonal();
+    if (fp32Enabled_)
+        refreshFp32Rho();
 }
 
 void
@@ -415,6 +425,99 @@ ReducedKktOperator::refreshValues()
 
     rebuildDiagonalBase();
     rebuildDiagonal();
+    if (fp32Enabled_)
+        refreshFp32Values();
+}
+
+void
+ReducedKktOperator::enableFp32Mirror()
+{
+    fp32Enabled_ = true;
+    refreshFp32Values();
+    refreshFp32Rho();
+    scratchM32_.resize(static_cast<std::size_t>(a_->rows()));
+}
+
+void
+ReducedKktOperator::refreshFp32Values()
+{
+    pVals32_.resize(pVals_.size());
+    for (std::size_t p = 0; p < pVals_.size(); ++p)
+        pVals32_[p] = static_cast<float>(pVals_[p]);
+    aVals32_.resize(aVals_.size());
+    for (std::size_t p = 0; p < aVals_.size(); ++p)
+        aVals32_[p] = static_cast<float>(aVals_[p]);
+    const auto& a_csc = a_->values();
+    aCscVals32_.resize(a_csc.size());
+    for (std::size_t p = 0; p < a_csc.size(); ++p)
+        aCscVals32_[p] = static_cast<float>(a_csc[p]);
+}
+
+void
+ReducedKktOperator::refreshFp32Rho()
+{
+    rho32_.resize(rhoVec_.size());
+    for (std::size_t i = 0; i < rhoVec_.size(); ++i)
+        rho32_[i] = static_cast<float>(rhoVec_[i]);
+}
+
+void
+ReducedKktOperator::applyFp32(const FloatVector& x, FloatVector& y) const
+{
+    RSQP_ASSERT(fp32Enabled_, "applyFp32 without enableFp32Mirror");
+    const Index n = pUpper_->cols();
+    const Index m = a_->rows();
+    RSQP_ASSERT(static_cast<Index>(x.size()) == n, "applyFp32: x size");
+    y.resize(static_cast<std::size_t>(n));
+    scratchM32_.resize(static_cast<std::size_t>(m));
+    const auto sigma32 = static_cast<float>(sigma_);
+
+    const simd::VectorKernels& k = simd::activeKernels();
+    {
+        ProfileScope profile(ProfilePhase::SpmvA);
+        parallelForRange(m, [&](Index rb, Index re) {
+            for (Index r = rb; r < re; ++r) {
+                const Index begin = aRowPtr_[static_cast<std::size_t>(r)];
+                const Index nnz =
+                    aRowPtr_[static_cast<std::size_t>(r) + 1] - begin;
+                scratchM32_[static_cast<std::size_t>(r)] =
+                    rho32_[static_cast<std::size_t>(r)] *
+                    k.csrRowGatherF32(aVals32_.data() + begin,
+                                      aColIdx_.data() + begin, nnz,
+                                      x.data());
+            }
+        });
+    }
+    {
+        ProfileScope profile(ProfilePhase::SpmvP);
+        parallelForRange(n, [&](Index rb, Index re) {
+            for (Index r = rb; r < re; ++r) {
+                const Index begin = pRowPtr_[static_cast<std::size_t>(r)];
+                const Index nnz =
+                    pRowPtr_[static_cast<std::size_t>(r) + 1] - begin;
+                y[static_cast<std::size_t>(r)] =
+                    k.csrRowGatherF32(pVals32_.data() + begin,
+                                      pColIdx_.data() + begin, nnz,
+                                      x.data()) +
+                    sigma32 * x[static_cast<std::size_t>(r)];
+            }
+        });
+    }
+    {
+        ProfileScope profile(ProfilePhase::SpmvAt);
+        const auto& col_ptr = a_->colPtr();
+        const auto& row_idx = a_->rowIdx();
+        parallelForRange(n, [&](Index cb, Index ce) {
+            for (Index c = cb; c < ce; ++c) {
+                const Index begin = col_ptr[c];
+                y[static_cast<std::size_t>(c)] +=
+                    k.csrRowGatherF32(aCscVals32_.data() + begin,
+                                      row_idx.data() + begin,
+                                      col_ptr[c + 1] - begin,
+                                      scratchM32_.data());
+            }
+        });
+    }
 }
 
 } // namespace rsqp

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Kernel-table dispatch: resolves the active ISA level once (CPU
+ * detection ∩ compiled tables, narrowed by RSQP_FORCE_ISA), publishes
+ * it on the rsqp_build_isa_level telemetry gauge, and hands the hot
+ * path its function table through a single atomic load.
+ */
+
+#include "simd_kernels_tables.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace rsqp::simd
+{
+
+namespace
+{
+
+/**
+ * Clamp a requested level to what this process can actually run and
+ * return the matching table.
+ */
+const VectorKernels&
+resolveTable(IsaLevel level)
+{
+    if (level >= IsaLevel::Avx512 &&
+        detectedIsaLevel() >= IsaLevel::Avx512) {
+        if (const VectorKernels* table = avx512KernelTable())
+            return *table;
+    }
+    if (level >= IsaLevel::Avx2 && detectedIsaLevel() >= IsaLevel::Avx2) {
+        if (const VectorKernels* table = avx2KernelTable())
+            return *table;
+    }
+    return scalarKernelTable();
+}
+
+void
+publishIsaGauge(IsaLevel level)
+{
+    static telemetry::Gauge& gauge =
+        telemetry::MetricsRegistry::global().gauge(
+            "rsqp_build_isa_level",
+            "Active SIMD ISA level of the vector kernels "
+            "(0=scalar, 1=avx2, 2=avx512)");
+    gauge.set(static_cast<std::int64_t>(level));
+}
+
+/**
+ * Default level: min(detected, compiled) narrowed by RSQP_FORCE_ISA.
+ * An unknown value is ignored with a warning; a level above the
+ * supported maximum is clamped with a warning (forcing avx512 on an
+ * AVX2-only box cannot conjure the instructions).
+ */
+const VectorKernels&
+defaultTable()
+{
+    IsaLevel level = resolveTable(detectedIsaLevel()).level;
+    if (const char* forced = std::getenv("RSQP_FORCE_ISA")) {
+        IsaLevel requested;
+        if (!parseIsaLevel(forced, requested)) {
+            RSQP_WARN("RSQP_FORCE_ISA=", forced,
+                      " not recognized (want scalar|avx2|avx512); "
+                      "keeping ", isaLevelName(level));
+        } else {
+            const VectorKernels& table = resolveTable(requested);
+            if (table.level != requested)
+                RSQP_WARN("RSQP_FORCE_ISA=", forced,
+                          " exceeds this machine/build; clamping to ",
+                          table.name);
+            level = table.level;
+        }
+    }
+    return resolveTable(level);
+}
+
+std::atomic<const VectorKernels*>&
+activeTableSlot()
+{
+    static std::atomic<const VectorKernels*> slot{nullptr};
+    return slot;
+}
+
+const VectorKernels&
+installTable(const VectorKernels& table)
+{
+    activeTableSlot().store(&table, std::memory_order_release);
+    publishIsaGauge(table.level);
+    return table;
+}
+
+} // namespace
+
+const VectorKernels&
+kernelsFor(IsaLevel level)
+{
+    return resolveTable(level);
+}
+
+const VectorKernels&
+activeKernels()
+{
+    const VectorKernels* table =
+        activeTableSlot().load(std::memory_order_acquire);
+    if (table != nullptr)
+        return *table;
+    return installTable(defaultTable());
+}
+
+IsaLevel
+activeIsaLevel()
+{
+    return activeKernels().level;
+}
+
+IsaLevel
+forceIsaLevel(IsaLevel level)
+{
+    return installTable(resolveTable(level)).level;
+}
+
+void
+resetIsaLevel()
+{
+    installTable(defaultTable());
+}
+
+} // namespace rsqp::simd

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Shared body of the SIMD vector kernels, included by each ISA
+ * translation unit (simd_kernels_scalar.cpp / _avx2.cpp / _avx512.cpp)
+ * after it defines the 8-lane pack types:
+ *
+ *   PackD — 8 fp64 lanes:  zero, load, store, broadcast, add, sub,
+ *           mul, abs, maxAcc(acc, val) (lane = val > acc ? val : acc,
+ *           NaN val keeps acc), anyNonFinite, gather(base, idx),
+ *           loadF32 (8 floats widened), fromPackF, reduceAdd,
+ *           reduceMax — the reductions use the canonical
+ *           pairwise-halving tree (lanes i and i+4, then i and i+2,
+ *           then the final pair).
+ *   PackF — 8 fp32 lanes:  zero, load, store, broadcast, add, sub,
+ *           mul, gather(base, idx), reduceAdd (same halving tree).
+ *
+ * Every kernel follows the same canonical shape: an 8-lane striped
+ * main loop (lane j accumulates elements j, j+8, ...), one tree
+ * reduction, then an in-order scalar tail for the final n % 8
+ * elements. No FMA anywhere (the TUs compile with -ffp-contract=off),
+ * so any two pack implementations with IEEE add/mul lanes produce
+ * bitwise-identical results. For n < 8 the main loop is empty and the
+ * tail reproduces the retired serial loops bit for bit.
+ */
+
+inline Real
+dotRangeImpl(const Real* x, const Real* y, Index n)
+{
+    PackD acc = PackD::zero();
+    Index i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = PackD::add(acc,
+                         PackD::mul(PackD::load(x + i), PackD::load(y + i)));
+    Real total = PackD::reduceAdd(acc);
+    for (; i < n; ++i)
+        total += x[i] * y[i];
+    return total;
+}
+
+inline Real
+axpyDotRangeImpl(Real alpha, const Real* x, Real* y, const Real* z,
+                 Index n)
+{
+    const PackD av = PackD::broadcast(alpha);
+    PackD acc = PackD::zero();
+    Index i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // Store before touching z: z may alias y, in which case the
+        // dot must read the updated values (the composed axpy + dot
+        // contract).
+        const PackD yv =
+            PackD::add(PackD::load(y + i), PackD::mul(av, PackD::load(x + i)));
+        PackD::store(y + i, yv);
+        acc = PackD::add(acc, PackD::mul(yv, PackD::load(z + i)));
+    }
+    Real total = PackD::reduceAdd(acc);
+    for (; i < n; ++i) {
+        y[i] += alpha * x[i];
+        total += y[i] * z[i];
+    }
+    return total;
+}
+
+inline Real
+xMinusAlphaPDotRangeImpl(Real alpha, const Real* p, Real* x,
+                         const Real* kp, Real* r, Index n)
+{
+    const PackD av = PackD::broadcast(alpha);
+    PackD acc = PackD::zero();
+    Index i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const PackD xv =
+            PackD::add(PackD::load(x + i), PackD::mul(av, PackD::load(p + i)));
+        PackD::store(x + i, xv);
+        const PackD rv = PackD::sub(PackD::load(r + i),
+                                    PackD::mul(av, PackD::load(kp + i)));
+        PackD::store(r + i, rv);
+        acc = PackD::add(acc, PackD::mul(rv, rv));
+    }
+    Real total = PackD::reduceAdd(acc);
+    for (; i < n; ++i) {
+        x[i] += alpha * p[i];
+        r[i] -= alpha * kp[i];
+        total += r[i] * r[i];
+    }
+    return total;
+}
+
+inline Real
+precondApplyDotRangeImpl(const Real* inv_diag, const Real* r, Real* d,
+                         Index n)
+{
+    PackD acc = PackD::zero();
+    Index i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const PackD rv = PackD::load(r + i);
+        const PackD dv = PackD::mul(PackD::load(inv_diag + i), rv);
+        PackD::store(d + i, dv);
+        acc = PackD::add(acc, PackD::mul(rv, dv));
+    }
+    Real total = PackD::reduceAdd(acc);
+    for (; i < n; ++i) {
+        d[i] = inv_diag[i] * r[i];
+        total += r[i] * d[i];
+    }
+    return total;
+}
+
+inline Real
+normInfRangeImpl(const Real* x, Index n)
+{
+    PackD acc = PackD::zero();
+    Index i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = PackD::maxAcc(acc, PackD::abs(PackD::load(x + i)));
+    Real best = PackD::reduceMax(acc);
+    for (; i < n; ++i) {
+        // (v > best ? v : best) == std::max(best, |x[i]|): a NaN
+        // element is dropped, matching the SIMD maxAcc lanes.
+        const Real v = std::abs(x[i]);
+        best = v > best ? v : best;
+    }
+    return best;
+}
+
+inline Real
+normInfDiffRangeImpl(const Real* x, const Real* y, Index n)
+{
+    PackD acc = PackD::zero();
+    Index i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = PackD::maxAcc(
+            acc, PackD::abs(PackD::sub(PackD::load(x + i), PackD::load(y + i))));
+    Real best = PackD::reduceMax(acc);
+    for (; i < n; ++i) {
+        const Real v = std::abs(x[i] - y[i]);
+        best = v > best ? v : best;
+    }
+    return best;
+}
+
+inline bool
+hasNonFiniteRangeImpl(const Real* x, Index n)
+{
+    Index i = 0;
+    for (; i + 8 <= n; i += 8)
+        if (PackD::anyNonFinite(PackD::load(x + i)))
+            return true;
+    for (; i < n; ++i)
+        if (!std::isfinite(x[i]))
+            return true;
+    return false;
+}
+
+inline Real
+csrRowGatherImpl(const Real* vals, const Index* cols, Index nnz,
+                 const Real* x)
+{
+    PackD acc = PackD::zero();
+    Index i = 0;
+    for (; i + 8 <= nnz; i += 8)
+        acc = PackD::add(
+            acc, PackD::mul(PackD::load(vals + i), PackD::gather(x, cols + i)));
+    Real total = PackD::reduceAdd(acc);
+    for (; i < nnz; ++i)
+        total += vals[i] * x[static_cast<std::size_t>(cols[i])];
+    return total;
+}
+
+inline Real
+dotRangeF32Impl(const float* x, const float* y, Index n)
+{
+    PackD acc = PackD::zero();
+    Index i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = PackD::add(
+            acc, PackD::mul(PackD::loadF32(x + i), PackD::loadF32(y + i)));
+    Real total = PackD::reduceAdd(acc);
+    for (; i < n; ++i)
+        total += static_cast<Real>(x[i]) * static_cast<Real>(y[i]);
+    return total;
+}
+
+inline Real
+xMinusAlphaPDotRangeF32Impl(float alpha, const float* p, float* x,
+                            const float* kp, float* r, Index n)
+{
+    const PackF av = PackF::broadcast(alpha);
+    PackD acc = PackD::zero();
+    Index i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const PackF xv =
+            PackF::add(PackF::load(x + i), PackF::mul(av, PackF::load(p + i)));
+        PackF::store(x + i, xv);
+        const PackF rv = PackF::sub(PackF::load(r + i),
+                                    PackF::mul(av, PackF::load(kp + i)));
+        PackF::store(r + i, rv);
+        const PackD rd = PackD::fromPackF(rv);
+        acc = PackD::add(acc, PackD::mul(rd, rd));
+    }
+    Real total = PackD::reduceAdd(acc);
+    for (; i < n; ++i) {
+        x[i] += alpha * p[i];
+        r[i] -= alpha * kp[i];
+        const Real rv = static_cast<Real>(r[i]);
+        total += rv * rv;
+    }
+    return total;
+}
+
+inline Real
+precondApplyDotRangeF32Impl(const float* inv_diag, const float* r,
+                            float* d, Index n)
+{
+    PackD acc = PackD::zero();
+    Index i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const PackF rv = PackF::load(r + i);
+        const PackF dv = PackF::mul(PackF::load(inv_diag + i), rv);
+        PackF::store(d + i, dv);
+        acc = PackD::add(
+            acc, PackD::mul(PackD::fromPackF(rv), PackD::fromPackF(dv)));
+    }
+    Real total = PackD::reduceAdd(acc);
+    for (; i < n; ++i) {
+        d[i] = inv_diag[i] * r[i];
+        total += static_cast<Real>(r[i]) * static_cast<Real>(d[i]);
+    }
+    return total;
+}
+
+inline void
+axpbyRangeF32Impl(float alpha, const float* x, float beta, const float* y,
+                  float* out, Index n)
+{
+    const PackF av = PackF::broadcast(alpha);
+    const PackF bv = PackF::broadcast(beta);
+    Index i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const PackF v = PackF::add(PackF::mul(av, PackF::load(x + i)),
+                                   PackF::mul(bv, PackF::load(y + i)));
+        PackF::store(out + i, v);
+    }
+    for (; i < n; ++i)
+        out[i] = alpha * x[i] + beta * y[i];
+}
+
+inline float
+csrRowGatherF32Impl(const float* vals, const Index* cols, Index nnz,
+                    const float* x)
+{
+    PackF acc = PackF::zero();
+    Index i = 0;
+    for (; i + 8 <= nnz; i += 8)
+        acc = PackF::add(
+            acc, PackF::mul(PackF::load(vals + i), PackF::gather(x, cols + i)));
+    float total = PackF::reduceAdd(acc);
+    for (; i < nnz; ++i)
+        total += vals[i] * x[static_cast<std::size_t>(cols[i])];
+    return total;
+}
+
+inline VectorKernels
+makeKernelTable(IsaLevel level, const char* name)
+{
+    VectorKernels k;
+    k.level = level;
+    k.name = name;
+    k.dotRange = &dotRangeImpl;
+    k.axpyDotRange = &axpyDotRangeImpl;
+    k.xMinusAlphaPDotRange = &xMinusAlphaPDotRangeImpl;
+    k.precondApplyDotRange = &precondApplyDotRangeImpl;
+    k.normInfRange = &normInfRangeImpl;
+    k.normInfDiffRange = &normInfDiffRangeImpl;
+    k.hasNonFiniteRange = &hasNonFiniteRangeImpl;
+    k.csrRowGather = &csrRowGatherImpl;
+    k.dotRangeF32 = &dotRangeF32Impl;
+    k.xMinusAlphaPDotRangeF32 = &xMinusAlphaPDotRangeF32Impl;
+    k.precondApplyDotRangeF32 = &precondApplyDotRangeF32Impl;
+    k.axpbyRangeF32 = &axpbyRangeF32Impl;
+    k.csrRowGatherF32 = &csrRowGatherF32Impl;
+    return k;
+}

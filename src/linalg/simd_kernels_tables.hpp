@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Internal linkage between the per-ISA kernel translation units and
+ * the dispatcher in simd_kernels.cpp. Not installed; include
+ * simd_kernels.hpp for the public dispatch API.
+ */
+
+#ifndef RSQP_LINALG_SIMD_KERNELS_TABLES_HPP
+#define RSQP_LINALG_SIMD_KERNELS_TABLES_HPP
+
+#include "simd_kernels.hpp"
+
+namespace rsqp::simd
+{
+
+/** The portable reference table; always available. */
+const VectorKernels& scalarKernelTable();
+
+/** AVX2 table, or nullptr when the build carries no AVX2 kernels. */
+const VectorKernels* avx2KernelTable();
+
+/** AVX-512 table, or nullptr when the build carries none. */
+const VectorKernels* avx512KernelTable();
+
+} // namespace rsqp::simd
+
+#endif // RSQP_LINALG_SIMD_KERNELS_TABLES_HPP

@@ -7,6 +7,7 @@
 #include "common/logging.hpp"
 #include "common/profile.hpp"
 #include "common/thread_pool.hpp"
+#include "linalg/simd_kernels.hpp"
 
 namespace rsqp
 {
@@ -130,22 +131,15 @@ dot(const Vector& x, const Vector& y)
 {
     checkSameSize(x, y, "dot");
     ProfileScope profile(ProfilePhase::Reduction);
+    const simd::VectorKernels& k = simd::activeKernels();
     if (chunkedReduction(x.size())) {
         return chunkedSum(static_cast<Index>(x.size()),
                           [&](Index b, Index e) {
-                              Real acc = 0.0;
-                              for (Index i = b; i < e; ++i) {
-                                  const auto s =
-                                      static_cast<std::size_t>(i);
-                                  acc += x[s] * y[s];
-                              }
-                              return acc;
+                              return k.dotRange(x.data() + b,
+                                                y.data() + b, e - b);
                           });
     }
-    Real acc = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i)
-        acc += x[i] * y[i];
-    return acc;
+    return k.dotRange(x.data(), y.data(), static_cast<Index>(x.size()));
 }
 
 Real
@@ -154,28 +148,20 @@ axpyDot(Real alpha, const Vector& x, Vector& y, const Vector& z)
     checkSameSize(x, y, "axpyDot");
     checkSameSize(y, z, "axpyDot");
     ProfileScope profile(ProfilePhase::FusedVectorOps);
+    const simd::VectorKernels& k = simd::activeKernels();
     if (chunkedReduction(x.size())) {
         // Each chunk updates its own slice of y before reducing over
         // it, so the partials see exactly the values the composed
         // axpy + dot pair would.
         return chunkedSum(static_cast<Index>(x.size()),
                           [&](Index b, Index e) {
-                              Real acc = 0.0;
-                              for (Index i = b; i < e; ++i) {
-                                  const auto s =
-                                      static_cast<std::size_t>(i);
-                                  y[s] += alpha * x[s];
-                                  acc += y[s] * z[s];
-                              }
-                              return acc;
+                              return k.axpyDotRange(alpha, x.data() + b,
+                                                    y.data() + b,
+                                                    z.data() + b, e - b);
                           });
     }
-    Real acc = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i) {
-        y[i] += alpha * x[i];
-        acc += y[i] * z[i];
-    }
-    return acc;
+    return k.axpyDotRange(alpha, x.data(), y.data(), z.data(),
+                          static_cast<Index>(x.size()));
 }
 
 Real
@@ -186,27 +172,17 @@ xMinusAlphaPDot(Real alpha, const Vector& p, Vector& x, const Vector& kp,
     checkSameSize(p, kp, "xMinusAlphaPDot");
     checkSameSize(p, r, "xMinusAlphaPDot");
     ProfileScope profile(ProfilePhase::FusedVectorOps);
+    const simd::VectorKernels& k = simd::activeKernels();
     if (chunkedReduction(p.size())) {
         return chunkedSum(static_cast<Index>(p.size()),
                           [&](Index b, Index e) {
-                              Real acc = 0.0;
-                              for (Index i = b; i < e; ++i) {
-                                  const auto s =
-                                      static_cast<std::size_t>(i);
-                                  x[s] += alpha * p[s];
-                                  r[s] -= alpha * kp[s];
-                                  acc += r[s] * r[s];
-                              }
-                              return acc;
+                              return k.xMinusAlphaPDotRange(
+                                  alpha, p.data() + b, x.data() + b,
+                                  kp.data() + b, r.data() + b, e - b);
                           });
     }
-    Real acc = 0.0;
-    for (std::size_t i = 0; i < p.size(); ++i) {
-        x[i] += alpha * p[i];
-        r[i] -= alpha * kp[i];
-        acc += r[i] * r[i];
-    }
-    return acc;
+    return k.xMinusAlphaPDotRange(alpha, p.data(), x.data(), kp.data(),
+                                  r.data(), static_cast<Index>(p.size()));
 }
 
 Real
@@ -215,25 +191,17 @@ precondApplyDot(const Vector& inv_diag, const Vector& r, Vector& d)
     checkSameSize(inv_diag, r, "precondApplyDot");
     checkSameSize(r, d, "precondApplyDot");
     ProfileScope profile(ProfilePhase::Precond);
+    const simd::VectorKernels& k = simd::activeKernels();
     if (chunkedReduction(r.size())) {
         return chunkedSum(static_cast<Index>(r.size()),
                           [&](Index b, Index e) {
-                              Real acc = 0.0;
-                              for (Index i = b; i < e; ++i) {
-                                  const auto s =
-                                      static_cast<std::size_t>(i);
-                                  d[s] = inv_diag[s] * r[s];
-                                  acc += r[s] * d[s];
-                              }
-                              return acc;
+                              return k.precondApplyDotRange(
+                                  inv_diag.data() + b, r.data() + b,
+                                  d.data() + b, e - b);
                           });
     }
-    Real acc = 0.0;
-    for (std::size_t i = 0; i < r.size(); ++i) {
-        d[i] = inv_diag[i] * r[i];
-        acc += r[i] * d[i];
-    }
-    return acc;
+    return k.precondApplyDotRange(inv_diag.data(), r.data(), d.data(),
+                                  static_cast<Index>(r.size()));
 }
 
 Real
@@ -245,44 +213,32 @@ norm2(const Vector& x)
 Real
 normInf(const Vector& x)
 {
+    const simd::VectorKernels& k = simd::activeKernels();
     if (chunkedReduction(x.size())) {
         return ThreadPool::global().reduceMax(
             0, static_cast<Index>(x.size()), kParallelGrain, 0.0,
             [&](Index b, Index e) {
-                Real best = 0.0;
-                for (Index i = b; i < e; ++i)
-                    best = std::max(
-                        best,
-                        std::abs(x[static_cast<std::size_t>(i)]));
-                return best;
+                return k.normInfRange(x.data() + b, e - b);
             });
     }
-    Real best = 0.0;
-    for (Real v : x)
-        best = std::max(best, std::abs(v));
-    return best;
+    return k.normInfRange(x.data(), static_cast<Index>(x.size()));
 }
 
 Real
 normInfDiff(const Vector& x, const Vector& y)
 {
     checkSameSize(x, y, "normInfDiff");
+    const simd::VectorKernels& k = simd::activeKernels();
     if (chunkedReduction(x.size())) {
         return ThreadPool::global().reduceMax(
             0, static_cast<Index>(x.size()), kParallelGrain, 0.0,
             [&](Index b, Index e) {
-                Real best = 0.0;
-                for (Index i = b; i < e; ++i) {
-                    const auto s = static_cast<std::size_t>(i);
-                    best = std::max(best, std::abs(x[s] - y[s]));
-                }
-                return best;
+                return k.normInfDiffRange(x.data() + b, y.data() + b,
+                                          e - b);
             });
     }
-    Real best = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i)
-        best = std::max(best, std::abs(x[i] - y[i]));
-    return best;
+    return k.normInfDiffRange(x.data(), y.data(),
+                              static_cast<Index>(x.size()));
 }
 
 void
@@ -395,24 +351,19 @@ allFinite(const Vector& x)
 bool
 hasNonFinite(const Vector& x)
 {
+    const simd::VectorKernels& k = simd::activeKernels();
     if (chunkedReduction(x.size())) {
         // 0/1 partials under max: commutative and idempotent, so the
         // verdict cannot depend on chunk scheduling.
         return ThreadPool::global().reduceMax(
                    0, static_cast<Index>(x.size()), kParallelGrain, 0.0,
                    [&](Index b, Index e) {
-                       for (Index i = b; i < e; ++i) {
-                           if (!std::isfinite(
-                                   x[static_cast<std::size_t>(i)]))
-                               return 1.0;
-                       }
-                       return 0.0;
+                       return k.hasNonFiniteRange(x.data() + b, e - b)
+                           ? 1.0
+                           : 0.0;
                    }) > 0.0;
     }
-    for (Real v : x)
-        if (!std::isfinite(v))
-            return true;
-    return false;
+    return k.hasNonFiniteRange(x.data(), static_cast<Index>(x.size()));
 }
 
 Real
@@ -427,6 +378,118 @@ Vector
 constantVector(Index n, Real value)
 {
     return Vector(static_cast<std::size_t>(n), value);
+}
+
+namespace
+{
+
+inline void
+checkSameSizeF32(const FloatVector& x, const FloatVector& y,
+                 const char* what)
+{
+    RSQP_ASSERT(x.size() == y.size(), what, ": size mismatch ", x.size(),
+                " vs ", y.size());
+}
+
+} // namespace
+
+Real
+dotF32(const FloatVector& x, const FloatVector& y)
+{
+    checkSameSizeF32(x, y, "dotF32");
+    ProfileScope profile(ProfilePhase::Reduction);
+    const simd::VectorKernels& k = simd::activeKernels();
+    if (chunkedReduction(x.size())) {
+        return chunkedSum(static_cast<Index>(x.size()),
+                          [&](Index b, Index e) {
+                              return k.dotRangeF32(x.data() + b,
+                                                   y.data() + b, e - b);
+                          });
+    }
+    return k.dotRangeF32(x.data(), y.data(),
+                         static_cast<Index>(x.size()));
+}
+
+Real
+xMinusAlphaPDotF32(Real alpha, const FloatVector& p, FloatVector& x,
+                   const FloatVector& kp, FloatVector& r)
+{
+    checkSameSizeF32(p, x, "xMinusAlphaPDotF32");
+    checkSameSizeF32(p, kp, "xMinusAlphaPDotF32");
+    checkSameSizeF32(p, r, "xMinusAlphaPDotF32");
+    ProfileScope profile(ProfilePhase::FusedVectorOps);
+    const auto a32 = static_cast<float>(alpha);
+    const simd::VectorKernels& k = simd::activeKernels();
+    if (chunkedReduction(p.size())) {
+        return chunkedSum(static_cast<Index>(p.size()),
+                          [&](Index b, Index e) {
+                              return k.xMinusAlphaPDotRangeF32(
+                                  a32, p.data() + b, x.data() + b,
+                                  kp.data() + b, r.data() + b, e - b);
+                          });
+    }
+    return k.xMinusAlphaPDotRangeF32(a32, p.data(), x.data(), kp.data(),
+                                     r.data(),
+                                     static_cast<Index>(p.size()));
+}
+
+Real
+precondApplyDotF32(const FloatVector& inv_diag, const FloatVector& r,
+                   FloatVector& d)
+{
+    checkSameSizeF32(inv_diag, r, "precondApplyDotF32");
+    checkSameSizeF32(r, d, "precondApplyDotF32");
+    ProfileScope profile(ProfilePhase::Precond);
+    const simd::VectorKernels& k = simd::activeKernels();
+    if (chunkedReduction(r.size())) {
+        return chunkedSum(static_cast<Index>(r.size()),
+                          [&](Index b, Index e) {
+                              return k.precondApplyDotRangeF32(
+                                  inv_diag.data() + b, r.data() + b,
+                                  d.data() + b, e - b);
+                          });
+    }
+    return k.precondApplyDotRangeF32(inv_diag.data(), r.data(), d.data(),
+                                     static_cast<Index>(r.size()));
+}
+
+void
+axpbyF32(Real alpha, const FloatVector& x, Real beta,
+         const FloatVector& y, FloatVector& out)
+{
+    checkSameSizeF32(x, y, "axpbyF32");
+    out.resize(x.size());
+    ProfileScope profile(ProfilePhase::FusedVectorOps);
+    const auto a32 = static_cast<float>(alpha);
+    const auto b32 = static_cast<float>(beta);
+    const simd::VectorKernels& k = simd::activeKernels();
+    if (parallelWorthwhile(x.size())) {
+        ThreadPool::global().parallelFor(
+            0, static_cast<Index>(x.size()), kParallelGrain,
+            [&](Index b, Index e) {
+                k.axpbyRangeF32(a32, x.data() + b, b32, y.data() + b,
+                                out.data() + b, e - b);
+            });
+        return;
+    }
+    k.axpbyRangeF32(a32, x.data(), b32, y.data(), out.data(),
+                    static_cast<Index>(x.size()));
+}
+
+void
+castToF32(const Vector& x, FloatVector& out)
+{
+    out.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = static_cast<float>(x[i]);
+}
+
+void
+widenF32(const FloatVector& x, Vector& out)
+{
+    out.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = static_cast<Real>(x[i]);
 }
 
 } // namespace rsqp

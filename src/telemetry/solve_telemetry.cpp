@@ -33,6 +33,10 @@ SolveTelemetry::toJson() const
        << ",\"kkt_solves\":" << kktSolves
        << ",\"pcg_iterations_total\":" << pcgIterationsTotal
        << ",\"pcg_iters_per_solve\":" << pcgItersPerSolve
+       << ",\"isa_level\":\"" << isaLevel
+       << "\",\"precision\":\"" << precision
+       << "\",\"refinement_sweeps\":" << refinementSweeps
+       << ",\"fp64_rescues\":" << fp64Rescues
        << ",\"recovery_events\":" << recoveryEvents
        << ",\"faults_injected\":" << faultsInjected
        << ",\"route\":\"" << toString(route)

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests of the CPU-feature probe and ISA-level plumbing backing the
+ * SIMD kernel dispatch.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "arch/cpu_features.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+TEST(CpuFeatures, LevelNamesRoundTrip)
+{
+    for (IsaLevel level :
+         {IsaLevel::Scalar, IsaLevel::Avx2, IsaLevel::Avx512}) {
+        IsaLevel parsed = IsaLevel::Scalar;
+        ASSERT_TRUE(parseIsaLevel(isaLevelName(level), parsed))
+            << isaLevelName(level);
+        EXPECT_EQ(parsed, level);
+    }
+}
+
+TEST(CpuFeatures, ParseIsCaseInsensitive)
+{
+    IsaLevel parsed = IsaLevel::Scalar;
+    EXPECT_TRUE(parseIsaLevel("AVX2", parsed));
+    EXPECT_EQ(parsed, IsaLevel::Avx2);
+    EXPECT_TRUE(parseIsaLevel("Avx512", parsed));
+    EXPECT_EQ(parsed, IsaLevel::Avx512);
+    EXPECT_TRUE(parseIsaLevel("SCALAR", parsed));
+    EXPECT_EQ(parsed, IsaLevel::Scalar);
+}
+
+TEST(CpuFeatures, ParseRejectsGarbage)
+{
+    IsaLevel parsed = IsaLevel::Avx2;
+    EXPECT_FALSE(parseIsaLevel("", parsed));
+    EXPECT_FALSE(parseIsaLevel("avx", parsed));
+    EXPECT_FALSE(parseIsaLevel("avx1024", parsed));
+    EXPECT_FALSE(parseIsaLevel("sse4.2", parsed));
+    // A failed parse must not clobber the output.
+    EXPECT_EQ(parsed, IsaLevel::Avx2);
+}
+
+TEST(CpuFeatures, DetectedAndCompiledLevelsAreSane)
+{
+    const IsaLevel detected = detectedIsaLevel();
+    const IsaLevel compiled = compiledIsaLevel();
+    EXPECT_GE(static_cast<int>(detected), 0);
+    EXPECT_LE(static_cast<int>(detected), 2);
+    EXPECT_GE(static_cast<int>(compiled), 0);
+    EXPECT_LE(static_cast<int>(compiled), 2);
+}
+
+TEST(CpuFeatures, SupportedLevelsAscendFromScalarToIntersection)
+{
+    const std::vector<IsaLevel> levels = supportedIsaLevels();
+    ASSERT_FALSE(levels.empty());
+    EXPECT_EQ(levels.front(), IsaLevel::Scalar);
+    const int ceiling =
+        std::min(static_cast<int>(detectedIsaLevel()),
+                 static_cast<int>(compiledIsaLevel()));
+    EXPECT_EQ(static_cast<int>(levels.back()), ceiling);
+    for (std::size_t i = 1; i < levels.size(); ++i)
+        EXPECT_EQ(static_cast<int>(levels[i]),
+                  static_cast<int>(levels[i - 1]) + 1);
+}
+
+} // namespace
+} // namespace rsqp

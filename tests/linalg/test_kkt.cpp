@@ -166,9 +166,15 @@ TEST_F(KktFixture, ReducedOperatorSetRho)
 }
 
 /**
- * The retired column-scatter application of K, kept as the reference
- * the CSR row-gather path must reproduce exactly: spmvSymUpper for P,
- * CSC spmv + rho scale for the A pass, spmvTransposeAccumulate for A'.
+ * The retired column-scatter application of K, kept as the numerical
+ * reference for the CSR row-gather path: spmvSymUpper for P, CSC spmv
+ * + rho scale for the A pass, spmvTransposeAccumulate for A'. Rows
+ * with fewer than 8 non-zeros still match it bit for bit (the striped
+ * kernel's tail is the retired serial loop); longer rows reduce in
+ * the canonical 8-lane striped order and agree to rounding only —
+ * the bitwise contract is now cross-thread and cross-ISA instead
+ * (see ApplyBitwiseIdenticalAcrossThreadCounts and
+ * tests/linalg/test_simd_kernels.cpp).
  */
 Vector
 applyReferenceCsc(const CscMatrix& p, const CscMatrix& a, Real sigma,
@@ -217,15 +223,18 @@ TEST(ReducedKktOperator, CsrApplyMatchesCscOnRandomShapes)
         const Vector x = randomVector(n, rng);
         Vector y;
         op.apply(x, y);
-        EXPECT_EQ(y, applyReferenceCsc(p, a, sigma, rho, x))
-            << "trial " << trial << " n=" << n << " m=" << m;
+        const Vector y_ref = applyReferenceCsc(p, a, sigma, rho, x);
+        // Rows can exceed 8 nnz here, so the striped reduction order
+        // differs from the serial reference: rounding-level tolerance.
+        test::expectVectorsNear(y, y_ref, 1e-12, "random shapes");
     }
 }
 
 TEST(ReducedKktOperator, CsrApplyMatchesCscOnSuiteProblems)
 {
-    // One problem per domain: realistic sparsity structure, still
-    // exact-equal to the retired CSC path.
+    // One problem per domain: realistic sparsity structure, agreeing
+    // with the retired CSC path to rounding (long rows reduce in the
+    // striped kernel order).
     for (Domain domain : allDomains()) {
         const QpProblem qp = generateProblem(domain, 120, 77);
         const Index n = qp.numVariables();
@@ -238,8 +247,9 @@ TEST(ReducedKktOperator, CsrApplyMatchesCscOnSuiteProblems)
         const Vector x = randomVector(n, rng);
         Vector y;
         op.apply(x, y);
-        EXPECT_EQ(y, applyReferenceCsc(qp.pUpper, qp.a, sigma, rho, x))
-            << toString(domain);
+        const Vector y_ref =
+            applyReferenceCsc(qp.pUpper, qp.a, sigma, rho, x);
+        test::expectVectorsNear(y, y_ref, 1e-12, toString(domain));
     }
 }
 

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Mixed-precision (fp32-storage / fp64-accumulate) PCG tests: the
+ * refinement-wrapped inner solve must reach the same fp64 tolerance
+ * as the pure-double path, report its sweeps, rescue itself in fp64
+ * when fp32 stalls, and plumb end to end through OsqpSolver via the
+ * ExecutionConfig precision knob.
+ */
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "linalg/kkt.hpp"
+#include "linalg/vector_ops.hpp"
+#include "osqp/problem.hpp"
+#include "osqp/solver.hpp"
+#include "osqp/validate.hpp"
+#include "problems/generators.hpp"
+#include "solvers/kkt_solver.hpp"
+#include "solvers/pcg.hpp"
+#include "tests/test_util.hpp"
+
+namespace rsqp
+{
+namespace
+{
+
+using test::randomSparse;
+using test::randomSpdUpper;
+using test::randomVector;
+
+struct MixedPcgFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        Rng rng(7);
+        p = randomSpdUpper(40, 0.2, rng);
+        a = randomSparse(25, 40, 0.2, rng);
+        rho = constantVector(25, 0.8);
+        op = std::make_unique<ReducedKktOperator>(p, a, 1e-6, rho);
+        op->enableFp32Mirror();
+        precond = std::make_unique<JacobiPreconditioner>(op->diagonal());
+        b = randomVector(40, rng);
+    }
+
+    CscMatrix p, a;
+    Vector rho, b;
+    std::unique_ptr<ReducedKktOperator> op;
+    std::unique_ptr<JacobiPreconditioner> precond;
+};
+
+TEST_F(MixedPcgFixture, ApplyFp32TracksFp64Apply)
+{
+    Rng rng(11);
+    const Vector x = randomVector(40, rng);
+    Vector y64;
+    op->apply(x, y64);
+
+    FloatVector x32, y32;
+    castToF32(x, x32);
+    op->applyFp32(x32, y32);
+
+    const Real scale = 1.0 + normInf(y64);
+    for (std::size_t i = 0; i < y64.size(); ++i)
+        EXPECT_NEAR(static_cast<Real>(y32[i]), y64[i], 1e-4 * scale)
+            << "element " << i;
+}
+
+TEST_F(MixedPcgFixture, Fp32MirrorTracksSetRhoAndRefreshValues)
+{
+    Vector rho2(25, 2.5);
+    op->setRho(rho2);
+    CscMatrix p2 = p;
+    for (Real& v : p2.values())
+        v *= 1.25;
+    ReducedKktOperator fresh(p2, a, 1e-6, rho2);
+    fresh.enableFp32Mirror();
+
+    // Rewrite the shared P storage in place, then refresh the operator.
+    for (Real& v : p.values())
+        v *= 1.25;
+    op->refreshValues();
+
+    Rng rng(13);
+    const Vector x = randomVector(40, rng);
+    FloatVector x32, y_op, y_fresh;
+    castToF32(x, x32);
+    op->applyFp32(x32, y_op);
+    fresh.applyFp32(x32, y_fresh);
+    ASSERT_EQ(y_op.size(), y_fresh.size());
+    for (std::size_t i = 0; i < y_op.size(); ++i)
+        EXPECT_EQ(y_op[i], y_fresh[i]) << "element " << i;
+}
+
+TEST_F(MixedPcgFixture, ConvergesToSameFp64ToleranceAsPureDouble)
+{
+    PcgSettings settings;
+    settings.epsRel = 1e-10;
+    settings.epsAbs = 1e-12;
+    settings.adaptiveTolerance = false;
+    settings.precision = PrecisionMode::MixedFp32;
+
+    Vector x(40, 0.0);
+    const PcgResult mixed = pcgSolveMixed(*op, *precond, b, x, settings);
+    ASSERT_TRUE(mixed.converged);
+    EXPECT_TRUE(mixed.usedMixedPrecision);
+    EXPECT_GE(mixed.refinementSweeps, 1);
+
+    // The fp64 residual of the returned iterate meets the same
+    // threshold the pure-double solver would have used.
+    Vector kx;
+    op->apply(x, kx);
+    Vector r = b;
+    axpy(-1.0, kx, r);
+    const Real threshold =
+        std::max(settings.epsAbs, settings.epsRel * norm2(b));
+    EXPECT_LE(norm2(r), threshold);
+
+    // And the solution matches a pure-fp64 solve to that tolerance.
+    Vector x64(40, 0.0);
+    const PcgResult pure = pcgSolve(*op, *precond, b, x64, settings);
+    ASSERT_TRUE(pure.converged);
+    EXPECT_FALSE(pure.usedMixedPrecision);
+    EXPECT_LT(test::maxAbsDiff(x, x64), 1e-7);
+}
+
+TEST_F(MixedPcgFixture, ZeroRhsConvergesWithoutInnerSweeps)
+{
+    PcgSettings settings;
+    settings.precision = PrecisionMode::MixedFp32;
+    Vector x(40, 0.0);
+    const Vector zero(40, 0.0);
+    const PcgResult result =
+        pcgSolveMixed(*op, *precond, zero, x, settings);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.refinementSweeps, 0);
+    EXPECT_EQ(result.iterations, 0);
+}
+
+TEST_F(MixedPcgFixture, ExhaustedSweepsTriggerFp64Rescue)
+{
+    // One refinement sweep at a loose inner tolerance cannot reach
+    // 1e-10; the solve must finish (converged) through the fp64
+    // rescue rather than return an inaccurate iterate.
+    PcgSettings settings;
+    settings.epsRel = 1e-10;
+    settings.adaptiveTolerance = false;
+    settings.precision = PrecisionMode::MixedFp32;
+    settings.maxRefinementSweeps = 1;
+    settings.mixedInnerEpsRel = 0.5;
+
+    Vector x(40, 0.0);
+    const PcgResult result = pcgSolveMixed(*op, *precond, b, x, settings);
+    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.fp64Rescue);
+    EXPECT_TRUE(result.usedMixedPrecision);
+
+    Vector kx;
+    op->apply(x, kx);
+    Vector r = b;
+    axpy(-1.0, kx, r);
+    EXPECT_LE(norm2(r),
+              std::max(settings.epsAbs, settings.epsRel * norm2(b)));
+}
+
+TEST(MixedPrecisionKktSolver, IndirectSolverReportsMixedStats)
+{
+    Rng rng(17);
+    const CscMatrix p = randomSpdUpper(30, 0.25, rng);
+    const CscMatrix a = randomSparse(18, 30, 0.25, rng);
+    const Vector rho = constantVector(18, 1.0);
+
+    PcgSettings pcg;
+    pcg.precision = PrecisionMode::MixedFp32;
+    pcg.adaptiveTolerance = false;
+    pcg.epsRel = 1e-9;
+    IndirectKktSolver solver(p, a, 1e-6, rho, pcg);
+
+    const Vector rhs_x = randomVector(30, rng);
+    const Vector rhs_z = randomVector(18, rng);
+    Vector x_tilde, z_tilde;
+    const KktSolveStats stats =
+        solver.solve(rhs_x, rhs_z, x_tilde, z_tilde);
+    EXPECT_TRUE(stats.usedMixedPrecision);
+    EXPECT_GE(stats.refinementSweeps, 1);
+    EXPECT_GT(stats.pcgIterations, 0);
+
+    // Against a pure-fp64 backend on the same step.
+    PcgSettings pcg64 = pcg;
+    pcg64.precision = PrecisionMode::Fp64;
+    IndirectKktSolver solver64(p, a, 1e-6, rho, pcg64);
+    Vector x64, z64;
+    solver64.solve(rhs_x, rhs_z, x64, z64);
+    EXPECT_LT(test::maxAbsDiff(x_tilde, x64), 1e-6);
+}
+
+TEST(MixedPrecisionOsqp, ExecutionKnobSolvesToSameQualityAsFp64)
+{
+    Rng rng(21);
+    const QpProblem qp = generatePortfolio(60, rng);
+
+    OsqpSettings fp64;
+    fp64.backend = KktBackend::IndirectPcg;
+    fp64.maxIter = 2000;
+    const OsqpResult ref = OsqpSolver(qp, fp64).solve();
+    ASSERT_EQ(ref.info.status, SolveStatus::Solved);
+
+    OsqpSettings mixed = fp64;
+    mixed.execution.precision = PrecisionMode::MixedFp32;
+    const OsqpResult got = OsqpSolver(qp, mixed).solve();
+    ASSERT_EQ(got.info.status, SolveStatus::Solved);
+
+    // Same termination criteria, so both land within the ADMM
+    // tolerances; the iterates agree to that accuracy.
+    EXPECT_LT(test::maxAbsDiff(got.x, ref.x),
+              50 * std::max(fp64.epsAbs, fp64.epsRel));
+    EXPECT_GE(got.info.refinementSweepsTotal, 1);
+    EXPECT_EQ(got.info.telemetry.precision, "mixed-fp32");
+    EXPECT_EQ(ref.info.telemetry.precision, "fp64");
+    EXPECT_FALSE(got.info.telemetry.isaLevel.empty());
+}
+
+TEST(MixedPrecisionOsqp, SettingsValidationRejectsBadKnobs)
+{
+    OsqpSettings settings;
+    settings.pcg.mixedInnerEpsRel = 0.0;
+    EXPECT_FALSE(validateSettings(settings).ok());
+
+    settings = OsqpSettings{};
+    settings.pcg.mixedInnerEpsRel = 1.0;
+    EXPECT_FALSE(validateSettings(settings).ok());
+
+    settings = OsqpSettings{};
+    settings.pcg.maxRefinementSweeps = 0;
+    EXPECT_FALSE(validateSettings(settings).ok());
+
+    EXPECT_TRUE(validateSettings(OsqpSettings{}).ok());
+}
+
+} // namespace
+} // namespace rsqp
