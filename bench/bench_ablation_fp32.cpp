@@ -38,6 +38,7 @@ main(int argc, char** argv)
     OsqpSettings native_mixed = settings;
     native_mixed.execution.precision = PrecisionMode::MixedFp32;
 
+    std::string last_backend = "admm";
     TextTable table({"problem", "domain", "fp64_iters", "fp32_iters",
                      "mixed_iters", "refine_sweeps", "fp64_rescues",
                      "fp64_status", "fp32_status", "obj_rel_err",
@@ -62,6 +63,8 @@ main(int argc, char** argv)
         // Native mixed-precision PCG on the host, same tolerances.
         OsqpSolver mixed_solver(qp, native_mixed);
         const OsqpResult mixed = mixed_solver.solve();
+        if (!mixed.info.telemetry.backend.empty())
+            last_backend = mixed.info.telemetry.backend;
 
         const Real rel_err =
             std::abs(r32.objective - r64.objective) /
@@ -81,7 +84,8 @@ main(int argc, char** argv)
     }
     emitTable(table, options,
               "FP32 vs FP64 datapath (simulated accelerator) and "
-              "native mixed-precision PCG");
+              "native mixed-precision PCG [backend=" +
+                  last_backend + "]");
     std::cout << "the FP32 MAC trees reach the paper's default "
                  "tolerances with iteration counts close to FP64; "
                  "the native mixed-precision PCG matches the fp64 "

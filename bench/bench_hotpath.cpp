@@ -115,6 +115,7 @@ struct Run
     Real objective = 0.0;
     double speedup = 1.0;
     HotPathProfile hotPath;
+    std::string backend;  ///< first-order engine label (telemetry)
 };
 
 std::string
@@ -147,6 +148,7 @@ measureSolve(const QpProblem& qp, const OsqpSettings& settings,
             run.fp64Rescues = result.info.fp64Rescues;
             run.objective = result.info.objective;
             run.hotPath = result.info.hotPath;
+            run.backend = result.info.telemetry.backend;
         }
     }
     return run;
@@ -273,6 +275,8 @@ main(int argc, char** argv)
                   << "  \"isa_active\": \"" << isa_active << "\",\n"
                   << "  \"precision\": \""
                   << precisionModeName(PrecisionMode::Fp64) << "\",\n"
+                  << "  \"backend\": \""
+                  << bench::jsonEscape(runs.front().backend) << "\",\n"
                   << "  \"runs\": [\n";
         for (std::size_t i = 0; i < runs.size(); ++i) {
             const Run& run = runs[i];

@@ -63,7 +63,34 @@ main()
                 static_cast<long long>(acc.machineStats.totalCycles),
                 acc.deviceSeconds * 1e6);
 
-    // --- 4. The generated "hardware" artifact ---------------------------
+    // --- 4. First-order backend knobs ------------------------------------
+    // The host solve can also run on the other first-order engines:
+    // Nesterov-accelerated ADMM (momentum with residual-based restart)
+    // and restarted PDHG. BackendKind::Auto lets the per-problem
+    // selector pick and arms a mid-solve switch-on-stall.
+    OsqpSettings accel_settings = settings;
+    accel_settings.backend = KktBackend::DirectLdl;
+    accel_settings.firstOrder.method = BackendKind::AdmmAccelerated;
+    accel_settings.firstOrder.accel.restartEta = 0.999;
+    const OsqpResult acc_ref = makeBackend(qp, accel_settings)->solve();
+    std::printf("accel : status=%s x=(%.4f, %.4f) obj=%.6f iters=%d\n",
+                statusToString(acc_ref.info.status), acc_ref.x[0],
+                acc_ref.x[1], acc_ref.info.objective,
+                acc_ref.info.iterations);
+
+    OsqpSettings pdhg_settings = accel_settings;
+    pdhg_settings.firstOrder.method = BackendKind::Pdhg;
+    pdhg_settings.firstOrder.pdhg.restart = PdhgRestart::Adaptive;
+    const OsqpResult pdhg_ref = makeBackend(qp, pdhg_settings)->solve();
+    std::printf("pdhg  : status=%s x=(%.4f, %.4f) obj=%.6f iters=%d "
+                "restarts=%lld\n",
+                statusToString(pdhg_ref.info.status), pdhg_ref.x[0],
+                pdhg_ref.x[1], pdhg_ref.info.objective,
+                pdhg_ref.info.iterations,
+                static_cast<long long>(
+                    pdhg_ref.info.telemetry.restarts));
+
+    // --- 5. The generated "hardware" artifact ---------------------------
     const std::string header =
         generateArchitectureHeader(fpga.config());
     std::printf("\ngenerated HLS architecture header (%zu bytes), "

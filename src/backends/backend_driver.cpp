@@ -1,0 +1,218 @@
+#include "backends/backend_driver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "backends/admm_backend.hpp"
+#include "backends/backend_metrics.hpp"
+#include "backends/pdhg_solver.hpp"
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+
+namespace rsqp
+{
+
+BackendDriver::BackendDriver(QpProblem problem, OsqpSettings settings)
+    : settings_(std::move(settings)), problem_(std::move(problem)),
+      budget_(settings_.maxIter)
+{
+    features_ = computeBackendFeatures(problem_);
+    activeKind_ =
+        chooseBackend(features_, settings_.firstOrder.selector);
+    active_ = makeEngine(activeKind_);
+}
+
+std::unique_ptr<QpBackend>
+BackendDriver::makeEngine(BackendKind kind) const
+{
+    OsqpSettings engine_settings = settings_;
+    // The engine must never out-select the driver: a nested Auto would
+    // recurse, and slices re-apply the budget per solve() anyway.
+    engine_settings.firstOrder.method = kind;
+    if (kind == BackendKind::Pdhg)
+        return std::make_unique<PdhgSolver>(problem_,
+                                            std::move(engine_settings));
+    return std::make_unique<AdmmBackend>(
+        problem_, std::move(engine_settings), kind);
+}
+
+OsqpResult
+BackendDriver::solve()
+{
+    Timer solve_timer;
+    const SelectorConfig& sel = settings_.firstOrder.selector;
+
+    const bool sliced = sel.midSolveSwitch &&
+        sel.minProgressFactor > 0.0 && sel.maxSwitches > 0 &&
+        sel.switchCheckIterations > 0 &&
+        budget_ > sel.switchCheckIterations &&
+        validation().ok();
+
+    const auto arm_time_limit = [&]() {
+        if (settings_.timeLimit > 0.0)
+            active_->setTimeLimit(std::max(
+                settings_.timeLimit - solve_timer.seconds(), 1e-9));
+        else
+            active_->setTimeLimit(0.0);
+    };
+
+    if (!sliced) {
+        active_->setIterationBudget(budget_);
+        arm_time_limit();
+        return active_->solve();
+    }
+
+    Index used = 0;
+    Count switches = 0;
+    Count restarts_total = 0;
+    Real prev_combined = kInf;
+    OsqpResult out;
+
+    while (true) {
+        const Index slice = std::min(sel.switchCheckIterations,
+                                     budget_ - used);
+        active_->setIterationBudget(slice);
+        arm_time_limit();
+        out = active_->solve();
+        used += out.info.iterations;
+        restarts_total += out.info.telemetry.restarts;
+
+        if (out.info.status != SolveStatus::MaxIterReached ||
+            used >= budget_)
+            break;
+
+        const Real combined =
+            std::max(out.info.primRes, out.info.dualRes);
+        if (switches < sel.maxSwitches &&
+            !(combined <= sel.minProgressFactor * prev_combined)) {
+            // Stalled: hand the solve to the other engine, warm
+            // started from the current iterate.
+            const BackendKind next_kind =
+                activeKind_ == BackendKind::Pdhg ? BackendKind::Admm
+                                                 : BackendKind::Pdhg;
+            std::unique_ptr<QpBackend> next = makeEngine(next_kind);
+            next->warmStart(out.x, out.y);
+            recordBackendSwitch(active_->name(), next->name());
+            RSQP_INFORM("auto driver: switching ", active_->name(),
+                        " -> ", next->name(), " after ", used,
+                        " iterations (combined residual ", combined,
+                        ")");
+            active_ = std::move(next);
+            activeKind_ = next_kind;
+            ++switches;
+            // Give the fresh engine one full slice before judging it.
+            prev_combined = kInf;
+        } else {
+            prev_combined = combined;
+        }
+    }
+
+    out.info.iterations = used;
+    out.info.telemetry.iterations = used;
+    out.info.telemetry.restarts = restarts_total;
+    out.info.telemetry.backendSwitches = switches;
+    out.info.solveTime = solve_timer.seconds();
+    out.info.telemetry.solveSeconds = out.info.solveTime;
+    return out;
+}
+
+bool
+BackendDriver::warmStart(const Vector& x, const Vector& y)
+{
+    return active_->warmStart(x, y);
+}
+
+void
+BackendDriver::updateLinearCost(const Vector& q)
+{
+    if (static_cast<Index>(q.size()) ==
+        static_cast<Index>(problem_.q.size()))
+        problem_.q = q;
+    active_->updateLinearCost(q);
+}
+
+void
+BackendDriver::updateBounds(const Vector& l, const Vector& u)
+{
+    if (l.size() == problem_.l.size() && u.size() == problem_.u.size()) {
+        problem_.l = l;
+        problem_.u = u;
+    }
+    active_->updateBounds(l, u);
+}
+
+void
+BackendDriver::updateMatrixValues(const std::vector<Real>& p_values,
+                                  const std::vector<Real>& a_values)
+{
+    if (!p_values.empty() &&
+        p_values.size() == problem_.pUpper.values().size())
+        problem_.pUpper.values() = p_values;
+    if (!a_values.empty() &&
+        a_values.size() == problem_.a.values().size())
+        problem_.a.values() = a_values;
+    active_->updateMatrixValues(p_values, a_values);
+}
+
+void
+BackendDriver::setTimeLimit(Real seconds)
+{
+    settings_.timeLimit = seconds;
+}
+
+void
+BackendDriver::setIterationBudget(Index max_iter)
+{
+    budget_ = max_iter;
+}
+
+const ValidationReport&
+BackendDriver::validation() const
+{
+    return active_->validation();
+}
+
+const char*
+BackendDriver::name() const
+{
+    return active_ != nullptr ? active_->name()
+                              : backendKindName(BackendKind::Auto);
+}
+
+Index
+BackendDriver::numVariables() const
+{
+    return active_->numVariables();
+}
+
+Index
+BackendDriver::numConstraints() const
+{
+    return active_->numConstraints();
+}
+
+std::unique_ptr<QpBackend>
+makeBackend(QpProblem problem, OsqpSettings settings)
+{
+    switch (settings.firstOrder.method) {
+    case BackendKind::Admm:
+        return std::make_unique<AdmmBackend>(std::move(problem),
+                                             std::move(settings),
+                                             BackendKind::Admm);
+    case BackendKind::AdmmAccelerated:
+        settings.firstOrder.accel.enabled = true;
+        return std::make_unique<AdmmBackend>(
+            std::move(problem), std::move(settings),
+            BackendKind::AdmmAccelerated);
+    case BackendKind::Pdhg:
+        return std::make_unique<PdhgSolver>(std::move(problem),
+                                            std::move(settings));
+    case BackendKind::Auto:
+        return std::make_unique<BackendDriver>(std::move(problem),
+                                               std::move(settings));
+    }
+    return std::make_unique<AdmmBackend>(std::move(problem),
+                                         std::move(settings));
+}
+
+} // namespace rsqp

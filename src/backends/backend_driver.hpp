@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The Auto backend driver: selector-chosen engine with a mid-solve
+ * switch-on-stall.
+ *
+ * The driver owns one live engine at a time. With the mid-solve switch
+ * enabled it runs the engine in iteration slices
+ * (selector.switchCheckIterations each) and re-evaluates the observed
+ * convergence between slices; a slice that fails to shrink the
+ * combined residual by minProgressFactor hands the solve — warm-started
+ * from the current iterate — to the other engine. Everything in the
+ * loop is deterministic (engines, features, thresholds), so an Auto
+ * solve is bitwise-reproducible run to run, switches included.
+ */
+
+#ifndef RSQP_BACKENDS_BACKEND_DRIVER_HPP
+#define RSQP_BACKENDS_BACKEND_DRIVER_HPP
+
+#include <memory>
+
+#include "backends/backend_selector.hpp"
+#include "backends/qp_backend.hpp"
+
+namespace rsqp
+{
+
+/** Selector-driven engine with mid-solve switch (see file comment). */
+class BackendDriver final : public QpBackend
+{
+  public:
+    BackendDriver(QpProblem problem, OsqpSettings settings);
+
+    OsqpResult solve() override;
+    bool warmStart(const Vector& x, const Vector& y) override;
+    void updateLinearCost(const Vector& q) override;
+    void updateBounds(const Vector& l, const Vector& u) override;
+    void updateMatrixValues(const std::vector<Real>& p_values,
+                            const std::vector<Real>& a_values) override;
+    void setTimeLimit(Real seconds) override;
+    void setIterationBudget(Index max_iter) override;
+    const ValidationReport& validation() const override;
+    BackendKind kind() const override { return BackendKind::Auto; }
+    const char* name() const override;
+    Index numVariables() const override;
+    Index numConstraints() const override;
+
+    /** Engine the selector picked at setup (tests/bench). */
+    BackendKind chosenKind() const { return activeKind_; }
+
+    /** Selection features of the setup problem (tests/bench). */
+    const BackendFeatures& features() const { return features_; }
+
+  private:
+    std::unique_ptr<QpBackend> makeEngine(BackendKind kind) const;
+
+    OsqpSettings settings_;
+    /** Unscaled problem copy, kept current through update*() so a
+     *  switch can build the alternate engine mid-solve. */
+    QpProblem problem_;
+    BackendFeatures features_;
+    BackendKind activeKind_ = BackendKind::Admm;
+    std::unique_ptr<QpBackend> active_;
+    Index budget_ = 0;  ///< driver-level iteration budget across slices
+};
+
+} // namespace rsqp
+
+#endif // RSQP_BACKENDS_BACKEND_DRIVER_HPP

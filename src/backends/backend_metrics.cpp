@@ -1,0 +1,43 @@
+#include "backends/backend_metrics.hpp"
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace rsqp
+{
+
+void
+recordBackendSolve(const char* backend, const OsqpInfo& info)
+{
+    using telemetry::MetricsRegistry;
+    MetricsRegistry& registry = MetricsRegistry::global();
+    const std::string label =
+        std::string("{backend=\"") + backend + "\"}";
+    registry
+        .counter("rsqp_backend_solves_total" + label,
+                 "Completed solves per first-order backend")
+        .increment();
+    registry
+        .counter("rsqp_backend_iterations_total" + label,
+                 "First-order iterations per backend")
+        .add(static_cast<std::uint64_t>(info.iterations));
+    if (info.telemetry.restarts > 0)
+        registry
+            .counter("rsqp_backend_restarts_total" + label,
+                     "Momentum/average restarts per backend")
+            .add(static_cast<std::uint64_t>(info.telemetry.restarts));
+}
+
+void
+recordBackendSwitch(const char* from_backend, const char* to_backend)
+{
+    using telemetry::MetricsRegistry;
+    MetricsRegistry::global()
+        .counter(std::string("rsqp_backend_switches_total{from=\"") +
+                     from_backend + "\",to=\"" + to_backend + "\"}",
+                 "Auto-driver mid-solve engine switches")
+        .increment();
+}
+
+} // namespace rsqp

@@ -1,0 +1,82 @@
+#include "backends/backend_selector.hpp"
+
+namespace rsqp
+{
+
+BackendFeatures
+computeBackendFeatures(const QpProblem& problem)
+{
+    BackendFeatures f;
+    f.n = problem.numVariables();
+    f.m = problem.numConstraints();
+    f.nnz = problem.totalNnz();
+    f.hasHessian = problem.pUpper.nnz() > 0;
+    f.tallRatio = f.n > 0
+        ? static_cast<Real>(f.m) / static_cast<Real>(f.n)
+        : 0.0;
+
+    if (f.m == 0)
+        return f;
+
+    // Per-row A population (for the box-row feature) without building
+    // a CSR mirror: count column entries per row.
+    std::vector<Index> row_nnz(static_cast<std::size_t>(f.m), 0);
+    const std::vector<Index>& row_idx = problem.a.rowIdx();
+    for (const Index r : row_idx)
+        if (r >= 0 && r < f.m)
+            ++row_nnz[static_cast<std::size_t>(r)];
+
+    Index equalities = 0;
+    Index loose = 0;
+    Index box = 0;
+    for (Index i = 0; i < f.m; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        const Real lo = problem.l[s];
+        const Real hi = problem.u[s];
+        if (lo <= -kInf && hi >= kInf)
+            ++loose;
+        else if (hi - lo < 1e-12)
+            ++equalities;
+        if (row_nnz[s] == 1)
+            ++box;
+    }
+    const Real m_real = static_cast<Real>(f.m);
+    f.equalityFraction = static_cast<Real>(equalities) / m_real;
+    f.looseFraction = static_cast<Real>(loose) / m_real;
+    f.boxFraction = static_cast<Real>(box) / m_real;
+    return f;
+}
+
+BackendKind
+chooseBackend(const BackendFeatures& features,
+              const SelectorConfig& config)
+{
+    // Small problems: setup costs dwarf any iteration-count gap, and
+    // the direct KKT factor is unbeatable. Never leave ADMM.
+    if (features.n + features.m < config.smallProblemThreshold)
+        return BackendKind::Admm;
+
+    // Equality-dominated: the per-constraint stiff-rho trick is the
+    // decisive advantage, PDHG has no equivalent.
+    if (features.equalityFraction >= config.equalityFractionAdmm)
+        return BackendKind::Admm;
+
+    // Tall problems with a *mixed* constraint set: restarted PDHG's
+    // territory. A single ADMM penalty must compromise between the
+    // stiff equality rows and the loose inequality rows there; PDHG's
+    // adaptive primal weight sidesteps the compromise. All-inequality
+    // tall problems (svm) stay ADMM — one rho fits every row.
+    if (features.tallRatio >= config.tallRatioPdhg &&
+        features.equalityFraction >= config.equalityFractionPdhgMin)
+        return BackendKind::Pdhg;
+
+    return BackendKind::Admm;
+}
+
+BackendKind
+chooseBackend(const QpProblem& problem, const SelectorConfig& config)
+{
+    return chooseBackend(computeBackendFeatures(problem), config);
+}
+
+} // namespace rsqp

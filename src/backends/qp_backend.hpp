@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The pluggable first-order backend interface.
+ *
+ * A QpBackend is "one QP structure, set up once, solved many times" —
+ * exactly the OsqpSolver contract the service layer already programs
+ * against — with the engine behind it swappable: the classic ADMM
+ * loop, its Nesterov-accelerated variant, the restarted PDHG engine,
+ * or the Auto driver that picks (and can mid-solve switch) between
+ * them. Every implementation returns the same OsqpResult with
+ * SolveStatus / OsqpInfo / SolveTelemetry semantics, so callers,
+ * telemetry pipelines and bench artifacts never care which method ran.
+ *
+ * Like OsqpSolver, construction never throws on caller input: a
+ * malformed problem or settings leaves the backend inert and every
+ * solve() returns SolveStatus::InvalidProblem with the report attached.
+ */
+
+#ifndef RSQP_BACKENDS_QP_BACKEND_HPP
+#define RSQP_BACKENDS_QP_BACKEND_HPP
+
+#include <memory>
+#include <vector>
+
+#include "backends/backend_config.hpp"
+#include "osqp/problem.hpp"
+#include "osqp/settings.hpp"
+#include "osqp/status.hpp"
+
+namespace rsqp
+{
+
+/** Abstract first-order QP engine (see file comment). */
+class QpBackend
+{
+  public:
+    virtual ~QpBackend() = default;
+
+    /** Run the method from the current warm-start state. */
+    virtual OsqpResult solve() = 0;
+
+    /**
+     * Warm start the next solve() from an unscaled primal/dual guess.
+     * Size mismatches are ignored with a warning (returns false).
+     */
+    virtual bool warmStart(const Vector& x, const Vector& y) = 0;
+
+    /** Replace q (same length); rescales internally. */
+    virtual void updateLinearCost(const Vector& q) = 0;
+
+    /** Replace l and u (same length); rescales internally. */
+    virtual void updateBounds(const Vector& l, const Vector& u) = 0;
+
+    /**
+     * Replace numeric values of P and/or A keeping the sparsity
+     * structure (empty vector = keep current values), in the original
+     * unscaled CSC order of the setup matrices.
+     */
+    virtual void updateMatrixValues(const std::vector<Real>& p_values,
+                                    const std::vector<Real>& a_values) = 0;
+
+    /** Wall-clock budget of subsequent solve() calls (0 = no limit). */
+    virtual void setTimeLimit(Real seconds) = 0;
+
+    /**
+     * Iteration budget of subsequent solve() calls. The Auto driver
+     * uses this to run an engine in slices, re-evaluating progress
+     * (and possibly switching engines) between them.
+     */
+    virtual void setIterationBudget(Index max_iter) = 0;
+
+    /** Setup diagnostics (ok() unless the backend is inert). */
+    virtual const ValidationReport& validation() const = 0;
+
+    /** Which engine this is (Auto for the driver). */
+    virtual BackendKind kind() const = 0;
+
+    /** Printable engine name. */
+    virtual const char* name() const { return backendKindName(kind()); }
+
+    virtual Index numVariables() const = 0;
+    virtual Index numConstraints() const = 0;
+};
+
+/**
+ * Build the backend selected by settings.firstOrder.method:
+ * Admm / AdmmAccelerated wrap the OsqpSolver loop (the default Admm
+ * configuration is bit-for-bit the pre-subsystem solver), Pdhg builds
+ * the restarted primal-dual engine, Auto builds the selector-driven
+ * BackendDriver.
+ */
+std::unique_ptr<QpBackend> makeBackend(QpProblem problem,
+                                       OsqpSettings settings);
+
+} // namespace rsqp
+
+#endif // RSQP_BACKENDS_QP_BACKEND_HPP

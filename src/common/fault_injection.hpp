@@ -256,6 +256,7 @@ constexpr std::uint64_t kHbmStore = 0x48424d53ULL;   ///< 'HBMS'
 constexpr std::uint64_t kSpmvValues = 0x53505656ULL; ///< 'SPVV' matrix stream
 constexpr std::uint64_t kMacOutput = 0x4d414343ULL;  ///< 'MACC' accumulation
 constexpr std::uint64_t kPcgOperator = 0x50434f50ULL; ///< 'PCOP' software K·p
+constexpr std::uint64_t kPdhgOperator = 0x50444f50ULL; ///< 'PDOP' PDHG A·x̄
 } // namespace fault_streams
 
 } // namespace rsqp

@@ -340,6 +340,9 @@ RsqpSolver::solve()
     result.eta = custom_.eta();
     result.archName = custom_.config.name();
 
+    // The device engine always runs the ADMM recurrence; the label
+    // keeps device and host telemetry comparable per backend.
+    result.telemetry.backend = "admm";
     result.telemetry.iterations = result.iterations;
     result.telemetry.kktSolves = static_cast<Count>(result.iterations);
     result.telemetry.pcgIterationsTotal = result.pcgIterationsTotal;

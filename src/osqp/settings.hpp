@@ -7,6 +7,7 @@
 #ifndef RSQP_OSQP_SETTINGS_HPP
 #define RSQP_OSQP_SETTINGS_HPP
 
+#include "backends/backend_config.hpp"
 #include "common/execution.hpp"
 #include "common/fault_injection.hpp"
 #include "common/types.hpp"
@@ -102,6 +103,14 @@ struct OsqpSettings
      * stream (testing/bench only; disabled by default).
      */
     FaultInjectionConfig faultInjection;
+
+    /**
+     * First-order backend selection (makeBackend factory) plus the
+     * accelerated-ADMM and PDHG engine knobs. The default
+     * (BackendKind::Admm, acceleration off) is bit-for-bit the
+     * pre-backend-subsystem ADMM loop.
+     */
+    FirstOrderSettings firstOrder;
 };
 #pragma GCC diagnostic pop
 

@@ -245,6 +245,21 @@ validateSettings(const OsqpSettings& settings)
         msg << "alpha must be in (0, 2), got " << settings.alpha;
         addIssue(report, ValidationCode::InvalidSetting, msg.str());
     }
+    if (!(settings.adaptiveRhoTolerance > 1.0)) {
+        // A ratio threshold <= 1 makes every residual-balance check
+        // fire, so rho would be refactored on every adaptation window.
+        std::ostringstream msg;
+        msg << "adaptiveRhoTolerance must be > 1, got "
+            << settings.adaptiveRhoTolerance;
+        addIssue(report, ValidationCode::InvalidSetting, msg.str());
+    }
+    if (!(settings.firstOrder.accel.restartEta > 0.0 &&
+          settings.firstOrder.accel.restartEta <= 1.0)) {
+        std::ostringstream msg;
+        msg << "firstOrder.accel.restartEta must be in (0, 1], got "
+            << settings.firstOrder.accel.restartEta;
+        addIssue(report, ValidationCode::InvalidSetting, msg.str());
+    }
     if (!(settings.rho > 0.0)) {
         std::ostringstream msg;
         msg << "rho must be positive, got " << settings.rho;

@@ -47,7 +47,10 @@ void
 SolverSession::rebuild(const QpProblem& problem, SessionResult& result)
 {
     if (config_.engine == SessionEngine::Host) {
-        host_ = std::make_unique<OsqpSolver>(problem, config_.osqp);
+        // Route through the backend factory: settings.firstOrder picks
+        // ADMM (default, bit-for-bit the old path), accelerated ADMM,
+        // PDHG, or the Auto selector driver.
+        host_ = makeBackend(problem, config_.osqp);
         haveSolver_ = true;
         return;
     }

@@ -23,6 +23,7 @@
 
 #include <memory>
 
+#include "backends/qp_backend.hpp"
 #include "core/rsqp_solver.hpp"
 #include "osqp/solver.hpp"
 #include "service/customization_cache.hpp"
@@ -35,7 +36,9 @@ namespace rsqp
 enum class SessionEngine
 {
     Device,  ///< RsqpSolver (simulated accelerator, customization cache)
-    Host,    ///< OsqpSolver (CPU; parametric reuse + warm start only)
+    Host,    ///< first-order CPU backend chosen by
+             ///< OsqpSettings::firstOrder (ADMM by default; parametric
+             ///< reuse + warm start only)
 };
 
 /** Per-session configuration, fixed at session creation. */
@@ -161,7 +164,7 @@ class SolverSession
     QpProblem current_;  ///< the live problem (diff base), unscaled
     bool haveSolver_ = false;
     std::unique_ptr<RsqpSolver> device_;
-    std::unique_ptr<OsqpSolver> host_;
+    std::unique_ptr<QpBackend> host_;
 
     Vector lastX_, lastY_;  ///< warm-start state (unscaled)
     bool haveWarm_ = false;

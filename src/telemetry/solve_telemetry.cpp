@@ -29,7 +29,10 @@ std::string
 SolveTelemetry::toJson() const
 {
     std::ostringstream os;
-    os << "{\"iterations\":" << iterations
+    os << "{\"backend\":\"" << backend
+       << "\",\"restarts\":" << restarts
+       << ",\"backend_switches\":" << backendSwitches
+       << ",\"iterations\":" << iterations
        << ",\"kkt_solves\":" << kktSolves
        << ",\"pcg_iterations_total\":" << pcgIterationsTotal
        << ",\"pcg_iters_per_solve\":" << pcgItersPerSolve

@@ -49,7 +49,21 @@ inline constexpr std::size_t kResidualTailCapacity = 8;
 /** Structured per-solve summary (see file comment). */
 struct SolveTelemetry
 {
-    /** ADMM iterations executed. */
+    /**
+     * First-order engine that produced the result ("admm",
+     * "admm-accel", "pdhg"; after an Auto-driver mid-solve switch,
+     * the engine that finished). Empty only on results that never
+     * reached a solver (rejected/shedded service requests).
+     */
+    std::string backend;
+
+    /** Momentum/average restarts taken (accelerated ADMM and PDHG). */
+    Count restarts = 0;
+
+    /** Mid-solve engine switches (Auto driver only). */
+    Count backendSwitches = 0;
+
+    /** First-order iterations executed. */
     Index iterations = 0;
 
     /** KKT system solves (== iterations on the happy path). */
