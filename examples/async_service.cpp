@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The async service API end to end: callback submission with
+ * completion tokens, cancellation of queued requests, admission
+ * classes, and the class-aware retry-after hint on overflow.
+ *
+ * Three short acts against one single-core service:
+ *
+ *   1. submitAsync + callback — every request resolves its callback
+ *      exactly once, off the service lock, with no future in sight.
+ *   2. Cancellation — tokens revoke requests that still wait in the
+ *      queue (SolveStatus::Cancelled); requests already launched run
+ *      to completion and cancel() reports false.
+ *   3. Overflow — a Batch burst past the queue bound comes back
+ *      Rejected immediately, each rejection carrying a
+ *      retryAfterSeconds hint sized to the class's backlog.
+ *
+ * Exits nonzero if any callback is lost or duplicated, or if the
+ * terminal statuses don't add up — the exactly-once contract this
+ * example demonstrates.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "rsqp_api.hpp"
+
+using namespace rsqp;
+
+namespace
+{
+
+/** Counts callbacks and lets the main thread wait for the last one. */
+class Latch
+{
+  public:
+    explicit Latch(std::size_t expected) : expected_(expected) {}
+
+    void arrive()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++arrived_;
+        if (arrived_ >= expected_)
+            done_.notify_all();
+    }
+
+    void wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return arrived_ >= expected_; });
+    }
+
+    std::size_t count()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return arrived_;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable done_;
+    std::size_t expected_;
+    std::size_t arrived_ = 0;
+};
+
+QpProblem
+perturbed(const QpProblem& base, int request)
+{
+    QpProblem qp = base;
+    for (Real& v : qp.q)
+        v += 0.01 * static_cast<Real>(request + 1);
+    return qp;
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(7);
+    const QpProblem qp = generateControl(4, rng);
+
+    // One core, one slot, a short queue: small enough that act 3 can
+    // overflow it from a single burst.
+    ServiceConfig config;
+    config.fleet.coreCount = 1;
+    config.fleet.slotsPerCore = 1;
+    config.maxQueueDepth = 4;
+    SolverService service(config);
+
+    SessionConfig sessionConfig;
+    sessionConfig.custom.c = 16;
+    const SessionId session = service.openSession(sessionConfig);
+
+    // --- 1. Callback submission -----------------------------------------
+    // No future, no polling: the callback IS the completion path. It
+    // runs off the service lock, so it may inspect the service (here:
+    // per-request results) without deadlocking.
+    {
+        const int requests = 3;
+        Latch latch(requests);
+        std::vector<SessionResult> results(requests);
+        for (int r = 0; r < requests; ++r) {
+            SubmitOptions options;
+            options.admissionClass = AdmissionClass::Realtime;
+            service.submitAsync(session, perturbed(qp, r), options,
+                                [&latch, &results, r](SessionResult res) {
+                                    results[r] = std::move(res);
+                                    latch.arrive();
+                                });
+        }
+        latch.wait();
+        for (int r = 0; r < requests; ++r)
+            std::printf("act1 request %d: %s, %d iterations, %s\n", r,
+                        statusToString(results[r].status),
+                        results[r].iterations,
+                        results[r].parametricReuse ? "parametric"
+                                                   : "cold");
+        if (latch.count() != requests)
+            return 1;
+    }
+
+    // --- 2. Cancellation -------------------------------------------------
+    // Submit a burst, then immediately try to cancel every token. The
+    // request that already launched runs to completion (cancel ->
+    // false); requests still queued resolve Cancelled (cancel -> true),
+    // exactly once, without ever touching the session's solver state.
+    {
+        const int requests = 4;
+        Latch latch(requests);
+        std::vector<SolveStatus> statuses(requests,
+                                          SolveStatus::Unsolved);
+        std::vector<RequestToken> tokens;
+        for (int r = 0; r < requests; ++r) {
+            SubmitOptions options;
+            options.admissionClass = AdmissionClass::Interactive;
+            tokens.push_back(service.submitAsync(
+                session, perturbed(qp, 10 + r), options,
+                [&latch, &statuses, r](SessionResult res) {
+                    statuses[r] = res.status;
+                    latch.arrive();
+                }));
+        }
+        int revoked = 0;
+        for (const RequestToken& token : tokens)
+            if (service.cancel(token))
+                ++revoked;
+        latch.wait();
+
+        int cancelled = 0;
+        int finished = 0;
+        for (int r = 0; r < requests; ++r) {
+            std::printf("act2 request %d: %s\n", r,
+                        statusToString(statuses[r]));
+            if (statuses[r] == SolveStatus::Cancelled)
+                ++cancelled;
+            else
+                ++finished;
+        }
+        std::printf("act2: %d revoked, %d ran to completion\n",
+                    revoked, finished);
+        // cancel() returning true and a Cancelled callback are the
+        // same event — the counts must agree, and nothing may be lost.
+        if (latch.count() != requests || cancelled != revoked ||
+            cancelled + finished != requests)
+            return 1;
+    }
+
+    // --- 3. Overflow and the retry-after hint ---------------------------
+    // Ten Batch requests against a queue bound of four: the overflow
+    // resolves Rejected on the submitting thread itself, each carrying
+    // a hint that grows with the class's backlog — back off, then
+    // come back.
+    {
+        const int requests = 10;
+        Latch latch(requests);
+        std::vector<SessionResult> results(requests);
+        for (int r = 0; r < requests; ++r) {
+            SubmitOptions options;
+            options.admissionClass = AdmissionClass::Batch;
+            service.submitAsync(session, perturbed(qp, 20 + r), options,
+                                [&latch, &results, r](SessionResult res) {
+                                    results[r] = std::move(res);
+                                    latch.arrive();
+                                });
+        }
+        latch.wait();
+
+        int rejected = 0;
+        for (int r = 0; r < requests; ++r) {
+            if (results[r].status != SolveStatus::Rejected)
+                continue;
+            ++rejected;
+            std::printf("act3 request %d rejected, retry after "
+                        "%.3f ms\n",
+                        r, results[r].retryAfterSeconds * 1e3);
+            if (results[r].retryAfterSeconds <= 0.0)
+                return 1;
+        }
+        std::printf("act3: %d of %d rejected with hints\n", rejected,
+                    requests);
+        if (latch.count() != requests || rejected == 0)
+            return 1;
+    }
+
+    const ServiceStats stats = service.stats();
+    std::printf("service: %lld submitted = %lld completed + %lld "
+                "rejected + %lld cancelled\n",
+                static_cast<long long>(stats.submitted),
+                static_cast<long long>(stats.completed),
+                static_cast<long long>(stats.rejected),
+                static_cast<long long>(stats.cancelled));
+    // Exactly-once, in aggregate: every admitted or rejected request
+    // resolved through precisely one terminal counter.
+    if (stats.completed + stats.rejected + stats.cancelled +
+            stats.shed + stats.expired !=
+        stats.submitted)
+        return 1;
+    return 0;
+}

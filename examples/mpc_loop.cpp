@@ -50,12 +50,17 @@ main()
     config.custom.c = 32;
 
     // Controller #1: the first step pays the full customization; every
-    // later step is a parametric re-solve with warm start.
+    // later step is a parametric re-solve with warm start. A control
+    // loop is latency-critical, so each request rides the Realtime
+    // admission class — under mixed load the service dispatches it
+    // ahead of Interactive and Batch work and never sheds it.
+    SubmitOptions realtime;
+    realtime.admissionClass = AdmissionClass::Realtime;
     const SessionId controller = service.openSession(config);
     const int steps = 10;
     for (int step = 0; step < steps; ++step) {
         const SessionResult result =
-            service.solve(controller, stepProblem(qp, step));
+            service.solve(controller, stepProblem(qp, step), realtime);
         if (result.status != SolveStatus::Solved) {
             std::printf("step %d failed: %s\n", step,
                         statusToString(result.status));
@@ -76,7 +81,7 @@ main()
     // structure is already in the cache, so setup skips the pipeline.
     const SessionId restarted = service.openSession(config);
     const SessionResult rewarm =
-        service.solve(restarted, stepProblem(qp, 0));
+        service.solve(restarted, stepProblem(qp, 0), realtime);
     std::printf("restarted controller: %s, setup=%.2f us\n",
                 rewarm.cacheHit ? "cache-hit" : "MISS",
                 rewarm.setupSeconds * 1e6);

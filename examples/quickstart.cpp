@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <future>
 
 #include "rsqp_api.hpp"
 
@@ -90,7 +91,23 @@ main()
                 static_cast<long long>(
                     pdhg_ref.info.telemetry.restarts));
 
-    // --- 5. The generated "hardware" artifact ---------------------------
+    // --- 5. The same QP through the multi-client service ----------------
+    // Serving path: open a session, describe the request in
+    // SubmitOptions (admission class, deadline, warm start), and
+    // either take a future (shown here) or pass submitAsync a
+    // callback (see examples/async_service.cpp).
+    SolverService service;
+    const SessionId session = service.openSession();
+    SubmitOptions options;
+    options.admissionClass = AdmissionClass::Interactive;
+    std::future<SessionResult> pending =
+        service.submit(session, qp, options);
+    const SessionResult served = pending.get();
+    std::printf("serve : status=%s x=(%.4f, %.4f) obj=%.6f\n",
+                statusToString(served.status), served.x[0],
+                served.x[1], served.objective);
+
+    // --- 6. The generated "hardware" artifact ---------------------------
     const std::string header =
         generateArchitectureHeader(fpga.config());
     std::printf("\ngenerated HLS architecture header (%zu bytes), "

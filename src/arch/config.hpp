@@ -32,11 +32,6 @@ struct ArchTimings
 };
 
 /** One generated accelerator configuration. */
-// The pragma silences GCC's warnings for the *synthesized* special
-// members touching the deprecated forwarding field below; uses outside
-// this header still warn as intended.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct ArchConfig
 {
     /** Datapath width C (power of two, <= 64 in this implementation). */
@@ -58,14 +53,12 @@ struct ArchConfig
      * the retired pre-threading left-to-right loop.
      */
     ExecutionConfig execution;
-    /** @deprecated Use execution.numThreads; non-zero values win. */
-    [[deprecated("use execution.numThreads")]] Index numThreads = 0;
 
-    /** Effective thread count (legacy numThreads forwards here). */
+    /** Effective thread count of the simulation host. */
     Index
     resolvedNumThreads() const
     {
-        return resolveNumThreads(execution, numThreads);
+        return execution.numThreads;
     }
 
     /** Cycle-model constants. */
@@ -96,7 +89,6 @@ struct ArchConfig
         return config;
     }
 };
-#pragma GCC diagnostic pop
 
 } // namespace rsqp
 

@@ -4,10 +4,9 @@
  *
  * PR 1 grew three independent `numThreads` fields (OsqpSettings,
  * CustomizeSettings, ArchConfig) that all meant the same thing and
- * had to be kept in sync by hand. They are now deprecated aliases;
- * each consumer carries an ExecutionConfig and resolves the effective
- * thread count through resolveNumThreads(), which honors a non-zero
- * legacy field so old call sites keep working for one release.
+ * had to be kept in sync by hand. PR 5 collapsed them onto this
+ * struct behind deprecated forwarding aliases; the aliases are now
+ * removed and every consumer reads execution.numThreads directly.
  */
 
 #ifndef RSQP_COMMON_EXECUTION_HPP
@@ -54,17 +53,6 @@ struct ExecutionConfig
     /** Numeric precision of the PCG inner solves. */
     PrecisionMode precision = PrecisionMode::Fp64;
 };
-
-/**
- * Effective thread count given a config and the value of a deprecated
- * legacy `numThreads` alias: the legacy field wins when it was set
- * (non-zero), so pre-ExecutionConfig call sites keep their behavior.
- */
-inline Index
-resolveNumThreads(const ExecutionConfig& execution, Index legacy)
-{
-    return legacy != 0 ? legacy : execution.numThreads;
-}
 
 } // namespace rsqp
 

@@ -44,11 +44,6 @@ struct MatrixArtifacts
 };
 
 /** Customization settings. */
-// The pragma silences GCC's warnings for the *synthesized* special
-// members touching the deprecated forwarding field below; uses outside
-// this header still warn as intended.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct CustomizeSettings
 {
     Index c = 64;                     ///< datapath width
@@ -57,14 +52,12 @@ struct CustomizeSettings
     bool fp32Datapath = false;        ///< FP32 MAC trees (the silicon)
     /** Execution resources for the simulation host. */
     ExecutionConfig execution;
-    /** @deprecated Use execution.numThreads; non-zero values win. */
-    [[deprecated("use execution.numThreads")]] Index numThreads = 0;
 
-    /** Effective thread count (legacy numThreads forwards here). */
+    /** Effective thread count of the simulation host. */
     Index
     resolvedNumThreads() const
     {
-        return resolveNumThreads(execution, numThreads);
+        return execution.numThreads;
     }
 
     /** Seeded HBM/MAC soft-error injection (testing only). */
@@ -73,7 +66,6 @@ struct CustomizeSettings
     /** Explicit structure set (bypasses the search when non-empty). */
     std::vector<std::string> forcedPatterns;
 };
-#pragma GCC diagnostic pop
 
 /** Result of customizing one problem. */
 struct ProblemCustomization

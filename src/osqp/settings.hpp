@@ -26,11 +26,6 @@ enum class KktBackend
 };
 
 /** OSQP algorithm settings. */
-// The pragma silences GCC's warnings for the *synthesized* special
-// members touching the deprecated forwarding field below; uses outside
-// this header still warn as intended.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct OsqpSettings
 {
     Real rho = 0.1;           ///< initial ADMM step size
@@ -75,14 +70,11 @@ struct OsqpSettings
      */
     ExecutionConfig execution;
 
-    /** @deprecated Use execution.numThreads; non-zero values win. */
-    [[deprecated("use execution.numThreads")]] Index numThreads = 0;
-
-    /** Effective thread count (legacy numThreads forwards here). */
+    /** Effective thread count of this solve's hot path. */
     Index
     resolvedNumThreads() const
     {
-        return resolveNumThreads(execution, numThreads);
+        return execution.numThreads;
     }
 
     bool recordTrace = false;  ///< keep per-iteration residual history
@@ -112,7 +104,6 @@ struct OsqpSettings
      */
     FirstOrderSettings firstOrder;
 };
-#pragma GCC diagnostic pop
 
 } // namespace rsqp
 

@@ -25,9 +25,8 @@ OsqpSolver::OsqpSolver(QpProblem problem, OsqpSettings settings)
     // Malformed settings and malformed problem data are both *caller*
     // input, not programming errors: record the diagnostics and come
     // up inert so solve() returns a typed InvalidProblem result
-    // instead of crashing. (The constructor threw RSQP_FATAL for bad
-    // settings before PR 5; requireValid() keeps that behavior alive
-    // for one release.)
+    // instead of crashing (the constructor threw RSQP_FATAL for bad
+    // settings before PR 5).
     validation_ = validateSettings(settings_);
     ValidationReport problem_report = validateProblem(original_);
     validation_.issues.insert(validation_.issues.end(),
@@ -767,16 +766,5 @@ OsqpSolver::solve()
     lastInfo_ = info;
     return result;
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-void
-OsqpSolver::requireValid() const
-{
-    if (!validation_.ok())
-        RSQP_FATAL("solver setup failed validation:\n",
-                   validation_.describe());
-}
-#pragma GCC diagnostic pop
 
 } // namespace rsqp

@@ -39,9 +39,7 @@ class OsqpSolver
      * Never throws on caller input: malformed settings AND malformed
      * problem data both leave the solver inert, and every solve()
      * returns SolveStatus::InvalidProblem with the ValidationReport
-     * attached (see validation()). Callers that relied on the retired
-     * throwing setup path can call requireValid() once after
-     * construction.
+     * attached (see validation()).
      */
     OsqpSolver(QpProblem problem, OsqpSettings settings);
 
@@ -106,16 +104,6 @@ class OsqpSolver
 
     /** Problem diagnostics from setup (ok() unless InvalidProblem). */
     const ValidationReport& validation() const { return validation_; }
-
-    /**
-     * @deprecated Compatibility shim for the retired throwing setup()
-     * path: throws FatalError when construction-time validation
-     * failed. New code should branch on validation().ok() (or just
-     * solve() and check for InvalidProblem) instead. Removed after
-     * one release.
-     */
-    [[deprecated("check validation().ok() instead")]] void
-    requireValid() const;
 
     /** The scaled problem currently inside the solver (for the arch). */
     const QpProblem& scaledProblem() const { return scaled_; }

@@ -16,6 +16,7 @@ statusToString(SolveStatus status)
       case SolveStatus::TimeLimitReached: return "time_limit_reached";
       case SolveStatus::Rejected: return "rejected";
       case SolveStatus::ShuttingDown: return "shutting_down";
+      case SolveStatus::Cancelled: return "cancelled";
       case SolveStatus::Unsolved: return "unsolved";
     }
     return "unknown";

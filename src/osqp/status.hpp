@@ -33,6 +33,8 @@ enum class SolveStatus
     ShuttingDown,     ///< service destroyed with the request still
                       ///< queued; it was never started (shed load, not
                       ///< a client error — distinct from Rejected)
+    Cancelled,        ///< client cancelled the request via its token
+                      ///< before it launched; session state untouched
     Unsolved,
 };
 

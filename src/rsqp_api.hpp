@@ -22,8 +22,18 @@
  *
  *   // Multi-client service with cached customizations:
  *   rsqp::SolverService service{rsqp::ServiceConfig{}};
- *   auto session = service.openSession(qp, settings, custom);
+ *   auto session = service.openSession(rsqp::SessionConfig{});
  *   std::puts(service.metricsText().c_str());  // Prometheus scrape
+ *
+ *   // Async serving: one SubmitOptions struct (admission class,
+ *   // deadline, cacheability, warm start) and a callback invoked
+ *   // exactly once; cancel() revokes requests still queued.
+ *   rsqp::SubmitOptions opts;
+ *   opts.admissionClass = rsqp::AdmissionClass::Realtime;
+ *   auto token = service.submitAsync(session, qp, opts,
+ *                                    [](rsqp::SessionResult r) {});
+ *   service.cancel(token);           // true only while still queued
+ *   auto fut = service.submit(session, qp, opts);  // future adapter
  * @endcode
  *
  * The facade pulls in the solver umbrella (core/rsqp.hpp), the

@@ -1,0 +1,17 @@
+#include "service/admission.hpp"
+
+namespace rsqp
+{
+
+const char*
+admissionClassName(AdmissionClass cls)
+{
+    switch (cls) {
+      case AdmissionClass::Realtime: return "realtime";
+      case AdmissionClass::Interactive: return "interactive";
+      case AdmissionClass::Batch: return "batch";
+    }
+    return "unknown";
+}
+
+} // namespace rsqp

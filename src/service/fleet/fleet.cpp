@@ -21,6 +21,7 @@ coreSeries(const char* family, std::size_t core)
 SolverFleet::SolverFleet(const FleetConfig& config,
                          std::size_t default_cache_capacity,
                          unsigned legacy_concurrency,
+                         const AdmissionConfig& admission,
                          telemetry::MetricsRegistry& registry)
     : config_(config),
       slots_(config.slotsPerCore != 0
@@ -35,6 +36,9 @@ SolverFleet::SolverFleet(const FleetConfig& config,
                  config.affinityQueueBound),
       cores_(std::max(1u, config.coreCount))
 {
+    for (std::size_t c = 0; c < kAdmissionClassCount; ++c)
+        classWeights_[c] = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(admission.classes[c].weight));
     const std::size_t partitionCapacity =
         config.cacheCapacityPerCore != 0 ? config.cacheCapacityPerCore
                                          : default_cache_capacity;
@@ -98,7 +102,7 @@ SolverFleet::loads() const
 {
     std::vector<CoreLoad> loads(cores_.size());
     for (std::size_t i = 0; i < cores_.size(); ++i) {
-        loads[i].queuedSessions = cores_[i].ready.size();
+        loads[i].queuedSessions = readyDepth(i);
         loads[i].runningStreams = cores_[i].running;
         loads[i].available = cores_[i].health.dispatchable();
     }
@@ -123,9 +127,19 @@ SolverFleet::placeSession(const StructureFingerprint& fp)
 
 void
 SolverFleet::enqueueReady(std::size_t core, SessionId id,
-                          bool small_job)
+                          AdmissionClass cls, bool small_job)
 {
-    cores_[core].ready.emplace_back(id, small_job);
+    cores_[core].ready[static_cast<std::size_t>(cls)].push_back(
+        ReadyEntry{id, cls, small_job});
+}
+
+std::size_t
+SolverFleet::readyDepth(std::size_t core) const
+{
+    std::size_t depth = 0;
+    for (const auto& queue : cores_[core].ready)
+        depth += queue.size();
+    return depth;
 }
 
 std::vector<SessionId>
@@ -133,18 +147,38 @@ SolverFleet::popStream(std::size_t core)
 {
     Core& state = cores_[core];
     std::vector<SessionId> stream;
-    if (state.ready.empty())
+    // Smooth weighted round-robin across the classes that actually
+    // have work: every waiting class earns its weight, the richest
+    // class dispatches and pays back the total earned this round.
+    // Over a contended stretch each class receives weight/sum of the
+    // dispatch decisions; an idle class accrues nothing, so it cannot
+    // bank credit and burst-starve the others later.
+    std::int64_t earned = 0;
+    std::size_t chosen = kAdmissionClassCount;
+    for (std::size_t c = 0; c < kAdmissionClassCount; ++c) {
+        if (state.ready[c].empty())
+            continue;
+        state.wrrCredit[c] += classWeights_[c];
+        earned += classWeights_[c];
+        // Strictly-greater keeps ties on the most urgent class.
+        if (chosen == kAdmissionClassCount ||
+            state.wrrCredit[c] > state.wrrCredit[chosen])
+            chosen = c;
+    }
+    if (chosen == kAdmissionClassCount)
         return stream;
+    state.wrrCredit[chosen] -= earned;
+    std::deque<ReadyEntry>& queue = state.ready[chosen];
     // A large head job gets its own stream; a small head job pulls in
     // consecutive small successors up to the interleave width. Only
-    // consecutive ones: skipping over a large job would reorder the
-    // core's queue and starve it.
-    const bool fuse = interleave_ > 1 && state.ready.front().second;
+    // consecutive ones (within the same class): skipping over a large
+    // job would reorder the class's queue and starve it.
+    const bool fuse = interleave_ > 1 && queue.front().small;
     const std::size_t width = fuse ? interleave_ : 1;
-    while (stream.size() < width && !state.ready.empty() &&
-           (stream.empty() || state.ready.front().second)) {
-        stream.push_back(state.ready.front().first);
-        state.ready.pop_front();
+    while (stream.size() < width && !queue.empty() &&
+           (stream.empty() || queue.front().small)) {
+        stream.push_back(queue.front().id);
+        queue.pop_front();
     }
     return stream;
 }
@@ -253,11 +287,14 @@ SolverFleet::onJobExecuted(std::size_t core, bool interleaved,
     }
 }
 
-std::deque<std::pair<SessionId, bool>>
+std::vector<ReadyEntry>
 SolverFleet::drainReady(std::size_t core)
 {
-    std::deque<std::pair<SessionId, bool>> drained;
-    drained.swap(cores_[core].ready);
+    std::vector<ReadyEntry> drained;
+    for (auto& queue : cores_[core].ready) {
+        drained.insert(drained.end(), queue.begin(), queue.end());
+        queue.clear();
+    }
     return drained;
 }
 
@@ -391,7 +428,7 @@ SolverFleet::stats() const
         entry.utilizationPercent =
             denominator > 0.0 ? 100.0 * core.busySeconds / denominator
                               : 0.0;
-        entry.readySessions = core.ready.size();
+        entry.readySessions = readyDepth(i);
         entry.runningStreams = core.running;
         entry.cache = core.cache->stats();
         entry.health = core.health.health();
@@ -413,18 +450,18 @@ void
 SolverFleet::syncGauges() const
 {
     const double wall = wall_.seconds();
-    for (const Core& core : cores_) {
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        const Core& core = cores_[i];
         core.queueDepth->set(
-            static_cast<std::int64_t>(core.ready.size()));
+            static_cast<std::int64_t>(readyDepth(i)));
         const double denominator = wall * slots_;
         core.utilization->set(static_cast<std::int64_t>(
             denominator > 0.0
                 ? 100.0 * core.busySeconds / denominator + 0.5
                 : 0.0));
         core.cacheHits->set(core.cache->stats().hits);
-    }
-    for (std::size_t i = 0; i < cores_.size(); ++i)
         syncStateGauge(i);
+    }
 }
 
 void

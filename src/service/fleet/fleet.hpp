@@ -8,9 +8,12 @@
  * customization-cache partition (an artifact is hot on exactly the
  * core its structures route to), bounded run slots (a core is one
  * device: one instruction stream at a time unless configured wider),
- * a ready queue of sessions placed on it, and per-core metrics
- * (jobs, streams, busy time, utilization, queue depth, cache hits)
- * registered as labeled series in the service's metrics registry.
+ * per-admission-class ready queues drained by smooth weighted
+ * round-robin (so Realtime traffic keeps its configured share of the
+ * core even while Batch work is backed up behind it), and per-core
+ * metrics (jobs, streams, busy time, utilization, queue depth, cache
+ * hits) registered as labeled series in the service's metrics
+ * registry.
  *
  * Co-scheduling models `mib_sched.py`'s temporal instruction
  * interleaving: when several *small* QPs are queued on one core, the
@@ -27,6 +30,7 @@
 #ifndef RSQP_SERVICE_FLEET_FLEET_HPP
 #define RSQP_SERVICE_FLEET_FLEET_HPP
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <utility>
@@ -34,6 +38,7 @@
 
 #include "common/fault_injection.hpp"
 #include "common/timer.hpp"
+#include "service/admission.hpp"
 #include "service/customization_cache.hpp"
 #include "service/fleet/health.hpp"
 #include "service/fleet/placement.hpp"
@@ -44,6 +49,17 @@ namespace rsqp
 
 /** Handle of one open session (never reused within a service). */
 using SessionId = Count;
+
+/** One placed session waiting in a core's ready queue. */
+struct ReadyEntry
+{
+    SessionId id = 0;
+    /** Admission class of the session's head job — the weighted-fair
+     *  dispatch key. */
+    AdmissionClass cls = AdmissionClass::Interactive;
+    /** Head job's n + m is under the interleaving threshold. */
+    bool small = false;
+};
 
 /** Fleet shape and placement behavior, fixed at service construction. */
 struct FleetConfig
@@ -147,12 +163,15 @@ class SolverFleet
      *        leaves cacheCapacityPerCore at 0.
      * @param legacy_concurrency Run slots of a single-core fleet when
      *        slotsPerCore is auto (the pre-fleet maxConcurrency).
+     * @param admission Class weights driving each core's weighted-fair
+     *        ready-queue dispatch.
      * @param registry Receives the per-core labeled series; must
      *        outlive the fleet.
      */
     SolverFleet(const FleetConfig& config,
                 std::size_t default_cache_capacity,
                 unsigned legacy_concurrency,
+                const AdmissionConfig& admission,
                 telemetry::MetricsRegistry& registry);
 
     std::size_t coreCount() const { return cores_.size(); }
@@ -168,8 +187,10 @@ class SolverFleet
     /** Route a ready session by its head job's fingerprint. */
     std::size_t placeSession(const StructureFingerprint& fp);
 
-    /** Append a placed session to its core's ready queue. */
-    void enqueueReady(std::size_t core, SessionId id, bool small_job);
+    /** Append a placed session to its core's ready queue, under the
+     *  head job's admission class. */
+    void enqueueReady(std::size_t core, SessionId id,
+                      AdmissionClass cls, bool small_job);
 
     bool
     hasCapacity(std::size_t core) const
@@ -200,16 +221,19 @@ class SolverFleet
     /** Cores currently allowed to take work. */
     std::size_t availableCoreCount() const;
 
-    std::size_t
-    readyDepth(std::size_t core) const
-    {
-        return cores_[core].ready.size();
-    }
+    std::size_t readyDepth(std::size_t core) const;
 
     /**
-     * Pop the sessions forming the next instruction stream of `core`:
-     * one session, or — when the head and its successors are small
-     * jobs on a multi-core fleet — up to interleaveWidth of them.
+     * Pop the sessions forming the next instruction stream of `core`.
+     * Which admission class supplies the stream is decided by smooth
+     * weighted round-robin over the core's non-empty class queues
+     * (every waiting class earns its weight in credit per decision;
+     * the highest credit dispatches, ties going to the more urgent
+     * class), so under contention each class drains in proportion to
+     * its configured weight instead of strict FIFO. Within the chosen
+     * class: one session, or — when the head and its successors are
+     * small jobs on a multi-core fleet — up to interleaveWidth of
+     * them.
      */
     std::vector<SessionId> popStream(std::size_t core);
 
@@ -239,11 +263,12 @@ class SolverFleet
                        double device_seconds, bool degraded = false);
 
     /**
-     * Take the whole ready queue of a (newly quarantined) core. The
-     * service re-places each entry; none may stay parked on a fenced
-     * core or it could wait out the entire quarantine.
+     * Take the whole ready queue of a (newly quarantined) core, in
+     * class-priority order. The service re-places each entry; none may
+     * stay parked on a fenced core or it could wait out the entire
+     * quarantine.
      */
-    std::deque<std::pair<SessionId, bool>> drainReady(std::size_t core);
+    std::vector<ReadyEntry> drainReady(std::size_t core);
 
     /** `jobs` jobs were pulled off `core` by a failover. */
     void recordFailover(std::size_t core, Count jobs);
@@ -295,8 +320,11 @@ class SolverFleet
   private:
     struct Core
     {
-        /** Ready sessions; bool marks the head job small. */
-        std::deque<std::pair<SessionId, bool>> ready;
+        /** Ready sessions, one queue per admission class; FIFO within
+         *  a class, weighted round-robin across classes. */
+        std::array<std::deque<ReadyEntry>, kAdmissionClassCount> ready;
+        /** Smooth-WRR credit per class (see popStream). */
+        std::array<std::int64_t, kAdmissionClassCount> wrrCredit{};
         unsigned running = 0;    ///< streams holding a slot
         Count jobs = 0;
         Count streams = 0;
@@ -336,6 +364,8 @@ class SolverFleet
     FleetConfig config_;
     unsigned slots_;
     unsigned interleave_;
+    /** Dispatch weight per admission class (>= 1 each). */
+    std::array<std::int64_t, kAdmissionClassCount> classWeights_;
     PlacementScheduler scheduler_;
     std::vector<Core> cores_;
     Timer wall_; ///< utilization denominator

@@ -22,15 +22,6 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-/** Resolve an admitted request without running it. */
-void
-resolveWith(std::promise<SessionResult>& promise, SolveStatus status)
-{
-    SessionResult result;
-    result.status = status;
-    promise.set_value(std::move(result));
-}
-
 unsigned
 resolveMaxConcurrency(const ServiceConfig& config)
 {
@@ -49,22 +40,36 @@ sessionSeriesName(SessionId id)
            std::to_string(id) + "\"}";
 }
 
+/** One rsqp_service_class_* series name for `cls`. */
+std::string
+classSeries(const char* family, AdmissionClass cls)
+{
+    return telemetry::labeledName(family, "class",
+                                  admissionClassName(cls));
+}
+
 } // namespace
 
 SolverService::SolverService(ServiceConfig config)
     : config_(config),
       maxConcurrency_(resolveMaxConcurrency(config)),
       fleet_(config.fleet, config.cacheCapacity, maxConcurrency_,
-             registry_),
+             config.admission, registry_),
       cache_(fleet_.coreCache(0)),
       submitted_(registry_.counter("rsqp_service_submitted_total",
-                                   "Requests handed to submit()")),
+                                   "Requests handed to submitAsync()")),
       completed_(registry_.counter("rsqp_service_completed_total",
                                    "Requests that ran to a status")),
       rejected_(registry_.counter("rsqp_service_rejected_total",
                                   "Queue overflow or closed session")),
       expired_(registry_.counter("rsqp_service_deadline_expired_total",
                                  "Deadline passed while queued")),
+      cancelled_(registry_.counter(
+          "rsqp_service_cancelled_total",
+          "Requests revoked via their token before launch")),
+      shedTotal_(registry_.counter(
+          "rsqp_service_shed_total",
+          "Queued requests evicted by a higher admission class")),
       shutdownDrained_(registry_.counter(
           "rsqp_service_shutdown_drained_total",
           "Queued requests resolved ShuttingDown by the destructor")),
@@ -98,6 +103,37 @@ SolverService::SolverService(ServiceConfig config)
           "rsqp_service_retry_after_us",
           "Microseconds of back-off suggested to rejected clients"))
 {
+    for (std::size_t c = 0; c < kAdmissionClassCount; ++c) {
+        const AdmissionClass cls = static_cast<AdmissionClass>(c);
+        ClassMetrics& m = classMetrics_[c];
+        m.submitted = &registry_.counter(
+            classSeries("rsqp_service_class_submitted_total", cls),
+            "Requests submitted in this admission class");
+        m.completed = &registry_.counter(
+            classSeries("rsqp_service_class_completed_total", cls),
+            "Requests of this class that ran to a status");
+        m.solved = &registry_.counter(
+            classSeries("rsqp_service_class_solved_total", cls),
+            "Requests of this class that completed Solved (goodput)");
+        m.rejected = &registry_.counter(
+            classSeries("rsqp_service_class_rejected_total", cls),
+            "Requests of this class turned away at admission");
+        m.shed = &registry_.counter(
+            classSeries("rsqp_service_class_shed_total", cls),
+            "Queued requests of this class evicted by a higher class");
+        m.cancelled = &registry_.counter(
+            classSeries("rsqp_service_class_cancelled_total", cls),
+            "Requests of this class revoked via their token");
+        m.expired = &registry_.counter(
+            classSeries("rsqp_service_class_expired_total", cls),
+            "Requests of this class whose deadline passed queued");
+        m.queueDepth = &registry_.gauge(
+            classSeries("rsqp_service_class_queue_depth", cls),
+            "Requests of this class waiting right now");
+        m.retryAfterUs = &registry_.histogram(
+            classSeries("rsqp_service_class_retry_after_us", cls),
+            "Microseconds of back-off suggested to this class");
+    }
     if (config_.tracing)
         telemetry::TraceRecorder::global().enable();
 }
@@ -120,13 +156,19 @@ SolverService::~SolverService()
             state.pending.clear();
         }
         unplaced_.clear();
+        classQueued_.fill(0);
+        for (const ClassMetrics& m : classMetrics_)
+            m.queueDepth->set(0);
         shutdownDrained_.add(shed.size());
         queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
         if (activeRuns_ == 0 && queuedJobs_ == 0)
             idleCv_.notify_all();
     }
-    for (const std::shared_ptr<Job>& job : shed)
-        resolveWith(job->promise, SolveStatus::ShuttingDown);
+    for (const std::shared_ptr<Job>& job : shed) {
+        SessionResult result;
+        result.status = SolveStatus::ShuttingDown;
+        job->callback(std::move(result));
+    }
     waitIdle();
 }
 
@@ -170,10 +212,13 @@ SolverService::closeSession(SessionId id)
             return;
         SessionState& state = *it->second;
         state.open = false;
-        queuedJobs_ -= state.pending.size();
-        queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
-        rejected_.add(state.pending.size());
-        dropped.assign(state.pending.begin(), state.pending.end());
+        for (const std::shared_ptr<Job>& job : state.pending) {
+            unqueueLocked(job);
+            rejected_.increment();
+            classMetrics_[classIndex(job->options.admissionClass)]
+                .rejected->increment();
+            dropped.push_back(job);
+        }
         state.pending.clear();
         // A running job still owns the session; its completion handler
         // erases the closed state.
@@ -182,41 +227,171 @@ SolverService::closeSession(SessionId id)
             sessions_.erase(it);
         }
         openSessions_.set(static_cast<std::int64_t>(sessions_.size()));
+        if (activeRuns_ == 0 && queuedJobs_ == 0)
+            idleCv_.notify_all();
     }
-    for (const std::shared_ptr<Job>& job : dropped)
-        resolveWith(job->promise, SolveStatus::Rejected);
+    for (const std::shared_ptr<Job>& job : dropped) {
+        SessionResult result;
+        result.status = SolveStatus::Rejected;
+        job->callback(std::move(result));
+    }
 }
 
-std::future<SessionResult>
-SolverService::submit(SessionId id, QpProblem problem,
-                      Real deadline_seconds)
+void
+SolverService::unqueueLocked(const std::shared_ptr<Job>& job)
+{
+    --queuedJobs_;
+    const std::size_t cls = classIndex(job->options.admissionClass);
+    --classQueued_[cls];
+    classMetrics_[cls].queueDepth->set(
+        static_cast<std::int64_t>(classQueued_[cls]));
+    queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
+}
+
+std::shared_ptr<SolverService::Job>
+SolverService::shedLowerClassLocked(AdmissionClass cls)
+{
+    // Lowest-priority populated class strictly below the arrival:
+    // Batch is evicted before Interactive, and nothing below Batch
+    // exists, so a Batch arrival can never shed.
+    for (std::size_t c = kAdmissionClassCount; c-- > 0;) {
+        if (c <= classIndex(cls) || classQueued_[c] == 0)
+            continue;
+        // Evict the *newest* queued job of that class: it has waited
+        // the least, so the eviction wastes the least queue progress
+        // and FIFO fairness within the class is preserved.
+        SessionState* victimState = nullptr;
+        std::deque<std::shared_ptr<Job>>::iterator victimIt;
+        for (auto& item : sessions_) {
+            auto& pending = item.second->pending;
+            for (auto jt = pending.rbegin(); jt != pending.rend();
+                 ++jt) {
+                if (classIndex((*jt)->options.admissionClass) != c)
+                    continue;
+                if (victimState == nullptr ||
+                    (*jt)->enqueued > (*victimIt)->enqueued) {
+                    victimState = item.second.get();
+                    victimIt = std::prev(jt.base());
+                }
+                break; // older same-class jobs of this session lose
+            }
+        }
+        if (victimState == nullptr)
+            continue;
+        std::shared_ptr<Job> victim = *victimIt;
+        victimState->pending.erase(victimIt);
+        unqueueLocked(victim);
+        shedTotal_.increment();
+        classMetrics_[c].shed->increment();
+        return victim;
+    }
+    return nullptr;
+}
+
+Real
+SolverService::retryAfterEstimateLocked(AdmissionClass cls) const
+{
+    // Expected time for this class's backlog plus the new request to
+    // drain through its weighted-fair share of the slots still taking
+    // work; with every core fenced, nothing drains until the next
+    // readmission probe can land. The share assumes every class is
+    // contending (conservative), which keeps the hint monotone in the
+    // class backlog and never smaller for a lower class.
+    const double average = fleet_.averageJobDeviceSeconds();
+    const std::size_t available = fleet_.availableCoreCount();
+    const double slotCapacity = static_cast<double>(
+        std::max<std::size_t>(std::size_t{1}, available) *
+        fleet_.slotsPerCore());
+    double totalWeight = 0.0;
+    for (const AdmissionClassConfig& entry :
+         config_.admission.classes)
+        totalWeight += std::max(1u, entry.weight);
+    const double share =
+        std::max(1u, config_.admission.of(cls).weight) / totalWeight;
+    double estimate =
+        average *
+        static_cast<double>(classQueued_[classIndex(cls)] + 1) /
+        (slotCapacity * share);
+    if (available == 0)
+        estimate += fleet_.secondsToNextProbe();
+    return std::max(config_.retryAfterFloorSeconds,
+                    static_cast<Real>(estimate));
+}
+
+void
+SolverService::recordRetryHintLocked(AdmissionClass cls, Real hint)
+{
+    lastRetryAfterSeconds_ = static_cast<double>(hint);
+    retryAfterHints_.increment();
+    const std::uint64_t us = static_cast<std::uint64_t>(
+        static_cast<double>(hint) * 1e6);
+    retryAfterUs_.observe(us);
+    classMetrics_[classIndex(cls)].retryAfterUs->observe(us);
+}
+
+RequestToken
+SolverService::submitAsync(SessionId id, QpProblem problem,
+                           SubmitOptions options,
+                           SolveCallback callback)
 {
     auto job = std::make_shared<Job>();
     job->problem = std::move(problem);
-    job->deadline = deadline_seconds > 0.0 ? deadline_seconds
-                                           : config_.defaultDeadlineSeconds;
+    job->options = options;
+    job->session = id;
+    job->deadline = options.deadlineSeconds > 0.0
+                        ? options.deadlineSeconds
+                        : config_.defaultDeadlineSeconds;
     job->enqueued = std::chrono::steady_clock::now();
+    job->callback = std::move(callback);
     // Placement key, computed on the caller's thread: value-blind, so
     // every job of one structure carries the identical fingerprint.
     job->fp = fingerprintStructure(job->problem);
     job->small = job->problem.numVariables() +
                      job->problem.numConstraints() <=
                  config_.fleet.smallJobThreshold;
-    std::future<SessionResult> future = job->promise.get_future();
+    RequestToken token;
+    token.handle = job;
 
+    const std::size_t cls = classIndex(options.admissionClass);
     bool admitted = false;
     Real retryAfter = 0.0;
+    std::shared_ptr<Job> victim;
+    Real victimRetryAfter = 0.0;
     std::vector<Launch> launches;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         submitted_.increment();
+        classMetrics_[cls].submitted->increment();
         auto it = sessions_.find(id);
-        if (it != sessions_.end() && it->second->open &&
-            queuedJobs_ < config_.maxQueueDepth) {
+        const bool known =
+            it != sessions_.end() && it->second->open;
+        const std::size_t classBound =
+            config_.admission.classes[cls].maxQueueDepth;
+        const bool classRoom =
+            classBound == 0 || classQueued_[cls] < classBound;
+        bool globalRoom = queuedJobs_ < config_.maxQueueDepth;
+        if (known && classRoom && !globalRoom) {
+            // The global queue is full: make room by shedding the
+            // newest queued job of a lower class, if one exists.
+            victim = shedLowerClassLocked(options.admissionClass);
+            if (victim != nullptr) {
+                victimRetryAfter = retryAfterEstimateLocked(
+                    victim->options.admissionClass);
+                recordRetryHintLocked(
+                    victim->options.admissionClass,
+                    victimRetryAfter);
+                globalRoom = true;
+            }
+        }
+        if (known && classRoom && globalRoom) {
             SessionState& state = *it->second;
-            const bool wasIdle = !state.running && state.pending.empty();
+            const bool wasIdle =
+                !state.running && state.pending.empty();
             state.pending.push_back(job);
             ++queuedJobs_;
+            ++classQueued_[cls];
+            classMetrics_[cls].queueDepth->set(
+                static_cast<std::int64_t>(classQueued_[cls]));
             queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
             peakQueueDepth_.updateMax(
                 static_cast<std::int64_t>(queuedJobs_));
@@ -226,55 +401,110 @@ SolverService::submit(SessionId id, QpProblem problem,
             pumpLocked(launches);
         } else {
             rejected_.increment();
-            if (it != sessions_.end() && it->second->open) {
+            classMetrics_[cls].rejected->increment();
+            if (known) {
                 // Overflow (not a client error): tell the client how
-                // long the backlog is expected to take to clear.
-                retryAfter = retryAfterEstimateLocked();
-                lastRetryAfterSeconds_ =
-                    static_cast<double>(retryAfter);
-                retryAfterHints_.increment();
-                retryAfterUs_.observe(static_cast<std::uint64_t>(
-                    static_cast<double>(retryAfter) * 1e6));
+                // long this class's backlog should take to clear.
+                retryAfter =
+                    retryAfterEstimateLocked(options.admissionClass);
+                recordRetryHintLocked(options.admissionClass,
+                                      retryAfter);
             }
         }
+    }
+    if (victim != nullptr) {
+        SessionResult result;
+        result.status = SolveStatus::Rejected;
+        result.retryAfterSeconds = victimRetryAfter;
+        victim->callback(std::move(result));
     }
     if (!admitted) {
         SessionResult result;
         result.status = SolveStatus::Rejected;
         result.retryAfterSeconds = retryAfter;
-        job->promise.set_value(std::move(result));
-        return future;
+        job->callback(std::move(result));
+        return token;
     }
     launch(launches);
+    return token;
+}
+
+bool
+SolverService::cancel(const RequestToken& token)
+{
+    auto job = std::static_pointer_cast<Job>(token.handle.lock());
+    if (job == nullptr)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = sessions_.find(job->session);
+        if (it == sessions_.end())
+            return false;
+        std::deque<std::shared_ptr<Job>>& pending =
+            it->second->pending;
+        auto pos = std::find(pending.begin(), pending.end(), job);
+        if (pos == pending.end())
+            return false; // launched or already resolved: too late
+        // Still queued: this path now owns the job exclusively (the
+        // same discipline dispatch uses), so the callback below fires
+        // exactly once. Any stale ready-queue entry for the session
+        // is dropped harmlessly at dispatch.
+        pending.erase(pos);
+        unqueueLocked(job);
+        cancelled_.increment();
+        classMetrics_[classIndex(job->options.admissionClass)]
+            .cancelled->increment();
+        if (activeRuns_ == 0 && queuedJobs_ == 0)
+            idleCv_.notify_all();
+    }
+    SessionResult result;
+    result.status = SolveStatus::Cancelled;
+    job->callback(std::move(result));
+    return true;
+}
+
+std::future<SessionResult>
+SolverService::submit(SessionId id, QpProblem problem,
+                      SubmitOptions options)
+{
+    auto promise = std::make_shared<std::promise<SessionResult>>();
+    std::future<SessionResult> future = promise->get_future();
+    submitAsync(id, std::move(problem), options,
+                [promise](SessionResult result) {
+                    promise->set_value(std::move(result));
+                });
     return future;
 }
 
-Real
-SolverService::retryAfterEstimateLocked() const
+SessionResult
+SolverService::solve(SessionId id, QpProblem problem,
+                     SubmitOptions options)
 {
-    // Expected time for the backlog plus this request to drain
-    // through the slots still taking work; with every core fenced,
-    // nothing drains until the next readmission probe can land.
-    const double average = fleet_.averageJobDeviceSeconds();
-    const std::size_t available = fleet_.availableCoreCount();
-    const double slotCapacity = static_cast<double>(
-        std::max<std::size_t>(std::size_t{1}, available) *
-        fleet_.slotsPerCore());
-    double estimate = average *
-                      static_cast<double>(queuedJobs_ + 1) /
-                      slotCapacity;
-    if (available == 0)
-        estimate += fleet_.secondsToNextProbe();
-    return std::max(config_.retryAfterFloorSeconds,
-                    static_cast<Real>(estimate));
+    return submit(id, std::move(problem), options).get();
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+std::future<SessionResult>
+SolverService::submit(SessionId id, QpProblem problem,
+                      Real deadline_seconds)
+{
+    SubmitOptions options;
+    options.deadlineSeconds = deadline_seconds;
+    return submit(id, std::move(problem), options);
 }
 
 SessionResult
 SolverService::solve(SessionId id, QpProblem problem,
                      Real deadline_seconds)
 {
-    return submit(id, std::move(problem), deadline_seconds).get();
+    SubmitOptions options;
+    options.deadlineSeconds = deadline_seconds;
+    return solve(id, std::move(problem), options);
 }
+
+#pragma GCC diagnostic pop
 
 void
 SolverService::placeReadyLocked(SessionId id, SessionState& state)
@@ -287,7 +517,8 @@ SolverService::placeReadyLocked(SessionId id, SessionState& state)
     }
     const std::shared_ptr<Job>& head = state.pending.front();
     const std::size_t core = fleet_.placeSession(head->fp);
-    fleet_.enqueueReady(core, id, head->small);
+    fleet_.enqueueReady(core, id, head->options.admissionClass,
+                        head->small);
 }
 
 void
@@ -349,13 +580,12 @@ SolverService::dispatchLocked(std::vector<Launch>& launches)
                 stream.entries.push_back(
                     {id, &state, state.pending.front()});
                 state.pending.pop_front();
-                --queuedJobs_;
+                unqueueLocked(stream.entries.back().job);
             }
             if (stream.entries.empty())
                 continue;
             fleet_.onStreamLaunched(core, stream.entries.size());
             ++activeRuns_;
-            queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
             launches.push_back(std::move(stream));
         }
     }
@@ -406,18 +636,23 @@ SolverService::failOverStreamLocked(
         }
         entry.state->pending.push_front(entry.job);
         ++queuedJobs_;
+        const std::size_t cls =
+            classIndex(entry.job->options.admissionClass);
+        ++classQueued_[cls];
+        classMetrics_[cls].queueDepth->set(
+            static_cast<std::int64_t>(classQueued_[cls]));
         placeReadyLocked(entry.id, *entry.state);
     }
     fleet_.recordFailover(stream.core, failedOver);
     queueDepth_.set(static_cast<std::int64_t>(queuedJobs_));
     // Sessions still waiting on the now-fenced core follow the jobs
     // back to the scheduler.
-    for (const auto& ready : fleet_.drainReady(stream.core)) {
-        auto it = sessions_.find(ready.first);
+    for (const ReadyEntry& ready : fleet_.drainReady(stream.core)) {
+        auto it = sessions_.find(ready.id);
         if (it == sessions_.end() || it->second->running ||
             it->second->pending.empty())
             continue;
-        placeReadyLocked(ready.first, *it->second);
+        placeReadyLocked(ready.id, *it->second);
     }
     pumpLocked(launches);
 }
@@ -446,15 +681,18 @@ SolverService::runStream(Launch stream)
             }
         }
         if (failedOver) {
-            for (auto& item : shed)
-                resolveWith(item.first->promise, item.second);
+            for (auto& item : shed) {
+                SessionResult dropped;
+                dropped.status = item.second;
+                item.first->callback(std::move(dropped));
+            }
             if (!launches.empty())
                 launch(launches);
             break; // the stream tail still releases this core's slot
         }
         {
-            // Scoped so the span is recorded *before* the promise is
-            // fulfilled: a client that solves then immediately drains
+            // Scoped so the span is recorded *before* the callback is
+            // invoked: a client that solves then immediately drains
             // the trace always sees its own request's span.
             TELEMETRY_SPAN("service.run_job");
             // Stall-watchdog charges from earlier failovers count
@@ -480,8 +718,10 @@ SolverService::runStream(Launch stream)
                 // artifact hot.
                 entry.state->session->bindCache(
                     fleet_.coreCache(stream.core));
-                result = entry.state->session->solve(entry.job->problem,
-                                                     budget);
+                result = entry.state->session->solve(
+                    entry.job->problem, budget,
+                    entry.job->options.cacheable,
+                    entry.job->options.warmStart);
             }
             const bool degraded =
                 action.kind == FleetFaultAction::Kind::Degrade;
@@ -498,12 +738,18 @@ SolverService::runStream(Launch stream)
 
             {
                 std::lock_guard<std::mutex> lock(mutex_);
+                const std::size_t cls =
+                    classIndex(entry.job->options.admissionClass);
                 entry.state->statsSnapshot =
                     entry.state->session->stats();
                 if (expired) {
                     expired_.increment();
+                    classMetrics_[cls].expired->increment();
                 } else {
                     completed_.increment();
+                    classMetrics_[cls].completed->increment();
+                    if (result.status == SolveStatus::Solved)
+                        classMetrics_[cls].solved->increment();
                     entry.state->solvesCounter->increment();
                 }
                 fleet_.onJobExecuted(
@@ -529,7 +775,7 @@ SolverService::runStream(Launch stream)
         }
         if (!launches.empty())
             launch(launches);
-        entry.job->promise.set_value(std::move(result));
+        entry.job->callback(std::move(result));
     }
 
     std::vector<Launch> launches;
@@ -566,6 +812,8 @@ SolverService::stats() const
     stats.completed = static_cast<Count>(completed_.value());
     stats.rejected = static_cast<Count>(rejected_.value());
     stats.expired = static_cast<Count>(expired_.value());
+    stats.cancelled = static_cast<Count>(cancelled_.value());
+    stats.shed = static_cast<Count>(shedTotal_.value());
     stats.shutdownDrained =
         static_cast<Count>(shutdownDrained_.value());
     stats.retryAfterHints =
@@ -580,6 +828,18 @@ SolverService::stats() const
         static_cast<std::size_t>(peakQueueDepth_.value());
     stats.openSessions = sessions_.size();
     stats.cache = fleet_.aggregateCacheStats();
+    for (std::size_t c = 0; c < kAdmissionClassCount; ++c) {
+        const ClassMetrics& m = classMetrics_[c];
+        ClassStats& slice = stats.perClass[c];
+        slice.submitted = static_cast<Count>(m.submitted->value());
+        slice.completed = static_cast<Count>(m.completed->value());
+        slice.solved = static_cast<Count>(m.solved->value());
+        slice.rejected = static_cast<Count>(m.rejected->value());
+        slice.shed = static_cast<Count>(m.shed->value());
+        slice.cancelled = static_cast<Count>(m.cancelled->value());
+        slice.expired = static_cast<Count>(m.expired->value());
+        slice.queueDepth = classQueued_[c];
+    }
     return stats;
 }
 

@@ -44,7 +44,8 @@ SolverSession::sameStructure(const QpProblem& problem) const
 }
 
 void
-SolverSession::rebuild(const QpProblem& problem, SessionResult& result)
+SolverSession::rebuild(const QpProblem& problem, bool cacheable,
+                       SessionResult& result)
 {
     if (config_.engine == SessionEngine::Host) {
         // Route through the backend factory: settings.firstOrder picks
@@ -55,9 +56,13 @@ SolverSession::rebuild(const QpProblem& problem, SessionResult& result)
         return;
     }
 
+    // A non-cacheable request neither reads nor publishes artifacts:
+    // its one-off structure customizes privately and the hot working
+    // set survives untouched.
+    const bool useCache = cacheable && cache_ != nullptr;
     StructureFingerprint fp;
     std::shared_ptr<const CustomizationArtifact> artifact;
-    if (cache_ != nullptr) {
+    if (useCache) {
         fp = fingerprintCustomization(problem, config_.custom);
         artifact = cache_->find(fp);
     }
@@ -67,7 +72,7 @@ SolverSession::rebuild(const QpProblem& problem, SessionResult& result)
     if (device_->customizationReused()) {
         result.cacheHit = true;
         ++stats_.cacheHits;
-    } else if (cache_ != nullptr) {
+    } else if (useCache) {
         ++stats_.cacheMisses;
         cache_->insert(fp,
                        std::make_shared<CustomizationArtifact>(
@@ -108,7 +113,8 @@ SolverSession::applyParametricUpdates(const QpProblem& problem)
 }
 
 SessionResult
-SolverSession::solve(const QpProblem& problem, Real time_budget)
+SolverSession::solve(const QpProblem& problem, Real time_budget,
+                     bool cacheable, WarmStartPolicy warm_start)
 {
     SessionResult result;
 
@@ -130,7 +136,7 @@ SolverSession::solve(const QpProblem& problem, Real time_budget)
         result.parametricReuse = true;
         ++stats_.parametricSolves;
     } else {
-        rebuild(problem, result);
+        rebuild(problem, cacheable, result);
         ++stats_.rebuilds;
         haveWarm_ = false;  // a fresh solver means a fresh structure
     }
@@ -145,7 +151,11 @@ SolverSession::solve(const QpProblem& problem, Real time_budget)
 
     const Index n = problem.numVariables();
     const Index m = problem.numConstraints();
-    if (config_.autoWarmStart && haveWarm_ &&
+    const bool wantWarm =
+        warm_start == WarmStartPolicy::SessionDefault
+            ? config_.autoWarmStart
+            : warm_start == WarmStartPolicy::Apply;
+    if (wantWarm && haveWarm_ &&
         lastX_.size() == static_cast<std::size_t>(n) &&
         lastY_.size() == static_cast<std::size_t>(m)) {
         const bool applied =

@@ -26,6 +26,7 @@
 #include "backends/qp_backend.hpp"
 #include "core/rsqp_solver.hpp"
 #include "osqp/solver.hpp"
+#include "service/admission.hpp"
 #include "service/customization_cache.hpp"
 #include "telemetry/solve_telemetry.hpp"
 
@@ -129,9 +130,18 @@ class SolverSession
      *        Host engine; the Device engine's simulated run is not
      *        interruptible, so its deadline is enforced by the service
      *        queue at admission time.
+     * @param cacheable Whether a structure change on this request may
+     *        consult or publish the customization cache. Off, a
+     *        rebuild customizes privately — for one-off structures
+     *        that must not evict hot artifacts.
+     * @param warm_start Per-request warm-start directive layered over
+     *        SessionConfig::autoWarmStart (SessionDefault follows it;
+     *        Apply/Skip override for this request only).
      */
-    SessionResult solve(const QpProblem& problem,
-                        Real time_budget = 0.0);
+    SessionResult solve(
+        const QpProblem& problem, Real time_budget = 0.0,
+        bool cacheable = true,
+        WarmStartPolicy warm_start = WarmStartPolicy::SessionDefault);
 
     /** Drop the live solver and warm-start state (structure forgotten). */
     void reset();
@@ -152,8 +162,10 @@ class SolverSession
     /** Structure-exact equality against the live problem. */
     bool sameStructure(const QpProblem& problem) const;
 
-    /** Paths 2/3: build a fresh solver, consulting the cache. */
-    void rebuild(const QpProblem& problem, SessionResult& result);
+    /** Paths 2/3: build a fresh solver, consulting the cache unless
+     *  the request opted out. */
+    void rebuild(const QpProblem& problem, bool cacheable,
+                 SessionResult& result);
 
     /** Path 1: diff against the live problem and push updates. */
     void applyParametricUpdates(const QpProblem& problem);

@@ -36,6 +36,21 @@ appendJsonKey(std::ostringstream& os, const std::string& name)
 
 } // namespace
 
+std::string
+labeledName(std::string_view base, std::string_view label,
+            std::string_view value)
+{
+    std::string name;
+    name.reserve(base.size() + label.size() + value.size() + 5);
+    name.append(base);
+    name.append("{");
+    name.append(label);
+    name.append("=\"");
+    name.append(value);
+    name.append("\"}");
+    return name;
+}
+
 std::size_t
 threadShardIndex()
 {

@@ -50,6 +50,16 @@ inline constexpr std::size_t kHistogramBuckets = 64;
 std::size_t threadShardIndex();
 
 /**
+ * Compose a single-label series name in the registry's labels-in-name
+ * convention: labeledName("rsqp_service_class_shed_total", "class",
+ * "batch") == "rsqp_service_class_shed_total{class=\"batch\"}". The
+ * value is embedded verbatim — callers pass label values that need no
+ * escaping (identifiers, small integers).
+ */
+std::string labeledName(std::string_view base, std::string_view label,
+                        std::string_view value);
+
+/**
  * Monotonic counter. add() is a single relaxed fetch_add on the
  * calling thread's shard; value() folds all shards and is exact once
  * the writers have quiesced (and never under-counts a completed add).

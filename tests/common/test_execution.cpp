@@ -1,8 +1,9 @@
 /**
  * @file
  * ExecutionConfig tests: the single numThreads knob shared by
- * OsqpSettings / CustomizeSettings / ArchConfig, and the deprecated
- * per-struct fields that forward into it for one release.
+ * OsqpSettings / CustomizeSettings / ArchConfig. The deprecated
+ * per-struct forwarding aliases are gone; resolvedNumThreads() now
+ * simply reads execution.numThreads on every carrier struct.
  */
 
 #include <gtest/gtest.h>
@@ -17,52 +18,35 @@ namespace rsqp
 namespace
 {
 
-TEST(ExecutionConfig, ResolvePrefersLegacyWhenSet)
-{
-    ExecutionConfig execution;
-    execution.numThreads = 4;
-    EXPECT_EQ(resolveNumThreads(execution, 0), 4);
-    EXPECT_EQ(resolveNumThreads(execution, 2), 2);
-    EXPECT_EQ(resolveNumThreads(ExecutionConfig{}, 0), 0);
-}
-
-TEST(ExecutionConfig, OsqpSettingsForwarding)
+TEST(ExecutionConfig, OsqpSettingsReadThrough)
 {
     OsqpSettings settings;
     EXPECT_EQ(settings.resolvedNumThreads(), 0);
     settings.execution.numThreads = 3;
     EXPECT_EQ(settings.resolvedNumThreads(), 3);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    settings.numThreads = 5;  // legacy field wins while it exists
-#pragma GCC diagnostic pop
-    EXPECT_EQ(settings.resolvedNumThreads(), 5);
 }
 
-TEST(ExecutionConfig, CustomizeSettingsForwarding)
+TEST(ExecutionConfig, CustomizeSettingsReadThrough)
 {
     CustomizeSettings custom;
     EXPECT_EQ(custom.resolvedNumThreads(), 0);
     custom.execution.numThreads = 2;
     EXPECT_EQ(custom.resolvedNumThreads(), 2);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    custom.numThreads = 7;
-#pragma GCC diagnostic pop
-    EXPECT_EQ(custom.resolvedNumThreads(), 7);
 }
 
-TEST(ExecutionConfig, ArchConfigForwarding)
+TEST(ExecutionConfig, ArchConfigReadThrough)
 {
     ArchConfig config;
     EXPECT_EQ(config.resolvedNumThreads(), 0);
     config.execution.numThreads = 6;
     EXPECT_EQ(config.resolvedNumThreads(), 6);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    config.numThreads = 1;
-#pragma GCC diagnostic pop
-    EXPECT_EQ(config.resolvedNumThreads(), 1);
+}
+
+TEST(ExecutionConfig, PrecisionModeNames)
+{
+    EXPECT_STREQ(precisionModeName(PrecisionMode::Fp64), "fp64");
+    EXPECT_STREQ(precisionModeName(PrecisionMode::MixedFp32),
+                 "mixed-fp32");
 }
 
 } // namespace

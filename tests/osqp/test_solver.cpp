@@ -206,21 +206,6 @@ TEST(OsqpSolver, InvalidSettingsRejected)
     }
 }
 
-TEST(OsqpSolver, RequireValidShimThrows)
-{
-    // The deprecated requireValid() shim preserves the old throwing
-    // setup contract for one release.
-    OsqpSettings bad;
-    bad.sigma = 0.0;
-    OsqpSolver invalid(boxQp(), bad);
-    OsqpSolver valid(boxQp(), OsqpSettings{});
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    EXPECT_THROW(invalid.requireValid(), FatalError);
-    EXPECT_NO_THROW(valid.requireValid());
-#pragma GCC diagnostic pop
-}
-
 TEST(OsqpSolver, InvalidProblemRejected)
 {
     QpProblem problem = boxQp();

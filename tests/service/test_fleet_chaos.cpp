@@ -142,8 +142,10 @@ TEST(Failover, StallChargeExpiresATightDeadline)
     // Budget far below the stall charge: after the failover the job
     // must expire instead of running with a blown deadline.
     const QpProblem qp = generateProblem(Domain::Huber, 30, 7);
+    SubmitOptions tight;
+    tight.deadlineSeconds = 5.0;
     const SessionResult result = service.solve(
-        service.openSession(deviceConfig()), qp, 5.0);
+        service.openSession(deviceConfig()), qp, tight);
 
     EXPECT_EQ(result.status, SolveStatus::TimeLimitReached);
     EXPECT_EQ(service.stats().expired, 1);

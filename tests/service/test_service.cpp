@@ -108,8 +108,10 @@ TEST(ServiceQueue, QueuedDeadlineExpiresToTimeLimit)
     std::vector<std::future<SessionResult>> head;
     for (int i = 0; i < 3; ++i)
         head.push_back(service.submit(id, qp));
+    SubmitOptions doomedOptions;
+    doomedOptions.deadlineSeconds = 1e-9;
     std::future<SessionResult> doomed =
-        service.submit(id, qp, /*deadline_seconds=*/1e-9);
+        service.submit(id, qp, doomedOptions);
 
     const SessionResult late = doomed.get();
     EXPECT_EQ(late.status, SolveStatus::TimeLimitReached);
